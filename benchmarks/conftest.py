@@ -1,0 +1,42 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every paper figure/table has one benchmark module.  Each benchmark runs the
+corresponding experiment driver in quick mode (so the whole suite finishes in
+a few minutes), asserts the *qualitative* claims of the paper (who wins, by
+roughly what factor, where crossovers fall) and times the run with
+pytest-benchmark.  Generated tables are also written to
+``benchmarks/results/`` so the rows behind every figure can be inspected
+without re-running.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentResult
+
+#: Directory where benchmark runs dump the regenerated figure tables.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_result(results_dir):
+    """Persist an ExperimentResult (or free-form text) for later inspection."""
+
+    def _record(name: str, result) -> None:
+        path = results_dir / f"{name}.txt"
+        if isinstance(result, ExperimentResult):
+            text = result.to_table() + "\n\nsummary: " + repr(result.summary) + "\n"
+        else:
+            text = str(result) + "\n"
+        path.write_text(text, encoding="utf-8")
+
+    return _record

@@ -1,0 +1,67 @@
+"""Ablation: how much does the *shape* of the distance function matter?
+
+DESIGN.md calls out the distance-function shape as a key design choice: the
+FeFET cell gives an exponential-then-saturating per-cell distance, whereas an
+ideal digital implementation would use a linear (L1-like) profile.  This
+ablation swaps synthetic profiles into the same MCAM search engine and
+measures few-shot accuracy, confirming that
+
+* the circuit-derived FeFET profile performs on par with an idealized
+  exponential profile (the exact curve is not magic), and
+* all reasonable monotone profiles stay far above the TCAM+LSH baseline —
+  the win comes from searching in the quantized feature space rather than
+  the Hamming space of LSH signatures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MCAMSearcher,
+    TCAMLSHSearcher,
+    exponential_distance_profile,
+    linear_distance_profile,
+    profile_to_lut,
+)
+from repro.circuits import build_nominal_lut
+from repro.datasets import SyntheticEmbeddingSpace
+from repro.mann import FewShotEvaluator
+
+NUM_EPISODES = 15
+SEED = 17
+
+
+def _evaluate_profiles():
+    space = SyntheticEmbeddingSpace(seed=SEED)
+    evaluator = FewShotEvaluator(space, n_way=20, k_shot=1, num_episodes=NUM_EPISODES)
+    luts = {
+        "fefet": build_nominal_lut(bits=3),
+        "exponential": profile_to_lut(exponential_distance_profile(8), bits=3),
+        "linear": profile_to_lut(linear_distance_profile(8), bits=3),
+    }
+    factories = {
+        name: (lambda lut=lut: MCAMSearcher(bits=3, lut=lut)) for name, lut in luts.items()
+    }
+    factories["tcam-lsh"] = lambda: TCAMLSHSearcher(num_bits=64, seed=SEED)
+    results = evaluator.compare(factories, rng=SEED)
+    return {name: result.accuracy_percent for name, result in results.items()}
+
+
+def test_distance_shape_ablation(benchmark, record_result):
+    accuracies = benchmark.pedantic(_evaluate_profiles, iterations=1, rounds=1)
+    record_result(
+        "ablation_distance_shape",
+        "\n".join(f"{name}: {value:.2f}%" for name, value in sorted(accuracies.items())),
+    )
+
+    # The circuit-derived FeFET profile is at least as good as an idealized
+    # aggressive exponential: its saturating tail keeps a single far-off
+    # feature from dominating the row conductance.
+    assert accuracies["fefet"] >= accuracies["exponential"] - 3.0
+    # A linear profile is also competitive — the quantized-feature search
+    # space, not the exact curve shape, carries most of the benefit...
+    assert accuracies["fefet"] == pytest.approx(accuracies["linear"], abs=5.0)
+    assert accuracies["linear"] > accuracies["tcam-lsh"]
+    # ...and every MCAM profile clearly beats the Hamming-space baseline.
+    assert accuracies["fefet"] > accuracies["tcam-lsh"] + 3.0
+    assert accuracies["exponential"] > accuracies["tcam-lsh"] + 3.0

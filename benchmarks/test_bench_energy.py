@@ -1,0 +1,28 @@
+"""Benchmark for the Sec. IV-C energy/delay comparison (MCAM vs TCAM vs GPU)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_energy_and_delay_comparison(benchmark, record_result):
+    result = benchmark(run_experiment, "energy", quick=True)
+    record_result("energy_table", result)
+
+    summary = result.summary
+    # Paper: MCAM search energy is ~56% higher than the TCAM's, driven by the
+    # higher data-line search voltages.
+    assert summary["dataline_search_energy_overhead_percent"] == pytest.approx(56.0, abs=10.0)
+    assert summary["search_energy_overhead_percent"] > 20.0
+    # Paper: MCAM programming energy is ~12% lower (lower pulse amplitudes).
+    assert 5.0 < summary["programming_energy_saving_percent"] < 30.0
+    # Paper: identical search and programming delays (same cell and sensing).
+    assert summary["search_delay_ratio"] == pytest.approx(1.0)
+    assert summary["programming_delay_ratio"] == pytest.approx(1.0)
+    # Paper: ~4.4x energy and ~4.5x latency end-to-end improvement over the
+    # Jetson TX2 GPU for both CAM variants (bound by the CNN front-end).
+    assert summary["end_to_end_energy_improvement_mcam"] == pytest.approx(4.4, abs=0.6)
+    assert summary["end_to_end_latency_improvement_mcam"] == pytest.approx(4.5, abs=0.7)
+    assert summary["end_to_end_energy_improvement_tcam"] == pytest.approx(
+        summary["end_to_end_energy_improvement_mcam"], rel=0.05
+    )

@@ -1,0 +1,22 @@
+"""Benchmark for Fig. 2(b): FeFET multi-level transfer characteristics."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig2b_transfer_characteristics(benchmark, record_result):
+    result = benchmark(run_experiment, "fig2b", quick=True)
+    record_result("fig2b_transfer_characteristics", result)
+
+    summary = result.summary
+    # Eight programmable states spanning several decades of drain current,
+    # with a realistic subthreshold swing, as in Fig. 2(b).
+    assert summary["num_states"] == 8
+    assert summary["current_decades_spanned"] > 2.0
+    assert 60.0 < summary["mean_subthreshold_swing_mv_per_dec"] < 200.0
+    assert summary["vth_window_v"] == pytest.approx(0.84, abs=0.01)
+
+    # Programming pulses must be ordered: lower Vth states need larger pulses.
+    pulses = [record["program_pulse_v"] for record in result.records]
+    assert pulses == sorted(pulses, reverse=True)

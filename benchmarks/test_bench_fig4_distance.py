@@ -1,0 +1,24 @@
+"""Benchmark for Fig. 4: the MCAM distance function and its derivative."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_fig4_distance_function(benchmark, record_result):
+    result = benchmark(run_experiment, "fig4", quick=True)
+    record_result("fig4_distance_function", result)
+
+    summary = result.summary
+    # Fig. 4(a): conductance grows monotonically with distance.
+    assert summary["s1_curve_monotonic"]
+    # Fig. 4(d): the derivative is bell-shaped — it peaks at intermediate
+    # distances (3-5 for a 3-bit cell) and drops for far-apart points.
+    assert 3 <= summary["derivative_peak_distance"] <= 5
+    assert summary["derivative_drops_at_far_distances"]
+    # The distance function must separate match from worst-case mismatch by a
+    # large conductance ratio (the exponential FeFET characteristic).
+    assert summary["dynamic_range"] > 20.0
+
+    conductances = np.array([record["nominal_conductance_uS"] for record in result.records])
+    assert np.all(np.diff(conductances) > 0)

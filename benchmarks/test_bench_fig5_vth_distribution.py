@@ -1,0 +1,22 @@
+"""Benchmark for Fig. 5: Vth distributions of a programmed device population."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_vth_distributions(benchmark, record_result):
+    result = benchmark(run_experiment, "fig5", quick=True)
+    record_result("fig5_vth_distribution", result)
+
+    summary = result.summary
+    # Eight states, sigma of up to roughly 80 mV (the paper's Monte-Carlo
+    # study) — an order of magnitude smaller than the 960 mV memory window.
+    assert summary["num_states"] == 8
+    assert 30.0 < summary["max_sigma_mv"] < 120.0
+    assert summary["mean_sigma_mv"] < summary["max_sigma_mv"] + 1e-9
+
+    # State means must remain ordered (the eight distributions of Fig. 5 are
+    # distinct peaks even though their tails overlap).
+    means = [record["mean_vth_v"] for record in result.records]
+    assert np.all(np.diff(means) > 0)

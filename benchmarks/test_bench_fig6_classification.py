@@ -1,0 +1,33 @@
+"""Benchmark for Fig. 6: NN-classification accuracy on the UCI-style datasets."""
+
+from collections import defaultdict
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_nn_classification(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig6",), kwargs={"quick": True}, iterations=1, rounds=1
+    )
+    record_result("fig6_nn_classification", result)
+
+    summary = result.summary
+    # Paper: "the 3-bit MCAM achieves 12% higher accuracies on average
+    # compared to TCAM+LSH"; require a clearly positive average gap.
+    assert summary["mcam3_vs_tcam_lsh_gap_percent"] > 3.0
+    assert summary["mcam2_vs_tcam_lsh_gap_percent"] > 3.0
+    # Paper: MCAM accuracies are comparable to the software baselines.
+    assert abs(summary["mcam3_vs_euclidean_gap_percent"]) < 10.0
+
+    # Per-dataset shape: the 3-bit MCAM never loses badly to TCAM+LSH, and on
+    # at least three of the four datasets it wins outright.
+    by_dataset = defaultdict(dict)
+    for record in result.records:
+        by_dataset[record["dataset"]][record["method"]] = record["accuracy_percent"]
+    assert len(by_dataset) == 4
+    wins = 0
+    for dataset, methods in by_dataset.items():
+        assert methods["mcam-3bit"] > methods["tcam-lsh"] - 3.0
+        if methods["mcam-3bit"] > methods["tcam-lsh"]:
+            wins += 1
+    assert wins >= 3

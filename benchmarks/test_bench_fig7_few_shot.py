@@ -1,0 +1,38 @@
+"""Benchmark for Fig. 7: one/few-shot learning accuracy on Omniglot-like data."""
+
+from collections import defaultdict
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_few_shot_learning(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig7",), kwargs={"quick": True}, iterations=1, rounds=1
+    )
+    record_result("fig7_few_shot", result)
+
+    summary = result.summary
+    # Paper: 2-/3-bit MCAMs outperform TCAM+LSH by 11.6% / 13% on average.
+    assert summary["mcam3_vs_tcam_lsh_gap_percent"] > 6.0
+    assert summary["mcam2_vs_tcam_lsh_gap_percent"] > 5.0
+    # Paper: the MCAM is within ~1% of the FP32 cosine baseline (headline
+    # 98.34% vs 99.1%); allow a few points of slack at quick episode counts.
+    assert summary["cosine_minus_mcam3_percent"] < 4.0
+
+    by_task = defaultdict(dict)
+    for record in result.records:
+        by_task[record["task"]][record["method"]] = record["accuracy_percent"]
+    assert set(by_task) == {"5-way 1-shot", "5-way 5-shot", "20-way 1-shot", "20-way 5-shot"}
+
+    for task, methods in by_task.items():
+        # Ordering of Fig. 7: software ~ MCAM > TCAM+LSH, all well above chance.
+        assert methods["cosine"] >= methods["mcam-3bit"] - 2.0
+        assert methods["mcam-3bit"] > methods["tcam-lsh"]
+        assert methods["tcam-lsh"] > 50.0
+
+    # Headline operating point: the 5-way 5-shot MCAM lands in the high 90s.
+    assert by_task["5-way 5-shot"]["mcam-3bit"] > 95.0
+    # More ways is harder: 20-way accuracy never exceeds 5-way accuracy for
+    # the same shot count and method.
+    for method in ("cosine", "mcam-3bit", "tcam-lsh"):
+        assert by_task["20-way 1-shot"][method] <= by_task["5-way 1-shot"][method] + 1.0

@@ -1,0 +1,23 @@
+"""Benchmark for Fig. 8: MCAM few-shot accuracy under Vth variation."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig8_variation_robustness(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig8",), kwargs={"quick": True}, iterations=1, rounds=1
+    )
+    record_result("fig8_variation", result)
+
+    summary = result.summary
+    # Paper: "results do not suffer any accuracy loss for sigma values of up
+    # to 80 mV" — the largest sigma the device study produces.
+    assert summary["robust_up_to_80mv"]
+    assert summary["max_accuracy_drop_at_80mv_percent"] < 2.0
+    # At hypothetical 300 mV sigma the accuracy clearly degrades (the curves
+    # in Fig. 8 fall off toward the right edge).
+    assert summary["max_accuracy_drop_at_300mv_percent"] > 5.0
+    assert (
+        summary["max_accuracy_drop_at_300mv_percent"]
+        > summary["max_accuracy_drop_at_80mv_percent"]
+    )

@@ -1,0 +1,25 @@
+"""Benchmark for Fig. 9: 2-bit MCAM, simulation versus (synthesized) experiment."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig9_experimental_demonstration(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig9",), kwargs={"quick": True}, iterations=1, rounds=1
+    )
+    record_result("fig9_experimental", result)
+
+    summary = result.summary
+    # Fig. 9(a)/(b): the measured distance function follows the simulated
+    # exponential trend.
+    assert summary["trend_correlation"] > 0.9
+    assert summary["measured_trend_monotonic"]
+    # Fig. 9(c): few-shot accuracy with the measured table stays within a few
+    # points of the simulated table (the paper even sees a slight gain from
+    # the noise's regularization effect).
+    assert abs(summary["mean_experiment_minus_simulation_percent"]) < 8.0
+
+    fewshot_records = [r for r in result.records if r["kind"] == "few_shot"]
+    for record in fewshot_records:
+        assert record["experiment_percent"] > 60.0
+        assert record["simulation_percent"] > 60.0

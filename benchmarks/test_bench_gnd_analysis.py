@@ -1,0 +1,17 @@
+"""Benchmark for the G^n_d row-conductance study of Sec. III-B."""
+
+from repro.experiments import run_experiment
+
+
+def test_gnd_row_conductance_study(benchmark, record_result):
+    result = benchmark(run_experiment, "gnd", quick=True)
+    record_result("gnd_row_conductance", result)
+
+    summary = result.summary
+    # The three inequalities the paper highlights for a 16-cell, 3-bit row.
+    assert summary["g1_4_greater_than_g4_1"]
+    assert summary["g1_7_much_greater_than_g7_1"]
+    assert summary["g1_4_greater_than_g7_1"]
+    # "Much greater" — the paper stresses the exponential relation; require a
+    # clear factor rather than a marginal win.
+    assert summary["g1_7_over_g7_1"] > 2.0

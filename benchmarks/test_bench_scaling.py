@@ -1,0 +1,55 @@
+"""Extension benchmark: how the MCAM scales with capacity and word length.
+
+Not a paper figure — this covers the scaling questions a system adopter would
+ask next (see ``repro.analysis.scaling``): accuracy versus number of stored
+classes, search energy versus array size, and the constant single-step search
+delay that distinguishes the CAM from a sequential software scan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ScalingStudy
+
+
+def _run_study():
+    study = ScalingStudy(
+        ways=(5, 20, 40),
+        k_shot=5,
+        word_lengths=(16, 64),
+        num_episodes=10,
+        bits=3,
+    )
+    return study.run(rng=53)
+
+
+def test_scaling_study(benchmark, record_result):
+    result = benchmark.pedantic(_run_study, iterations=1, rounds=1)
+    record_result(
+        "scaling_study",
+        "\n".join(str(record) for record in result.as_records()),
+    )
+
+    # Accuracy degrades gracefully (never collapses) as more classes are
+    # stored in the array.
+    capacity = result.capacity_series(num_cells=64)
+    accuracies = [point.accuracy_percent for point in capacity]
+    assert accuracies[0] >= accuracies[-1] - 2.0  # more ways is not easier
+    assert accuracies[-1] > 80.0                  # still far above chance
+
+    # Search energy grows with the number of stored rows and with the word
+    # length (every cell and every match line contributes C*V^2 terms).
+    energies = [point.search_energy_j for point in capacity]
+    assert np.all(np.diff(energies) > 0)
+    wide = result.capacity_series(num_cells=64)[0]
+    narrow = result.capacity_series(num_cells=16)[0]
+    assert wide.search_energy_j > narrow.search_energy_j
+
+    # The single-step in-memory search delay does not depend on how many rows
+    # are stored — the architectural advantage over a sequential scan.
+    delays = {point.search_delay_s for point in result.points}
+    assert len(delays) == 1
+
+    # Longer words help accuracy at fixed task size (more features per entry).
+    by_word_length = result.word_length_series(20, 5)
+    assert by_word_length[-1].accuracy_percent >= by_word_length[0].accuracy_percent - 2.0

@@ -1,0 +1,106 @@
+"""Energy and delay analysis: MCAM vs TCAM vs Jetson TX2 (paper Sec. IV-C).
+
+Three comparisons are printed:
+
+1. cell/array level — search and programming energy of a 64-cell, 100-row
+   3-bit MCAM against the same-word-length TCAM (the paper reports ~12%
+   lower programming energy and ~56% higher search energy for the MCAM,
+   with identical delays),
+2. the search-voltage origin of the 56% figure (data-line drive energy),
+3. end-to-end MANN inference — CNN feature extraction on the GPU plus the
+   memory search, against the fully-GPU Jetson TX2 baseline (the paper
+   reports ~4.4x energy and ~4.5x latency improvements, bound by the CNN).
+
+Run with::
+
+    python examples/energy_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.energy import (
+    EndToEndComparison,
+    compare_mcam_to_tcam,
+    mcam_energy_model,
+    tcam_energy_model,
+)
+from repro.utils import format_si, format_table
+
+NUM_FEATURES = 64   # CAM word length (CNN embedding width)
+NUM_ENTRIES = 100   # stored memory entries (20-way 5-shot)
+
+
+def main() -> None:
+    print(f"array configuration: {NUM_ENTRIES} rows x {NUM_FEATURES} cells\n")
+
+    mcam = mcam_energy_model(NUM_FEATURES, NUM_ENTRIES, bits=3)
+    tcam = tcam_energy_model(NUM_FEATURES, NUM_ENTRIES)
+    comparison = compare_mcam_to_tcam(NUM_FEATURES, NUM_ENTRIES, bits=3)
+
+    mcam_search = mcam.search_cost()
+    tcam_search = tcam.search_cost()
+    mcam_prog = mcam.programming_cost(include_erase=False)
+    tcam_prog = tcam.programming_cost(include_erase=False)
+
+    rows = [
+        [
+            "search energy / query",
+            format_si(tcam_search.energy_j, "J"),
+            format_si(mcam_search.energy_j, "J"),
+            f"{comparison.search_energy_ratio:.2f}x",
+        ],
+        [
+            "  of which data-line drive",
+            format_si(tcam_search.breakdown.dataline_j, "J"),
+            format_si(mcam_search.breakdown.dataline_j, "J"),
+            f"{mcam_search.breakdown.dataline_j / tcam_search.breakdown.dataline_j:.2f}x",
+        ],
+        [
+            "programming energy / word",
+            format_si(tcam_prog.energy_j, "J"),
+            format_si(mcam_prog.energy_j, "J"),
+            f"{comparison.programming_energy_ratio:.2f}x",
+        ],
+        [
+            "search delay",
+            format_si(tcam_search.delay_s, "s"),
+            format_si(mcam_search.delay_s, "s"),
+            f"{comparison.search_delay_ratio:.2f}x",
+        ],
+    ]
+    print(format_table(["quantity", "TCAM", "MCAM 3-bit", "MCAM / TCAM"], rows))
+    print(
+        f"\nMCAM search energy overhead: {comparison.search_energy_overhead_percent:+.1f}% "
+        "(data-line drive alone: "
+        f"{100.0 * (mcam_search.breakdown.dataline_j / tcam_search.breakdown.dataline_j - 1.0):+.1f}%, "
+        "paper: +56%)"
+    )
+    print(
+        f"MCAM programming energy saving: {comparison.programming_energy_saving_percent:.1f}% "
+        "(paper: ~12%)\n"
+    )
+
+    end_to_end = EndToEndComparison(num_entries=NUM_ENTRIES, num_features=NUM_FEATURES).run()
+    rows = [
+        [
+            record["system"],
+            f"{record['energy_uJ']:.1f}",
+            f"{record['latency_ms']:.3f}",
+            f"{record['energy_improvement']:.2f}x",
+            f"{record['latency_improvement']:.2f}x",
+        ]
+        for record in end_to_end.as_records()
+    ]
+    print(
+        format_table(
+            ["system", "energy (uJ)", "latency (ms)", "energy gain", "latency gain"], rows
+        )
+    )
+    print(
+        "\nBoth CAM systems land at ~4.4x because the remaining cost is the CNN "
+        "feature extraction on the GPU — exactly the bound the paper describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Few-shot learning with a memory-augmented neural network (paper Fig. 7).
+
+The MANN pipeline of Sec. IV-C classifies previously unseen character
+classes from only a handful of examples: a CNN front-end produces 64-d
+embeddings, the support embeddings are written to a memory, and each query
+is labeled by its nearest stored neighbor.  This example runs the paper's
+four task configurations (5/20-way, 1/5-shot) for all five search methods
+on the synthetic Omniglot-like embedding space and prints the accuracy table
+that Fig. 7 plots as bars.
+
+Run with::
+
+    python examples/few_shot_learning.py [num_episodes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.datasets import SyntheticEmbeddingSpace
+from repro.mann import FewShotEvaluator, PAPER_FEWSHOT_TASKS, default_method_factories
+from repro.utils import format_table
+
+SEED = 11
+DEFAULT_EPISODES = 50
+
+#: Display order matching the paper's figure legend.
+METHOD_ORDER = ("mcam-3bit", "mcam-2bit", "tcam-lsh", "cosine", "euclidean")
+
+
+def main(num_episodes: int = DEFAULT_EPISODES) -> None:
+    space = SyntheticEmbeddingSpace(seed=SEED)
+    factories = default_method_factories(space.embedding_dim, seed=SEED)
+    print(
+        f"embedding space: {space.num_classes} classes, {space.embedding_dim}-d "
+        f"embeddings (CNN front-end substitute)\n"
+        f"episodes per task: {num_episodes}\n"
+    )
+
+    rows = []
+    gaps = []
+    for n_way, k_shot in PAPER_FEWSHOT_TASKS:
+        evaluator = FewShotEvaluator(
+            space, n_way=n_way, k_shot=k_shot, num_episodes=num_episodes
+        )
+        results = evaluator.compare(factories, rng=SEED)
+        rows.append(
+            [f"{n_way}-way {k_shot}-shot"]
+            + [results[m].accuracy_percent for m in METHOD_ORDER]
+        )
+        gaps.append(
+            results["mcam-3bit"].accuracy_percent - results["tcam-lsh"].accuracy_percent
+        )
+
+    headers = ["task"] + list(METHOD_ORDER)
+    print(format_table(headers, rows, float_format="{:.2f}"))
+    print(
+        f"\naverage 3-bit MCAM advantage over TCAM+LSH: {np.mean(gaps):.1f} "
+        "percentage points (paper reports ~13%)"
+    )
+    print(
+        "The 2-/3-bit MCAMs track the FP32 cosine/Euclidean baselines within "
+        "~1-2 points while the Hamming-distance TCAM+LSH baseline trails "
+        "clearly — the qualitative result of the paper's Fig. 7."
+    )
+
+
+if __name__ == "__main__":
+    episodes = int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_EPISODES
+    main(episodes)

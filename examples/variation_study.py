@@ -1,0 +1,100 @@
+"""Device variation studies: Fig. 5 (Vth spread) and Fig. 8 (accuracy vs sigma).
+
+Part 1 programs a population of FeFET devices to all eight states with the
+single-pulse (no-verify) scheme under the domain-switching Monte-Carlo model
+and prints the per-state threshold-voltage statistics of Fig. 5.
+
+Part 2 sweeps a Gaussian Vth-variation sigma from 0 mV to 300 mV, rebuilds
+the 3-bit conductance look-up table at each point and re-evaluates few-shot
+accuracy — the Fig. 8 robustness study.  The accuracy stays flat up to the
+~80 mV sigma the device study produces and only degrades for much larger,
+hypothetical variation levels.
+
+Run with::
+
+    python examples/variation_study.py [num_episodes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis import VariationSweep
+from repro.datasets import SyntheticEmbeddingSpace
+from repro.devices import DevicePopulation
+from repro.utils import format_table
+
+SEED = 31
+DEFAULT_EPISODES = 25
+
+
+def part1_population() -> None:
+    print("=== Part 1: Fig. 5 — Vth distributions of a programmed device population ===\n")
+    population = DevicePopulation(num_devices=600)
+    summary = population.run_fast(rng=SEED)
+    rows = [
+        [
+            record["state"],
+            record["target_vth_v"],
+            record["mean_vth_v"],
+            record["sigma_mv"],
+        ]
+        for record in summary.as_records()
+    ]
+    print(
+        format_table(
+            ["state", "target Vth (V)", "mean Vth (V)", "sigma (mV)"],
+            rows,
+            float_format="{:.3f}",
+        )
+    )
+    print(
+        f"\nlargest per-state sigma: {1e3 * summary.max_sigma_v:.1f} mV "
+        "(the paper's Monte-Carlo study reports up to ~80 mV)\n"
+    )
+
+
+def part2_sigma_sweep(num_episodes: int) -> None:
+    print("=== Part 2: Fig. 8 — few-shot accuracy of the 3-bit MCAM vs Vth sigma ===\n")
+    space = SyntheticEmbeddingSpace(seed=SEED)
+    tasks = ((5, 1), (20, 1))
+    sweep = VariationSweep(
+        space,
+        tasks=tasks,
+        sigmas_v=(0.0, 0.05, 0.08, 0.15, 0.20, 0.30),
+        num_episodes=num_episodes,
+        luts_per_sigma=2,
+    )
+    result = sweep.run(rng=SEED)
+
+    headers = ["sigma (mV)"] + [f"{n}-way {k}-shot (%)" for n, k in tasks]
+    sigmas_mv, _ = result.series(*tasks[0])
+    rows = []
+    for sigma_mv in sigmas_mv:
+        row = [sigma_mv]
+        for n_way, k_shot in tasks:
+            _, accuracies = result.series(n_way, k_shot)
+            row.append(accuracies[list(sigmas_mv).index(sigma_mv)])
+        rows.append(row)
+    print(format_table(headers, rows, float_format="{:.1f}"))
+
+    for n_way, k_shot in tasks:
+        drop80 = result.accuracy_drop_at(0.08, n_way, k_shot)
+        drop300 = result.accuracy_drop_at(0.30, n_way, k_shot)
+        print(
+            f"\n{n_way}-way {k_shot}-shot: accuracy change at 80 mV = {-drop80:+.1f} points, "
+            f"at 300 mV = {-drop300:+.1f} points"
+        )
+    print(
+        "\nAs in the paper, the proposed distance function tolerates the "
+        "realistic (<=80 mV) variation of verify-free programming without "
+        "accuracy loss."
+    )
+
+
+if __name__ == "__main__":
+    episodes = int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_EPISODES
+    part1_population()
+    part2_sigma_sweep(episodes)

@@ -1,0 +1,74 @@
+"""repro: In-memory NN search with FeFET multi-bit CAMs (DATE 2021 reproduction).
+
+The package reproduces "In-Memory Nearest Neighbor Search with FeFET
+Multi-Bit Content-Addressable Memories" end to end:
+
+* :mod:`repro.devices` — FeFET device physics, programming and variation,
+* :mod:`repro.circuits` — MCAM/TCAM/ACAM cells and arrays, match-line
+  sensing, the AND-array experimental demo,
+* :mod:`repro.core` — quantization, the proposed MCAM distance function and
+  the three NN-search engines compared in the paper,
+* :mod:`repro.distance`, :mod:`repro.encoding` — software metrics and LSH,
+* :mod:`repro.datasets`, :mod:`repro.mann` — UCI-style datasets, the
+  Omniglot-like embedding space and the few-shot evaluation harness,
+* :mod:`repro.energy` — CAM, GPU and end-to-end energy/latency models,
+* :mod:`repro.analysis`, :mod:`repro.experiments` — analysis harnesses and
+  one driver per paper figure.
+
+Quick start::
+
+    from repro.core import MCAMSearcher
+    searcher = MCAMSearcher(bits=3)
+    searcher.fit(train_features, train_labels)
+    predictions = searcher.predict(test_features)
+"""
+
+from .version import ARXIV_ID, PAPER, __version__
+from .exceptions import (
+    CapacityError,
+    CircuitError,
+    ConfigurationError,
+    DatasetError,
+    DeviceModelError,
+    EnergyModelError,
+    ExperimentError,
+    ProgrammingError,
+    QuantizationError,
+    ReproError,
+    SearchError,
+)
+from .core import (
+    MCAMDistance,
+    MCAMSearcher,
+    NearestNeighborSearcher,
+    QueryResult,
+    SoftwareSearcher,
+    TCAMLSHSearcher,
+    UniformQuantizer,
+    make_searcher,
+)
+
+__all__ = [
+    "ARXIV_ID",
+    "PAPER",
+    "__version__",
+    "CapacityError",
+    "CircuitError",
+    "ConfigurationError",
+    "DatasetError",
+    "DeviceModelError",
+    "EnergyModelError",
+    "ExperimentError",
+    "ProgrammingError",
+    "QuantizationError",
+    "ReproError",
+    "SearchError",
+    "MCAMDistance",
+    "MCAMSearcher",
+    "NearestNeighborSearcher",
+    "QueryResult",
+    "SoftwareSearcher",
+    "TCAMLSHSearcher",
+    "UniformQuantizer",
+    "make_searcher",
+]

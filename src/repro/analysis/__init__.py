@@ -1,0 +1,48 @@
+"""Analysis harnesses: distance-function studies, accuracy, variation, experiment."""
+
+from .accuracy import (
+    FIG6_METHODS,
+    ClassificationResult,
+    NNClassificationBenchmark,
+    average_gap_percent,
+)
+from .distance_analysis import (
+    CellDistanceCurve,
+    DistanceFunctionAnalysis,
+    GND_ROW_CELLS,
+    GndStudy,
+    analyze_distance_function,
+    row_conductance_gnd,
+    run_gnd_study,
+)
+from .experimental import ExperimentalComparison, run_experimental_comparison
+from .scaling import ScalingPoint, ScalingStudy, ScalingStudyResult
+from .variation_study import (
+    PAPER_SIGMA_SWEEP_V,
+    VariationSweep,
+    VariationSweepPoint,
+    VariationSweepResult,
+)
+
+__all__ = [
+    "FIG6_METHODS",
+    "ClassificationResult",
+    "NNClassificationBenchmark",
+    "average_gap_percent",
+    "CellDistanceCurve",
+    "DistanceFunctionAnalysis",
+    "GND_ROW_CELLS",
+    "GndStudy",
+    "analyze_distance_function",
+    "row_conductance_gnd",
+    "run_gnd_study",
+    "ExperimentalComparison",
+    "run_experimental_comparison",
+    "ScalingPoint",
+    "ScalingStudy",
+    "ScalingStudyResult",
+    "PAPER_SIGMA_SWEEP_V",
+    "VariationSweep",
+    "VariationSweepPoint",
+    "VariationSweepResult",
+]

@@ -1,0 +1,199 @@
+"""Analysis of the MCAM distance function (Fig. 4 and the G^n_d study).
+
+This module regenerates the device/circuit-level evidence of Sec. III-B:
+
+* the conductance-versus-distance curve of a cell programmed to S1
+  (Fig. 4(a)),
+* the complete distance function over all (input, state) pairs, including the
+  spread caused by the FeFETs' state-dependent transfer characteristics
+  (Fig. 4(b)),
+* the bell-shaped derivative of the distance function (Fig. 4(d)),
+* the G^n_d row-conductance study: ``G^n_d`` is the conductance of a row in
+  which ``n`` cells observe distance ``d`` and the rest observe distance 0;
+  the paper highlights that ``G^1_4 > G^4_1``, ``G^1_7 >> G^7_1`` and
+  ``G^1_4 > G^7_1`` because of the exponential cell characteristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_bits, check_int_in_range
+from ..circuits.conductance_lut import ConductanceLUT, build_nominal_lut, build_varied_lut
+from ..devices.variation import VariationModel
+
+#: Row width used by the paper for the G^n_d simulations (16 cells).
+GND_ROW_CELLS = 16
+
+
+@dataclass(frozen=True)
+class CellDistanceCurve:
+    """Conductance versus state distance for a cell storing one state."""
+
+    stored_state: int
+    distances: np.ndarray
+    conductances_s: np.ndarray
+
+    def is_monotonic(self) -> bool:
+        """Whether conductance strictly increases with distance."""
+        return bool(np.all(np.diff(self.conductances_s) > 0))
+
+
+@dataclass(frozen=True)
+class DistanceFunctionAnalysis:
+    """Complete characterization of a cell's distance function."""
+
+    lut: ConductanceLUT
+    per_state_curves: Tuple[CellDistanceCurve, ...]
+    mean_by_distance: np.ndarray
+    derivative: np.ndarray
+
+    @property
+    def bits(self) -> int:
+        """Cell precision."""
+        return self.lut.bits
+
+    @property
+    def derivative_peak_distance(self) -> int:
+        """Distance at which the derivative of the distance function peaks.
+
+        The paper observes the peak between distances 3 and 5 for a 3-bit
+        cell (Fig. 4(d)).
+        """
+        return int(np.argmax(self.derivative)) + 1
+
+    def scatter(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All (distance, conductance) pairs of the LUT — Fig. 4(b)'s dots."""
+        n = self.lut.num_states
+        distances = []
+        conductances = []
+        for i in range(n):
+            for s in range(n):
+                distances.append(abs(i - s))
+                conductances.append(self.lut.table_s[i, s])
+        return np.asarray(distances), np.asarray(conductances)
+
+
+def analyze_distance_function(
+    bits: int = 3,
+    variation: Optional[VariationModel] = None,
+    rng: SeedLike = None,
+) -> DistanceFunctionAnalysis:
+    """Build the LUT (nominal or varied) and derive the Fig. 4 curves."""
+    bits = check_bits(bits)
+    if variation is None:
+        lut = build_nominal_lut(bits=bits)
+    else:
+        lut = build_varied_lut(bits=bits, variation=variation, rng=rng)
+    n = lut.num_states
+    curves = []
+    for stored in range(n):
+        distances = np.abs(np.arange(n) - stored)
+        order = np.argsort(distances, kind="stable")
+        curves.append(
+            CellDistanceCurve(
+                stored_state=stored,
+                distances=distances[order],
+                conductances_s=lut.table_s[order, stored],
+            )
+        )
+    mean_by_distance = lut.distance_by_separation()
+    return DistanceFunctionAnalysis(
+        lut=lut,
+        per_state_curves=tuple(curves),
+        mean_by_distance=mean_by_distance,
+        derivative=np.diff(mean_by_distance),
+    )
+
+
+# ----------------------------------------------------------------------
+# G^n_d study
+# ----------------------------------------------------------------------
+def row_conductance_gnd(
+    lut: ConductanceLUT,
+    n_mismatching_cells: int,
+    distance: int,
+    num_cells: int = GND_ROW_CELLS,
+) -> float:
+    """Conductance G^n_d of a row with ``n`` cells at ``distance`` from the input.
+
+    The remaining ``num_cells - n`` cells observe distance 0 (their stored
+    state equals the input state).
+    """
+    num_cells = check_int_in_range(num_cells, "num_cells", minimum=1)
+    n_mismatching_cells = check_int_in_range(
+        n_mismatching_cells, "n_mismatching_cells", minimum=0, maximum=num_cells
+    )
+    distance = check_int_in_range(distance, "distance", minimum=0, maximum=lut.num_states - 1)
+    query = np.zeros(num_cells, dtype=np.int64)
+    stored = np.zeros(num_cells, dtype=np.int64)
+    stored[:n_mismatching_cells] = distance
+    return float(lut.row_conductance(stored.reshape(1, -1), query)[0])
+
+
+@dataclass(frozen=True)
+class GndStudy:
+    """Results of the G^n_d analysis on a 16-cell row (Sec. III-B)."""
+
+    lut: ConductanceLUT
+    num_cells: int
+    values: Dict[Tuple[int, int], float]
+
+    def g(self, n: int, d: int) -> float:
+        """Shorthand accessor for G^n_d."""
+        try:
+            return self.values[(n, d)]
+        except KeyError:
+            raise ConfigurationError(
+                f"G^{n}_{d} was not part of this study; available: {sorted(self.values)}"
+            ) from None
+
+    @property
+    def concentrated_beats_spread(self) -> bool:
+        """Paper claim: G^1_4 > G^4_1 (same total distance, different spread)."""
+        return self.g(1, 4) > self.g(4, 1)
+
+    @property
+    def far_single_cell_dominates(self) -> bool:
+        """Paper claim: G^1_7 >> G^7_1 (ratio well above 1)."""
+        return self.g(1, 7) > 2.0 * self.g(7, 1)
+
+    @property
+    def low_concentrated_beats_high_spread(self) -> bool:
+        """Paper claim: G^1_4 > G^7_1."""
+        return self.g(1, 4) > self.g(7, 1)
+
+    def as_records(self) -> List[Dict[str, float]]:
+        """Table-friendly records (n, d, total distance, conductance)."""
+        return [
+            {
+                "n_cells": n,
+                "distance": d,
+                "total_distance": n * d,
+                "conductance_uS": value * 1e6,
+            }
+            for (n, d), value in sorted(self.values.items())
+        ]
+
+
+def run_gnd_study(
+    lut: Optional[ConductanceLUT] = None,
+    num_cells: int = GND_ROW_CELLS,
+    bits: int = 3,
+) -> GndStudy:
+    """Evaluate the G^n_d combinations discussed in the paper."""
+    if lut is None:
+        lut = build_nominal_lut(bits=bits)
+    max_distance = lut.num_states - 1
+    combinations = {(1, 4), (4, 1), (1, 7), (7, 1), (1, max_distance), (max_distance, 1)}
+    values = {}
+    for n, d in combinations:
+        if d > max_distance or n > num_cells:
+            continue
+        values[(n, d)] = row_conductance_gnd(lut, n, d, num_cells=num_cells)
+    return GndStudy(lut=lut, num_cells=num_cells, values=values)

@@ -1,0 +1,146 @@
+"""Simulation-versus-experiment analysis of the 2-bit MCAM (Fig. 9).
+
+Fig. 9 compares the distance function of a 2-bit MCAM obtained from
+simulation (panel a) and from measurements on the GLOBALFOUNDRIES FeFET AND
+array (panel b), and then evaluates few-shot learning with the measured
+distance function (panel c).  The paper's observations:
+
+* the measured conductance follows the simulated exponential trend but is
+  noisier (single-pulse programming, no verify),
+* few-shot accuracy with the measured distance function remains acceptable —
+  and is sometimes slightly *higher* than with the clean simulated function,
+  a regularization effect of the noise.
+
+This module packages that comparison: it builds the simulated and "measured"
+look-up tables from :class:`~repro.circuits.and_array.ANDArrayExperiment`,
+quantifies how well the measured trend tracks the simulated one, and runs the
+few-shot tasks with both tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_int_in_range
+from ..circuits.and_array import ANDArrayExperiment
+from ..circuits.conductance_lut import ConductanceLUT
+from ..core.search import MCAMSearcher
+from ..datasets.omniglot import SyntheticEmbeddingSpace
+from ..mann.fewshot import FewShotEvaluator
+
+
+@dataclass(frozen=True)
+class ExperimentalComparison:
+    """Simulated versus measured 2-bit distance function plus accuracies."""
+
+    simulated_lut: ConductanceLUT
+    measured_lut: ConductanceLUT
+    simulated_trend: np.ndarray
+    measured_trend: np.ndarray
+    fewshot_accuracy_percent: Dict[str, Dict[str, float]]
+
+    @property
+    def trend_correlation(self) -> float:
+        """Pearson correlation between simulated and measured trends.
+
+        Values near 1 confirm the measured distance function follows the
+        simulated one, the qualitative message of Fig. 9(a)/(b).
+        """
+        if self.simulated_trend.size < 2:
+            raise ConfigurationError("trend vectors must have at least two points")
+        return float(np.corrcoef(self.simulated_trend, self.measured_trend)[0, 1])
+
+    @property
+    def measured_is_monotonic(self) -> bool:
+        """Whether the measured mean trend still increases with distance."""
+        return bool(np.all(np.diff(self.measured_trend) > 0))
+
+    def accuracy_gap(self, task: str) -> float:
+        """Measured-minus-simulated accuracy for one task (often near or above 0)."""
+        try:
+            per_task = self.fewshot_accuracy_percent[task]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown task {task!r}; available: {sorted(self.fewshot_accuracy_percent)}"
+            ) from None
+        return per_task["experiment"] - per_task["simulation"]
+
+    def as_records(self):
+        """Table-friendly records of the few-shot comparison (Fig. 9(c))."""
+        records = []
+        for task, values in self.fewshot_accuracy_percent.items():
+            records.append(
+                {
+                    "task": task,
+                    "simulation_percent": values["simulation"],
+                    "experiment_percent": values["experiment"],
+                }
+            )
+        return records
+
+
+def run_experimental_comparison(
+    space: Optional[SyntheticEmbeddingSpace] = None,
+    tasks: Sequence[Tuple[int, int]] = ((5, 1), (5, 5), (20, 1), (20, 5)),
+    num_episodes: int = 30,
+    num_repeats: int = 5,
+    experiment: Optional[ANDArrayExperiment] = None,
+    rng: SeedLike = None,
+) -> ExperimentalComparison:
+    """Run the full Fig. 9 pipeline.
+
+    Parameters
+    ----------
+    space:
+        Embedding space for the few-shot tasks (a fresh default space is
+        created when omitted).
+    tasks:
+        ``(n_way, k_shot)`` task configurations for panel (c).
+    num_episodes:
+        Episodes per task.
+    num_repeats:
+        Measurement repeats averaged per LUT entry.
+    experiment:
+        AND-array experiment model (defaults to the 2-bit configuration).
+    rng:
+        Randomness for measurements and episodes.
+    """
+    check_int_in_range(num_episodes, "num_episodes", minimum=1)
+    generator = ensure_rng(rng)
+    if experiment is None:
+        experiment = ANDArrayExperiment(bits=2)
+    if space is None:
+        space = SyntheticEmbeddingSpace(seed=generator.integers(2**31 - 1))
+
+    simulated_lut = experiment.simulated_lut()
+    measured_lut = experiment.measured_lut(num_repeats=num_repeats, rng=generator)
+    simulated_trend = simulated_lut.distance_by_separation()
+    measured_trend = measured_lut.distance_by_separation()
+
+    accuracies: Dict[str, Dict[str, float]] = {}
+    for n_way, k_shot in tasks:
+        evaluator = FewShotEvaluator(
+            space, n_way=n_way, k_shot=k_shot, num_episodes=num_episodes
+        )
+        results = evaluator.compare(
+            {
+                "simulation": lambda: MCAMSearcher(bits=experiment.bits, lut=simulated_lut),
+                "experiment": lambda: MCAMSearcher(bits=experiment.bits, lut=measured_lut),
+            },
+            rng=generator,
+        )
+        accuracies[f"{n_way}-way {k_shot}-shot"] = {
+            name: result.accuracy_percent for name, result in results.items()
+        }
+    return ExperimentalComparison(
+        simulated_lut=simulated_lut,
+        measured_lut=measured_lut,
+        simulated_trend=simulated_trend,
+        measured_trend=measured_trend,
+        fewshot_accuracy_percent=accuracies,
+    )

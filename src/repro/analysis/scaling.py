@@ -1,0 +1,160 @@
+"""Array-scaling study (extension beyond the paper's evaluation).
+
+The paper evaluates fixed configurations (64-cell words, N x K stored rows).
+A natural follow-up question for anyone adopting the MCAM is how the approach
+scales: what happens to accuracy and per-search energy as
+
+* the number of stored rows grows (more classes / more shots), and
+* the word length shrinks (fewer features per entry, e.g. after PCA).
+
+This module sweeps both dimensions with the same episodic few-shot workload
+used in Fig. 7 and the CAM energy model of Sec. IV-C, so the trade-off curves
+are directly comparable to the paper's operating points.  The corresponding
+benchmark (``benchmarks/test_bench_scaling.py``) asserts the qualitative
+expectations: accuracy degrades gracefully as more classes are stored, search
+energy grows linearly with rows and cells, and the single-step search delay
+is independent of the number of stored rows (the key architectural advantage
+over a sequential software scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_bits, check_int_in_range
+from ..core.search import MCAMSearcher
+from ..datasets.omniglot import EmbeddingSpaceSpec, SyntheticEmbeddingSpace
+from ..energy.cam_energy import mcam_energy_model
+from ..mann.fewshot import FewShotEvaluator
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One operating point of the scaling study."""
+
+    n_way: int
+    k_shot: int
+    num_cells: int
+    stored_rows: int
+    accuracy_percent: float
+    search_energy_j: float
+    search_delay_s: float
+
+    @property
+    def energy_per_row_j(self) -> float:
+        """Search energy divided by the number of stored rows."""
+        return self.search_energy_j / self.stored_rows
+
+
+@dataclass(frozen=True)
+class ScalingStudyResult:
+    """Result of sweeping array capacity and word length."""
+
+    points: Tuple[ScalingPoint, ...]
+    bits: int
+
+    def capacity_series(self, num_cells: int) -> List[ScalingPoint]:
+        """Points with a fixed word length, ordered by stored rows."""
+        series = [p for p in self.points if p.num_cells == num_cells]
+        if not series:
+            raise ConfigurationError(f"no scaling points with num_cells={num_cells}")
+        return sorted(series, key=lambda p: p.stored_rows)
+
+    def word_length_series(self, n_way: int, k_shot: int) -> List[ScalingPoint]:
+        """Points with a fixed task, ordered by word length."""
+        series = [p for p in self.points if p.n_way == n_way and p.k_shot == k_shot]
+        if not series:
+            raise ConfigurationError(
+                f"no scaling points for the {n_way}-way {k_shot}-shot task"
+            )
+        return sorted(series, key=lambda p: p.num_cells)
+
+    def as_records(self):
+        """Table-friendly records of every operating point."""
+        return [
+            {
+                "task": f"{p.n_way}-way {p.k_shot}-shot",
+                "num_cells": p.num_cells,
+                "stored_rows": p.stored_rows,
+                "accuracy_percent": p.accuracy_percent,
+                "search_energy_fJ": 1e15 * p.search_energy_j,
+                "search_delay_ns": 1e9 * p.search_delay_s,
+            }
+            for p in self.points
+        ]
+
+
+class ScalingStudy:
+    """Sweeps MCAM capacity (ways) and word length (embedding width).
+
+    Parameters
+    ----------
+    ways:
+        N-way task sizes to sweep (each stored row count is ``n_way * k_shot``).
+    k_shot:
+        Shots per class.
+    word_lengths:
+        Embedding widths / CAM word lengths to sweep.
+    num_episodes:
+        Episodes per operating point.
+    bits:
+        MCAM precision.
+    """
+
+    def __init__(
+        self,
+        ways: Sequence[int] = (5, 20, 50),
+        k_shot: int = 5,
+        word_lengths: Sequence[int] = (16, 32, 64),
+        num_episodes: int = 20,
+        bits: int = 3,
+    ) -> None:
+        self.ways = tuple(int(w) for w in ways)
+        if not self.ways or any(w < 2 for w in self.ways):
+            raise ConfigurationError("ways must contain integers >= 2")
+        self.k_shot = check_int_in_range(k_shot, "k_shot", minimum=1)
+        self.word_lengths = tuple(int(w) for w in word_lengths)
+        if not self.word_lengths or any(w < 2 for w in self.word_lengths):
+            raise ConfigurationError("word_lengths must contain integers >= 2")
+        self.num_episodes = check_int_in_range(num_episodes, "num_episodes", minimum=1)
+        self.bits = check_bits(bits)
+
+    def run(self, rng: SeedLike = None) -> ScalingStudyResult:
+        """Evaluate accuracy and search energy at every operating point."""
+        generator = ensure_rng(rng)
+        points = []
+        for num_cells in self.word_lengths:
+            space = SyntheticEmbeddingSpace(
+                EmbeddingSpaceSpec(embedding_dim=num_cells),
+                seed=generator.integers(2**31 - 1),
+            )
+            for n_way in self.ways:
+                evaluator = FewShotEvaluator(
+                    space, n_way=n_way, k_shot=self.k_shot, num_episodes=self.num_episodes
+                )
+                result = evaluator.evaluate(
+                    searcher_factory=lambda: MCAMSearcher(bits=self.bits),
+                    method_name=f"mcam-{self.bits}bit",
+                    rng=generator,
+                )
+                stored_rows = n_way * self.k_shot
+                energy = mcam_energy_model(
+                    num_cells=num_cells, num_rows=stored_rows, bits=self.bits
+                ).search_cost()
+                points.append(
+                    ScalingPoint(
+                        n_way=n_way,
+                        k_shot=self.k_shot,
+                        num_cells=num_cells,
+                        stored_rows=stored_rows,
+                        accuracy_percent=result.accuracy_percent,
+                        search_energy_j=energy.energy_j,
+                        search_delay_s=energy.delay_s,
+                    )
+                )
+        return ScalingStudyResult(points=tuple(points), bits=self.bits)

@@ -1,0 +1,179 @@
+"""Analog CAM (ACAM) concept model (Fig. 1(a) of the paper).
+
+An ACAM cell stores a continuous *range* of values and compares an analog
+input against that range: the cell matches when the input falls inside the
+stored range and mismatches otherwise.  A row matches when all of its cells
+match.  The MCAM of the paper is the special case where the stored ranges are
+narrow, non-overlapping and in one-to-one correspondence with a finite set of
+input levels; :func:`mcam_ranges` constructs exactly that discretization,
+which is how the library's tests verify the "MCAM is a special case of ACAM"
+claim of Sec. II-A.
+
+Because the paper only uses the ACAM concept to motivate the MCAM (no
+application is evaluated with a true ACAM), the model here stays at the
+functional level: match/mismatch decisions plus a mismatch *margin* that
+quantifies how far outside the stored range an input falls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CircuitError, ConfigurationError
+from ..utils.validation import check_int_in_range
+
+
+@dataclass(frozen=True)
+class AnalogRange:
+    """A stored ACAM range ``[low, high]`` within the unit interval."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.low) and np.isfinite(self.high)):
+            raise ConfigurationError("range bounds must be finite")
+        if self.high < self.low:
+            raise ConfigurationError(
+                f"range upper bound ({self.high}) must not be below the lower bound ({self.low})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Width of the stored range."""
+        return self.high - self.low
+
+    @property
+    def center(self) -> float:
+        """Center of the stored range."""
+        return 0.5 * (self.low + self.high)
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` falls inside the stored range (inclusive)."""
+        return self.low <= value <= self.high
+
+    def mismatch_margin(self, value: float) -> float:
+        """Distance from ``value`` to the nearest edge of the range (0 if inside)."""
+        if self.contains(value):
+            return 0.0
+        if value < self.low:
+            return self.low - value
+        return value - self.high
+
+    def overlaps(self, other: "AnalogRange") -> bool:
+        """Whether two stored ranges overlap."""
+        return not (self.high < other.low or other.high < self.low)
+
+
+class ACAMArray:
+    """An array of ACAM rows, each a sequence of stored analog ranges.
+
+    Parameters
+    ----------
+    num_cells:
+        Number of cells (analog dimensions) per row.
+    """
+
+    def __init__(self, num_cells: int) -> None:
+        self.num_cells = check_int_in_range(num_cells, "num_cells", minimum=1)
+        self._rows: List[Tuple[AnalogRange, ...]] = []
+        self._labels: List[Optional[int]] = []
+
+    @property
+    def num_rows(self) -> int:
+        """Number of stored rows."""
+        return len(self._rows)
+
+    @property
+    def rows(self) -> List[Tuple[AnalogRange, ...]]:
+        """Copy of the stored rows."""
+        return list(self._rows)
+
+    def write(self, ranges: Sequence[AnalogRange], label: Optional[int] = None) -> None:
+        """Store one row of analog ranges."""
+        ranges = tuple(ranges)
+        if len(ranges) != self.num_cells:
+            raise CircuitError(
+                f"row must have {self.num_cells} ranges, got {len(ranges)}"
+            )
+        for item in ranges:
+            if not isinstance(item, AnalogRange):
+                raise CircuitError(f"row entries must be AnalogRange instances, got {item!r}")
+        self._rows.append(ranges)
+        self._labels.append(label)
+
+    def match(self, query: Sequence[float]) -> np.ndarray:
+        """Boolean vector: which rows match the analog ``query`` exactly."""
+        query = self._check_query(query)
+        matches = np.zeros(self.num_rows, dtype=bool)
+        for index, row in enumerate(self._rows):
+            matches[index] = all(
+                cell.contains(float(value)) for cell, value in zip(row, query)
+            )
+        return matches
+
+    def matching_rows(self, query: Sequence[float]) -> np.ndarray:
+        """Indices of rows matching ``query``."""
+        return np.flatnonzero(self.match(query))
+
+    def mismatch_margins(self, query: Sequence[float]) -> np.ndarray:
+        """Summed mismatch margin of each row (0 for matching rows).
+
+        This is the functional analogue of the ML conductance: larger margins
+        correspond to larger discharge currents in a physical ACAM.
+        """
+        query = self._check_query(query)
+        margins = np.zeros(self.num_rows)
+        for index, row in enumerate(self._rows):
+            margins[index] = sum(
+                cell.mismatch_margin(float(value)) for cell, value in zip(row, query)
+            )
+        return margins
+
+    def best_match(self, query: Sequence[float]) -> int:
+        """Row with the smallest summed mismatch margin."""
+        if self.num_rows == 0:
+            raise CircuitError("cannot search an empty ACAM")
+        margins = self.mismatch_margins(query)
+        return int(np.argmin(margins))
+
+    def label_of(self, row: int) -> Optional[int]:
+        """Label stored with ``row``."""
+        if not 0 <= row < self.num_rows:
+            raise CircuitError(f"row index {row} out of range [0, {self.num_rows - 1}]")
+        return self._labels[row]
+
+    def _check_query(self, query) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1 or query.shape[0] != self.num_cells:
+            raise CircuitError(
+                f"query must be a vector of length {self.num_cells}, got shape {query.shape}"
+            )
+        if not np.all(np.isfinite(query)):
+            raise CircuitError("query must contain only finite values")
+        return query
+
+
+def mcam_ranges(bits: int, value_low: float = 0.0, value_high: float = 1.0) -> List[AnalogRange]:
+    """Discretize ``[value_low, value_high]`` into ``2^bits`` MCAM state ranges.
+
+    The returned ranges are narrow, non-overlapping and tile the interval,
+    which is exactly the construction by which Sec. II-A turns an ACAM into
+    an MCAM.
+    """
+    bits = check_int_in_range(bits, "bits", minimum=1, maximum=8)
+    if value_high <= value_low:
+        raise ConfigurationError(
+            f"value_high ({value_high}) must exceed value_low ({value_low})"
+        )
+    edges = np.linspace(value_low, value_high, 2**bits + 1)
+    return [AnalogRange(float(low), float(high)) for low, high in zip(edges[:-1], edges[1:])]
+
+
+def mcam_input_levels(bits: int, value_low: float = 0.0, value_high: float = 1.0) -> np.ndarray:
+    """The ``2^bits`` input levels (range centers) matching :func:`mcam_ranges`."""
+    ranges = mcam_ranges(bits, value_low, value_high)
+    return np.array([r.center for r in ranges])

@@ -1,0 +1,125 @@
+"""Match-line (ML) RC discharge model.
+
+Fig. 4(c) of the paper models the ML discharge with an RC network: every row
+has the same, fixed ML capacitance ``C`` and each cell contributes a fixed
+conductance ``G_i`` set by its stored state and the applied input, so the
+row's total conductance is ``G_T = sum_i G_i`` and the pre-charged ML decays
+as ``V_ML(t) = V_pre * exp(-G_T * t / C)``.  ``G_T`` directly reflects the
+distance between query and stored entry; the ML that discharges slowest (the
+row with the smallest ``G_T``) is the nearest neighbor.
+
+The model exposes the quantities the sense amplifier and energy model need:
+the voltage waveform, the time to cross a sensing reference, and the energy
+drawn from the pre-charged ML during an evaluation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import CircuitError
+from ..utils.validation import check_positive
+from .mcam_cell import ML_PRECHARGE_V
+
+#: Per-cell match-line capacitance (wire + drain junctions).  ~1 fF/cell is
+#: typical for dense CAM arrays; only ratios of discharge times matter for
+#: the search result, but the absolute value sets the search energy scale.
+DEFAULT_CAPACITANCE_PER_CELL_F = 1.0e-15
+
+
+@dataclass(frozen=True)
+class MatchLineModel:
+    """RC model of one match line.
+
+    Attributes
+    ----------
+    num_cells:
+        Number of cells attached to the ML (sets its capacitance).
+    capacitance_per_cell_f:
+        Capacitance contributed by each cell.
+    precharge_v:
+        Voltage the ML is pre-charged to before evaluation (0.8 V in the
+        paper).
+    """
+
+    num_cells: int
+    capacitance_per_cell_f: float = DEFAULT_CAPACITANCE_PER_CELL_F
+    precharge_v: float = ML_PRECHARGE_V
+
+    def __post_init__(self) -> None:
+        if self.num_cells < 1:
+            raise CircuitError(f"a match line needs at least one cell, got {self.num_cells}")
+        check_positive(self.capacitance_per_cell_f, "capacitance_per_cell_f")
+        check_positive(self.precharge_v, "precharge_v")
+
+    @property
+    def capacitance_f(self) -> float:
+        """Total ML capacitance."""
+        return self.num_cells * self.capacitance_per_cell_f
+
+    def voltage_at(self, total_conductance_s, time_s):
+        """ML voltage after ``time_s`` seconds of discharge.
+
+        Both arguments broadcast; conductances and times must be
+        non-negative.
+        """
+        conductance = np.asarray(total_conductance_s, dtype=np.float64)
+        time = np.asarray(time_s, dtype=np.float64)
+        if np.any(conductance < 0):
+            raise CircuitError("total conductance must be non-negative")
+        if np.any(time < 0):
+            raise CircuitError("time must be non-negative")
+        voltage = self.precharge_v * np.exp(-conductance * time / self.capacitance_f)
+        if np.ndim(total_conductance_s) == 0 and np.ndim(time_s) == 0:
+            return float(voltage)
+        return voltage
+
+    def time_to_reach(self, total_conductance_s, reference_v: float):
+        """Time for the ML to decay from the pre-charge to ``reference_v``.
+
+        An ML with zero conductance never crosses the reference; infinity is
+        returned for such rows, which the sense amplifier treats as "still
+        high".
+        """
+        reference_v = float(reference_v)
+        if not 0.0 < reference_v < self.precharge_v:
+            raise CircuitError(
+                f"reference voltage must lie strictly between 0 and the pre-charge "
+                f"({self.precharge_v} V), got {reference_v}"
+            )
+        conductance = np.asarray(total_conductance_s, dtype=np.float64)
+        if np.any(conductance < 0):
+            raise CircuitError("total conductance must be non-negative")
+        log_ratio = np.log(self.precharge_v / reference_v)
+        with np.errstate(divide="ignore"):
+            times = np.where(
+                conductance > 0.0,
+                self.capacitance_f * log_ratio / np.where(conductance > 0.0, conductance, 1.0),
+                np.inf,
+            )
+        if np.ndim(total_conductance_s) == 0:
+            return float(times)
+        return times
+
+    def discharge_energy_j(self, total_conductance_s, evaluation_time_s: float):
+        """Energy drawn from the pre-charged ML during the evaluation window.
+
+        The ML capacitor starts at ``C V_pre^2 / 2`` and ends at
+        ``C V(t)^2 / 2``; the difference is dissipated in the cells.  The
+        pre-charge energy itself is accounted for by the array-level search
+        energy model.
+        """
+        check_positive(evaluation_time_s, "evaluation_time_s")
+        final_voltage = self.voltage_at(total_conductance_s, evaluation_time_s)
+        initial_energy = 0.5 * self.capacitance_f * self.precharge_v**2
+        final_energy = 0.5 * self.capacitance_f * np.asarray(final_voltage) ** 2
+        energy = initial_energy - final_energy
+        if np.ndim(total_conductance_s) == 0:
+            return float(energy)
+        return energy
+
+    def precharge_energy_j(self) -> float:
+        """Energy needed to pre-charge the ML from ground to ``precharge_v``."""
+        return self.capacitance_f * self.precharge_v**2

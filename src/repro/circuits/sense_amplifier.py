@@ -1,0 +1,171 @@
+"""Winner-take-all match-line sensing.
+
+The MCAM does not measure row conductances directly; instead it identifies
+the match line whose voltage discharges the *slowest* — that row has the
+smallest total conductance and hence the shortest distance from the query
+(Sec. III-B).  The paper uses the sense amplifier of Imani et al. (SearcHD)
+for this purpose.  This module models that behaviour at two levels of
+idealization:
+
+* :class:`IdealWinnerTakeAll` — picks the row with the smallest conductance
+  directly (what the look-up-table-based application studies assume),
+* :class:`TimeDomainSenseAmplifier` — converts conductances into
+  time-to-reference crossings through the RC match-line model, adds a finite
+  timing resolution and input-referred noise, and picks the last row to
+  cross.  With zero noise and infinite resolution it reduces to the ideal
+  case; with realistic values it lets ablation studies quantify how much
+  sensing non-ideality costs in application accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import CircuitError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_non_negative, check_positive
+from .matchline import MatchLineModel
+
+#: Default ML sensing reference voltage (fraction of the 0.8 V pre-charge).
+DEFAULT_REFERENCE_V = 0.4
+
+
+@dataclass(frozen=True)
+class SensingResult:
+    """Outcome of sensing one query against all rows.
+
+    Attributes
+    ----------
+    winner:
+        Index of the row reported as the nearest neighbor.
+    ranking:
+        All row indices ordered from best (nearest) to worst.
+    scores:
+        The per-row quantity the decision was based on (conductances for the
+        ideal sensor, negative crossing times for the time-domain sensor);
+        smaller is always better.
+    """
+
+    winner: int
+    ranking: np.ndarray
+    scores: np.ndarray
+
+    def top_k(self, k: int) -> np.ndarray:
+        """Indices of the ``k`` best rows."""
+        if k < 1 or k > self.ranking.size:
+            raise CircuitError(f"k must lie in [1, {self.ranking.size}], got {k}")
+        return self.ranking[:k]
+
+
+class IdealWinnerTakeAll:
+    """Ideal sensing: the row with the smallest total conductance wins."""
+
+    def sense(self, row_conductances_s, rng: SeedLike = None) -> SensingResult:
+        """Rank rows by conductance (ascending) and return the winner."""
+        conductances = np.asarray(row_conductances_s, dtype=np.float64)
+        if conductances.ndim != 1 or conductances.size == 0:
+            raise CircuitError("row conductances must be a non-empty 1-D array")
+        if np.any(conductances < 0) or np.any(~np.isfinite(conductances)):
+            raise CircuitError("row conductances must be finite and non-negative")
+        ranking = np.argsort(conductances, kind="stable")
+        return SensingResult(
+            winner=int(ranking[0]),
+            ranking=ranking,
+            scores=conductances.copy(),
+        )
+
+
+class TimeDomainSenseAmplifier:
+    """Time-domain winner-take-all sensing through the RC match line.
+
+    Parameters
+    ----------
+    matchline:
+        RC model shared by all rows (same capacitance per the paper).
+    reference_v:
+        Sensing reference; a row "drops" when its ML crosses this voltage.
+    timing_resolution_s:
+        Crossing times are quantized to this resolution (0 disables
+        quantization).  Rows whose quantized crossing times tie are resolved
+        in favour of the lower row index, mimicking a priority encoder.
+    timing_noise_sigma_s:
+        Gaussian jitter added to each row's crossing time before
+        quantization, modelling comparator offset and ML coupling noise.
+    """
+
+    def __init__(
+        self,
+        matchline: MatchLineModel,
+        reference_v: float = DEFAULT_REFERENCE_V,
+        timing_resolution_s: float = 0.0,
+        timing_noise_sigma_s: float = 0.0,
+    ) -> None:
+        self.matchline = matchline
+        if not 0.0 < reference_v < matchline.precharge_v:
+            raise CircuitError(
+                f"reference_v must lie strictly between 0 and the pre-charge "
+                f"({matchline.precharge_v} V), got {reference_v}"
+            )
+        self.reference_v = float(reference_v)
+        self.timing_resolution_s = check_non_negative(timing_resolution_s, "timing_resolution_s")
+        self.timing_noise_sigma_s = check_non_negative(
+            timing_noise_sigma_s, "timing_noise_sigma_s"
+        )
+
+    def crossing_times(self, row_conductances_s) -> np.ndarray:
+        """Noiseless time for each row's ML to cross the sensing reference."""
+        conductances = np.asarray(row_conductances_s, dtype=np.float64)
+        if conductances.ndim != 1 or conductances.size == 0:
+            raise CircuitError("row conductances must be a non-empty 1-D array")
+        return np.asarray(self.matchline.time_to_reach(conductances, self.reference_v))
+
+    def sense(self, row_conductances_s, rng: SeedLike = None) -> SensingResult:
+        """Identify the last ML to cross the reference (largest crossing time)."""
+        times = self.crossing_times(row_conductances_s).astype(np.float64)
+        generator = ensure_rng(rng)
+        if self.timing_noise_sigma_s > 0.0:
+            finite = np.isfinite(times)
+            noise = generator.normal(0.0, self.timing_noise_sigma_s, size=times.shape)
+            times = np.where(finite, np.maximum(times + noise, 0.0), times)
+        if self.timing_resolution_s > 0.0:
+            finite = np.isfinite(times)
+            times = np.where(
+                finite,
+                np.round(times / self.timing_resolution_s) * self.timing_resolution_s,
+                times,
+            )
+        # Latest to cross wins; ties resolved toward the lower row index.
+        order = np.argsort(-times, kind="stable")
+        return SensingResult(
+            winner=int(order[0]),
+            ranking=order,
+            scores=-times,
+        )
+
+
+def sensing_error_rate(
+    ideal: IdealWinnerTakeAll,
+    realistic: TimeDomainSenseAmplifier,
+    conductance_batches,
+    rng: SeedLike = None,
+) -> float:
+    """Fraction of queries where realistic sensing disagrees with ideal sensing.
+
+    ``conductance_batches`` is an iterable of 1-D row-conductance vectors
+    (one per query).  Used by the sensing ablation benchmark.
+    """
+    generator = ensure_rng(rng)
+    total = 0
+    mismatches = 0
+    for conductances in conductance_batches:
+        total += 1
+        ideal_winner = ideal.sense(conductances).winner
+        realistic_winner = realistic.sense(conductances, rng=generator).winner
+        if ideal_winner != realistic_winner:
+            mismatches += 1
+    if total == 0:
+        raise CircuitError("conductance_batches must contain at least one query")
+    return mismatches / total

@@ -1,0 +1,206 @@
+"""Ternary CAM (TCAM) baseline: in-memory Hamming-distance search.
+
+The comparison point of the paper (its reference [3], Ni et al., *Nature
+Electronics* 2019) stores binary LSH signatures in a FeFET TCAM and measures
+the Hamming distance between a query signature and every stored row through
+the same slowest-discharging-ML mechanism the MCAM uses: every mismatching
+cell adds one "on" conductance to the row's match line, so the row with the
+fewest mismatches discharges slowest.
+
+The TCAM cell here is literally the 1-bit special case of the MCAM cell
+(the paper notes the cells are identical), with an additional *don't care*
+state in which both FeFETs are programmed to the high threshold voltage so
+the cell never conducts regardless of the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import CapacityError, CircuitError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_int_in_range
+from ..devices.fefet import FeFETParameters
+from .conductance_lut import build_nominal_lut
+from .mcam_cell import ML_PRECHARGE_V, MCAMVoltageScheme
+from .matchline import MatchLineModel
+from .sense_amplifier import IdealWinnerTakeAll, SensingResult
+
+#: Sentinel used for the "don't care" (wildcard) state in stored TCAM rows.
+DONT_CARE = -1
+
+
+@dataclass(frozen=True)
+class TCAMSearchResult:
+    """Result of a TCAM nearest-neighbor (minimum Hamming distance) search."""
+
+    winner: int
+    label: Optional[int]
+    hamming_distances: np.ndarray
+    row_conductances_s: np.ndarray
+    sensing: SensingResult
+
+    def top_k(self, k: int) -> np.ndarray:
+        """Row indices of the ``k`` best (smallest Hamming distance) rows."""
+        return self.sensing.top_k(k)
+
+
+class TCAMArray:
+    """Binary/ternary CAM performing in-memory Hamming-distance search.
+
+    Parameters
+    ----------
+    num_cells:
+        Word width in bits (e.g. the LSH signature length).
+    capacity:
+        Optional maximum number of rows.
+    device:
+        FeFET parameters; the match/mismatch conductances are taken from the
+        1-bit MCAM cell built from the same device, keeping the TCAM and MCAM
+        energetically comparable as the paper assumes.
+    """
+
+    def __init__(
+        self,
+        num_cells: int,
+        capacity: Optional[int] = None,
+        device: Optional[FeFETParameters] = None,
+        sense_amplifier=None,
+        ml_voltage_v: float = ML_PRECHARGE_V,
+    ) -> None:
+        self.num_cells = check_int_in_range(num_cells, "num_cells", minimum=1)
+        if capacity is not None:
+            capacity = check_int_in_range(capacity, "capacity", minimum=1)
+        self.capacity = capacity
+        self.device = device if device is not None else FeFETParameters()
+        self.ml_voltage_v = ml_voltage_v
+        # 1-bit MCAM cell conductances: diagonal = match, off-diagonal = mismatch.
+        scheme = MCAMVoltageScheme(bits=1)
+        lut = build_nominal_lut(bits=1, device=self.device, scheme=scheme)
+        self.match_conductance_s = float(np.mean(np.diag(lut.table_s)))
+        self.mismatch_conductance_s = float(
+            np.mean(lut.table_s[~np.eye(2, dtype=bool)])
+        )
+        self.matchline = MatchLineModel(num_cells=self.num_cells, precharge_v=ml_voltage_v)
+        self.sense_amplifier = sense_amplifier if sense_amplifier is not None else IdealWinnerTakeAll()
+        self._stored_bits = np.zeros((0, self.num_cells), dtype=np.int64)
+        self._labels: List[Optional[int]] = []
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of stored rows."""
+        return int(self._stored_bits.shape[0])
+
+    @property
+    def stored_bits(self) -> np.ndarray:
+        """Copy of the stored bit matrix (``DONT_CARE`` marks wildcards)."""
+        return self._stored_bits.copy()
+
+    @property
+    def labels(self) -> List[Optional[int]]:
+        """Labels associated with the stored rows."""
+        return list(self._labels)
+
+    def clear(self) -> None:
+        """Erase all stored rows."""
+        self._stored_bits = np.zeros((0, self.num_cells), dtype=np.int64)
+        self._labels = []
+
+    def write(self, rows, labels: Optional[Sequence[int]] = None) -> None:
+        """Store binary (or ternary, with ``DONT_CARE`` entries) rows."""
+        rows = np.asarray(rows)
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1)
+        if rows.ndim != 2 or rows.shape[1] != self.num_cells:
+            raise CircuitError(
+                f"rows must have shape (n, {self.num_cells}), got {rows.shape}"
+            )
+        rows = rows.astype(np.int64)
+        valid = np.isin(rows, (0, 1, DONT_CARE))
+        if not np.all(valid):
+            raise CircuitError("TCAM rows may only contain 0, 1 or DONT_CARE (-1)")
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != rows.shape[0]:
+                raise CircuitError(f"got {len(labels)} labels for {rows.shape[0]} rows")
+        else:
+            labels = [None] * rows.shape[0]
+        if self.capacity is not None and self.num_rows + rows.shape[0] > self.capacity:
+            raise CapacityError(
+                f"writing {rows.shape[0]} rows exceeds the TCAM capacity ({self.capacity})"
+            )
+        self._stored_bits = np.vstack([self._stored_bits, rows])
+        self._labels.extend(labels)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def hamming_distances(self, query) -> np.ndarray:
+        """Hamming distance of ``query`` to every stored row (wildcards match)."""
+        query = self._check_query(query)
+        stored = self._stored_bits
+        mismatches = (stored != query[np.newaxis, :]) & (stored != DONT_CARE)
+        return mismatches.sum(axis=1)
+
+    def row_conductances(self, query) -> np.ndarray:
+        """ML conductance of every row: mismatches conduct, matches leak."""
+        distances = self.hamming_distances(query)
+        matches = self.num_cells - distances
+        return (
+            distances * self.mismatch_conductance_s + matches * self.match_conductance_s
+        ).astype(np.float64)
+
+    def search(self, query, rng: SeedLike = None) -> TCAMSearchResult:
+        """Nearest-neighbor (minimum Hamming distance) search for one query."""
+        if self.num_rows == 0:
+            raise CircuitError("cannot search an empty TCAM")
+        distances = self.hamming_distances(query)
+        conductances = self.row_conductances(query)
+        sensing = self.sense_amplifier.sense(conductances, rng=rng)
+        return TCAMSearchResult(
+            winner=sensing.winner,
+            label=self._labels[sensing.winner],
+            hamming_distances=distances,
+            row_conductances_s=conductances,
+            sensing=sensing,
+        )
+
+    def search_batch(self, queries, rng: SeedLike = None) -> List[TCAMSearchResult]:
+        """Search with every row of ``queries``."""
+        queries = np.asarray(queries)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        generator = ensure_rng(rng)
+        return [self.search(query, rng=generator) for query in queries]
+
+    def predict(self, queries, rng: SeedLike = None) -> np.ndarray:
+        """Labels of the minimum-Hamming-distance row for every query."""
+        results = self.search_batch(queries, rng=rng)
+        labels = []
+        for result in results:
+            if result.label is None:
+                raise CircuitError("cannot predict labels: stored rows are unlabeled")
+            labels.append(result.label)
+        return np.asarray(labels)
+
+    def exact_match(self, query) -> np.ndarray:
+        """Indices of rows matching ``query`` exactly (wildcards match anything)."""
+        distances = self.hamming_distances(query)
+        return np.flatnonzero(distances == 0)
+
+    def _check_query(self, query) -> np.ndarray:
+        query = np.asarray(query)
+        if query.ndim != 1 or query.shape[0] != self.num_cells:
+            raise CircuitError(
+                f"query must be a vector of length {self.num_cells}, got shape {query.shape}"
+            )
+        query = query.astype(np.int64)
+        if not np.all(np.isin(query, (0, 1))):
+            raise CircuitError("TCAM queries must be binary (0/1)")
+        return query

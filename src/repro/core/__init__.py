@@ -1,0 +1,45 @@
+"""Core public API: quantization, the MCAM distance function, search engines.
+
+This package holds the paper's primary contribution in library form:
+
+* :class:`~repro.core.quantization.UniformQuantizer` — maps real features to
+  MCAM states (Sec. IV-A),
+* :class:`~repro.core.distance.MCAMDistance` — the proposed conductance-based
+  distance function, usable as a plain software metric,
+* :class:`~repro.core.search.MCAMSearcher`,
+  :class:`~repro.core.search.TCAMLSHSearcher`,
+  :class:`~repro.core.search.SoftwareSearcher` — the three NN-search
+  implementations compared throughout the evaluation.
+"""
+
+from .distance import (
+    MCAMDistance,
+    exponential_distance_profile,
+    linear_distance_profile,
+    profile_to_lut,
+)
+from .knn import KNNClassifier
+from .quantization import UniformQuantizer
+from .search import (
+    MCAMSearcher,
+    NearestNeighborSearcher,
+    QueryResult,
+    SoftwareSearcher,
+    TCAMLSHSearcher,
+    make_searcher,
+)
+
+__all__ = [
+    "MCAMDistance",
+    "exponential_distance_profile",
+    "linear_distance_profile",
+    "profile_to_lut",
+    "KNNClassifier",
+    "UniformQuantizer",
+    "MCAMSearcher",
+    "NearestNeighborSearcher",
+    "QueryResult",
+    "SoftwareSearcher",
+    "TCAMLSHSearcher",
+    "make_searcher",
+]

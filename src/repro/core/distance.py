@@ -1,0 +1,159 @@
+"""The proposed MCAM distance function in software-evaluable form.
+
+Sec. III-B defines the distance between an input state ``I`` and a stored
+state ``S`` of one cell as the cell conductance ``F(I, S) = G``, and the
+distance between a query vector and a stored row as the sum of its cells'
+conductances.  The paper points out that "the proposed distance function has
+neither been used for NN search in software nor been derived from a circuit"
+— this module makes it available as a plain software distance so it can be
+studied independently of any CAM array:
+
+* :class:`MCAMDistance` evaluates the distance from a conductance look-up
+  table (the circuit-derived form),
+* :func:`exponential_distance_profile` provides the idealized closed-form
+  version (exponential growth with soft saturation) used by the
+  distance-shape ablation, so the contribution of the exact FeFET curve can
+  be separated from the contribution of "exponential-ish, saturating".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.validation import check_bits, check_positive, check_state_matrix
+from ..circuits.conductance_lut import ConductanceLUT, build_nominal_lut
+
+
+@dataclass(frozen=True)
+class MCAMDistance:
+    """Distance function backed by a cell-conductance look-up table.
+
+    Attributes
+    ----------
+    lut:
+        The ``F(I, S) = G`` table; defaults (via :func:`for_bits`) to the
+        nominal 3-bit table.
+    """
+
+    lut: ConductanceLUT
+
+    @classmethod
+    def for_bits(cls, bits: int = 3) -> "MCAMDistance":
+        """Construct the distance function for a nominal ``bits``-bit cell."""
+        return cls(lut=build_nominal_lut(bits=bits))
+
+    @property
+    def bits(self) -> int:
+        """Bit precision of the underlying cell."""
+        return self.lut.bits
+
+    @property
+    def num_states(self) -> int:
+        """Number of states per cell."""
+        return self.lut.num_states
+
+    def pairwise(self, query_states, stored_states) -> float:
+        """Distance between one query vector and one stored vector."""
+        query = np.asarray(query_states)
+        stored = np.asarray(stored_states)
+        if query.shape != stored.shape or query.ndim != 1:
+            raise ConfigurationError(
+                f"query and stored vectors must be equal-length 1-D arrays, "
+                f"got {query.shape} and {stored.shape}"
+            )
+        stored = check_state_matrix(stored.reshape(1, -1), self.num_states, "stored_states")
+        query = check_state_matrix(query.reshape(1, -1), self.num_states, "query_states")[0]
+        return float(self.lut.row_conductance(stored, query)[0])
+
+    def to_rows(self, stored_rows, query_states) -> np.ndarray:
+        """Distance from one query to every stored row (vectorized)."""
+        return self.lut.row_conductance(stored_rows, query_states)
+
+    def matrix(self, stored_rows, query_rows) -> np.ndarray:
+        """Full distance matrix of shape ``(num_queries, num_rows)``."""
+        stored = check_state_matrix(stored_rows, self.num_states, "stored_rows")
+        queries = check_state_matrix(query_rows, self.num_states, "query_rows")
+        if stored.shape[1] != queries.shape[1]:
+            raise ConfigurationError(
+                f"stored rows have width {stored.shape[1]} but queries have "
+                f"width {queries.shape[1]}"
+            )
+        return np.stack([self.lut.row_conductance(stored, query) for query in queries])
+
+    def profile(self) -> np.ndarray:
+        """Mean cell distance as a function of the state separation ``|I - S|``."""
+        return self.lut.distance_by_separation()
+
+
+def exponential_distance_profile(
+    num_states: int,
+    growth_per_state: float = 4.0,
+    saturation_level: Optional[float] = None,
+    match_value: float = 1.0,
+) -> np.ndarray:
+    """Idealized closed-form MCAM distance profile.
+
+    ``profile[d]`` is the per-cell distance contribution at state separation
+    ``d``: an exponential ``match_value * growth_per_state**d`` softly clipped
+    at ``saturation_level`` (harmonic blend), mimicking the
+    subthreshold-exponential / on-current-saturated behaviour of the FeFET
+    cell.  Used by the distance-shape ablation benchmark.
+
+    Parameters
+    ----------
+    num_states:
+        Number of cell states (profile length).
+    growth_per_state:
+        Multiplicative growth of the distance per unit separation.
+    saturation_level:
+        Soft upper bound; defaults to a tenth of the unsaturated value at the
+        largest separation, which reproduces the FeFET curve's bent-over tail
+        (the derivative peaks at intermediate distances and drops again).
+    match_value:
+        Value at separation zero.
+    """
+    if num_states < 2:
+        raise ConfigurationError(f"num_states must be at least 2, got {num_states}")
+    check_positive(growth_per_state, "growth_per_state")
+    check_positive(match_value, "match_value")
+    separations = np.arange(num_states, dtype=np.float64)
+    raw = match_value * growth_per_state**separations
+    if saturation_level is None:
+        saturation_level = raw[-1] / 10.0
+    check_positive(saturation_level, "saturation_level")
+    blended = match_value + (raw - match_value) * saturation_level / (
+        (raw - match_value) + saturation_level
+    )
+    return blended
+
+
+def linear_distance_profile(num_states: int, slope: float = 1.0) -> np.ndarray:
+    """Linear (ideal L1) per-cell distance profile, for the shape ablation."""
+    if num_states < 2:
+        raise ConfigurationError(f"num_states must be at least 2, got {num_states}")
+    check_positive(slope, "slope")
+    return slope * np.arange(num_states, dtype=np.float64)
+
+
+def profile_to_lut(profile: np.ndarray, bits: int) -> ConductanceLUT:
+    """Turn a per-separation distance profile into a symmetric look-up table.
+
+    ``table[i, s] = profile[|i - s|]`` — lets any synthetic distance shape be
+    plugged into the MCAM search engine for ablation studies.
+    """
+    bits = check_bits(bits)
+    profile = np.asarray(profile, dtype=np.float64)
+    n = 2**bits
+    if profile.shape != (n,):
+        raise ConfigurationError(
+            f"profile must have length {n} for a {bits}-bit cell, got {profile.shape}"
+        )
+    if np.any(profile < 0) or np.any(~np.isfinite(profile)):
+        raise ConfigurationError("profile values must be finite and non-negative")
+    indices = np.arange(n)
+    table = profile[np.abs(indices[:, np.newaxis] - indices[np.newaxis, :])]
+    return ConductanceLUT(table_s=table, bits=bits)

@@ -1,0 +1,103 @@
+"""k-nearest-neighbor classification on top of any search engine.
+
+The paper evaluates plain 1-NN classification (the CAM natively returns the
+single best match).  A CAM can also report the top-k rows — by masking the
+winning match line and repeating the sense operation, or with a multi-level
+sense amplifier — so k-NN majority voting is a natural extension that
+downstream users frequently want.  :class:`KNNClassifier` wraps any
+:class:`~repro.core.search.NearestNeighborSearcher` (software, TCAM+LSH or
+MCAM) and adds distance-weighted or unweighted voting over the k nearest
+stored entries; with ``k=1`` it reduces exactly to the paper's setup.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import SearchError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_choice, check_feature_matrix, check_int_in_range
+from .search import NearestNeighborSearcher
+
+
+class KNNClassifier:
+    """Majority-vote k-NN classifier over a pluggable search engine.
+
+    Parameters
+    ----------
+    searcher:
+        Any fitted or unfitted nearest-neighbor searcher; :meth:`fit`
+        delegates to it.
+    k:
+        Number of neighbors to vote over.
+    weighting:
+        ``"uniform"`` (each neighbor one vote) or ``"distance"`` (votes
+        weighted by the reciprocal of the engine's score, so closer rows
+        count more — for the MCAM the score is the ML conductance).
+    """
+
+    def __init__(
+        self,
+        searcher: NearestNeighborSearcher,
+        k: int = 3,
+        weighting: str = "uniform",
+    ) -> None:
+        self.searcher = searcher
+        self.k = check_int_in_range(k, "k", minimum=1)
+        self.weighting = check_choice(weighting, "weighting", ("uniform", "distance"))
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the underlying searcher has stored data."""
+        return self.searcher.is_fitted
+
+    def fit(self, features, labels: Sequence[int]) -> "KNNClassifier":
+        """Store the labeled training data in the underlying searcher."""
+        if labels is None:
+            raise SearchError("KNNClassifier requires labels")
+        self.searcher.fit(features, labels)
+        if self.k > self.searcher.num_entries:
+            raise SearchError(
+                f"k ({self.k}) cannot exceed the number of stored entries "
+                f"({self.searcher.num_entries})"
+            )
+        return self
+
+    def predict_one(self, query, rng: SeedLike = None) -> int:
+        """Predicted label of a single query vector."""
+        if not self.is_fitted:
+            raise SearchError("classifier must be fitted before predicting")
+        result = self.searcher.kneighbors(query, k=self.k, rng=rng)
+        if any(label is None for label in result.labels):
+            raise SearchError("stored entries must all be labeled for k-NN voting")
+        if self.weighting == "uniform":
+            votes = Counter(result.labels)
+            best_count = max(votes.values())
+            # Tie-break toward the label of the nearest neighbor.
+            tied = {label for label, count in votes.items() if count == best_count}
+            for label in result.labels:
+                if label in tied:
+                    return int(label)
+        weights: Counter = Counter()
+        for label, score in zip(result.labels, result.scores):
+            weights[label] += 1.0 / (float(score) + 1e-18)
+        return int(max(weights, key=weights.get))
+
+    def predict(self, queries, rng: SeedLike = None) -> np.ndarray:
+        """Predicted labels for every row of ``queries``."""
+        queries = check_feature_matrix(queries, "queries")
+        generator = ensure_rng(rng)
+        return np.asarray([self.predict_one(query, rng=generator) for query in queries])
+
+    def score(self, queries, labels, rng: SeedLike = None) -> float:
+        """Classification accuracy on a labeled query set."""
+        labels = np.asarray(labels)
+        predictions = self.predict(queries, rng=rng)
+        if predictions.shape != labels.shape:
+            raise SearchError(
+                f"labels have shape {labels.shape}, expected {predictions.shape}"
+            )
+        return float(np.mean(predictions == labels))

@@ -1,0 +1,153 @@
+"""Feature quantization for MCAM storage and search.
+
+To perform NN search with the FeFET MCAM, "the real-valued features of the
+query and memory entries are quantized to the same bit precision as the
+MCAM" (Sec. IV-A).  Quantized feature values map one-to-one to MCAM cell
+states (for memory entries) and input states (for queries).
+
+The quantizer here is a uniform mid-rise quantizer over a calibration range:
+:meth:`UniformQuantizer.fit` learns per-feature (or global) ranges from the
+data that will be stored, and :meth:`UniformQuantizer.quantize` maps values
+into ``{0, ..., 2^bits - 1}``, clipping out-of-range queries to the nearest
+state — exactly what applying an out-of-range voltage to a data line would
+do physically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import QuantizationError
+from ..utils.validation import check_bits, check_feature_matrix
+
+
+@dataclass
+class UniformQuantizer:
+    """Uniform quantizer mapping real features to ``2^bits`` integer states.
+
+    Parameters
+    ----------
+    bits:
+        Bit precision (2 or 3 for the paper's MCAMs).
+    per_feature:
+        When true (default) each feature dimension gets its own calibration
+        range; otherwise a single global range is used.
+    epsilon:
+        Guard value used when a feature is constant in the calibration data
+        (its range would otherwise be zero).
+    """
+
+    bits: int = 3
+    per_feature: bool = True
+    epsilon: float = 1e-12
+
+    def __post_init__(self) -> None:
+        check_bits(self.bits)
+        if self.epsilon <= 0:
+            raise QuantizationError(f"epsilon must be positive, got {self.epsilon}")
+        self._low: Optional[np.ndarray] = None
+        self._high: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of quantization levels (``2^bits``)."""
+        return 2**self.bits
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._low is not None
+
+    def fit(self, features) -> "UniformQuantizer":
+        """Learn the quantization range(s) from calibration ``features``.
+
+        Returns ``self`` so calls can be chained
+        (``UniformQuantizer(bits=3).fit(train)``).
+        """
+        features = check_feature_matrix(features, "features")
+        if self.per_feature:
+            low = features.min(axis=0)
+            high = features.max(axis=0)
+        else:
+            low = np.full(features.shape[1], features.min())
+            high = np.full(features.shape[1], features.max())
+        width = high - low
+        degenerate = width < self.epsilon
+        if np.any(degenerate):
+            # Give constant features a symmetric unit range so they quantize
+            # to a stable middle state instead of dividing by zero.
+            low = np.where(degenerate, low - 0.5, low)
+            high = np.where(degenerate, high + 0.5, high)
+        self._low = low.astype(np.float64)
+        self._high = high.astype(np.float64)
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise QuantizationError("quantizer must be fitted before use")
+
+    # ------------------------------------------------------------------
+    # Quantization
+    # ------------------------------------------------------------------
+    def quantize(self, features) -> np.ndarray:
+        """Map real-valued ``features`` to integer states in ``[0, 2^bits)``.
+
+        Values outside the calibration range are clipped to the extreme
+        states.
+        """
+        self._require_fitted()
+        features = check_feature_matrix(features, "features")
+        if features.shape[1] != self._low.shape[0]:
+            raise QuantizationError(
+                f"features have {features.shape[1]} dimensions but the quantizer "
+                f"was fitted with {self._low.shape[0]}"
+            )
+        span = self._high - self._low
+        normalized = (features - self._low) / span
+        states = np.floor(normalized * self.num_states).astype(np.int64)
+        return np.clip(states, 0, self.num_states - 1)
+
+    def fit_quantize(self, features) -> np.ndarray:
+        """Fit on ``features`` and immediately quantize them."""
+        return self.fit(features).quantize(features)
+
+    def dequantize(self, states) -> np.ndarray:
+        """Map integer states back to the centers of their real-valued bins.
+
+        This is the reconstruction used when comparing quantized data with
+        software distance functions at matched precision.
+        """
+        self._require_fitted()
+        states = np.asarray(states)
+        if states.ndim == 1:
+            states = states.reshape(1, -1)
+        if states.ndim != 2 or states.shape[1] != self._low.shape[0]:
+            raise QuantizationError(
+                f"states must have shape (n, {self._low.shape[0]}), got {states.shape}"
+            )
+        if states.min() < 0 or states.max() >= self.num_states:
+            raise QuantizationError(
+                f"states must lie in [0, {self.num_states - 1}], "
+                f"got range [{states.min()}, {states.max()}]"
+            )
+        span = self._high - self._low
+        centers = (states.astype(np.float64) + 0.5) / self.num_states
+        return self._low + centers * span
+
+    def quantization_error(self, features) -> float:
+        """RMS reconstruction error of quantizing then dequantizing ``features``."""
+        features = check_feature_matrix(features, "features")
+        reconstructed = self.dequantize(self.quantize(features))
+        return float(np.sqrt(np.mean((features - reconstructed) ** 2)))
+
+    @property
+    def ranges(self):
+        """The fitted ``(low, high)`` calibration vectors."""
+        self._require_fitted()
+        return self._low.copy(), self._high.copy()

@@ -1,0 +1,303 @@
+"""Nearest-neighbor search engines: the three implementations of Sec. IV-A.
+
+The paper evaluates three NN-search implementations on identical real-valued
+features:
+
+1. **Software (GPU)** — floating-point cosine or Euclidean distance over the
+   raw features (:class:`SoftwareSearcher`),
+2. **TCAM+LSH** — random-hyperplane LSH signatures stored in a TCAM searched
+   by minimum Hamming distance (:class:`TCAMLSHSearcher`),
+3. **FeFET MCAM** — features quantized to the cell precision, stored in an
+   MCAM and searched in a single step with the proposed conductance distance
+   function (:class:`MCAMSearcher`).
+
+All engines implement the same :class:`NearestNeighborSearcher` interface
+(`fit`, `kneighbors`, `predict`), so the accuracy harness and the examples
+can swap them freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import SearchError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_bits, check_feature_matrix, check_int_in_range
+from ..circuits.conductance_lut import ConductanceLUT
+from ..circuits.mcam_array import MCAMArray
+from ..circuits.tcam import TCAMArray
+from ..devices.variation import VariationModel
+from ..distance.metrics import get_batch_metric
+from ..encoding.features import MinMaxScaler
+from ..encoding.lsh import RandomHyperplaneLSH
+from .quantization import UniformQuantizer
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Result of a k-nearest-neighbor query.
+
+    Attributes
+    ----------
+    indices:
+        Indices of the ``k`` nearest stored entries, closest first.
+    scores:
+        The engine's internal score for each returned index (conductance,
+        Hamming distance or metric distance); smaller is closer.
+    labels:
+        Labels of the returned entries (``None`` entries when unlabeled).
+    """
+
+    indices: np.ndarray
+    scores: np.ndarray
+    labels: tuple
+
+
+class NearestNeighborSearcher(abc.ABC):
+    """Common interface of all NN-search engines."""
+
+    def __init__(self) -> None:
+        self._labels: Optional[np.ndarray] = None
+        self._num_entries = 0
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        """Number of stored data points."""
+        return self._num_entries
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._num_entries > 0
+
+    def fit(self, features, labels: Optional[Sequence[int]] = None) -> "NearestNeighborSearcher":
+        """Store ``features`` (and optional ``labels``) as the search memory."""
+        features = check_feature_matrix(features, "features")
+        if labels is not None:
+            labels = np.asarray(labels)
+            if labels.shape[0] != features.shape[0]:
+                raise SearchError(
+                    f"got {labels.shape[0]} labels for {features.shape[0]} entries"
+                )
+        self._labels = labels
+        self._num_entries = features.shape[0]
+        self._fit(features, labels)
+        return self
+
+    def kneighbors(self, query, k: int = 1, rng: SeedLike = None) -> QueryResult:
+        """Return the ``k`` nearest stored entries for one query vector."""
+        self._require_fitted()
+        k = check_int_in_range(k, "k", minimum=1, maximum=self._num_entries)
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        indices, scores = self._rank(query, rng=ensure_rng(rng))
+        top = indices[:k]
+        labels = tuple(
+            None if self._labels is None else self._labels[i] for i in top
+        )
+        return QueryResult(indices=top, scores=scores[:k], labels=labels)
+
+    def nearest(self, query, rng: SeedLike = None) -> int:
+        """Index of the nearest stored entry."""
+        return int(self.kneighbors(query, k=1, rng=rng).indices[0])
+
+    def predict(self, queries, rng: SeedLike = None) -> np.ndarray:
+        """Label of the nearest neighbor for every row of ``queries``."""
+        self._require_fitted()
+        if self._labels is None:
+            raise SearchError("cannot predict labels: the searcher was fitted without labels")
+        queries = check_feature_matrix(queries, "queries")
+        generator = ensure_rng(rng)
+        return np.asarray(
+            [self._labels[self.nearest(query, rng=generator)] for query in queries]
+        )
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise SearchError("searcher must be fitted before searching")
+
+    # ------------------------------------------------------------------
+    # Hooks implemented by the concrete engines
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
+        """Engine-specific storage of the fitted data."""
+
+    @abc.abstractmethod
+    def _rank(self, query: np.ndarray, rng: np.random.Generator):
+        """Return ``(indices_sorted_best_first, scores_sorted_best_first)``."""
+
+
+class SoftwareSearcher(NearestNeighborSearcher):
+    """Floating-point brute-force NN search (the GPU baseline of Sec. IV-A).
+
+    Parameters
+    ----------
+    metric:
+        ``"cosine"``, ``"euclidean"``, ``"manhattan"`` or ``"linf"``.
+    """
+
+    def __init__(self, metric: str = "cosine") -> None:
+        super().__init__()
+        self.metric = metric
+        self._distance = get_batch_metric(metric)
+        self._features: Optional[np.ndarray] = None
+
+    def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
+        self._features = features.astype(np.float32)  # FP32, as in the paper
+
+    def _rank(self, query: np.ndarray, rng: np.random.Generator):
+        if query.shape[0] != self._features.shape[1]:
+            raise SearchError(
+                f"query has {query.shape[0]} features, expected {self._features.shape[1]}"
+            )
+        distances = np.asarray(
+            self._distance(self._features, query.astype(np.float32)), dtype=np.float64
+        )
+        order = np.argsort(distances, kind="stable")
+        return order, distances[order]
+
+
+class MCAMSearcher(NearestNeighborSearcher):
+    """NN search on the FeFET MCAM with the proposed distance function.
+
+    The real-valued features are quantized to the cell precision with a
+    uniform quantizer calibrated on the stored data; the quantized entries
+    are written to an :class:`~repro.circuits.mcam_array.MCAMArray`, and each
+    query is a single in-memory search.
+
+    Parameters
+    ----------
+    bits:
+        MCAM cell precision (2 or 3 in the paper).
+    lut:
+        Optional conductance look-up table (e.g. a varied or measured one);
+        defaults to the nominal table for ``bits``.
+    variation:
+        Optional device variation model; when given, the array models each
+        physical cell individually.
+    sense_amplifier:
+        Optional non-ideal sensing model.
+    seed:
+        Randomness for programming variation / sensing noise.
+    """
+
+    def __init__(
+        self,
+        bits: int = 3,
+        lut: Optional[ConductanceLUT] = None,
+        variation: Optional[VariationModel] = None,
+        sense_amplifier=None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.bits = check_bits(bits)
+        self.lut = lut
+        self.variation = variation
+        self.sense_amplifier = sense_amplifier
+        self._rng = ensure_rng(seed)
+        self.quantizer = UniformQuantizer(bits=self.bits)
+        self._array: Optional[MCAMArray] = None
+
+    def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
+        states = self.quantizer.fit(features).quantize(features)
+        self._array = MCAMArray(
+            num_cells=features.shape[1],
+            bits=self.bits,
+            lut=self.lut,
+            variation=self.variation,
+            sense_amplifier=self.sense_amplifier,
+        )
+        label_list = None if labels is None else list(labels)
+        self._array.write(states, labels=label_list, rng=self._rng)
+
+    def _rank(self, query: np.ndarray, rng: np.random.Generator):
+        query_states = self.quantizer.quantize(query.reshape(1, -1))[0]
+        result = self._array.search(query_states, rng=rng)
+        order = result.sensing.ranking
+        return order, result.row_conductances_s[order]
+
+    @property
+    def array(self) -> MCAMArray:
+        """The underlying MCAM array (available after :meth:`fit`)."""
+        self._require_fitted()
+        return self._array
+
+
+class TCAMLSHSearcher(NearestNeighborSearcher):
+    """The TCAM+LSH baseline: Hamming distance over LSH signatures.
+
+    Parameters
+    ----------
+    num_bits:
+        Signature length in bits.  For the iso-word-length comparison of the
+        paper this equals the number of MCAM cells (e.g. 64); the original
+        TCAM work used 512.
+    seed:
+        Randomness for the LSH hyperplanes.
+    """
+
+    def __init__(self, num_bits: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.num_bits = check_int_in_range(num_bits, "num_bits", minimum=1)
+        self._rng = ensure_rng(seed)
+        self.encoder = RandomHyperplaneLSH(num_bits=self.num_bits, seed=self._rng)
+        self._tcam: Optional[TCAMArray] = None
+
+    def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
+        signatures = self.encoder.fit(features).encode(features)
+        self._tcam = TCAMArray(num_cells=self.num_bits)
+        label_list = None if labels is None else list(labels)
+        self._tcam.write(signatures, labels=label_list)
+
+    def _rank(self, query: np.ndarray, rng: np.random.Generator):
+        signature = self.encoder.encode(query.reshape(1, -1))[0]
+        result = self._tcam.search(signature, rng=rng)
+        order = result.sensing.ranking
+        return order, result.hamming_distances[order].astype(np.float64)
+
+    @property
+    def tcam(self) -> TCAMArray:
+        """The underlying TCAM array (available after :meth:`fit`)."""
+        self._require_fitted()
+        return self._tcam
+
+
+def make_searcher(
+    name: str,
+    num_features: int,
+    bits: int = 3,
+    lut: Optional[ConductanceLUT] = None,
+    variation: Optional[VariationModel] = None,
+    lsh_bits: Optional[int] = None,
+    seed: SeedLike = None,
+) -> NearestNeighborSearcher:
+    """Factory for the engines compared in the paper's figures.
+
+    ``name`` is one of ``"cosine"``, ``"euclidean"``, ``"mcam-3bit"``,
+    ``"mcam-2bit"``, ``"mcam"`` (uses ``bits``) or ``"tcam-lsh"``.
+    ``num_features`` sets the iso-word-length LSH signature size when
+    ``lsh_bits`` is not given.
+    """
+    name = name.lower()
+    if name in ("cosine", "euclidean", "manhattan", "linf"):
+        return SoftwareSearcher(metric=name)
+    if name == "mcam":
+        return MCAMSearcher(bits=bits, lut=lut, variation=variation, seed=seed)
+    if name == "mcam-3bit":
+        return MCAMSearcher(bits=3, lut=lut, variation=variation, seed=seed)
+    if name == "mcam-2bit":
+        return MCAMSearcher(bits=2, lut=lut, variation=variation, seed=seed)
+    if name in ("tcam-lsh", "tcam+lsh", "tcam"):
+        signature_bits = lsh_bits if lsh_bits is not None else num_features
+        return TCAMLSHSearcher(num_bits=signature_bits, seed=seed)
+    raise SearchError(
+        f"unknown searcher {name!r}; expected one of 'cosine', 'euclidean', "
+        f"'manhattan', 'linf', 'mcam', 'mcam-2bit', 'mcam-3bit', 'tcam-lsh'"
+    )

@@ -1,0 +1,42 @@
+"""Datasets: UCI-style classification data and Omniglot-like embeddings."""
+
+from .base import Dataset, TrainTestSplit, train_test_split
+from .omniglot import (
+    DEFAULT_WITHIN_CLASS_SIGMA,
+    OMNIGLOT_EVALUATION_CLASSES,
+    PAPER_EMBEDDING_DIM,
+    EmbeddingSpaceSpec,
+    SyntheticEmbeddingSpace,
+)
+from .synthetic import ClusterSpec, make_clusters
+from .uci import (
+    FIG6_DATASET_KEYS,
+    UCI_SPECS,
+    available_datasets,
+    load_breast_cancer,
+    load_iris,
+    load_uci_dataset,
+    load_wine,
+    load_wine_quality_red,
+)
+
+__all__ = [
+    "Dataset",
+    "TrainTestSplit",
+    "train_test_split",
+    "DEFAULT_WITHIN_CLASS_SIGMA",
+    "OMNIGLOT_EVALUATION_CLASSES",
+    "PAPER_EMBEDDING_DIM",
+    "EmbeddingSpaceSpec",
+    "SyntheticEmbeddingSpace",
+    "ClusterSpec",
+    "make_clusters",
+    "FIG6_DATASET_KEYS",
+    "UCI_SPECS",
+    "available_datasets",
+    "load_breast_cancer",
+    "load_iris",
+    "load_uci_dataset",
+    "load_wine",
+    "load_wine_quality_red",
+]

@@ -1,0 +1,147 @@
+"""Dataset container and train/test splitting.
+
+The NN-classification experiments (Sec. IV-B) randomly split each dataset
+into 80% training and 20% test data; the few-shot experiments build episodes
+instead (see :mod:`repro.mann.episodes`).  :class:`Dataset` is the small
+container both pipelines consume, and :func:`train_test_split` reproduces the
+80/20 protocol with an optional per-class stratification so small datasets do
+not lose entire classes from the training split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_feature_matrix, check_probability
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labeled, real-valued dataset.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name (used in result tables).
+    features:
+        Real-valued feature matrix ``(num_samples, num_features)``.
+    labels:
+        Integer class labels ``(num_samples,)``.
+    """
+
+    name: str
+    features: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        features = check_feature_matrix(self.features, "features")
+        labels = np.asarray(self.labels)
+        if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
+            raise DatasetError(
+                f"labels must be a vector with one entry per sample, "
+                f"got shape {labels.shape} for {features.shape[0]} samples"
+            )
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "labels", labels.astype(np.int64))
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples."""
+        return int(self.features.shape[0])
+
+    @property
+    def num_features(self) -> int:
+        """Number of feature dimensions (equals the CAM word length)."""
+        return int(self.features.shape[1])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct class labels."""
+        return int(np.unique(self.labels).size)
+
+    def class_counts(self) -> Dict[int, int]:
+        """Mapping from class label to number of samples."""
+        values, counts = np.unique(self.labels, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def subset(self, indices) -> "Dataset":
+        """Dataset restricted to ``indices`` (keeps the name)."""
+        indices = np.asarray(indices)
+        if indices.ndim != 1:
+            raise DatasetError(f"indices must be one-dimensional, got shape {indices.shape}")
+        return Dataset(
+            name=self.name,
+            features=self.features[indices],
+            labels=self.labels[indices],
+        )
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """An 80/20-style split of a :class:`Dataset`."""
+
+    train: Dataset
+    test: Dataset
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying dataset."""
+        return self.train.name
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.2,
+    stratified: bool = True,
+    rng: SeedLike = None,
+) -> TrainTestSplit:
+    """Randomly split ``dataset`` into train and test subsets.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to split.
+    test_fraction:
+        Fraction of samples assigned to the test split (paper: 0.2).
+    stratified:
+        Split each class separately so class proportions are preserved and
+        every class keeps at least one training sample.
+    rng:
+        Randomness controlling the shuffle.
+    """
+    check_probability(test_fraction, "test_fraction")
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError(f"test_fraction must lie strictly in (0, 1), got {test_fraction}")
+    generator = ensure_rng(rng)
+
+    if stratified:
+        train_indices = []
+        test_indices = []
+        for label in np.unique(dataset.labels):
+            class_indices = np.flatnonzero(dataset.labels == label)
+            generator.shuffle(class_indices)
+            num_test = int(round(test_fraction * class_indices.size))
+            num_test = min(num_test, class_indices.size - 1)  # keep >=1 train sample
+            test_indices.append(class_indices[:num_test])
+            train_indices.append(class_indices[num_test:])
+        train_idx = np.concatenate(train_indices)
+        test_idx = np.concatenate(test_indices)
+    else:
+        permutation = generator.permutation(dataset.num_samples)
+        num_test = int(round(test_fraction * dataset.num_samples))
+        num_test = min(max(num_test, 1), dataset.num_samples - 1)
+        test_idx = permutation[:num_test]
+        train_idx = permutation[num_test:]
+
+    if train_idx.size == 0 or test_idx.size == 0:
+        raise DatasetError(
+            f"split produced an empty subset (train={train_idx.size}, test={test_idx.size})"
+        )
+    generator.shuffle(train_idx)
+    generator.shuffle(test_idx)
+    return TrainTestSplit(train=dataset.subset(train_idx), test=dataset.subset(test_idx))

@@ -1,0 +1,89 @@
+"""FeFET device models: transfer characteristics, programming, variation.
+
+This subpackage provides the device substrate the MCAM circuit models are
+built on:
+
+* :mod:`~repro.devices.fefet` — behavioral multi-V_th FeFET with an
+  exponential-then-saturating transfer characteristic (Fig. 2(b)),
+* :mod:`~repro.devices.preisach` — Preisach-style single-pulse programming
+  curve (pulse amplitude to threshold voltage),
+* :mod:`~repro.devices.programming` — single-pulse and write-and-verify
+  programming schemes with pulse-train energies,
+* :mod:`~repro.devices.variation` — Gaussian and Monte-Carlo domain-switching
+  device-to-device variation models (Sec. III-C),
+* :mod:`~repro.devices.population` — population studies reproducing Fig. 5.
+"""
+
+from .fefet import (
+    EXPERIMENTAL_DEVICE,
+    SIMULATION_DEVICE,
+    VTH_HIGH_V,
+    VTH_LEVEL_GRID_V,
+    VTH_LOW_V,
+    FeFET,
+    FeFETParameters,
+    subthreshold_swing_from_curve,
+)
+from .population import (
+    PAPER_NUM_STATES,
+    PAPER_POPULATION_SIZE,
+    DevicePopulation,
+    PopulationSummary,
+    StateDistribution,
+)
+from .preisach import (
+    ERASE_PULSE_V,
+    MAX_PROGRAM_PULSE_V,
+    MIN_PROGRAM_PULSE_V,
+    PROGRAM_PULSE_WIDTH_S,
+    PreisachModel,
+    PreisachParameters,
+)
+from .programming import (
+    DEFAULT_GATE_CAPACITANCE_F,
+    ProgrammingOutcome,
+    Pulse,
+    PulseTrain,
+    SinglePulseProgrammer,
+    WriteVerifyProgrammer,
+)
+from .variation import (
+    PAPER_MAX_SIGMA_V,
+    DomainSwitchingVariationModel,
+    GaussianVthVariationModel,
+    VariationModel,
+    variation_from_sigma,
+)
+
+__all__ = [
+    "EXPERIMENTAL_DEVICE",
+    "SIMULATION_DEVICE",
+    "VTH_HIGH_V",
+    "VTH_LEVEL_GRID_V",
+    "VTH_LOW_V",
+    "FeFET",
+    "FeFETParameters",
+    "subthreshold_swing_from_curve",
+    "PAPER_NUM_STATES",
+    "PAPER_POPULATION_SIZE",
+    "DevicePopulation",
+    "PopulationSummary",
+    "StateDistribution",
+    "ERASE_PULSE_V",
+    "MAX_PROGRAM_PULSE_V",
+    "MIN_PROGRAM_PULSE_V",
+    "PROGRAM_PULSE_WIDTH_S",
+    "PreisachModel",
+    "PreisachParameters",
+    "DEFAULT_GATE_CAPACITANCE_F",
+    "ProgrammingOutcome",
+    "Pulse",
+    "PulseTrain",
+    "SinglePulseProgrammer",
+    "WriteVerifyProgrammer",
+    "PAPER_MAX_SIGMA_V",
+    "DomainSwitchingVariationModel",
+    "GaussianVthVariationModel",
+    "VariationModel",
+    "variation_from_sigma",
+]

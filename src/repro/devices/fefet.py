@@ -1,0 +1,314 @@
+"""Behavioral FeFET device model.
+
+The paper (Sec. II-B) models the ferroelectric FET with the Preisach compact
+model of Ni et al. for SPICE simulations and extracts a 2-D conductance
+look-up table from those simulations for application-level studies.  This
+module provides the equivalent *behavioral* device: a MOSFET-like transfer
+characteristic whose threshold voltage is set by the polarization state of
+the ferroelectric layer.
+
+The drain-current model combines
+
+* an exponential subthreshold region with a configurable subthreshold swing
+  (~90 mV/decade, typical for the 28 nm HKMG FeFETs used in the paper),
+* a smooth EKV-style transition into the on-region, and
+* a soft saturation of the on-current (series resistance / velocity
+  saturation), which is what produces the *bell-shaped derivative* of the
+  MCAM distance function highlighted in Fig. 4(d) of the paper.
+
+Only the shape of ``I_d(V_gs - V_th)`` matters for the MCAM distance
+function; absolute currents are calibrated to the range shown in Fig. 2(b)
+(1 nA to 100 uA over a 1.2 V gate sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import DeviceModelError
+from ..utils.validation import check_non_negative, check_positive
+
+#: Boltzmann constant times unit charge inverse at 300 K (thermal voltage).
+THERMAL_VOLTAGE_300K = 0.02585
+
+#: Threshold-voltage levels used by the multi-bit programming scheme of the
+#: paper (Fig. 3(b)): nine 120 mV-spaced boundaries from 360 mV to 1320 mV.
+#: The eight programmable FeFET states use the upper eight levels.
+VTH_LEVEL_GRID_V = tuple(0.36 + 0.12 * i for i in range(9))
+
+#: Lowest and highest programmable threshold voltages (memory window).
+VTH_LOW_V = VTH_LEVEL_GRID_V[1]
+VTH_HIGH_V = VTH_LEVEL_GRID_V[-1]
+
+
+@dataclass(frozen=True)
+class FeFETParameters:
+    """Electrical and geometric parameters of a FeFET device.
+
+    Attributes
+    ----------
+    width_nm, length_nm:
+        Channel geometry.  The paper simulates 250 nm x 250 nm devices and
+        measures 450 nm x 450 nm devices on the GLOBALFOUNDRIES array.
+    subthreshold_ideality:
+        Ideality factor ``n``; the subthreshold swing is
+        ``n * kT/q * ln(10)`` (~89 mV/dec for n = 1.5 at 300 K).
+    specific_current_a:
+        EKV specific current ``I_spec``; sets the current level at threshold.
+    on_current_a:
+        Soft saturation level of the on-current for the reference geometry.
+    off_current_a:
+        Gate-independent leakage floor.
+    temperature_k:
+        Operating temperature (sets the thermal voltage).
+    vth_low_v, vth_high_v:
+        Bounds of the programmable threshold-voltage window.
+    reference_width_nm, reference_length_nm:
+        Geometry at which the current parameters are specified; currents are
+        scaled by ``(W/L) / (W_ref/L_ref)``.
+    """
+
+    width_nm: float = 250.0
+    length_nm: float = 250.0
+    subthreshold_ideality: float = 1.5
+    specific_current_a: float = 1.0e-7
+    on_current_a: float = 6.0e-6
+    off_current_a: float = 5.0e-10
+    temperature_k: float = 300.0
+    vth_low_v: float = VTH_LOW_V
+    vth_high_v: float = VTH_HIGH_V
+    reference_width_nm: float = 250.0
+    reference_length_nm: float = 250.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.width_nm, "width_nm")
+        check_positive(self.length_nm, "length_nm")
+        check_positive(self.subthreshold_ideality, "subthreshold_ideality")
+        check_positive(self.specific_current_a, "specific_current_a")
+        check_positive(self.on_current_a, "on_current_a")
+        check_non_negative(self.off_current_a, "off_current_a")
+        check_positive(self.temperature_k, "temperature_k")
+        check_positive(self.reference_width_nm, "reference_width_nm")
+        check_positive(self.reference_length_nm, "reference_length_nm")
+        if self.vth_high_v <= self.vth_low_v:
+            raise DeviceModelError(
+                f"vth_high_v ({self.vth_high_v}) must exceed vth_low_v ({self.vth_low_v})"
+            )
+
+    @property
+    def thermal_voltage_v(self) -> float:
+        """Thermal voltage ``kT/q`` at the operating temperature."""
+        return THERMAL_VOLTAGE_300K * self.temperature_k / 300.0
+
+    @property
+    def subthreshold_swing_v_per_dec(self) -> float:
+        """Subthreshold swing in volts per decade of drain current."""
+        return self.subthreshold_ideality * self.thermal_voltage_v * np.log(10.0)
+
+    @property
+    def geometry_scale(self) -> float:
+        """Current scaling factor relative to the reference geometry."""
+        reference_ratio = self.reference_width_nm / self.reference_length_nm
+        return (self.width_nm / self.length_nm) / reference_ratio
+
+    @property
+    def memory_window_v(self) -> float:
+        """Width of the programmable threshold-voltage window."""
+        return self.vth_high_v - self.vth_low_v
+
+    def with_geometry(self, width_nm: float, length_nm: float) -> "FeFETParameters":
+        """Return a copy of the parameters with a different channel geometry."""
+        return replace(self, width_nm=width_nm, length_nm=length_nm)
+
+
+#: How far outside the programmable window a (varied) threshold voltage may
+#: plausibly land; beyond this the ferroelectric polarization is saturated.
+VTH_PLAUSIBLE_MARGIN_V = 0.5
+
+
+def clip_vth(vth_v, parameters: "FeFETParameters"):
+    """Clip threshold voltage(s) to the physically plausible window.
+
+    Variation studies sample Gaussian V_th perturbations whose tails can
+    exceed what partial polarization switching can produce; the polarization
+    (and therefore V_th) saturates, which this clip models.
+    """
+    low = parameters.vth_low_v - VTH_PLAUSIBLE_MARGIN_V
+    high = parameters.vth_high_v + VTH_PLAUSIBLE_MARGIN_V
+    clipped = np.clip(np.asarray(vth_v, dtype=np.float64), low, high)
+    if np.ndim(vth_v) == 0:
+        return float(clipped)
+    return clipped
+
+
+#: Parameters of the simulated 250 nm devices used throughout Sec. III/IV.
+SIMULATION_DEVICE = FeFETParameters()
+
+#: Parameters of the measured 450 nm GLOBALFOUNDRIES devices (Sec. IV-D).
+EXPERIMENTAL_DEVICE = FeFETParameters(width_nm=450.0, length_nm=450.0)
+
+
+class FeFET:
+    """A single ferroelectric FET with a programmable threshold voltage.
+
+    The device is purely behavioral: the ferroelectric polarization state is
+    summarized by the threshold voltage ``vth_v``, and the drain current is a
+    smooth function of the gate overdrive ``V_gs - V_th`` (see module
+    docstring).  Programming models that map pulse amplitudes to threshold
+    voltages live in :mod:`repro.devices.preisach` and
+    :mod:`repro.devices.programming`.
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[FeFETParameters] = None,
+        vth_v: Optional[float] = None,
+    ) -> None:
+        self.parameters = parameters if parameters is not None else FeFETParameters()
+        if vth_v is None:
+            vth_v = self.parameters.vth_high_v
+        self._vth_v = float(vth_v)
+        self._check_vth(self._vth_v)
+
+    def _check_vth(self, vth_v: float) -> None:
+        low = self.parameters.vth_low_v - VTH_PLAUSIBLE_MARGIN_V
+        high = self.parameters.vth_high_v + VTH_PLAUSIBLE_MARGIN_V
+        if not (low <= vth_v <= high):
+            raise DeviceModelError(
+                f"threshold voltage {vth_v:.3f} V is outside the plausible window "
+                f"[{low:.3f}, {high:.3f}] V"
+            )
+
+    @property
+    def vth_v(self) -> float:
+        """Current threshold voltage of the device."""
+        return self._vth_v
+
+    @vth_v.setter
+    def vth_v(self, value: float) -> None:
+        value = float(value)
+        self._check_vth(value)
+        self._vth_v = value
+
+    # ------------------------------------------------------------------
+    # Current / conductance model
+    # ------------------------------------------------------------------
+    def drain_current(self, vgs_v, vds_v: float = 0.1, vth_v: Optional[float] = None):
+        """Drain current for gate-source voltage(s) ``vgs_v``.
+
+        Parameters
+        ----------
+        vgs_v:
+            Scalar or array of gate-source voltages.
+        vds_v:
+            Drain-source voltage.  The CAM operates its FeFETs in the linear
+            region (the match line is at most pre-charged to 0.8 V), so the
+            current scales approximately linearly with ``vds_v`` up to a soft
+            clamp of two thermal voltages.
+        vth_v:
+            Optional threshold-voltage override (used by the look-up-table
+            builder when sampling varied devices without mutating state).
+
+        Returns
+        -------
+        numpy.ndarray or float
+            Drain current in amperes, matching the shape of ``vgs_v``.
+        """
+        params = self.parameters
+        vds_v = float(vds_v)
+        if vds_v < 0:
+            raise DeviceModelError(f"vds_v must be non-negative, got {vds_v}")
+        vth = self._vth_v if vth_v is None else float(vth_v)
+        vgs = np.asarray(vgs_v, dtype=np.float64)
+        overdrive = vgs - vth
+        return _drain_current_from_overdrive(overdrive, vds_v, params)
+
+    def conductance(self, vgs_v, vds_v: float = 0.1, vth_v: Optional[float] = None):
+        """Channel conductance ``I_d / V_ds`` (siemens).
+
+        A zero or negative ``vds_v`` is rejected since conductance is defined
+        from a finite drain bias.
+        """
+        vds_v = float(vds_v)
+        if vds_v <= 0:
+            raise DeviceModelError(f"vds_v must be positive for a conductance, got {vds_v}")
+        current = self.drain_current(vgs_v, vds_v=vds_v, vth_v=vth_v)
+        return current / vds_v
+
+    def transfer_characteristic(
+        self,
+        vgs_sweep_v: Optional[Sequence[float]] = None,
+        vds_v: float = 0.1,
+        vth_v: Optional[float] = None,
+    ):
+        """Return ``(vgs, id)`` arrays of the transfer characteristic.
+
+        Reproduces one curve of Fig. 2(b).  The default sweep covers
+        0 V to 1.2 V as in the figure.
+        """
+        if vgs_sweep_v is None:
+            vgs_sweep_v = np.linspace(0.0, 1.2, 121)
+        vgs = np.asarray(vgs_sweep_v, dtype=np.float64)
+        current = self.drain_current(vgs, vds_v=vds_v, vth_v=vth_v)
+        return vgs, current
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"FeFET(vth={self._vth_v:.3f} V, "
+            f"W/L={self.parameters.width_nm:.0f}/{self.parameters.length_nm:.0f} nm)"
+        )
+
+
+def _drain_current_from_overdrive(
+    overdrive_v, vds_v: float, params: FeFETParameters
+):
+    """EKV-style smooth drain current as a function of gate overdrive.
+
+    ``I = I_off + I_sat * I_ekv / (I_ekv + I_sat)`` where
+    ``I_ekv = I_spec * ln(1 + exp(u / (2 n v_T)))^2``.  The harmonic blend
+    with ``I_sat`` models the series-resistance-limited on-current which
+    gives the distance function its saturating tail.
+    """
+    scale = params.geometry_scale
+    n_vt = params.subthreshold_ideality * params.thermal_voltage_v
+    u = np.asarray(overdrive_v, dtype=np.float64)
+    # log1p(exp(x)) computed stably for large positive and negative x.
+    x = u / (2.0 * n_vt)
+    softplus = np.where(x > 30.0, x, np.log1p(np.exp(np.minimum(x, 30.0))))
+    i_ekv = params.specific_current_a * scale * softplus**2
+    i_sat = params.on_current_a * scale
+    intrinsic = i_sat * i_ekv / (i_ekv + i_sat)
+    # Linear-region drain-bias dependence with a soft clamp at ~2 vT.
+    vt2 = 2.0 * params.thermal_voltage_v
+    vds_factor = (1.0 - np.exp(-vds_v / vt2)) if vds_v > 0 else 0.0
+    current = params.off_current_a * scale + intrinsic * vds_factor / (
+        1.0 - np.exp(-0.1 / vt2)
+    )
+    if np.isscalar(overdrive_v) or np.ndim(overdrive_v) == 0:
+        return float(current)
+    return current
+
+
+def subthreshold_swing_from_curve(vgs_v, id_a) -> float:
+    """Extract the subthreshold swing (V/dec) from a measured transfer curve.
+
+    The swing is the reciprocal of the steepest slope of ``log10(Id)`` versus
+    ``Vgs``; using the steepest point makes the extraction insensitive to the
+    flat leakage floor below threshold and to the saturating on-region above
+    it.
+    """
+    vgs = np.asarray(vgs_v, dtype=np.float64)
+    current = np.asarray(id_a, dtype=np.float64)
+    if vgs.shape != current.shape or vgs.ndim != 1 or vgs.size < 3:
+        raise DeviceModelError("vgs_v and id_a must be equal-length 1-D arrays (>= 3 points)")
+    if np.any(current <= 0):
+        raise DeviceModelError("drain currents must be strictly positive")
+    log_i = np.log10(current)
+    slopes = np.gradient(log_i, vgs)
+    steepest = float(np.max(np.abs(slopes)))
+    if steepest <= 1e-9:
+        raise DeviceModelError("transfer curve is flat; cannot extract a subthreshold swing")
+    return 1.0 / steepest

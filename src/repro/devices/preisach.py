@@ -1,0 +1,193 @@
+"""Preisach-style ferroelectric polarization and pulse-programming model.
+
+The paper programs FeFETs with *single, same-width pulses of different
+amplitudes* (Sec. II-B / IV-D): the device is first erased with a -5 V /
+500 ns gate pulse, then a single positive pulse between 1 V and 4.5 V
+(200 ns) partially switches the ferroelectric polarization and sets the
+threshold voltage to one of eight levels.
+
+The Preisach model represents the ferroelectric layer as a continuum of
+square hysteresis loops (hysterons) with distributed coercive voltages.  For
+the single-pulse-after-erase protocol used here, the net switched
+polarization after a pulse of amplitude ``V_p`` reduces to the cumulative
+distribution of hysteron coercive voltages below ``V_p``, which we model with
+a logistic saturation curve.  The threshold voltage then interpolates
+linearly between the erased (high-``V_th``) and fully-programmed
+(low-``V_th``) states with the switched-polarization fraction.
+
+This captures exactly what the application-level study needs: a smooth,
+monotone, saturating map from programming-pulse amplitude to threshold
+voltage, which can be inverted to find the pulse amplitudes for the eight
+MCAM states (Fig. 2(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ProgrammingError
+from ..utils.validation import check_int_in_range, check_positive
+from .fefet import FeFETParameters
+
+#: Pulse amplitude range used in the paper for intermediate states (Sec. IV-D).
+MIN_PROGRAM_PULSE_V = 1.0
+MAX_PROGRAM_PULSE_V = 4.5
+
+#: Erase pulse used to reset the device to its high-Vth state (Sec. IV-D).
+ERASE_PULSE_V = -5.0
+ERASE_PULSE_WIDTH_S = 500e-9
+
+#: Width of the programming pulses (Sec. IV-D).
+PROGRAM_PULSE_WIDTH_S = 200e-9
+
+
+@dataclass(frozen=True)
+class PreisachParameters:
+    """Parameters of the logistic Preisach switching characteristic.
+
+    Attributes
+    ----------
+    coercive_voltage_v:
+        Pulse amplitude at which half of the ferroelectric domains switch.
+    switching_width_v:
+        Spread of the coercive-voltage distribution; smaller values give a
+        steeper polarization-vs-pulse curve.
+    saturation_pulse_v:
+        Pulse amplitude beyond which the polarization is considered fully
+        switched (used only for validation of requested pulses).
+    """
+
+    coercive_voltage_v: float = 2.75
+    switching_width_v: float = 0.75
+    saturation_pulse_v: float = MAX_PROGRAM_PULSE_V
+
+    def __post_init__(self) -> None:
+        check_positive(self.coercive_voltage_v, "coercive_voltage_v")
+        check_positive(self.switching_width_v, "switching_width_v")
+        check_positive(self.saturation_pulse_v, "saturation_pulse_v")
+
+
+class PreisachModel:
+    """Maps programming-pulse amplitudes to switched polarization and V_th.
+
+    Parameters
+    ----------
+    device:
+        FeFET parameters providing the threshold-voltage window
+        ``[vth_low_v, vth_high_v]``.
+    parameters:
+        Switching-characteristic parameters (coercive voltage and spread).
+    """
+
+    def __init__(
+        self,
+        device: Optional[FeFETParameters] = None,
+        parameters: Optional[PreisachParameters] = None,
+    ) -> None:
+        self.device = device if device is not None else FeFETParameters()
+        self.parameters = parameters if parameters is not None else PreisachParameters()
+        # Polarization fractions at the ends of the allowed pulse range; used
+        # to normalize so the full memory window is reachable within
+        # [MIN_PROGRAM_PULSE_V, MAX_PROGRAM_PULSE_V].
+        self._p_min = self._raw_polarization(MIN_PROGRAM_PULSE_V)
+        self._p_max = self._raw_polarization(MAX_PROGRAM_PULSE_V)
+        if self._p_max <= self._p_min:
+            raise ProgrammingError("switching characteristic must be increasing")
+
+    # ------------------------------------------------------------------
+    # Polarization switching
+    # ------------------------------------------------------------------
+    def _raw_polarization(self, pulse_amplitude_v):
+        p = np.asarray(pulse_amplitude_v, dtype=np.float64)
+        params = self.parameters
+        return 1.0 / (1.0 + np.exp(-(p - params.coercive_voltage_v) / params.switching_width_v))
+
+    def switched_fraction(self, pulse_amplitude_v):
+        """Fraction of ferroelectric domains switched by a single pulse.
+
+        Normalized so that the minimum allowed pulse gives 0 and the maximum
+        allowed pulse gives 1.  Values outside the allowed pulse range are
+        rejected because the single-pulse protocol of the paper never uses
+        them.
+        """
+        pulses = np.asarray(pulse_amplitude_v, dtype=np.float64)
+        if np.any(pulses < MIN_PROGRAM_PULSE_V - 1e-9) or np.any(
+            pulses > MAX_PROGRAM_PULSE_V + 1e-9
+        ):
+            raise ProgrammingError(
+                f"pulse amplitudes must lie within "
+                f"[{MIN_PROGRAM_PULSE_V}, {MAX_PROGRAM_PULSE_V}] V, got {pulse_amplitude_v!r}"
+            )
+        raw = self._raw_polarization(pulses)
+        fraction = (raw - self._p_min) / (self._p_max - self._p_min)
+        fraction = np.clip(fraction, 0.0, 1.0)
+        if np.ndim(pulse_amplitude_v) == 0:
+            return float(fraction)
+        return fraction
+
+    # ------------------------------------------------------------------
+    # Threshold voltage programming
+    # ------------------------------------------------------------------
+    def vth_after_pulse(self, pulse_amplitude_v):
+        """Threshold voltage reached by erase followed by a single pulse.
+
+        A fully unswitched device sits at ``vth_high_v`` (erased state); a
+        fully switched device sits at ``vth_low_v``.
+        """
+        fraction = self.switched_fraction(pulse_amplitude_v)
+        window = self.device.memory_window_v
+        vth = self.device.vth_high_v - np.asarray(fraction, dtype=np.float64) * window
+        if np.ndim(pulse_amplitude_v) == 0:
+            return float(vth)
+        return vth
+
+    def pulse_for_vth(self, target_vth_v: float) -> float:
+        """Invert the programming curve: pulse amplitude that reaches a V_th.
+
+        Raises
+        ------
+        ProgrammingError
+            If ``target_vth_v`` lies outside the programmable window.
+        """
+        target = float(target_vth_v)
+        low, high = self.device.vth_low_v, self.device.vth_high_v
+        if not (low - 1e-9 <= target <= high + 1e-9):
+            raise ProgrammingError(
+                f"target V_th {target:.3f} V outside programmable window [{low:.3f}, {high:.3f}] V"
+            )
+        target_fraction = (high - target) / (high - low)
+        # Invert the normalized logistic analytically.
+        raw_target = self._p_min + target_fraction * (self._p_max - self._p_min)
+        raw_target = min(max(raw_target, 1e-12), 1.0 - 1e-12)
+        params = self.parameters
+        pulse = params.coercive_voltage_v - params.switching_width_v * np.log(
+            1.0 / raw_target - 1.0
+        )
+        return float(np.clip(pulse, MIN_PROGRAM_PULSE_V, MAX_PROGRAM_PULSE_V))
+
+    def pulses_for_levels(self, vth_levels_v: Sequence[float]) -> np.ndarray:
+        """Vector of pulse amplitudes hitting each requested V_th level."""
+        return np.array([self.pulse_for_vth(v) for v in vth_levels_v], dtype=np.float64)
+
+    def programming_curve(self, num_points: int = 36):
+        """Return ``(pulse_amplitudes, vth)`` over the allowed pulse range.
+
+        With the paper's 0.1 V step between 1 V and 4.5 V there are 36 points,
+        hence the default.
+        """
+        num_points = check_int_in_range(num_points, "num_points", minimum=2)
+        pulses = np.linspace(MIN_PROGRAM_PULSE_V, MAX_PROGRAM_PULSE_V, num_points)
+        vth = np.array([self.vth_after_pulse(float(p)) for p in pulses])
+        return pulses, vth
+
+    def equally_spaced_vth_levels(self, num_levels: int) -> np.ndarray:
+        """``num_levels`` equally spaced V_th targets across the memory window.
+
+        Levels are ordered from low V_th (state with the highest switched
+        polarization) to high V_th, matching the level grid of Fig. 3(b).
+        """
+        num_levels = check_int_in_range(num_levels, "num_levels", minimum=2)
+        return np.linspace(self.device.vth_low_v, self.device.vth_high_v, num_levels)

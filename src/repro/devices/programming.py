@@ -1,0 +1,230 @@
+"""Programming schemes for multi-level FeFET cells.
+
+The paper uses a *single-pulse* scheme (one erase pulse followed by one
+amplitude-modulated programming pulse, no verify), which is cheap but leaves
+the device-to-device variation studied in Sec. III-C.  As an extension the
+paper mentions *write-and-verify* as a technique for better control over the
+polarization switching; both schemes are implemented here so the variation
+ablation can quantify the difference.
+
+A scheme turns a target threshold voltage into a :class:`PulseTrain` and
+reports the programming energy of that train, which feeds the energy model
+(Sec. IV-C: the MCAM's average programming energy is ~12% lower than the
+TCAM's because intermediate states need lower pulse amplitudes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ProgrammingError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_int_in_range, check_non_negative, check_positive
+from .fefet import FeFETParameters
+from .preisach import (
+    ERASE_PULSE_V,
+    ERASE_PULSE_WIDTH_S,
+    MAX_PROGRAM_PULSE_V,
+    MIN_PROGRAM_PULSE_V,
+    PROGRAM_PULSE_WIDTH_S,
+    PreisachModel,
+)
+from .variation import VariationModel
+
+#: Effective gate capacitance used to estimate per-pulse programming energy.
+#: A 250 nm x 250 nm FeFET with a ~10 nm HfO2/interlayer stack has a gate
+#: capacitance of a few femtofarads; the exact value only scales absolute
+#: energies, the MCAM-vs-TCAM *ratio* comes from the pulse amplitudes.
+DEFAULT_GATE_CAPACITANCE_F = 3.0e-15
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """A single gate pulse (amplitude and width)."""
+
+    amplitude_v: float
+    width_s: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.width_s, "width_s")
+        if self.amplitude_v == 0.0:
+            raise ProgrammingError("a programming pulse must have a non-zero amplitude")
+
+    def energy_j(self, gate_capacitance_f: float = DEFAULT_GATE_CAPACITANCE_F) -> float:
+        """CV^2 switching energy of this pulse."""
+        check_positive(gate_capacitance_f, "gate_capacitance_f")
+        return gate_capacitance_f * self.amplitude_v**2
+
+
+@dataclass
+class PulseTrain:
+    """Sequence of pulses applied to reach a target threshold voltage."""
+
+    pulses: List[Pulse] = field(default_factory=list)
+
+    def append(self, pulse: Pulse) -> None:
+        self.pulses.append(pulse)
+
+    @property
+    def num_pulses(self) -> int:
+        return len(self.pulses)
+
+    @property
+    def total_width_s(self) -> float:
+        return float(sum(p.width_s for p in self.pulses))
+
+    def total_energy_j(self, gate_capacitance_f: float = DEFAULT_GATE_CAPACITANCE_F) -> float:
+        """Total CV^2 energy of the train."""
+        return float(sum(p.energy_j(gate_capacitance_f) for p in self.pulses))
+
+
+@dataclass(frozen=True)
+class ProgrammingOutcome:
+    """Result of programming one FeFET to a target threshold voltage.
+
+    Attributes
+    ----------
+    target_vth_v:
+        Requested threshold voltage.
+    achieved_vth_v:
+        Threshold voltage actually reached (includes variation if a
+        :class:`~repro.devices.variation.VariationModel` was supplied).
+    pulse_train:
+        Pulses applied (always starts with the erase pulse).
+    energy_j:
+        Total programming energy.
+    num_program_pulses:
+        Number of positive programming pulses (excludes the erase pulse).
+    """
+
+    target_vth_v: float
+    achieved_vth_v: float
+    pulse_train: PulseTrain
+    energy_j: float
+    num_program_pulses: int
+
+    @property
+    def error_v(self) -> float:
+        """Signed programming error (achieved minus target)."""
+        return self.achieved_vth_v - self.target_vth_v
+
+
+class SinglePulseProgrammer:
+    """The paper's scheme: erase, then one amplitude-modulated pulse.
+
+    Device-to-device variation (if a variation model is given) directly
+    shows up as threshold-voltage error because there is no verify step.
+    """
+
+    def __init__(
+        self,
+        preisach: Optional[PreisachModel] = None,
+        variation: Optional[VariationModel] = None,
+        gate_capacitance_f: float = DEFAULT_GATE_CAPACITANCE_F,
+    ) -> None:
+        self.preisach = preisach if preisach is not None else PreisachModel()
+        self.variation = variation
+        self.gate_capacitance_f = check_positive(gate_capacitance_f, "gate_capacitance_f")
+
+    def program(self, target_vth_v: float, rng: SeedLike = None) -> ProgrammingOutcome:
+        """Program a device to ``target_vth_v`` with erase + one pulse."""
+        generator = ensure_rng(rng)
+        pulse_amplitude = self.preisach.pulse_for_vth(target_vth_v)
+        train = PulseTrain()
+        train.append(Pulse(amplitude_v=ERASE_PULSE_V, width_s=ERASE_PULSE_WIDTH_S))
+        train.append(Pulse(amplitude_v=pulse_amplitude, width_s=PROGRAM_PULSE_WIDTH_S))
+        nominal = self.preisach.vth_after_pulse(pulse_amplitude)
+        achieved = nominal
+        if self.variation is not None:
+            achieved = float(self.variation.sample_vth(nominal, generator))
+        return ProgrammingOutcome(
+            target_vth_v=float(target_vth_v),
+            achieved_vth_v=float(achieved),
+            pulse_train=train,
+            energy_j=train.total_energy_j(self.gate_capacitance_f),
+            num_program_pulses=1,
+        )
+
+    def program_levels(
+        self, targets_vth_v: Sequence[float], rng: SeedLike = None
+    ) -> List[ProgrammingOutcome]:
+        """Program one device per entry of ``targets_vth_v``."""
+        generator = ensure_rng(rng)
+        return [self.program(target, generator) for target in targets_vth_v]
+
+
+class WriteVerifyProgrammer:
+    """Write-and-verify scheme (paper's suggested future improvement).
+
+    After the erase + initial pulse, the achieved threshold voltage is
+    "read back" and corrective pulses with adjusted amplitudes are applied
+    until the error falls below ``tolerance_v`` or ``max_iterations`` is
+    reached.  Each verify step also costs a read pulse of ``verify_pulse_v``.
+    """
+
+    def __init__(
+        self,
+        preisach: Optional[PreisachModel] = None,
+        variation: Optional[VariationModel] = None,
+        tolerance_v: float = 0.02,
+        max_iterations: int = 8,
+        verify_pulse_v: float = 1.0,
+        gate_capacitance_f: float = DEFAULT_GATE_CAPACITANCE_F,
+    ) -> None:
+        self.preisach = preisach if preisach is not None else PreisachModel()
+        self.variation = variation
+        self.tolerance_v = check_positive(tolerance_v, "tolerance_v")
+        self.max_iterations = check_int_in_range(max_iterations, "max_iterations", minimum=1)
+        self.verify_pulse_v = check_positive(verify_pulse_v, "verify_pulse_v")
+        self.gate_capacitance_f = check_positive(gate_capacitance_f, "gate_capacitance_f")
+
+    def program(self, target_vth_v: float, rng: SeedLike = None) -> ProgrammingOutcome:
+        """Iteratively program until within tolerance of ``target_vth_v``."""
+        generator = ensure_rng(rng)
+        train = PulseTrain()
+        train.append(Pulse(amplitude_v=ERASE_PULSE_V, width_s=ERASE_PULSE_WIDTH_S))
+
+        target = float(target_vth_v)
+        effective_target = target
+        achieved = None
+        num_pulses = 0
+        for _ in range(self.max_iterations):
+            effective_target = float(
+                np.clip(
+                    effective_target,
+                    self.preisach.device.vth_low_v,
+                    self.preisach.device.vth_high_v,
+                )
+            )
+            amplitude = self.preisach.pulse_for_vth(effective_target)
+            train.append(Pulse(amplitude_v=amplitude, width_s=PROGRAM_PULSE_WIDTH_S))
+            num_pulses += 1
+            nominal = self.preisach.vth_after_pulse(amplitude)
+            achieved = nominal
+            if self.variation is not None:
+                achieved = float(self.variation.sample_vth(nominal, generator))
+            # Verify read pulse.
+            train.append(Pulse(amplitude_v=self.verify_pulse_v, width_s=PROGRAM_PULSE_WIDTH_S))
+            error = achieved - target
+            if abs(error) <= self.tolerance_v:
+                break
+            # Aim the next pulse at a corrected target to cancel the error.
+            effective_target = effective_target - error
+        assert achieved is not None  # max_iterations >= 1 guarantees one pass
+        return ProgrammingOutcome(
+            target_vth_v=target,
+            achieved_vth_v=float(achieved),
+            pulse_train=train,
+            energy_j=train.total_energy_j(self.gate_capacitance_f),
+            num_program_pulses=num_pulses,
+        )
+
+    def program_levels(
+        self, targets_vth_v: Sequence[float], rng: SeedLike = None
+    ) -> List[ProgrammingOutcome]:
+        """Program one device per entry of ``targets_vth_v``."""
+        generator = ensure_rng(rng)
+        return [self.program(target, generator) for target in targets_vth_v]

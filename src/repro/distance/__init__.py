@@ -1,0 +1,35 @@
+"""Software distance metrics (FP32 baselines of the paper's evaluation)."""
+
+from .metrics import (
+    BATCH_METRICS,
+    cosine_distance,
+    cosine_distances,
+    euclidean_distance,
+    euclidean_distances,
+    get_batch_metric,
+    hamming_distance,
+    hamming_distances,
+    linf_distance,
+    linf_distances,
+    manhattan_distance,
+    manhattan_distances,
+    minkowski_distance,
+    squared_euclidean_distance,
+)
+
+__all__ = [
+    "BATCH_METRICS",
+    "cosine_distance",
+    "cosine_distances",
+    "euclidean_distance",
+    "euclidean_distances",
+    "get_batch_metric",
+    "hamming_distance",
+    "hamming_distances",
+    "linf_distance",
+    "linf_distances",
+    "manhattan_distance",
+    "manhattan_distances",
+    "minkowski_distance",
+    "squared_euclidean_distance",
+]

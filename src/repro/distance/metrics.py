@@ -1,0 +1,177 @@
+"""Software distance/similarity metrics used as baselines.
+
+Sec. IV-A compares the MCAM distance function against floating-point software
+implementations of the cosine and Euclidean distance functions (the GPU
+baseline) and against the Hamming distance of the TCAM+LSH approach; the
+earlier TCAM work of Laguna et al. used the L-infinity distance.  All of
+those metrics are implemented here, both as pairwise functions and as
+vectorized "one query against many rows" functions, which is what the search
+engines use.
+
+Every metric follows the convention *smaller is closer* so the nearest
+neighbor is always an ``argmin``; the cosine metric is therefore expressed as
+the cosine *distance* ``1 - cos(a, b)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.validation import as_1d_array, as_2d_array
+
+
+def _check_pair(a, b):
+    a = as_1d_array(a, "a")
+    b = as_1d_array(b, "b")
+    if a.shape != b.shape:
+        raise ConfigurationError(
+            f"vectors must have the same shape, got {a.shape} and {b.shape}"
+        )
+    return a, b
+
+
+def _check_rows_query(rows, query):
+    rows = as_2d_array(rows, "rows")
+    query = as_1d_array(query, "query")
+    if rows.shape[1] != query.shape[0]:
+        raise ConfigurationError(
+            f"query length {query.shape[0]} does not match row width {rows.shape[1]}"
+        )
+    return rows, query
+
+
+# ----------------------------------------------------------------------
+# Pairwise metrics
+# ----------------------------------------------------------------------
+def euclidean_distance(a, b) -> float:
+    """L2 distance between two vectors."""
+    a, b = _check_pair(a, b)
+    return float(np.linalg.norm(a - b))
+
+
+def squared_euclidean_distance(a, b) -> float:
+    """Squared L2 distance (monotone in the L2 distance, cheaper to compute)."""
+    a, b = _check_pair(a, b)
+    difference = a - b
+    return float(np.dot(difference, difference))
+
+
+def manhattan_distance(a, b) -> float:
+    """L1 distance between two vectors."""
+    a, b = _check_pair(a, b)
+    return float(np.sum(np.abs(a - b)))
+
+
+def linf_distance(a, b) -> float:
+    """L-infinity (Chebyshev) distance — the metric of the TCAM design in [4]."""
+    a, b = _check_pair(a, b)
+    return float(np.max(np.abs(a - b)))
+
+
+def cosine_distance(a, b) -> float:
+    """Cosine distance ``1 - cos(a, b)``.
+
+    Zero-norm vectors are treated as maximally distant from everything
+    (distance 1), matching the behaviour of common ANN libraries.
+    """
+    a, b = _check_pair(a, b)
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 1.0
+    similarity = float(np.dot(a, b) / (norm_a * norm_b))
+    return 1.0 - float(np.clip(similarity, -1.0, 1.0))
+
+
+def hamming_distance(a, b) -> int:
+    """Number of positions where two equal-length discrete vectors differ."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ConfigurationError(
+            f"hamming distance requires equal-length 1-D vectors, got {a.shape} and {b.shape}"
+        )
+    return int(np.count_nonzero(a != b))
+
+
+def minkowski_distance(a, b, order: float = 2.0) -> float:
+    """General Minkowski distance of a given ``order`` (p-norm of the difference)."""
+    if order <= 0:
+        raise ConfigurationError(f"order must be positive, got {order}")
+    a, b = _check_pair(a, b)
+    return float(np.sum(np.abs(a - b) ** order) ** (1.0 / order))
+
+
+# ----------------------------------------------------------------------
+# One-query-vs-many-rows metrics (used by the search engines)
+# ----------------------------------------------------------------------
+def euclidean_distances(rows, query) -> np.ndarray:
+    """L2 distance from ``query`` to every row of ``rows``."""
+    rows, query = _check_rows_query(rows, query)
+    return np.linalg.norm(rows - query[np.newaxis, :], axis=1)
+
+
+def manhattan_distances(rows, query) -> np.ndarray:
+    """L1 distance from ``query`` to every row of ``rows``."""
+    rows, query = _check_rows_query(rows, query)
+    return np.sum(np.abs(rows - query[np.newaxis, :]), axis=1)
+
+
+def linf_distances(rows, query) -> np.ndarray:
+    """L-infinity distance from ``query`` to every row of ``rows``."""
+    rows, query = _check_rows_query(rows, query)
+    return np.max(np.abs(rows - query[np.newaxis, :]), axis=1)
+
+
+def cosine_distances(rows, query) -> np.ndarray:
+    """Cosine distance from ``query`` to every row of ``rows``."""
+    rows, query = _check_rows_query(rows, query)
+    row_norms = np.linalg.norm(rows, axis=1)
+    query_norm = np.linalg.norm(query)
+    distances = np.ones(rows.shape[0])
+    if query_norm == 0.0:
+        return distances
+    valid = row_norms > 0.0
+    similarities = rows[valid] @ query / (row_norms[valid] * query_norm)
+    distances[valid] = 1.0 - np.clip(similarities, -1.0, 1.0)
+    return distances
+
+
+def hamming_distances(rows, query) -> np.ndarray:
+    """Hamming distance from ``query`` to every row of discrete ``rows``."""
+    rows = np.asarray(rows)
+    query = np.asarray(query)
+    if rows.ndim != 2 or query.ndim != 1 or rows.shape[1] != query.shape[0]:
+        raise ConfigurationError(
+            f"rows must be (n, d) and query (d,), got {rows.shape} and {query.shape}"
+        )
+    return np.count_nonzero(rows != query[np.newaxis, :], axis=1)
+
+
+#: Registry of batched metrics by name; used by the software search engine.
+BATCH_METRICS: Dict[str, Callable] = {
+    "euclidean": euclidean_distances,
+    "manhattan": manhattan_distances,
+    "linf": linf_distances,
+    "cosine": cosine_distances,
+    "hamming": hamming_distances,
+}
+
+
+def get_batch_metric(name: str) -> Callable:
+    """Look up a batched metric by name.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` is not a known metric.
+    """
+    try:
+        return BATCH_METRICS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown metric {name!r}; available metrics: {sorted(BATCH_METRICS)}"
+        ) from None

@@ -1,0 +1,11 @@
+"""Feature encoders: LSH signatures and feature scaling."""
+
+from .features import MinMaxScaler, StandardScaler, l2_normalize
+from .lsh import RandomHyperplaneLSH
+
+__all__ = [
+    "MinMaxScaler",
+    "StandardScaler",
+    "l2_normalize",
+    "RandomHyperplaneLSH",
+]

@@ -1,0 +1,111 @@
+"""Feature scaling utilities.
+
+The NN-classification and few-shot pipelines normalize features before
+storing them in a CAM or handing them to a software distance function.  The
+scalers here mirror the standard preprocessing used by the paper's baselines:
+min-max scaling (which pairs naturally with the uniform MCAM quantizer),
+z-score standardization, and L2 normalization (which makes the Euclidean and
+cosine rankings coincide, as in SimpleShot-style MANN pipelines).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.validation import check_feature_matrix
+
+
+class MinMaxScaler:
+    """Scale every feature to ``[0, 1]`` based on the fitting data's range."""
+
+    def __init__(self, epsilon: float = 1e-12) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+        self._low: Optional[np.ndarray] = None
+        self._span: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._low is not None
+
+    def fit(self, features) -> "MinMaxScaler":
+        """Learn per-feature minima and ranges."""
+        features = check_feature_matrix(features, "features")
+        low = features.min(axis=0)
+        high = features.max(axis=0)
+        span = np.maximum(high - low, self.epsilon)
+        self._low = low
+        self._span = span
+        return self
+
+    def transform(self, features) -> np.ndarray:
+        """Scale ``features`` into the unit interval (clipping out-of-range values)."""
+        if not self.is_fitted:
+            raise ConfigurationError("scaler must be fitted before transforming")
+        features = check_feature_matrix(features, "features")
+        if features.shape[1] != self._low.shape[0]:
+            raise ConfigurationError(
+                f"features have {features.shape[1]} dimensions but the scaler "
+                f"was fitted with {self._low.shape[0]}"
+            )
+        return np.clip((features - self._low) / self._span, 0.0, 1.0)
+
+    def fit_transform(self, features) -> np.ndarray:
+        """Fit on ``features`` and transform them."""
+        return self.fit(features).transform(features)
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance."""
+
+    def __init__(self, epsilon: float = 1e-12) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._mean is not None
+
+    def fit(self, features) -> "StandardScaler":
+        """Learn per-feature means and standard deviations."""
+        features = check_feature_matrix(features, "features")
+        self._mean = features.mean(axis=0)
+        self._std = np.maximum(features.std(axis=0), self.epsilon)
+        return self
+
+    def transform(self, features) -> np.ndarray:
+        """Standardize ``features`` with the fitted statistics."""
+        if not self.is_fitted:
+            raise ConfigurationError("scaler must be fitted before transforming")
+        features = check_feature_matrix(features, "features")
+        if features.shape[1] != self._mean.shape[0]:
+            raise ConfigurationError(
+                f"features have {features.shape[1]} dimensions but the scaler "
+                f"was fitted with {self._mean.shape[0]}"
+            )
+        return (features - self._mean) / self._std
+
+    def fit_transform(self, features) -> np.ndarray:
+        """Fit on ``features`` and transform them."""
+        return self.fit(features).transform(features)
+
+
+def l2_normalize(features, epsilon: float = 1e-12) -> np.ndarray:
+    """Normalize every row of ``features`` to unit L2 norm.
+
+    Rows with (near-)zero norm are returned unchanged rather than divided by
+    zero.
+    """
+    features = check_feature_matrix(features, "features")
+    norms = np.linalg.norm(features, axis=1, keepdims=True)
+    safe = np.where(norms > epsilon, norms, 1.0)
+    return features / safe

@@ -1,0 +1,38 @@
+"""Energy and latency models: CAM arrays, GPU baseline, end-to-end MANN."""
+
+from .cam_energy import (
+    CAMComparison,
+    CAMEnergyModel,
+    EnergyBreakdown,
+    ProgrammingCost,
+    SearchCost,
+    TCAM_SEARCH_VOLTAGE_V,
+    compare_mcam_to_tcam,
+    mcam_energy_model,
+    tcam_energy_model,
+)
+from .end_to_end import (
+    GPU_SEARCH_FRACTION_OF_TOTAL,
+    EndToEndComparison,
+    EndToEndResult,
+    SystemCost,
+)
+from .gpu_baseline import GPUCost, JetsonTX2Model
+
+__all__ = [
+    "CAMComparison",
+    "CAMEnergyModel",
+    "EnergyBreakdown",
+    "ProgrammingCost",
+    "SearchCost",
+    "TCAM_SEARCH_VOLTAGE_V",
+    "compare_mcam_to_tcam",
+    "mcam_energy_model",
+    "tcam_energy_model",
+    "GPU_SEARCH_FRACTION_OF_TOTAL",
+    "EndToEndComparison",
+    "EndToEndResult",
+    "SystemCost",
+    "GPUCost",
+    "JetsonTX2Model",
+]

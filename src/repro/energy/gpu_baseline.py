@@ -1,0 +1,145 @@
+"""Jetson TX2 GPU baseline energy/latency model.
+
+The end-to-end comparison of Sec. IV-C uses a Jetson TX2 GPU implementation
+of the MANN (the same baseline as the paper's reference [3]): the CNN
+feature extraction *and* the nearest-neighbor search both run on the GPU.
+The CAM-accelerated systems keep the CNN on the GPU and replace only the NN
+search.
+
+The model here is analytical: compute energy is MAC count times an effective
+energy per MAC, latency is MAC count over an effective throughput, and the
+GPU-side NN search additionally pays for reading the stored memory entries
+from DRAM ("such distance calculations require memory transactions to read
+memory entries, which can be expensive", Sec. IV-A) plus a per-query kernel
+overhead.  The default constants are representative published figures for
+the TX2 in its 7.5 W mode; only *ratios* between the GPU-only and the
+CAM-assisted pipelines matter for reproducing the paper's 4.4x / 4.5x
+end-to-end claims, and those are dominated by the workload distribution of
+[3] (see :mod:`repro.energy.end_to_end`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import EnergyModelError
+from ..utils.validation import check_int_in_range, check_non_negative, check_positive
+from ..mann.feature_extractor import ConvNetSpec, paper_convnet
+
+#: Effective energy per multiply-accumulate on the TX2 (FP16/FP32 mix), in J.
+DEFAULT_ENERGY_PER_MAC_J = 8.0e-12
+
+#: Effective sustained throughput of the TX2 for small-batch inference, MAC/s.
+DEFAULT_THROUGHPUT_MAC_PER_S = 4.0e11
+
+#: DRAM access energy per byte (LPDDR4), in J.
+DEFAULT_DRAM_ENERGY_PER_BYTE_J = 6.0e-11
+
+#: Sustained DRAM bandwidth, bytes/s.
+DEFAULT_DRAM_BANDWIDTH_BYTES_PER_S = 3.0e10
+
+#: Fixed per-kernel-launch overhead (latency and energy at ~7.5 W).
+DEFAULT_KERNEL_LAUNCH_LATENCY_S = 2.0e-5
+DEFAULT_KERNEL_LAUNCH_ENERGY_J = 1.5e-4
+
+#: Bytes per stored feature (FP32).
+BYTES_PER_FEATURE = 4
+
+
+@dataclass(frozen=True)
+class GPUCost:
+    """Energy and latency of one operation on the GPU."""
+
+    energy_j: float
+    latency_s: float
+
+    def __add__(self, other: "GPUCost") -> "GPUCost":
+        return GPUCost(
+            energy_j=self.energy_j + other.energy_j,
+            latency_s=self.latency_s + other.latency_s,
+        )
+
+
+class JetsonTX2Model:
+    """Analytical energy/latency model of the Jetson TX2 baseline.
+
+    Parameters
+    ----------
+    energy_per_mac_j, throughput_mac_per_s:
+        Compute efficiency and throughput.
+    dram_energy_per_byte_j, dram_bandwidth_bytes_per_s:
+        Memory-system costs for reading stored entries during NN search.
+    kernel_launch_energy_j, kernel_launch_latency_s:
+        Fixed per-query overhead of launching the distance/search kernels.
+    """
+
+    def __init__(
+        self,
+        energy_per_mac_j: float = DEFAULT_ENERGY_PER_MAC_J,
+        throughput_mac_per_s: float = DEFAULT_THROUGHPUT_MAC_PER_S,
+        dram_energy_per_byte_j: float = DEFAULT_DRAM_ENERGY_PER_BYTE_J,
+        dram_bandwidth_bytes_per_s: float = DEFAULT_DRAM_BANDWIDTH_BYTES_PER_S,
+        kernel_launch_energy_j: float = DEFAULT_KERNEL_LAUNCH_ENERGY_J,
+        kernel_launch_latency_s: float = DEFAULT_KERNEL_LAUNCH_LATENCY_S,
+    ) -> None:
+        self.energy_per_mac_j = check_positive(energy_per_mac_j, "energy_per_mac_j")
+        self.throughput_mac_per_s = check_positive(throughput_mac_per_s, "throughput_mac_per_s")
+        self.dram_energy_per_byte_j = check_positive(
+            dram_energy_per_byte_j, "dram_energy_per_byte_j"
+        )
+        self.dram_bandwidth_bytes_per_s = check_positive(
+            dram_bandwidth_bytes_per_s, "dram_bandwidth_bytes_per_s"
+        )
+        self.kernel_launch_energy_j = check_non_negative(
+            kernel_launch_energy_j, "kernel_launch_energy_j"
+        )
+        self.kernel_launch_latency_s = check_non_negative(
+            kernel_launch_latency_s, "kernel_launch_latency_s"
+        )
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def compute_cost(self, macs: int) -> GPUCost:
+        """Cost of a pure-compute kernel of ``macs`` multiply-accumulates."""
+        macs = check_int_in_range(macs, "macs", minimum=0)
+        return GPUCost(
+            energy_j=macs * self.energy_per_mac_j,
+            latency_s=macs / self.throughput_mac_per_s,
+        )
+
+    def memory_cost(self, num_bytes: int) -> GPUCost:
+        """Cost of streaming ``num_bytes`` from DRAM."""
+        num_bytes = check_int_in_range(num_bytes, "num_bytes", minimum=0)
+        return GPUCost(
+            energy_j=num_bytes * self.dram_energy_per_byte_j,
+            latency_s=num_bytes / self.dram_bandwidth_bytes_per_s,
+        )
+
+    def kernel_overhead(self) -> GPUCost:
+        """Fixed cost of one kernel launch."""
+        return GPUCost(
+            energy_j=self.kernel_launch_energy_j,
+            latency_s=self.kernel_launch_latency_s,
+        )
+
+    # ------------------------------------------------------------------
+    # MANN workload pieces
+    # ------------------------------------------------------------------
+    def feature_extraction_cost(self, network: Optional[ConvNetSpec] = None) -> GPUCost:
+        """Cost of one forward pass through the CNN feature extractor."""
+        network = network if network is not None else paper_convnet()
+        return self.compute_cost(network.total_macs) + self.kernel_overhead()
+
+    def nn_search_cost(self, num_entries: int, num_features: int) -> GPUCost:
+        """Cost of one GPU NN search over ``num_entries`` stored vectors.
+
+        The search reads every stored entry from DRAM, computes one distance
+        per entry (``num_features`` MACs each) and pays one kernel launch.
+        """
+        num_entries = check_int_in_range(num_entries, "num_entries", minimum=1)
+        num_features = check_int_in_range(num_features, "num_features", minimum=1)
+        macs = num_entries * num_features
+        bytes_read = num_entries * num_features * BYTES_PER_FEATURE
+        return self.compute_cost(macs) + self.memory_cost(bytes_read) + self.kernel_overhead()

@@ -1,0 +1,53 @@
+"""Exception hierarchy used across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from device-model or
+search-engine problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with inconsistent parameters."""
+
+
+class DeviceModelError(ReproError):
+    """Raised when a device model is driven outside its validity range."""
+
+
+class ProgrammingError(DeviceModelError):
+    """Raised when a FeFET programming operation cannot reach its target."""
+
+
+class CircuitError(ReproError):
+    """Raised when a CAM circuit model is used inconsistently."""
+
+
+class CapacityError(CircuitError):
+    """Raised when more entries are written to a CAM array than it can hold."""
+
+
+class SearchError(ReproError):
+    """Raised when a nearest-neighbor search cannot be performed."""
+
+
+class QuantizationError(ReproError):
+    """Raised when features cannot be quantized to the requested precision."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated or split as requested."""
+
+
+class EnergyModelError(ReproError):
+    """Raised when an energy/latency model receives an invalid workload."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver is configured inconsistently."""

@@ -1,0 +1,34 @@
+"""Experiment drivers: one per figure/table of the paper's evaluation.
+
+Importing this package registers every driver; use
+:func:`~repro.experiments.registry.list_experiments` to enumerate them and
+:func:`~repro.experiments.registry.run_experiment` to execute one.
+"""
+
+from .registry import (
+    ExperimentResult,
+    list_experiments,
+    register_experiment,
+    run_all_experiments,
+    run_experiment,
+)
+
+# Importing the driver modules registers them with the registry.
+from . import (  # noqa: F401  (imported for registration side effects)
+    energy_table,
+    fig2_transfer_characteristics,
+    fig4_distance_function,
+    fig5_vth_distribution,
+    fig6_nn_classification,
+    fig7_few_shot,
+    fig8_variation,
+    fig9_experimental,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "list_experiments",
+    "register_experiment",
+    "run_all_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,119 @@
+"""Command-line entry point for the experiment drivers.
+
+Regenerate any paper figure from the shell::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig7 --full --seed 7
+    python -m repro.experiments run-all --output results/
+
+``run`` prints the figure's table and summary; ``--output`` additionally
+writes them as JSON (and CSV for the records) so downstream plotting scripts
+can consume them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..utils.io import save_csv, save_json
+from ..utils.rng import DEFAULT_EXPERIMENT_SEED
+from .registry import list_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", help="experiment id, e.g. fig7")
+    _add_run_options(run_parser)
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    _add_run_options(run_all_parser)
+    return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use paper-scale workloads instead of the quick defaults",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_EXPERIMENT_SEED,
+        help="random seed (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory to write <experiment>.json and <experiment>.csv into",
+    )
+
+
+def _export(result, output_dir: Path) -> None:
+    output_dir.mkdir(parents=True, exist_ok=True)
+    save_json(
+        {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "summary": result.summary,
+            "metadata": result.metadata,
+            "records": result.records,
+        },
+        output_dir / f"{result.experiment_id}.json",
+    )
+    if result.records:
+        save_csv(result.records, output_dir / f"{result.experiment_id}.csv")
+
+
+def _run_one(experiment_id: str, args, stream) -> None:
+    result = run_experiment(experiment_id, quick=not args.full, seed=args.seed)
+    print(result.to_table(), file=stream)
+    print("", file=stream)
+    print("summary:", file=stream)
+    for key, value in result.summary.items():
+        print(f"  {key}: {value}", file=stream)
+    print("", file=stream)
+    if args.output is not None:
+        _export(result, args.output)
+
+
+def main(argv: Optional[List[str]] = None, stream=None) -> int:
+    """Entry point; returns a process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id, title in sorted(list_experiments().items()):
+            print(f"{experiment_id:8s} {title}", file=stream)
+        return 0
+
+    if args.command == "run":
+        _run_one(args.experiment_id, args, stream)
+        return 0
+
+    if args.command == "run-all":
+        for experiment_id in sorted(list_experiments()):
+            print(f"=== {experiment_id} ===", file=stream)
+            _run_one(experiment_id, args, stream)
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

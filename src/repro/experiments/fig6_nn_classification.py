@@ -1,0 +1,67 @@
+"""Fig. 6: NN-classification accuracy on the four UCI-style datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import DEFAULT_EXPERIMENT_SEED, SeedLike, ensure_rng, spawn_rngs
+from ..analysis.accuracy import FIG6_METHODS, NNClassificationBenchmark, average_gap_percent
+from ..datasets.uci import FIG6_DATASET_KEYS, UCI_SPECS, load_uci_dataset
+from .registry import ExperimentResult, register_experiment
+
+
+@register_experiment(
+    "fig6",
+    "Fig. 6: NN classification accuracy (Iris, Wine, Breast Cancer, Wine Quality)",
+)
+def run(quick: bool = True, seed: SeedLike = DEFAULT_EXPERIMENT_SEED) -> ExperimentResult:
+    """Evaluate the five search methods on all four datasets.
+
+    Records contain one row per (dataset, method) with the mean accuracy and
+    its spread over random splits; the summary reports the average advantage
+    of the MCAMs over TCAM+LSH (the paper's "12% higher on average" claim)
+    and the average gap to the software baselines.
+    """
+    generator = ensure_rng(seed)
+    num_splits = 3 if quick else 10
+    benchmark = NNClassificationBenchmark(methods=FIG6_METHODS, num_splits=num_splits)
+
+    records = []
+    results_by_dataset = {}
+    dataset_rngs = spawn_rngs(generator, len(FIG6_DATASET_KEYS))
+    for key, dataset_rng in zip(FIG6_DATASET_KEYS, dataset_rngs):
+        results = benchmark.evaluate_dataset(
+            lambda split_seed, key=key: load_uci_dataset(key, rng=split_seed),
+            rng=dataset_rng,
+        )
+        results_by_dataset[key] = results
+        for method in FIG6_METHODS:
+            result = results[method]
+            records.append(
+                {
+                    "dataset": UCI_SPECS[key].name,
+                    "method": method,
+                    "accuracy_percent": result.accuracy_percent,
+                    "std_percent": 100.0 * result.statistics.std,
+                }
+            )
+
+    summary = {
+        "mcam3_vs_tcam_lsh_gap_percent": average_gap_percent(
+            results_by_dataset, "mcam-3bit", "tcam-lsh"
+        ),
+        "mcam2_vs_tcam_lsh_gap_percent": average_gap_percent(
+            results_by_dataset, "mcam-2bit", "tcam-lsh"
+        ),
+        "mcam3_vs_euclidean_gap_percent": average_gap_percent(
+            results_by_dataset, "mcam-3bit", "euclidean"
+        ),
+        "num_splits": num_splits,
+    }
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="NN classification accuracy by dataset and method",
+        records=records,
+        summary=summary,
+        metadata={"quick": quick, "datasets": list(FIG6_DATASET_KEYS)},
+    )

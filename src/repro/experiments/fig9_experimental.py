@@ -1,0 +1,62 @@
+"""Fig. 9: 2-bit MCAM distance function, simulation versus experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import DEFAULT_EXPERIMENT_SEED, SeedLike, ensure_rng
+from ..analysis.experimental import run_experimental_comparison
+from ..datasets.omniglot import SyntheticEmbeddingSpace
+from .registry import ExperimentResult, register_experiment
+
+
+@register_experiment(
+    "fig9",
+    "Fig. 9: 2-bit MCAM distance function (simulation vs experiment) and few-shot accuracy",
+)
+def run(quick: bool = True, seed: SeedLike = DEFAULT_EXPERIMENT_SEED) -> ExperimentResult:
+    """Build the simulated and measured 2-bit tables and compare accuracies.
+
+    Records contain both the distance-function trends (panels a/b) and the
+    per-task few-shot accuracies with each table (panel c).
+    """
+    generator = ensure_rng(seed)
+    space = SyntheticEmbeddingSpace(seed=generator.integers(2**31 - 1))
+    tasks = ((5, 1), (20, 1)) if quick else ((5, 1), (5, 5), (20, 1), (20, 5))
+    num_episodes = 15 if quick else 100
+    comparison = run_experimental_comparison(
+        space=space,
+        tasks=tasks,
+        num_episodes=num_episodes,
+        rng=generator,
+    )
+
+    records = []
+    for distance, (sim, meas) in enumerate(
+        zip(comparison.simulated_trend, comparison.measured_trend)
+    ):
+        records.append(
+            {
+                "kind": "distance_function",
+                "distance": distance,
+                "simulated_uS": 1e6 * sim,
+                "measured_uS": 1e6 * meas,
+            }
+        )
+    for record in comparison.as_records():
+        records.append({"kind": "few_shot", **record})
+
+    accuracy_gaps = [comparison.accuracy_gap(task) for task in comparison.fewshot_accuracy_percent]
+    summary = {
+        "trend_correlation": comparison.trend_correlation,
+        "measured_trend_monotonic": comparison.measured_is_monotonic,
+        "mean_experiment_minus_simulation_percent": float(np.mean(accuracy_gaps)),
+        "num_episodes": num_episodes,
+    }
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="2-bit MCAM: simulation vs experimental distance function",
+        records=records,
+        summary=summary,
+        metadata={"quick": quick, "tasks": list(tasks)},
+    )

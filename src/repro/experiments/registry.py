@@ -1,0 +1,112 @@
+"""Experiment registry: one runnable driver per paper figure/table.
+
+Every experiment driver registers itself under the identifier used in
+DESIGN.md's experiment index (``fig2b``, ``fig4``, ``fig5`` ... ``energy``);
+:func:`run_experiment` executes it and returns a uniform
+:class:`ExperimentResult` that the examples, benchmarks and EXPERIMENTS.md
+generation all consume.  Each driver accepts a ``quick`` flag so the
+benchmark suite can regenerate every figure in seconds while the full runs
+use paper-scale episode counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..exceptions import ExperimentError
+from ..utils.rng import DEFAULT_EXPERIMENT_SEED, SeedLike
+from ..utils.tables import format_records
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Uniform result of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier from DESIGN.md's experiment index (e.g. ``"fig7"``).
+    title:
+        Human-readable description of what the experiment regenerates.
+    records:
+        List of flat dict rows — the table/series the paper's figure shows.
+    summary:
+        Key scalar findings (e.g. accuracy gaps, ratios) for quick checks.
+    metadata:
+        Run configuration (seed, quick/full, workload sizes).
+    """
+
+    experiment_id: str
+    title: str
+    records: List[Dict[str, Any]]
+    summary: Dict[str, Any] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_table(self, float_format: str = "{:.3f}") -> str:
+        """Render the records as an aligned plain-text table."""
+        if not self.records:
+            return f"{self.title}\n(no records)"
+        return format_records(self.records, float_format=float_format, title=self.title)
+
+
+#: Signature of an experiment driver.
+ExperimentDriver = Callable[..., ExperimentResult]
+
+_REGISTRY: Dict[str, ExperimentDriver] = {}
+_TITLES: Dict[str, str] = {}
+
+
+def register_experiment(experiment_id: str, title: str):
+    """Decorator registering a driver under ``experiment_id``."""
+
+    def decorator(func: ExperimentDriver) -> ExperimentDriver:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"experiment {experiment_id!r} is already registered")
+        _REGISTRY[experiment_id] = func
+        _TITLES[experiment_id] = title
+        return func
+
+    return decorator
+
+
+def list_experiments() -> Dict[str, str]:
+    """Mapping of registered experiment ids to their titles."""
+    return dict(_TITLES)
+
+
+def run_experiment(
+    experiment_id: str,
+    quick: bool = True,
+    seed: SeedLike = DEFAULT_EXPERIMENT_SEED,
+    **kwargs,
+) -> ExperimentResult:
+    """Run a registered experiment.
+
+    Parameters
+    ----------
+    experiment_id:
+        Identifier from :func:`list_experiments`.
+    quick:
+        Use reduced workload sizes (benchmarks); ``False`` uses paper-scale
+        settings.
+    seed:
+        Randomness seed; the default makes repeated runs reproducible.
+    """
+    try:
+        driver = _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return driver(quick=quick, seed=seed, **kwargs)
+
+
+def run_all_experiments(
+    quick: bool = True, seed: SeedLike = DEFAULT_EXPERIMENT_SEED
+) -> Dict[str, ExperimentResult]:
+    """Run every registered experiment and return results keyed by id."""
+    return {
+        experiment_id: run_experiment(experiment_id, quick=quick, seed=seed)
+        for experiment_id in sorted(_REGISTRY)
+    }

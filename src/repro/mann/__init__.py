@@ -1,0 +1,44 @@
+"""Memory-augmented neural network (MANN) components for few-shot learning.
+
+* :mod:`~repro.mann.feature_extractor` — the CNN front-end's architecture
+  (MAC counts for the energy model) and its synthetic stand-in,
+* :mod:`~repro.mann.memory` — the key-value memory answering queries through
+  a pluggable nearest-neighbor searcher,
+* :mod:`~repro.mann.episodes` — N-way K-shot episode sampling,
+* :mod:`~repro.mann.fewshot` — the evaluation harness behind Fig. 7 and 8.
+"""
+
+from .episodes import PAPER_FEWSHOT_TASKS, Episode, EpisodeSampler
+from .feature_extractor import (
+    ConvLayerSpec,
+    ConvNetSpec,
+    DenseLayerSpec,
+    OMNIGLOT_IMAGE_SIZE,
+    SyntheticFeatureExtractor,
+    paper_convnet,
+)
+from .fewshot import (
+    FewShotEvaluator,
+    FewShotResult,
+    default_method_factories,
+    run_episode,
+)
+from .memory import MANNMemory, SearcherFactory
+
+__all__ = [
+    "PAPER_FEWSHOT_TASKS",
+    "Episode",
+    "EpisodeSampler",
+    "ConvLayerSpec",
+    "ConvNetSpec",
+    "DenseLayerSpec",
+    "OMNIGLOT_IMAGE_SIZE",
+    "SyntheticFeatureExtractor",
+    "paper_convnet",
+    "FewShotEvaluator",
+    "FewShotResult",
+    "default_method_factories",
+    "run_episode",
+    "MANNMemory",
+    "SearcherFactory",
+]

@@ -1,0 +1,132 @@
+"""N-way K-shot episode sampling.
+
+"For a N-way K-shot task, the network trains on N x K images for K classes
+(N images per class)" (Sec. IV-C; the paper's wording swaps N and K — the
+standard convention, used here, is N classes with K support images each).
+An *episode* consists of a support set (N x K labeled embeddings written to
+the memory) and a query set (unlabeled embeddings of the same N classes to
+classify).  The paper evaluates 5-way/20-way and 1-shot/5-shot combinations
+on Omniglot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_int_in_range
+from ..datasets.omniglot import SyntheticEmbeddingSpace
+
+#: The four task configurations evaluated in Fig. 7 (n_way, k_shot).
+PAPER_FEWSHOT_TASKS = ((5, 1), (5, 5), (20, 1), (20, 5))
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One N-way K-shot episode.
+
+    Attributes
+    ----------
+    support_embeddings / support_labels:
+        The ``n_way * k_shot`` labeled examples written to the memory.
+        Labels are the episode-local class indices ``0..n_way-1``.
+    query_embeddings / query_labels:
+        The examples to classify and their ground-truth episode-local labels.
+    class_indices:
+        The global (dataset-level) class index of each episode-local class.
+    """
+
+    support_embeddings: np.ndarray
+    support_labels: np.ndarray
+    query_embeddings: np.ndarray
+    query_labels: np.ndarray
+    class_indices: np.ndarray
+
+    @property
+    def n_way(self) -> int:
+        """Number of classes in the episode."""
+        return int(self.class_indices.shape[0])
+
+    @property
+    def k_shot(self) -> int:
+        """Number of support examples per class."""
+        return int(self.support_labels.shape[0] // self.n_way)
+
+    @property
+    def num_queries(self) -> int:
+        """Total number of query examples."""
+        return int(self.query_labels.shape[0])
+
+
+class EpisodeSampler:
+    """Samples N-way K-shot episodes from a synthetic embedding space.
+
+    Parameters
+    ----------
+    space:
+        Embedding space providing ``num_classes`` and ``sample``.
+    n_way:
+        Number of classes per episode (5 or 20 in the paper).
+    k_shot:
+        Number of support embeddings per class (1 or 5 in the paper).
+    queries_per_class:
+        Number of query embeddings per class in each episode.
+    """
+
+    def __init__(
+        self,
+        space: SyntheticEmbeddingSpace,
+        n_way: int,
+        k_shot: int,
+        queries_per_class: int = 5,
+    ) -> None:
+        self.space = space
+        self.n_way = check_int_in_range(n_way, "n_way", minimum=2)
+        self.k_shot = check_int_in_range(k_shot, "k_shot", minimum=1)
+        self.queries_per_class = check_int_in_range(
+            queries_per_class, "queries_per_class", minimum=1
+        )
+        if self.n_way > space.num_classes:
+            raise DatasetError(
+                f"n_way ({self.n_way}) cannot exceed the number of classes "
+                f"({space.num_classes})"
+            )
+
+    def sample_episode(self, rng: SeedLike = None) -> Episode:
+        """Draw one episode with fresh class and embedding samples."""
+        generator = ensure_rng(rng)
+        class_indices = generator.choice(self.space.num_classes, size=self.n_way, replace=False)
+
+        support_embeddings, support_global = self.space.sample(
+            class_indices, self.k_shot, rng=generator
+        )
+        query_embeddings, query_global = self.space.sample(
+            class_indices, self.queries_per_class, rng=generator
+        )
+
+        # Map global class indices to episode-local labels 0..n_way-1.
+        global_to_local = {int(g): local for local, g in enumerate(class_indices)}
+        support_labels = np.array([global_to_local[int(g)] for g in support_global])
+        query_labels = np.array([global_to_local[int(g)] for g in query_global])
+
+        # Shuffle the query order so per-class blocks do not leak ordering
+        # information to any stateful consumer.
+        permutation = generator.permutation(query_labels.shape[0])
+        return Episode(
+            support_embeddings=support_embeddings,
+            support_labels=support_labels,
+            query_embeddings=query_embeddings[permutation],
+            query_labels=query_labels[permutation],
+            class_indices=np.asarray(class_indices, dtype=np.int64),
+        )
+
+    def episodes(self, count: int, rng: SeedLike = None) -> Iterator[Episode]:
+        """Yield ``count`` independent episodes."""
+        count = check_int_in_range(count, "count", minimum=1)
+        generator = ensure_rng(rng)
+        for _ in range(count):
+            yield self.sample_episode(rng=generator)

@@ -1,0 +1,189 @@
+"""The MANN's CNN front-end: architecture description and synthetic stand-in.
+
+The memory-augmented neural network of Sec. IV-C uses the SimpleShot-style
+backbone described in the paper: "two 3x3 convolution layers with 64 filters,
+a max-pooling layer, two 3x3 convolution layers with 128 filters, and a
+max-pooling layer followed by two 128 and 64 node fully-connected layers".
+Two things from that network matter to this library:
+
+* its *compute cost* — the end-to-end energy/latency comparison against the
+  Jetson TX2 GPU is dominated by the CNN, so the energy model needs MAC and
+  parameter counts (:class:`ConvNetSpec` / :func:`paper_convnet`), and
+* its *output* — 64-dimensional embeddings.  Since no deep-learning
+  framework is available offline, :class:`SyntheticFeatureExtractor` wraps a
+  :class:`~repro.datasets.omniglot.SyntheticEmbeddingSpace` and optionally
+  adds extraction noise, standing in for a trained network applied to query
+  images (see the substitution table in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_int_in_range, check_non_negative
+from ..datasets.omniglot import SyntheticEmbeddingSpace
+
+#: Omniglot images are 28x28 after the standard resize used by MANN papers.
+OMNIGLOT_IMAGE_SIZE = 28
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """One convolution layer (square kernels, same padding)."""
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    input_size: int
+
+    def __post_init__(self) -> None:
+        for name in ("in_channels", "out_channels", "kernel_size", "input_size"):
+            check_int_in_range(getattr(self, name), name, minimum=1)
+
+    @property
+    def output_size(self) -> int:
+        """Spatial output size (same padding, stride 1)."""
+        return self.input_size
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations for one forward pass."""
+        return (
+            self.out_channels
+            * self.output_size
+            * self.output_size
+            * self.in_channels
+            * self.kernel_size
+            * self.kernel_size
+        )
+
+    @property
+    def parameters(self) -> int:
+        """Weight + bias count."""
+        return self.out_channels * (self.in_channels * self.kernel_size**2 + 1)
+
+
+@dataclass(frozen=True)
+class DenseLayerSpec:
+    """One fully-connected layer."""
+
+    in_features: int
+    out_features: int
+
+    def __post_init__(self) -> None:
+        check_int_in_range(self.in_features, "in_features", minimum=1)
+        check_int_in_range(self.out_features, "out_features", minimum=1)
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations for one forward pass."""
+        return self.in_features * self.out_features
+
+    @property
+    def parameters(self) -> int:
+        """Weight + bias count."""
+        return self.out_features * (self.in_features + 1)
+
+
+@dataclass(frozen=True)
+class ConvNetSpec:
+    """Architecture summary of the MANN's feature extractor."""
+
+    conv_layers: Tuple[ConvLayerSpec, ...]
+    dense_layers: Tuple[DenseLayerSpec, ...]
+
+    @property
+    def total_macs(self) -> int:
+        """MACs of one forward pass through the whole network."""
+        return sum(layer.macs for layer in self.conv_layers) + sum(
+            layer.macs for layer in self.dense_layers
+        )
+
+    @property
+    def total_parameters(self) -> int:
+        """Total trainable parameter count."""
+        return sum(layer.parameters for layer in self.conv_layers) + sum(
+            layer.parameters for layer in self.dense_layers
+        )
+
+    @property
+    def embedding_dim(self) -> int:
+        """Width of the final layer (the embedding handed to the memory)."""
+        if not self.dense_layers:
+            raise ConfigurationError("a ConvNetSpec needs at least one dense layer")
+        return self.dense_layers[-1].out_features
+
+
+def paper_convnet(image_size: int = OMNIGLOT_IMAGE_SIZE) -> ConvNetSpec:
+    """The exact architecture of Sec. IV-C with computed MAC counts.
+
+    Layer sequence: conv3x3/64, conv3x3/64, max-pool, conv3x3/128,
+    conv3x3/128, max-pool, FC-128, FC-64.
+    """
+    check_int_in_range(image_size, "image_size", minimum=8)
+    after_pool1 = image_size // 2
+    after_pool2 = after_pool1 // 2
+    conv_layers = (
+        ConvLayerSpec(in_channels=1, out_channels=64, kernel_size=3, input_size=image_size),
+        ConvLayerSpec(in_channels=64, out_channels=64, kernel_size=3, input_size=image_size),
+        ConvLayerSpec(in_channels=64, out_channels=128, kernel_size=3, input_size=after_pool1),
+        ConvLayerSpec(in_channels=128, out_channels=128, kernel_size=3, input_size=after_pool1),
+    )
+    flattened = 128 * after_pool2 * after_pool2
+    dense_layers = (
+        DenseLayerSpec(in_features=flattened, out_features=128),
+        DenseLayerSpec(in_features=128, out_features=64),
+    )
+    return ConvNetSpec(conv_layers=conv_layers, dense_layers=dense_layers)
+
+
+class SyntheticFeatureExtractor:
+    """Stand-in for the trained CNN applied to Omniglot images.
+
+    The extractor owns an embedding space (class prototypes + within-class
+    noise); "running the CNN" on an image of class ``c`` means sampling an
+    embedding of class ``c``, optionally perturbed by additional extraction
+    noise that models test-time augmentation or sensor noise.
+
+    Parameters
+    ----------
+    space:
+        The synthetic embedding space shared with the episode sampler.
+    extraction_noise_sigma:
+        Extra per-dimension Gaussian noise added on top of the space's
+        within-class noise.
+    """
+
+    def __init__(
+        self,
+        space: SyntheticEmbeddingSpace,
+        extraction_noise_sigma: float = 0.0,
+    ) -> None:
+        self.space = space
+        self.extraction_noise_sigma = check_non_negative(
+            extraction_noise_sigma, "extraction_noise_sigma"
+        )
+        self.architecture = paper_convnet()
+
+    @property
+    def embedding_dim(self) -> int:
+        """Width of the produced embeddings."""
+        return self.space.embedding_dim
+
+    def extract(self, class_indices, samples_per_class: int = 1, rng: SeedLike = None):
+        """Produce embeddings for images of the requested classes."""
+        generator = ensure_rng(rng)
+        embeddings, labels = self.space.sample(class_indices, samples_per_class, rng=generator)
+        if self.extraction_noise_sigma > 0.0:
+            noise = generator.normal(0.0, self.extraction_noise_sigma, size=embeddings.shape)
+            embeddings = np.maximum(embeddings + noise, 0.0)
+        return embeddings, labels
+
+    def inference_macs(self) -> int:
+        """MACs of one query's feature extraction (for the energy model)."""
+        return self.architecture.total_macs

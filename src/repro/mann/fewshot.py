@@ -1,0 +1,191 @@
+"""Few-shot learning evaluation harness (the pipeline behind Fig. 7 and 8).
+
+For each episode the support embeddings are written to the MANN memory
+(which programs the CAM, a one-time cost) and every query embedding is
+classified by nearest-neighbor search; the episode accuracy is the fraction
+of correctly labeled queries and the task accuracy is the mean over
+episodes.  The harness is agnostic to the memory's searcher, so the same
+episodes evaluate the cosine/Euclidean software baselines, the TCAM+LSH
+baseline and the 2-/3-bit MCAMs — exactly the comparison of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.rng import SeedLike, ensure_rng, spawn_rngs
+from ..utils.stats import SummaryStatistics, accuracy, summarize
+from ..utils.validation import check_int_in_range
+from ..core.search import NearestNeighborSearcher, make_searcher
+from ..datasets.omniglot import SyntheticEmbeddingSpace
+from .episodes import Episode, EpisodeSampler, PAPER_FEWSHOT_TASKS
+from .memory import MANNMemory, SearcherFactory
+
+
+@dataclass(frozen=True)
+class FewShotResult:
+    """Accuracy of one method on one N-way K-shot task.
+
+    Attributes
+    ----------
+    method:
+        Name of the evaluated search method.
+    n_way / k_shot:
+        Task configuration.
+    statistics:
+        Episode-accuracy statistics (mean accuracy is
+        ``statistics.mean``).
+    """
+
+    method: str
+    n_way: int
+    k_shot: int
+    statistics: SummaryStatistics
+
+    @property
+    def accuracy(self) -> float:
+        """Mean episode accuracy (fraction in [0, 1])."""
+        return self.statistics.mean
+
+    @property
+    def accuracy_percent(self) -> float:
+        """Mean episode accuracy in percent, as reported in the paper."""
+        return 100.0 * self.statistics.mean
+
+    @property
+    def task_name(self) -> str:
+        """Human-readable task name, e.g. ``"5-way 1-shot"``."""
+        return f"{self.n_way}-way {self.k_shot}-shot"
+
+
+class FewShotEvaluator:
+    """Runs N-way K-shot episodes against a pluggable memory searcher.
+
+    Parameters
+    ----------
+    space:
+        The embedding space episodes are drawn from.
+    n_way / k_shot:
+        Task configuration.
+    num_episodes:
+        Number of episodes to average over.
+    queries_per_class:
+        Query embeddings per class in each episode.
+    """
+
+    def __init__(
+        self,
+        space: SyntheticEmbeddingSpace,
+        n_way: int,
+        k_shot: int,
+        num_episodes: int = 100,
+        queries_per_class: int = 5,
+    ) -> None:
+        self.space = space
+        self.sampler = EpisodeSampler(
+            space, n_way=n_way, k_shot=k_shot, queries_per_class=queries_per_class
+        )
+        self.num_episodes = check_int_in_range(num_episodes, "num_episodes", minimum=1)
+
+    def evaluate(
+        self,
+        searcher_factory: SearcherFactory,
+        method_name: str = "custom",
+        rng: SeedLike = None,
+    ) -> FewShotResult:
+        """Evaluate one method over ``num_episodes`` fresh episodes."""
+        generator = ensure_rng(rng)
+        episode_accuracies = []
+        for episode in self.sampler.episodes(self.num_episodes, rng=generator):
+            episode_accuracies.append(
+                run_episode(episode, searcher_factory, rng=generator)
+            )
+        return FewShotResult(
+            method=method_name,
+            n_way=self.sampler.n_way,
+            k_shot=self.sampler.k_shot,
+            statistics=summarize(episode_accuracies),
+        )
+
+    def compare(
+        self,
+        factories: Dict[str, SearcherFactory],
+        rng: SeedLike = None,
+    ) -> Dict[str, FewShotResult]:
+        """Evaluate several methods on *identical* episodes.
+
+        All methods see exactly the same support/query embeddings in every
+        episode, which is the comparison the paper makes: the only moving
+        part is the distance function / search hardware.
+        """
+        if not factories:
+            raise ConfigurationError("factories must contain at least one method")
+        generator = ensure_rng(rng)
+        per_method_accuracies: Dict[str, list] = {name: [] for name in factories}
+        # One independent stream per episode for the stochastic engines so
+        # adding/removing a method does not change the other methods' results.
+        episode_rngs = spawn_rngs(generator, self.num_episodes)
+        for episode, episode_rng in zip(
+            self.sampler.episodes(self.num_episodes, rng=generator), episode_rngs
+        ):
+            for name, factory in factories.items():
+                per_method_accuracies[name].append(
+                    run_episode(episode, factory, rng=episode_rng)
+                )
+        return {
+            name: FewShotResult(
+                method=name,
+                n_way=self.sampler.n_way,
+                k_shot=self.sampler.k_shot,
+                statistics=summarize(values),
+            )
+            for name, values in per_method_accuracies.items()
+        }
+
+
+def run_episode(
+    episode: Episode,
+    searcher_factory: SearcherFactory,
+    rng: SeedLike = None,
+) -> float:
+    """Accuracy of one method on one episode."""
+    memory = MANNMemory(searcher_factory=searcher_factory)
+    memory.write(episode.support_embeddings, episode.support_labels)
+    predictions = memory.classify(episode.query_embeddings, rng=rng)
+    return accuracy(predictions, episode.query_labels)
+
+
+def default_method_factories(
+    embedding_dim: int,
+    lsh_bits: Optional[int] = None,
+    seed: SeedLike = None,
+) -> Dict[str, SearcherFactory]:
+    """The five methods compared in Fig. 7, as searcher factories.
+
+    Parameters
+    ----------
+    embedding_dim:
+        Embedding width; also the CAM word length and the iso-word-length
+        LSH signature size.
+    lsh_bits:
+        Override for the LSH signature length (e.g. 512 to reproduce the
+        original TCAM+LSH configuration of the paper's footnote 1).
+    seed:
+        Seed for the stochastic engines (LSH hyperplanes).
+    """
+    generator = ensure_rng(seed)
+    seeds = generator.integers(0, 2**31 - 1, size=8)
+    signature_bits = lsh_bits if lsh_bits is not None else embedding_dim
+    return {
+        "cosine": lambda: make_searcher("cosine", embedding_dim),
+        "euclidean": lambda: make_searcher("euclidean", embedding_dim),
+        "mcam-3bit": lambda: make_searcher("mcam-3bit", embedding_dim, seed=int(seeds[0])),
+        "mcam-2bit": lambda: make_searcher("mcam-2bit", embedding_dim, seed=int(seeds[1])),
+        "tcam-lsh": lambda: make_searcher(
+            "tcam-lsh", embedding_dim, lsh_bits=signature_bits, seed=int(seeds[2])
+        ),
+    }

@@ -1,0 +1,51 @@
+"""Shared utilities: RNG handling, validation, statistics, tables and IO."""
+
+from .rng import DEFAULT_EXPERIMENT_SEED, ensure_rng, spawn_rngs
+from .stats import SummaryStatistics, accuracy, geometric_mean, relative_difference, summarize
+from .tables import format_percent, format_ratio, format_records, format_si, format_table
+from .validation import (
+    as_1d_array,
+    as_2d_array,
+    check_bits,
+    check_choice,
+    check_feature_matrix,
+    check_int_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_same_length,
+    check_state_matrix,
+)
+from .io import load_csv, load_json, save_csv, save_json, to_jsonable
+
+__all__ = [
+    "DEFAULT_EXPERIMENT_SEED",
+    "ensure_rng",
+    "spawn_rngs",
+    "SummaryStatistics",
+    "accuracy",
+    "geometric_mean",
+    "relative_difference",
+    "summarize",
+    "format_percent",
+    "format_ratio",
+    "format_records",
+    "format_si",
+    "format_table",
+    "as_1d_array",
+    "as_2d_array",
+    "check_bits",
+    "check_choice",
+    "check_feature_matrix",
+    "check_int_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+    "check_state_matrix",
+    "load_csv",
+    "load_json",
+    "save_csv",
+    "save_json",
+    "to_jsonable",
+]

@@ -1,0 +1,121 @@
+"""Small statistics helpers used by evaluation harnesses and experiments.
+
+The accuracy experiments in the paper report mean accuracies over random
+splits or episodes.  These helpers compute means, standard errors and simple
+confidence intervals without pulling in heavier dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Summary of a sequence of scalar measurements.
+
+    Attributes
+    ----------
+    mean:
+        Arithmetic mean of the measurements.
+    std:
+        Sample standard deviation (ddof=1 when more than one sample).
+    stderr:
+        Standard error of the mean.
+    count:
+        Number of measurements summarized.
+    minimum / maximum:
+        Extremes of the measurements.
+    """
+
+    mean: float
+    std: float
+    stderr: float
+    count: int
+    minimum: float
+    maximum: float
+
+    def confidence_interval(self, z: float = 1.96) -> tuple:
+        """Return a ``(low, high)`` normal-approximation confidence interval."""
+        half = z * self.stderr
+        return (self.mean - half, self.mean + half)
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Summarize a sequence of scalar measurements.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``values`` is empty or contains non-finite entries.
+    """
+    array = np.asarray(values, dtype=np.float64).ravel()
+    if array.size == 0:
+        raise ConfigurationError("cannot summarize an empty sequence")
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError("cannot summarize non-finite values")
+    count = int(array.size)
+    mean = float(array.mean())
+    std = float(array.std(ddof=1)) if count > 1 else 0.0
+    stderr = std / np.sqrt(count) if count > 1 else 0.0
+    return SummaryStatistics(
+        mean=mean,
+        std=std,
+        stderr=float(stderr),
+        count=count,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )
+
+
+def accuracy(predictions: Sequence[int], labels: Sequence[int]) -> float:
+    """Fraction of ``predictions`` equal to ``labels``.
+
+    Both arguments must have the same length; an empty argument raises.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ConfigurationError(
+            f"predictions and labels must have the same shape, "
+            f"got {predictions.shape} and {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ConfigurationError("cannot compute accuracy of empty predictions")
+    return float(np.mean(predictions == labels))
+
+
+def relative_difference(value: float, reference: float) -> float:
+    """Signed relative difference ``(value - reference) / |reference|``."""
+    if reference == 0:
+        raise ConfigurationError("reference must be non-zero for a relative difference")
+    return (value - reference) / abs(reference)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    array = np.asarray(values, dtype=np.float64).ravel()
+    if array.size == 0:
+        raise ConfigurationError("cannot take the geometric mean of an empty sequence")
+    if np.any(array <= 0):
+        raise ConfigurationError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def histogram(values: Sequence[float], bins: int = 50, value_range=None):
+    """Thin wrapper around :func:`numpy.histogram` with validation.
+
+    Returns ``(counts, bin_edges)`` exactly like numpy but rejects empty
+    input, which otherwise produces a silently useless histogram.
+    """
+    array = np.asarray(values, dtype=np.float64).ravel()
+    if array.size == 0:
+        raise ConfigurationError("cannot histogram an empty sequence")
+    if bins <= 0:
+        raise ConfigurationError(f"bins must be positive, got {bins}")
+    return np.histogram(array, bins=bins, range=value_range)

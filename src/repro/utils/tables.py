@@ -1,0 +1,129 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+The paper's evaluation section is a set of figures; this library regenerates
+each of them as a table of rows/series printed to the terminal (and exported
+to CSV/JSON via :mod:`repro.utils.io`).  The formatter here is deliberately
+dependency-free and handles the common cases: floats with a fixed precision,
+percentages and ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+def format_cell(value: Cell, float_format: str = "{:.3f}") -> str:
+    """Render one table cell as a string."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_format: str = "{:.3f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; every row must have ``len(headers)`` entries.
+    float_format:
+        Format string applied to float cells.
+    title:
+        Optional title printed above the table.
+    """
+    header_cells = [str(h) for h in headers]
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        row = list(row)
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_cells)} columns: {row!r}"
+            )
+        rendered_rows.append([format_cell(cell, float_format) for cell in row])
+
+    widths = [len(h) for h in header_cells]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(separator)))
+    lines.append(render_line(header_cells))
+    lines.append(separator)
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict records as a table.
+
+    ``columns`` selects and orders the keys; by default the keys of the first
+    record are used (in insertion order).  Missing keys render as ``-``.
+    """
+    records = list(records)
+    if not records:
+        raise ValueError("cannot format an empty list of records")
+    if columns is None:
+        columns = list(records[0].keys())
+    rows = [[record.get(column) for column in columns] for record in records]
+    return format_table(columns, rows, float_format=float_format, title=title)
+
+
+def format_percent(value: float, decimals: int = 2) -> str:
+    """Render a fraction in ``[0, 1]`` as a percentage string."""
+    return f"{100.0 * value:.{decimals}f}%"
+
+
+def format_ratio(value: float, decimals: int = 2) -> str:
+    """Render a speedup/improvement ratio, e.g. ``4.40x``."""
+    return f"{value:.{decimals}f}x"
+
+
+def format_si(value: float, unit: str = "", decimals: int = 3) -> str:
+    """Render a value with an SI prefix (f, p, n, u, m, '', k, M, G).
+
+    Useful for energies (J) and delays (s) reported by the energy models.
+    """
+    prefixes = [
+        (1e-15, "f"),
+        (1e-12, "p"),
+        (1e-9, "n"),
+        (1e-6, "u"),
+        (1e-3, "m"),
+        (1.0, ""),
+        (1e3, "k"),
+        (1e6, "M"),
+        (1e9, "G"),
+    ]
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    scale, prefix = prefixes[0]
+    for candidate_scale, candidate_prefix in prefixes:
+        if magnitude >= candidate_scale:
+            scale, prefix = candidate_scale, candidate_prefix
+    return f"{value / scale:.{decimals}f} {prefix}{unit}".strip()

@@ -1,0 +1,136 @@
+"""Lightweight argument-validation helpers shared across the library.
+
+The device, circuit and search layers all validate their inputs the same way:
+positive scalars for physical quantities, integer ranges for bit precisions
+and array shapes for feature matrices.  Centralizing the checks keeps error
+messages consistent and the call sites short.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite, strictly positive scalar."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite, non-negative scalar."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ConfigurationError(f"{name} must be a non-negative finite number, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval ``[0, 1]``."""
+    value = float(value)
+    if not np.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_int_in_range(
+    value: int,
+    name: str,
+    minimum: Optional[int] = None,
+    maximum: Optional[int] = None,
+) -> int:
+    """Validate that ``value`` is an integer within ``[minimum, maximum]``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ConfigurationError(f"{name} must be <= {maximum}, got {value}")
+    return value
+
+
+def check_bits(bits: int, name: str = "bits", maximum: int = 6) -> int:
+    """Validate a CAM cell bit precision.
+
+    The paper realizes 2- and 3-bit cells and argues anything beyond roughly
+    5 bits is unrealistic for FeFET programming; we allow up to ``maximum``
+    (default 6) so ablation sweeps can explore slightly beyond the paper.
+    """
+    return check_int_in_range(bits, name, minimum=1, maximum=maximum)
+
+
+def check_choice(value: str, name: str, choices: Iterable[str]) -> str:
+    """Validate that ``value`` is one of ``choices``."""
+    choices = tuple(choices)
+    if value not in choices:
+        raise ConfigurationError(f"{name} must be one of {choices}, got {value!r}")
+    return value
+
+
+def as_1d_array(values: Sequence[float], name: str, dtype=np.float64) -> np.ndarray:
+    """Convert ``values`` to a 1-D numpy array, validating the shape."""
+    array = np.asarray(values, dtype=dtype)
+    if array.ndim == 0:
+        array = array.reshape(1)
+    if array.ndim != 1:
+        raise ConfigurationError(f"{name} must be one-dimensional, got shape {array.shape}")
+    return array
+
+
+def as_2d_array(values, name: str, dtype=np.float64) -> np.ndarray:
+    """Convert ``values`` to a 2-D numpy array (rows = samples)."""
+    array = np.asarray(values, dtype=dtype)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise ConfigurationError(f"{name} must be two-dimensional, got shape {array.shape}")
+    return array
+
+
+def check_same_length(a, b, name_a: str, name_b: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate that two sequences have the same length and return them as arrays."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"{name_a} and {name_b} must have the same length, got {len(a)} and {len(b)}"
+        )
+    return a, b
+
+
+def check_feature_matrix(features, name: str = "features") -> np.ndarray:
+    """Validate a real-valued feature matrix (finite entries, 2-D)."""
+    array = as_2d_array(features, name)
+    if array.size == 0:
+        raise ConfigurationError(f"{name} must not be empty")
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError(f"{name} must contain only finite values")
+    return array
+
+
+def check_state_matrix(states, num_states: int, name: str = "states") -> np.ndarray:
+    """Validate an integer state matrix whose entries lie in ``[0, num_states)``."""
+    array = np.asarray(states)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise ConfigurationError(f"{name} must be two-dimensional, got shape {array.shape}")
+    if not np.issubdtype(array.dtype, np.integer):
+        if not np.allclose(array, np.round(array)):
+            raise ConfigurationError(f"{name} must contain integer state indices")
+        array = np.round(array).astype(np.int64)
+    else:
+        array = array.astype(np.int64)
+    if array.size and (array.min() < 0 or array.max() >= num_states):
+        raise ConfigurationError(
+            f"{name} entries must lie in [0, {num_states - 1}], "
+            f"got range [{array.min()}, {array.max()}]"
+        )
+    return array

@@ -1,0 +1,12 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Short identifier of the paper this library reproduces.
+PAPER = (
+    "In-Memory Nearest Neighbor Search with FeFET Multi-Bit "
+    "Content-Addressable Memories (DATE 2021)"
+)
+
+#: arXiv identifier of the reproduced paper.
+ARXIV_ID = "2011.07095"

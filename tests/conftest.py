@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (conductance look-up tables, embedding spaces, datasets)
+are built once per session and shared; tests that need to mutate state build
+their own instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_nominal_lut
+from repro.datasets import (
+    EmbeddingSpaceSpec,
+    SyntheticEmbeddingSpace,
+    load_iris,
+    train_test_split,
+)
+
+
+@pytest.fixture(scope="session")
+def lut3():
+    """Nominal 3-bit conductance look-up table."""
+    return build_nominal_lut(bits=3)
+
+
+@pytest.fixture(scope="session")
+def lut2():
+    """Nominal 2-bit conductance look-up table."""
+    return build_nominal_lut(bits=2)
+
+
+@pytest.fixture(scope="session")
+def small_space():
+    """Small Omniglot-like embedding space (fast episode sampling)."""
+    return SyntheticEmbeddingSpace(
+        EmbeddingSpaceSpec(num_classes=60, embedding_dim=64), seed=123
+    )
+
+
+@pytest.fixture(scope="session")
+def iris_split():
+    """A fixed Iris-like dataset split used by search-engine tests."""
+    dataset = load_iris(rng=42)
+    return train_test_split(dataset, test_fraction=0.2, rng=42)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator for individual tests."""
+    return np.random.default_rng(2021)

@@ -1,0 +1,181 @@
+"""Tests for the analysis harnesses (distance function, accuracy, variation, Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    NNClassificationBenchmark,
+    VariationSweep,
+    analyze_distance_function,
+    average_gap_percent,
+    row_conductance_gnd,
+    run_experimental_comparison,
+    run_gnd_study,
+)
+from repro.datasets import load_iris
+from repro.devices import DomainSwitchingVariationModel
+from repro.exceptions import ConfigurationError
+
+
+class TestDistanceFunctionAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return analyze_distance_function(bits=3)
+
+    def test_per_state_curves_monotonic_for_edge_states(self, analysis):
+        assert analysis.per_state_curves[0].is_monotonic()
+        # For the last stored state the distance decreases with input index,
+        # so after sorting by distance the curve must also be monotone.
+        assert analysis.per_state_curves[-1].is_monotonic()
+
+    def test_derivative_peak_at_intermediate_distance(self, analysis):
+        assert 3 <= analysis.derivative_peak_distance <= 5
+
+    def test_scatter_covers_all_pairs(self, analysis):
+        distances, conductances = analysis.scatter()
+        assert distances.shape == (64,)
+        assert conductances.shape == (64,)
+        assert distances.max() == 7
+
+    def test_varied_analysis_differs(self):
+        varied = analyze_distance_function(
+            bits=3, variation=DomainSwitchingVariationModel(), rng=0
+        )
+        nominal = analyze_distance_function(bits=3)
+        assert not np.allclose(varied.lut.table_s, nominal.lut.table_s)
+
+    def test_bits_property(self, analysis):
+        assert analysis.bits == 3
+
+
+class TestGndStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_gnd_study(bits=3)
+
+    def test_paper_inequalities(self, study):
+        assert study.concentrated_beats_spread          # G^1_4 > G^4_1
+        assert study.far_single_cell_dominates          # G^1_7 >> G^7_1
+        assert study.low_concentrated_beats_high_spread # G^1_4 > G^7_1
+
+    def test_gnd_increases_with_distance(self, study):
+        lut = study.lut
+        values = [row_conductance_gnd(lut, 1, d) for d in range(8)]
+        assert np.all(np.diff(values) > 0)
+
+    def test_gnd_increases_with_cell_count(self, study):
+        lut = study.lut
+        values = [row_conductance_gnd(lut, n, 3) for n in range(0, 16, 4)]
+        assert np.all(np.diff(values) > 0)
+
+    def test_records(self, study):
+        records = study.as_records()
+        assert all({"n_cells", "distance", "conductance_uS"} <= set(r) for r in records)
+
+    def test_unknown_combination_rejected(self, study):
+        with pytest.raises(ConfigurationError):
+            study.g(3, 3)
+
+    def test_invalid_distance_rejected(self, study):
+        with pytest.raises(Exception):
+            row_conductance_gnd(study.lut, 1, 9)
+
+
+class TestNNClassificationBenchmark:
+    def test_evaluate_static_dataset(self):
+        benchmark = NNClassificationBenchmark(
+            methods=("euclidean", "mcam-3bit"), num_splits=2
+        )
+        dataset = load_iris(rng=0)
+        results = benchmark.evaluate_static_dataset(dataset, rng=1)
+        assert set(results) == {"euclidean", "mcam-3bit"}
+        for result in results.values():
+            assert 0.5 < result.accuracy <= 1.0
+            assert result.dataset == "Iris"
+
+    def test_average_gap(self):
+        benchmark = NNClassificationBenchmark(
+            methods=("euclidean", "tcam-lsh"), num_splits=2
+        )
+        results = {"iris": benchmark.evaluate_static_dataset(load_iris(rng=2), rng=3)}
+        gap = average_gap_percent(results, "euclidean", "tcam-lsh")
+        assert isinstance(gap, float)
+
+    def test_average_gap_missing_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_gap_percent({"iris": {}}, "a", "b")
+
+    def test_empty_methods_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NNClassificationBenchmark(methods=())
+
+
+class TestVariationSweep:
+    def test_sweep_structure_and_robustness(self, small_space):
+        sweep = VariationSweep(
+            small_space,
+            tasks=((5, 1),),
+            sigmas_v=(0.0, 0.08, 0.30),
+            num_episodes=6,
+            luts_per_sigma=2,
+        )
+        result = sweep.run(rng=0)
+        sigmas, accuracies = result.series(5, 1)
+        assert list(sigmas) == [0.0, 80.0, 300.0]
+        # Robust at 80 mV, degraded at 300 mV (paper Fig. 8).
+        assert accuracies[1] >= accuracies[0] - 5.0
+        assert accuracies[2] <= accuracies[0]
+
+    def test_unknown_series_rejected(self, small_space):
+        sweep = VariationSweep(small_space, tasks=((5, 1),), sigmas_v=(0.0,), num_episodes=2)
+        result = sweep.run(rng=1)
+        with pytest.raises(ConfigurationError):
+            result.series(20, 5)
+
+    def test_records(self, small_space):
+        sweep = VariationSweep(
+            small_space, tasks=((5, 1),), sigmas_v=(0.0, 0.1), num_episodes=2, luts_per_sigma=1
+        )
+        records = sweep.run(rng=2).as_records()
+        assert len(records) == 2
+        assert {"sigma_mv", "task", "accuracy_percent"} <= set(records[0])
+
+    def test_negative_sigma_rejected(self, small_space):
+        with pytest.raises(ConfigurationError):
+            VariationSweep(small_space, sigmas_v=(-0.1,))
+
+    def test_empty_tasks_rejected(self, small_space):
+        with pytest.raises(ConfigurationError):
+            VariationSweep(small_space, tasks=())
+
+
+class TestExperimentalComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, small_space):
+        return run_experimental_comparison(
+            space=small_space, tasks=((5, 1),), num_episodes=5, rng=0
+        )
+
+    def test_trend_correlation_high(self, comparison):
+        assert comparison.trend_correlation > 0.9
+
+    def test_measured_trend_monotonic(self, comparison):
+        assert comparison.measured_is_monotonic
+
+    def test_fewshot_accuracies_reasonable(self, comparison):
+        values = comparison.fewshot_accuracy_percent["5-way 1-shot"]
+        assert 60.0 < values["simulation"] <= 100.0
+        assert 60.0 < values["experiment"] <= 100.0
+
+    def test_accuracy_gap_small(self, comparison):
+        # The noisy measured table should cost little (or even help slightly).
+        assert abs(comparison.accuracy_gap("5-way 1-shot")) < 10.0
+
+    def test_unknown_task_rejected(self, comparison):
+        with pytest.raises(ConfigurationError):
+            comparison.accuracy_gap("3-way 9-shot")
+
+    def test_records(self, comparison):
+        records = comparison.as_records()
+        assert len(records) == 1
+        assert {"task", "simulation_percent", "experiment_percent"} <= set(records[0])

@@ -1,0 +1,66 @@
+"""Tests for the array-scaling study extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ScalingStudy
+from repro.exceptions import ConfigurationError
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        study = ScalingStudy(
+            ways=(5, 10), k_shot=1, word_lengths=(16, 32), num_episodes=4, bits=3
+        )
+        return study.run(rng=0)
+
+    def test_point_count(self, result):
+        assert len(result.points) == 4  # 2 ways x 2 word lengths
+
+    def test_capacity_series_sorted(self, result):
+        series = result.capacity_series(num_cells=32)
+        assert [p.stored_rows for p in series] == sorted(p.stored_rows for p in series)
+
+    def test_word_length_series_sorted(self, result):
+        series = result.word_length_series(5, 1)
+        assert [p.num_cells for p in series] == [16, 32]
+
+    def test_search_energy_increases_with_rows(self, result):
+        series = result.capacity_series(num_cells=32)
+        energies = [p.search_energy_j for p in series]
+        assert np.all(np.diff(energies) > 0)
+
+    def test_delay_independent_of_rows(self, result):
+        delays = {p.search_delay_s for p in result.points}
+        assert len(delays) == 1
+
+    def test_accuracies_above_chance(self, result):
+        for point in result.points:
+            chance = 100.0 / point.n_way
+            assert point.accuracy_percent > chance
+
+    def test_energy_per_row_property(self, result):
+        point = result.points[0]
+        assert point.energy_per_row_j == pytest.approx(
+            point.search_energy_j / point.stored_rows
+        )
+
+    def test_records_structure(self, result):
+        records = result.as_records()
+        assert len(records) == 4
+        assert {"task", "num_cells", "stored_rows", "accuracy_percent"} <= set(records[0])
+
+    def test_unknown_series_rejected(self, result):
+        with pytest.raises(ConfigurationError):
+            result.capacity_series(num_cells=128)
+        with pytest.raises(ConfigurationError):
+            result.word_length_series(7, 3)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScalingStudy(ways=())
+        with pytest.raises(ConfigurationError):
+            ScalingStudy(ways=(1,))
+        with pytest.raises(ConfigurationError):
+            ScalingStudy(word_lengths=(1,))

@@ -1,0 +1,102 @@
+"""Tests for the GLOBALFOUNDRIES AND-array experimental model (Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    ANDArrayExperiment,
+    ANDArrayMeasurementConfig,
+    DL_SWEEP_HIGH_V,
+    DL_SWEEP_LOW_V,
+)
+from repro.exceptions import CircuitError
+
+
+class TestDLSweep:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return ANDArrayExperiment(bits=2)
+
+    def test_sweep_range_matches_paper(self, experiment):
+        dl, current = experiment.dl_sweep(stored_state=0, rng=0)
+        assert dl[0] == pytest.approx(DL_SWEEP_LOW_V)
+        assert dl[-1] == pytest.approx(DL_SWEEP_HIGH_V)
+        assert current.shape == dl.shape
+
+    def test_currents_positive(self, experiment):
+        _, current = experiment.dl_sweep(stored_state=1, rng=1)
+        assert np.all(current > 0)
+
+    def test_stored_state_shapes_the_curve(self, experiment):
+        dl, low_state = experiment.dl_sweep(stored_state=0, rng=2)
+        _, high_state = experiment.dl_sweep(stored_state=3, rng=2)
+        # A cell storing the lowest state conducts more at high DL voltages
+        # than one storing the highest state (its DL-side FeFET turns on).
+        assert low_state[-5:].mean() > high_state[-5:].mean()
+
+    def test_invalid_state_rejected(self, experiment):
+        with pytest.raises(CircuitError):
+            experiment.dl_sweep(stored_state=4)
+
+    def test_uses_experimental_geometry_by_default(self, experiment):
+        assert experiment.device.width_nm == 450.0
+
+
+class TestLuts:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return ANDArrayExperiment(bits=2)
+
+    def test_simulated_lut_is_clean_and_monotonic(self, experiment):
+        lut = experiment.simulated_lut()
+        assert np.all(np.diff(lut.distance_by_separation()) > 0)
+
+    def test_measured_lut_differs_from_simulated(self, experiment):
+        simulated = experiment.simulated_lut()
+        measured = experiment.measured_lut(rng=3)
+        assert not np.allclose(simulated.table_s, measured.table_s)
+
+    def test_measured_trend_follows_simulated(self, experiment):
+        simulated, measured = experiment.distance_curves(num_repeats=5, rng=4)
+        correlation = np.corrcoef(simulated, measured)[0, 1]
+        assert correlation > 0.9
+
+    def test_measured_lut_reproducible_with_seed(self, experiment):
+        a = experiment.measured_lut(rng=7)
+        b = experiment.measured_lut(rng=7)
+        assert np.allclose(a.table_s, b.table_s)
+
+    def test_noise_free_config_matches_simulation_closely(self):
+        quiet = ANDArrayExperiment(
+            bits=2,
+            config=ANDArrayMeasurementConfig(
+                relative_read_noise=0.0,
+                parasitic_leakage_s=0.0,
+                current_noise_floor_a=0.0,
+            ),
+        )
+        simulated, measured = quiet.distance_curves(num_repeats=3, rng=5)
+        # Only device-to-device programming variation remains.
+        assert np.all(np.abs(np.log10(measured / simulated)) < 1.0)
+
+    def test_parasitic_leakage_compresses_dynamic_range(self):
+        clean = ANDArrayExperiment(
+            bits=2,
+            config=ANDArrayMeasurementConfig(relative_read_noise=0.0, parasitic_leakage_s=0.0),
+        )
+        leaky = ANDArrayExperiment(
+            bits=2,
+            config=ANDArrayMeasurementConfig(relative_read_noise=0.0, parasitic_leakage_s=1e-6),
+        )
+        clean_range = clean.measured_lut(rng=6).dynamic_range()
+        leaky_range = leaky.measured_lut(rng=6).dynamic_range()
+        assert leaky_range < clean_range
+
+    def test_three_bit_future_work_configuration(self):
+        experiment = ANDArrayExperiment(bits=3)
+        lut = experiment.measured_lut(num_repeats=2, rng=8)
+        assert lut.table_s.shape == (8, 8)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(Exception):
+            ANDArrayMeasurementConfig(relative_read_noise=-0.1)

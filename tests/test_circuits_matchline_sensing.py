@@ -1,0 +1,146 @@
+"""Tests for the match-line RC model and the winner-take-all sensing."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    IdealWinnerTakeAll,
+    MatchLineModel,
+    TimeDomainSenseAmplifier,
+    sensing_error_rate,
+)
+from repro.exceptions import CircuitError
+
+
+class TestMatchLineModel:
+    @pytest.fixture(scope="class")
+    def ml(self):
+        return MatchLineModel(num_cells=16)
+
+    def test_capacitance_scales_with_cells(self):
+        assert MatchLineModel(num_cells=32).capacitance_f == pytest.approx(
+            2 * MatchLineModel(num_cells=16).capacitance_f
+        )
+
+    def test_voltage_decays_exponentially(self, ml):
+        conductance = 1e-6
+        tau = ml.capacitance_f / conductance
+        assert ml.voltage_at(conductance, tau) == pytest.approx(
+            ml.precharge_v * np.exp(-1.0), rel=1e-6
+        )
+
+    def test_voltage_at_time_zero_is_precharge(self, ml):
+        assert ml.voltage_at(1e-6, 0.0) == pytest.approx(ml.precharge_v)
+
+    def test_zero_conductance_never_discharges(self, ml):
+        assert ml.voltage_at(0.0, 1.0) == pytest.approx(ml.precharge_v)
+        assert ml.time_to_reach(0.0, 0.4) == np.inf
+
+    def test_higher_conductance_discharges_faster(self, ml):
+        slow = ml.time_to_reach(1e-7, 0.4)
+        fast = ml.time_to_reach(1e-5, 0.4)
+        assert fast < slow
+
+    def test_time_to_reach_consistent_with_voltage(self, ml):
+        conductance = 5e-7
+        crossing = ml.time_to_reach(conductance, 0.4)
+        assert ml.voltage_at(conductance, crossing) == pytest.approx(0.4, rel=1e-6)
+
+    def test_invalid_reference_rejected(self, ml):
+        with pytest.raises(CircuitError):
+            ml.time_to_reach(1e-6, 0.9)
+        with pytest.raises(CircuitError):
+            ml.time_to_reach(1e-6, 0.0)
+
+    def test_negative_conductance_rejected(self, ml):
+        with pytest.raises(CircuitError):
+            ml.voltage_at(-1e-6, 1e-9)
+
+    def test_discharge_energy_bounded_by_precharge(self, ml):
+        energy = ml.discharge_energy_j(1e-5, 10e-9)
+        assert 0 < energy <= 0.5 * ml.capacitance_f * ml.precharge_v**2 + 1e-30
+
+    def test_precharge_energy(self, ml):
+        assert ml.precharge_energy_j() == pytest.approx(
+            ml.capacitance_f * ml.precharge_v**2
+        )
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(CircuitError):
+            MatchLineModel(num_cells=0)
+
+
+class TestIdealWinnerTakeAll:
+    def test_picks_minimum_conductance(self):
+        result = IdealWinnerTakeAll().sense(np.array([3.0, 1.0, 2.0]))
+        assert result.winner == 1
+        assert list(result.ranking) == [1, 2, 0]
+
+    def test_tie_resolved_to_lower_index(self):
+        result = IdealWinnerTakeAll().sense(np.array([1.0, 1.0, 2.0]))
+        assert result.winner == 0
+
+    def test_top_k(self):
+        result = IdealWinnerTakeAll().sense(np.array([5.0, 1.0, 3.0, 2.0]))
+        assert list(result.top_k(2)) == [1, 3]
+
+    def test_top_k_out_of_range(self):
+        result = IdealWinnerTakeAll().sense(np.array([1.0, 2.0]))
+        with pytest.raises(CircuitError):
+            result.top_k(3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(CircuitError):
+            IdealWinnerTakeAll().sense(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(CircuitError):
+            IdealWinnerTakeAll().sense(np.array([-1.0, 2.0]))
+
+
+class TestTimeDomainSensing:
+    @pytest.fixture(scope="class")
+    def matchline(self):
+        return MatchLineModel(num_cells=16)
+
+    def test_ideal_settings_match_ideal_sensor(self, matchline):
+        conductances = np.array([4e-6, 1e-6, 2.5e-6, 8e-6])
+        ideal = IdealWinnerTakeAll().sense(conductances)
+        timed = TimeDomainSenseAmplifier(matchline).sense(conductances)
+        assert timed.winner == ideal.winner
+        assert list(timed.ranking) == list(ideal.ranking)
+
+    def test_crossing_times_ordering(self, matchline):
+        sense = TimeDomainSenseAmplifier(matchline)
+        times = sense.crossing_times(np.array([1e-6, 1e-5]))
+        assert times[0] > times[1]
+
+    def test_noise_can_cause_errors(self, matchline):
+        sense = TimeDomainSenseAmplifier(matchline, timing_noise_sigma_s=1e-6)
+        conductances = [np.array([1.00e-6, 1.01e-6, 5e-6]) for _ in range(100)]
+        error_rate = sensing_error_rate(
+            IdealWinnerTakeAll(), sense, conductances, rng=3
+        )
+        assert error_rate > 0.0
+
+    def test_noiseless_has_zero_error_rate(self, matchline):
+        sense = TimeDomainSenseAmplifier(matchline)
+        conductances = [np.array([1e-6, 2e-6, 3e-6]) for _ in range(20)]
+        assert sensing_error_rate(IdealWinnerTakeAll(), sense, conductances) == 0.0
+
+    def test_quantization_merges_close_rows(self, matchline):
+        sense = TimeDomainSenseAmplifier(matchline, timing_resolution_s=1e-3)
+        result = sense.sense(np.array([1.0e-6, 1.001e-6]))
+        # Both rows quantize to the same crossing bucket; the priority encoder
+        # then picks the lower index.
+        assert result.winner == 0
+
+    def test_invalid_reference_rejected(self, matchline):
+        with pytest.raises(CircuitError):
+            TimeDomainSenseAmplifier(matchline, reference_v=1.5)
+
+    def test_empty_batch_rejected(self, matchline):
+        with pytest.raises(CircuitError):
+            sensing_error_rate(
+                IdealWinnerTakeAll(), TimeDomainSenseAmplifier(matchline), []
+            )

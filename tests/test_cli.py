@@ -1,0 +1,68 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig4"])
+        assert args.experiment_id == "fig4"
+        assert not args.full
+        assert args.output is None
+
+    def test_run_command_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "fig7", "--full", "--seed", "3", "--output", str(tmp_path)]
+        )
+        assert args.full
+        assert args.seed == 3
+        assert args.output == tmp_path
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_outputs_all_experiments(self):
+        stream = io.StringIO()
+        assert main(["list"], stream=stream) == 0
+        text = stream.getvalue()
+        for experiment_id in ("fig2b", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "energy"):
+            assert experiment_id in text
+
+    def test_run_prints_table_and_summary(self):
+        stream = io.StringIO()
+        assert main(["run", "gnd"], stream=stream) == 0
+        text = stream.getvalue()
+        assert "conductance" in text
+        assert "summary:" in text
+
+    def test_run_exports_json_and_csv(self, tmp_path):
+        stream = io.StringIO()
+        assert main(["run", "fig4", "--output", str(tmp_path)], stream=stream) == 0
+        json_path = tmp_path / "fig4.json"
+        csv_path = tmp_path / "fig4.csv"
+        assert json_path.exists() and csv_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment_id"] == "fig4"
+        assert payload["records"]
+
+    def test_run_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            main(["run", "fig99"], stream=io.StringIO())
+
+    def test_seed_changes_are_accepted(self):
+        stream = io.StringIO()
+        assert main(["run", "fig5", "--seed", "11"], stream=stream) == 0
+        assert "sigma" in stream.getvalue()

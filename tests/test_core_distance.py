@@ -1,0 +1,101 @@
+"""Tests for the software-evaluable MCAM distance function."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MCAMDistance,
+    exponential_distance_profile,
+    linear_distance_profile,
+    profile_to_lut,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestMCAMDistance:
+    @pytest.fixture(scope="class")
+    def distance(self):
+        return MCAMDistance.for_bits(3)
+
+    def test_pairwise_identity_is_minimal(self, distance):
+        vector = np.array([0, 2, 4, 6])
+        identical = distance.pairwise(vector, vector)
+        shifted = distance.pairwise(vector, np.array([1, 3, 5, 7]))
+        assert identical < shifted
+
+    def test_pairwise_symmetry_approximate(self, distance):
+        a = np.array([0, 1, 2, 3])
+        b = np.array([7, 6, 5, 4])
+        assert distance.pairwise(a, b) == pytest.approx(distance.pairwise(b, a), rel=0.2)
+
+    def test_pairwise_monotone_in_separation(self, distance):
+        base = np.zeros(8, dtype=int)
+        values = [
+            distance.pairwise(np.full(8, shift, dtype=int), base) for shift in range(8)
+        ]
+        assert np.all(np.diff(values) > 0)
+
+    def test_to_rows_matches_pairwise(self, distance):
+        stored = np.array([[0, 1, 2], [3, 4, 5]])
+        query = np.array([1, 1, 1])
+        rows = distance.to_rows(stored, query)
+        assert rows[0] == pytest.approx(distance.pairwise(query, stored[0]))
+        assert rows[1] == pytest.approx(distance.pairwise(query, stored[1]))
+
+    def test_matrix_shape(self, distance):
+        stored = np.zeros((4, 5), dtype=int)
+        queries = np.ones((3, 5), dtype=int)
+        assert distance.matrix(stored, queries).shape == (3, 4)
+
+    def test_matrix_width_mismatch_rejected(self, distance):
+        with pytest.raises(ConfigurationError):
+            distance.matrix(np.zeros((2, 3), dtype=int), np.zeros((2, 4), dtype=int))
+
+    def test_pairwise_shape_mismatch_rejected(self, distance):
+        with pytest.raises(ConfigurationError):
+            distance.pairwise(np.array([0, 1]), np.array([0, 1, 2]))
+
+    def test_profile_is_increasing(self, distance):
+        assert np.all(np.diff(distance.profile()) > 0)
+
+    def test_bits_and_states(self, distance):
+        assert distance.bits == 3
+        assert distance.num_states == 8
+
+
+class TestSyntheticProfiles:
+    def test_exponential_profile_monotone_and_saturating(self):
+        profile = exponential_distance_profile(8, growth_per_state=4.0)
+        diffs = np.diff(profile)
+        assert np.all(diffs > 0)
+        assert diffs[-1] < diffs.max()  # saturation bends the curve over
+
+    def test_linear_profile(self):
+        profile = linear_distance_profile(8, slope=2.0)
+        assert np.allclose(np.diff(profile), 2.0)
+
+    def test_exponential_profile_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            exponential_distance_profile(1)
+        with pytest.raises(ConfigurationError):
+            exponential_distance_profile(8, growth_per_state=-1.0)
+
+    def test_profile_to_lut_symmetry(self):
+        lut = profile_to_lut(linear_distance_profile(4), bits=2)
+        assert np.allclose(lut.table_s, lut.table_s.T)
+        assert lut.table_s[0, 3] == pytest.approx(3.0)
+
+    def test_profile_to_lut_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_to_lut(np.arange(5, dtype=float), bits=2)
+
+    def test_profile_to_lut_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            profile_to_lut(np.array([0.0, -1.0, 2.0, 3.0]), bits=2)
+
+    def test_profile_lut_usable_by_distance(self):
+        lut = profile_to_lut(exponential_distance_profile(8), bits=3)
+        distance = MCAMDistance(lut=lut)
+        near = distance.pairwise(np.zeros(4, dtype=int), np.ones(4, dtype=int))
+        far = distance.pairwise(np.zeros(4, dtype=int), np.full(4, 7))
+        assert far > near

@@ -1,0 +1,85 @@
+"""Tests for the k-NN voting extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import MCAMSearcher, SoftwareSearcher
+from repro.core.knn import KNNClassifier
+from repro.datasets import load_iris, train_test_split
+from repro.exceptions import SearchError
+
+
+@pytest.fixture(scope="module")
+def noisy_clusters():
+    rng = np.random.default_rng(3)
+    centers = np.array([[0.0] * 6, [3.0] * 6, [0.0, 3.0] * 3])
+    features = np.vstack([center + rng.normal(0, 1.0, size=(40, 6)) for center in centers])
+    labels = np.repeat([0, 1, 2], 40)
+    queries = np.vstack([center + rng.normal(0, 1.0, size=(15, 6)) for center in centers])
+    query_labels = np.repeat([0, 1, 2], 15)
+    return features, labels, queries, query_labels
+
+
+class TestKNNClassifier:
+    def test_k1_matches_underlying_searcher(self, noisy_clusters):
+        features, labels, queries, _ = noisy_clusters
+        searcher = SoftwareSearcher("euclidean")
+        knn = KNNClassifier(searcher, k=1).fit(features, labels)
+        direct = SoftwareSearcher("euclidean").fit(features, labels)
+        assert np.array_equal(knn.predict(queries), direct.predict(queries))
+
+    def test_larger_k_does_not_collapse_on_noisy_data(self, noisy_clusters):
+        features, labels, queries, query_labels = noisy_clusters
+        acc1 = KNNClassifier(SoftwareSearcher("euclidean"), k=1).fit(features, labels).score(
+            queries, query_labels
+        )
+        acc7 = KNNClassifier(SoftwareSearcher("euclidean"), k=7).fit(features, labels).score(
+            queries, query_labels
+        )
+        # Voting over more neighbours stays within a small margin of 1-NN on
+        # well-separated clusters (it mainly helps when labels are noisy).
+        assert acc7 >= acc1 - 0.05
+        assert acc7 > 0.9
+
+    def test_works_with_mcam_engine(self, noisy_clusters):
+        features, labels, queries, query_labels = noisy_clusters
+        knn = KNNClassifier(MCAMSearcher(bits=3), k=5).fit(features, labels)
+        assert knn.score(queries, query_labels) > 0.8
+
+    def test_distance_weighting(self, noisy_clusters):
+        features, labels, queries, query_labels = noisy_clusters
+        knn = KNNClassifier(MCAMSearcher(bits=3), k=5, weighting="distance").fit(
+            features, labels
+        )
+        assert knn.score(queries, query_labels) > 0.8
+
+    def test_tie_break_prefers_nearest(self):
+        features = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        labels = np.array([0, 0, 1, 1])
+        knn = KNNClassifier(SoftwareSearcher("euclidean"), k=4).fit(features, labels)
+        # All four neighbors vote (2 vs 2); the nearest neighbor's label wins.
+        assert knn.predict_one(np.array([0.05, 0.0])) == 0
+        assert knn.predict_one(np.array([5.05, 5.0])) == 1
+
+    def test_iris_accuracy_reasonable(self):
+        split = train_test_split(load_iris(rng=11), rng=11)
+        knn = KNNClassifier(MCAMSearcher(bits=3), k=3).fit(
+            split.train.features, split.train.labels
+        )
+        assert knn.score(split.test.features, split.test.labels) > 0.8
+
+    def test_k_exceeding_entries_rejected(self):
+        with pytest.raises(SearchError):
+            KNNClassifier(SoftwareSearcher(), k=10).fit(np.ones((3, 2)), [0, 1, 0])
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(SearchError):
+            KNNClassifier(SoftwareSearcher(), k=1).predict_one(np.ones(2))
+
+    def test_missing_labels_rejected(self):
+        with pytest.raises(SearchError):
+            KNNClassifier(SoftwareSearcher(), k=1).fit(np.ones((3, 2)), None)
+
+    def test_invalid_weighting_rejected(self):
+        with pytest.raises(Exception):
+            KNNClassifier(SoftwareSearcher(), k=1, weighting="gaussian")

@@ -1,0 +1,187 @@
+"""Tests for the three NN-search engines and their shared interface."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MCAMSearcher,
+    SoftwareSearcher,
+    TCAMLSHSearcher,
+    make_searcher,
+)
+from repro.distance import euclidean_distances
+from repro.exceptions import SearchError
+from repro.utils import accuracy
+
+
+@pytest.fixture(scope="module")
+def toy_data():
+    rng = np.random.default_rng(9)
+    centers = np.array([[0.0, 0.0, 0.0, 0.0], [5.0, 5.0, 5.0, 5.0], [0.0, 5.0, 0.0, 5.0]])
+    features = np.vstack([center + rng.normal(0, 0.4, size=(30, 4)) for center in centers])
+    labels = np.repeat([0, 1, 2], 30)
+    return features, labels
+
+
+class TestSoftwareSearcher:
+    def test_euclidean_matches_brute_force(self, toy_data):
+        features, labels = toy_data
+        searcher = SoftwareSearcher(metric="euclidean").fit(features, labels)
+        query = features[5] + 0.01
+        expected = int(np.argmin(euclidean_distances(features, query)))
+        assert searcher.nearest(query) == expected
+
+    def test_predict_high_accuracy_on_separable_data(self, toy_data):
+        features, labels = toy_data
+        searcher = SoftwareSearcher(metric="cosine").fit(features, labels)
+        rng = np.random.default_rng(1)
+        queries = features + rng.normal(0, 0.1, size=features.shape)
+        assert accuracy(searcher.predict(queries), labels) > 0.9
+
+    def test_kneighbors_scores_sorted(self, toy_data):
+        features, labels = toy_data
+        searcher = SoftwareSearcher(metric="euclidean").fit(features, labels)
+        result = searcher.kneighbors(features[0], k=5)
+        assert np.all(np.diff(result.scores) >= 0)
+        assert len(result.indices) == 5
+        assert len(result.labels) == 5
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(Exception):
+            SoftwareSearcher(metric="mahalanobis")
+
+    def test_unfitted_search_rejected(self):
+        with pytest.raises(SearchError):
+            SoftwareSearcher().nearest([1.0, 2.0])
+
+    def test_predict_without_labels_rejected(self, toy_data):
+        features, _ = toy_data
+        searcher = SoftwareSearcher().fit(features)
+        with pytest.raises(SearchError):
+            searcher.predict(features[:2])
+
+    def test_label_count_mismatch_rejected(self, toy_data):
+        features, labels = toy_data
+        with pytest.raises(SearchError):
+            SoftwareSearcher().fit(features, labels[:-1])
+
+    def test_query_dimension_mismatch_rejected(self, toy_data):
+        features, labels = toy_data
+        searcher = SoftwareSearcher().fit(features, labels)
+        with pytest.raises(SearchError):
+            searcher.nearest([1.0, 2.0])
+
+    def test_k_out_of_range_rejected(self, toy_data):
+        features, labels = toy_data
+        searcher = SoftwareSearcher().fit(features, labels)
+        with pytest.raises(Exception):
+            searcher.kneighbors(features[0], k=1000)
+
+
+class TestMCAMSearcher:
+    def test_exact_queries_recover_training_points(self, toy_data):
+        features, labels = toy_data
+        searcher = MCAMSearcher(bits=3, seed=0).fit(features, labels)
+        for index in (0, 31, 61):
+            assert searcher.nearest(features[index]) == index
+
+    def test_accuracy_close_to_software(self, toy_data):
+        features, labels = toy_data
+        rng = np.random.default_rng(2)
+        queries = features + rng.normal(0, 0.2, size=features.shape)
+        software = SoftwareSearcher(metric="euclidean").fit(features, labels)
+        mcam = MCAMSearcher(bits=3, seed=0).fit(features, labels)
+        soft_acc = accuracy(software.predict(queries), labels)
+        mcam_acc = accuracy(mcam.predict(queries), labels)
+        assert mcam_acc >= soft_acc - 0.05
+
+    def test_two_bit_precision_not_better_than_three(self, toy_data):
+        features, labels = toy_data
+        rng = np.random.default_rng(3)
+        queries = features + rng.normal(0, 0.6, size=features.shape)
+        acc2 = accuracy(MCAMSearcher(bits=2, seed=0).fit(features, labels).predict(queries), labels)
+        acc3 = accuracy(MCAMSearcher(bits=3, seed=0).fit(features, labels).predict(queries), labels)
+        assert acc3 >= acc2 - 0.05
+
+    def test_array_property_exposes_rows(self, toy_data):
+        features, labels = toy_data
+        searcher = MCAMSearcher(bits=3).fit(features, labels)
+        assert searcher.array.num_rows == features.shape[0]
+
+    def test_array_property_requires_fit(self):
+        with pytest.raises(SearchError):
+            MCAMSearcher(bits=3).array
+
+    def test_kneighbors_scores_are_conductances(self, toy_data):
+        features, labels = toy_data
+        searcher = MCAMSearcher(bits=3).fit(features, labels)
+        result = searcher.kneighbors(features[0], k=3)
+        assert np.all(result.scores > 0)
+        assert np.all(np.diff(result.scores) >= 0)
+
+
+class TestTCAMLSHSearcher:
+    def test_recovers_exact_training_points_mostly(self, toy_data):
+        features, labels = toy_data
+        searcher = TCAMLSHSearcher(num_bits=64, seed=0).fit(features, labels)
+        hits = sum(searcher.nearest(features[i]) == i for i in range(0, 90, 10))
+        # LSH signatures of near-identical points collide, so the winner may
+        # be another sample of the same cluster; label-level accuracy is the
+        # meaningful check.
+        predictions = searcher.predict(features[::10])
+        assert accuracy(predictions, labels[::10]) == 1.0
+        assert hits >= 0  # sanity: no exception path
+
+    def test_longer_signatures_do_not_hurt(self, toy_data):
+        features, labels = toy_data
+        rng = np.random.default_rng(4)
+        queries = features + rng.normal(0, 0.8, size=features.shape)
+        short = TCAMLSHSearcher(num_bits=8, seed=1).fit(features, labels)
+        long = TCAMLSHSearcher(num_bits=256, seed=1).fit(features, labels)
+        short_acc = accuracy(short.predict(queries), labels)
+        long_acc = accuracy(long.predict(queries), labels)
+        assert long_acc >= short_acc - 0.02
+
+    def test_tcam_property(self, toy_data):
+        features, labels = toy_data
+        searcher = TCAMLSHSearcher(num_bits=32, seed=0).fit(features, labels)
+        assert searcher.tcam.num_rows == features.shape[0]
+
+    def test_num_entries(self, toy_data):
+        features, labels = toy_data
+        searcher = TCAMLSHSearcher(num_bits=16, seed=0).fit(features, labels)
+        assert searcher.num_entries == features.shape[0]
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("cosine", SoftwareSearcher),
+            ("euclidean", SoftwareSearcher),
+            ("mcam-3bit", MCAMSearcher),
+            ("mcam-2bit", MCAMSearcher),
+            ("mcam", MCAMSearcher),
+            ("tcam-lsh", TCAMLSHSearcher),
+            ("TCAM+LSH", TCAMLSHSearcher),
+        ],
+    )
+    def test_factory_types(self, name, expected_type):
+        searcher = make_searcher(name, num_features=16)
+        assert isinstance(searcher, expected_type)
+
+    def test_factory_bit_precision(self):
+        assert make_searcher("mcam-2bit", num_features=8).bits == 2
+        assert make_searcher("mcam", num_features=8, bits=4).bits == 4
+
+    def test_factory_iso_word_length_lsh(self):
+        searcher = make_searcher("tcam-lsh", num_features=37)
+        assert searcher.num_bits == 37
+
+    def test_factory_lsh_override(self):
+        searcher = make_searcher("tcam-lsh", num_features=64, lsh_bits=512)
+        assert searcher.num_bits == 512
+
+    def test_factory_unknown_name(self):
+        with pytest.raises(SearchError):
+            make_searcher("faiss", num_features=4)

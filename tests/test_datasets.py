@@ -1,0 +1,177 @@
+"""Tests for the dataset containers, generators and UCI-style substitutes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ClusterSpec,
+    Dataset,
+    FIG6_DATASET_KEYS,
+    UCI_SPECS,
+    available_datasets,
+    load_breast_cancer,
+    load_iris,
+    load_uci_dataset,
+    load_wine,
+    load_wine_quality_red,
+    make_clusters,
+    train_test_split,
+)
+from repro.exceptions import DatasetError
+
+
+class TestDataset:
+    def test_properties(self):
+        dataset = Dataset("toy", np.ones((6, 3)), np.array([0, 0, 1, 1, 2, 2]))
+        assert dataset.num_samples == 6
+        assert dataset.num_features == 3
+        assert dataset.num_classes == 3
+        assert dataset.class_counts() == {0: 2, 1: 2, 2: 2}
+
+    def test_subset(self):
+        dataset = Dataset("toy", np.arange(12).reshape(6, 2).astype(float), np.arange(6))
+        subset = dataset.subset([0, 2, 4])
+        assert subset.num_samples == 3
+        assert list(subset.labels) == [0, 2, 4]
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset("bad", np.ones((3, 2)), np.array([0, 1]))
+
+    def test_non_finite_features_rejected(self):
+        with pytest.raises(Exception):
+            Dataset("bad", np.array([[np.nan, 1.0]]), np.array([0]))
+
+
+class TestTrainTestSplit:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_iris(rng=3)
+
+    def test_split_sizes(self, dataset):
+        split = train_test_split(dataset, test_fraction=0.2, rng=0)
+        assert split.train.num_samples + split.test.num_samples == dataset.num_samples
+        assert split.test.num_samples == pytest.approx(0.2 * dataset.num_samples, abs=3)
+
+    def test_stratified_keeps_all_classes_in_train(self, dataset):
+        split = train_test_split(dataset, test_fraction=0.2, stratified=True, rng=1)
+        assert split.train.num_classes == dataset.num_classes
+
+    def test_no_sample_overlap(self, dataset):
+        split = train_test_split(dataset, rng=2)
+        train_rows = {tuple(row) for row in split.train.features}
+        test_rows = {tuple(row) for row in split.test.features}
+        assert not train_rows & test_rows
+
+    def test_reproducible_with_seed(self, dataset):
+        a = train_test_split(dataset, rng=7)
+        b = train_test_split(dataset, rng=7)
+        assert np.array_equal(a.test.labels, b.test.labels)
+
+    def test_unstratified_split(self, dataset):
+        split = train_test_split(dataset, stratified=False, rng=4)
+        assert split.test.num_samples > 0
+
+    def test_invalid_fraction_rejected(self, dataset):
+        with pytest.raises(Exception):
+            train_test_split(dataset, test_fraction=0.0)
+        with pytest.raises(Exception):
+            train_test_split(dataset, test_fraction=1.5)
+
+
+class TestClusterGenerator:
+    def test_shapes_and_labels(self):
+        spec = ClusterSpec(
+            name="toy", num_samples=90, num_features=5, num_classes=3, class_separation=3.0
+        )
+        dataset = make_clusters(spec, rng=0)
+        assert dataset.features.shape == (90, 5)
+        assert dataset.num_classes == 3
+
+    def test_priors_respected(self):
+        spec = ClusterSpec(
+            name="skewed",
+            num_samples=200,
+            num_features=4,
+            num_classes=2,
+            class_separation=3.0,
+            class_priors=(0.8, 0.2),
+        )
+        counts = make_clusters(spec, rng=1).class_counts()
+        assert counts[0] > counts[1]
+        assert counts[0] + counts[1] == 200
+
+    def test_larger_separation_is_easier(self):
+        from repro.core import SoftwareSearcher
+
+        accuracies = []
+        for separation in (0.8, 4.0):
+            spec = ClusterSpec(
+                name="sep", num_samples=300, num_features=6, num_classes=3,
+                class_separation=separation,
+            )
+            dataset = make_clusters(spec, rng=2)
+            split = train_test_split(dataset, rng=2)
+            searcher = SoftwareSearcher("euclidean").fit(split.train.features, split.train.labels)
+            predictions = searcher.predict(split.test.features)
+            accuracies.append(np.mean(predictions == split.test.labels))
+        assert accuracies[1] > accuracies[0]
+
+    def test_reproducible(self):
+        spec = UCI_SPECS["iris"]
+        a = make_clusters(spec, rng=9)
+        b = make_clusters(spec, rng=9)
+        assert np.allclose(a.features, b.features)
+
+    def test_invalid_priors_rejected(self):
+        with pytest.raises(DatasetError):
+            ClusterSpec(
+                name="bad", num_samples=10, num_features=2, num_classes=2,
+                class_separation=1.0, class_priors=(0.5, 0.4),
+            )
+
+    def test_noise_dimensions_bounded(self):
+        with pytest.raises(Exception):
+            ClusterSpec(
+                name="bad", num_samples=10, num_features=3, num_classes=2,
+                class_separation=1.0, noise_dimensions=3,
+            )
+
+
+class TestUCIDatasets:
+    def test_available_keys(self):
+        assert set(available_datasets()) == set(FIG6_DATASET_KEYS)
+
+    @pytest.mark.parametrize(
+        "loader, samples, features, classes",
+        [
+            (load_iris, 150, 4, 3),
+            (load_wine, 178, 13, 3),
+            (load_breast_cancer, 569, 30, 2),
+            (load_wine_quality_red, 1599, 11, 6),
+        ],
+    )
+    def test_shapes_match_original_datasets(self, loader, samples, features, classes):
+        dataset = loader(rng=0)
+        assert dataset.num_samples == samples
+        assert dataset.num_features == features
+        assert dataset.num_classes == classes
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(DatasetError):
+            load_uci_dataset("mnist")
+
+    def test_wine_quality_is_hardest(self):
+        from repro.core import SoftwareSearcher
+
+        def nn_accuracy(dataset):
+            split = train_test_split(dataset, rng=5)
+            searcher = SoftwareSearcher("euclidean").fit(
+                split.train.features, split.train.labels
+            )
+            predictions = searcher.predict(split.test.features)
+            return float(np.mean(predictions == split.test.labels))
+
+        easy = nn_accuracy(load_iris(rng=5))
+        hard = nn_accuracy(load_wine_quality_red(rng=5))
+        assert hard < easy

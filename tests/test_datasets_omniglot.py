@@ -1,0 +1,112 @@
+"""Tests for the synthetic Omniglot-like embedding space."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import EmbeddingSpaceSpec, SyntheticEmbeddingSpace
+from repro.exceptions import DatasetError
+
+
+class TestSpec:
+    def test_defaults_match_paper(self):
+        spec = EmbeddingSpaceSpec()
+        assert spec.embedding_dim == 64
+        assert spec.num_classes == 659
+
+    def test_invalid_sparsity_rejected(self):
+        with pytest.raises(DatasetError):
+            EmbeddingSpaceSpec(activation_sparsity=1.0)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(Exception):
+            EmbeddingSpaceSpec(within_class_sigma=0.0)
+
+
+class TestPrototypes:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return SyntheticEmbeddingSpace(
+            EmbeddingSpaceSpec(num_classes=50, embedding_dim=64), seed=0
+        )
+
+    def test_prototype_shape(self, space):
+        assert space.prototypes.shape == (50, 64)
+
+    def test_prototypes_non_negative(self, space):
+        assert np.all(space.prototypes >= 0.0)
+
+    def test_prototypes_unit_rms(self, space):
+        rms = np.sqrt(np.mean(space.prototypes**2, axis=1))
+        assert np.allclose(rms, 1.0)
+
+    def test_same_seed_same_prototypes(self):
+        spec = EmbeddingSpaceSpec(num_classes=30, embedding_dim=32)
+        a = SyntheticEmbeddingSpace(spec, seed=7)
+        b = SyntheticEmbeddingSpace(spec, seed=7)
+        assert np.allclose(a.prototypes, b.prototypes)
+
+    def test_different_seed_different_prototypes(self):
+        spec = EmbeddingSpaceSpec(num_classes=30, embedding_dim=32)
+        a = SyntheticEmbeddingSpace(spec, seed=1)
+        b = SyntheticEmbeddingSpace(spec, seed=2)
+        assert not np.allclose(a.prototypes, b.prototypes)
+
+    def test_siblings_closer_than_strangers(self):
+        spec = EmbeddingSpaceSpec(num_classes=100, embedding_dim=64, classes_per_family=5)
+        space = SyntheticEmbeddingSpace(spec, seed=3)
+        prototypes = space.prototypes
+        num_families = int(np.ceil(100 / 5))
+        # Classes i and i + num_families share a family parent.
+        sibling = np.linalg.norm(prototypes[0] - prototypes[num_families])
+        strangers = [
+            np.linalg.norm(prototypes[0] - prototypes[j]) for j in range(1, num_families)
+        ]
+        assert sibling < np.median(strangers)
+
+    def test_expected_class_separation_positive(self, space):
+        assert space.expected_class_separation() > 0.0
+
+
+class TestSampling:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return SyntheticEmbeddingSpace(
+            EmbeddingSpaceSpec(num_classes=40, embedding_dim=64), seed=1
+        )
+
+    def test_sample_shape_and_labels(self, space):
+        embeddings, labels = space.sample([3, 7, 11], samples_per_class=4, rng=0)
+        assert embeddings.shape == (12, 64)
+        assert list(labels) == [3] * 4 + [7] * 4 + [11] * 4
+
+    def test_samples_non_negative(self, space):
+        embeddings, _ = space.sample([0, 1], samples_per_class=10, rng=1)
+        assert np.all(embeddings >= 0.0)
+
+    def test_samples_cluster_around_prototype(self, space):
+        embeddings, _ = space.sample([5], samples_per_class=100, rng=2)
+        own = np.linalg.norm(embeddings - space.prototypes[5], axis=1).mean()
+        other = np.linalg.norm(embeddings - space.prototypes[20], axis=1).mean()
+        assert own < other
+
+    def test_within_class_spread_scales_with_sigma(self):
+        tight_spec = EmbeddingSpaceSpec(num_classes=20, within_class_sigma=0.05)
+        loose_spec = EmbeddingSpaceSpec(num_classes=20, within_class_sigma=0.5)
+        tight = SyntheticEmbeddingSpace(tight_spec, seed=4)
+        loose = SyntheticEmbeddingSpace(loose_spec, seed=4)
+        tight_samples, _ = tight.sample([0], 50, rng=5)
+        loose_samples, _ = loose.sample([0], 50, rng=5)
+        assert loose_samples.std(axis=0).mean() > tight_samples.std(axis=0).mean()
+
+    def test_invalid_class_index_rejected(self, space):
+        with pytest.raises(DatasetError):
+            space.sample([100], samples_per_class=1)
+
+    def test_empty_class_list_rejected(self, space):
+        with pytest.raises(DatasetError):
+            space.sample([], samples_per_class=1)
+
+    def test_sampling_reproducible(self, space):
+        a, _ = space.sample([1, 2], 3, rng=9)
+        b, _ = space.sample([1, 2], 3, rng=9)
+        assert np.allclose(a, b)

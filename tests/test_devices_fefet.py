@@ -1,0 +1,174 @@
+"""Tests for the FeFET behavioral device model."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    EXPERIMENTAL_DEVICE,
+    SIMULATION_DEVICE,
+    VTH_HIGH_V,
+    VTH_LEVEL_GRID_V,
+    VTH_LOW_V,
+    FeFET,
+    FeFETParameters,
+    subthreshold_swing_from_curve,
+)
+from repro.devices.fefet import clip_vth
+from repro.exceptions import DeviceModelError
+
+
+class TestFeFETParameters:
+    def test_defaults_match_paper_geometry(self):
+        params = FeFETParameters()
+        assert params.width_nm == 250.0
+        assert params.length_nm == 250.0
+
+    def test_experimental_device_geometry(self):
+        assert EXPERIMENTAL_DEVICE.width_nm == 450.0
+        assert EXPERIMENTAL_DEVICE.length_nm == 450.0
+
+    def test_vth_window_spans_level_grid(self):
+        assert SIMULATION_DEVICE.vth_low_v == pytest.approx(VTH_LOW_V)
+        assert SIMULATION_DEVICE.vth_high_v == pytest.approx(VTH_HIGH_V)
+        assert SIMULATION_DEVICE.memory_window_v > 0
+
+    def test_level_grid_has_nine_levels_120mv_apart(self):
+        grid = np.asarray(VTH_LEVEL_GRID_V)
+        assert grid.shape == (9,)
+        assert np.allclose(np.diff(grid), 0.12)
+        assert grid[0] == pytest.approx(0.36)
+        assert grid[-1] == pytest.approx(1.32)
+
+    def test_subthreshold_swing_near_90mv_per_dec(self):
+        swing = FeFETParameters().subthreshold_swing_v_per_dec
+        assert 0.06 < swing < 0.12
+
+    def test_geometry_scale(self):
+        params = FeFETParameters(width_nm=500.0, length_nm=250.0)
+        assert params.geometry_scale == pytest.approx(2.0)
+
+    def test_with_geometry(self):
+        params = FeFETParameters().with_geometry(450.0, 450.0)
+        assert params.width_nm == 450.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(DeviceModelError):
+            FeFETParameters(vth_low_v=1.0, vth_high_v=0.5)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(Exception):
+            FeFETParameters(width_nm=-1.0)
+
+
+class TestFeFETCurrents:
+    def test_current_increases_with_vgs(self):
+        fefet = FeFET(vth_v=0.84)
+        vgs, current = fefet.transfer_characteristic()
+        assert np.all(np.diff(current) > 0)
+
+    def test_current_decreases_with_vth(self):
+        fefet = FeFET()
+        low = fefet.drain_current(0.8, vth_v=0.48)
+        high = fefet.drain_current(0.8, vth_v=1.32)
+        assert low > high
+
+    def test_off_current_floor(self):
+        fefet = FeFET(vth_v=1.32)
+        current = fefet.drain_current(0.0)
+        params = fefet.parameters
+        assert current >= params.off_current_a * params.geometry_scale
+
+    def test_on_current_soft_saturation(self):
+        fefet = FeFET(vth_v=0.48)
+        params = fefet.parameters
+        current = fefet.drain_current(2.5, vds_v=0.8)
+        # A large Vds raises the bias factor slightly above the 0.1 V
+        # normalization, so allow a modest margin above the nominal cap.
+        assert current < 1.5 * (params.on_current_a + params.off_current_a)
+
+    def test_scalar_input_returns_float(self):
+        fefet = FeFET()
+        assert isinstance(fefet.drain_current(0.5), float)
+
+    def test_array_input_returns_array(self):
+        fefet = FeFET()
+        result = fefet.drain_current(np.linspace(0, 1, 5))
+        assert result.shape == (5,)
+
+    def test_current_scales_with_vds_in_linear_region(self):
+        fefet = FeFET(vth_v=0.6)
+        small = fefet.drain_current(1.0, vds_v=0.01)
+        large = fefet.drain_current(1.0, vds_v=0.05)
+        assert large > small
+
+    def test_conductance_positive(self):
+        fefet = FeFET(vth_v=0.84)
+        assert fefet.conductance(1.2, vds_v=0.1) > 0
+
+    def test_conductance_rejects_zero_vds(self):
+        fefet = FeFET()
+        with pytest.raises(DeviceModelError):
+            fefet.conductance(0.5, vds_v=0.0)
+
+    def test_negative_vds_rejected(self):
+        fefet = FeFET()
+        with pytest.raises(DeviceModelError):
+            fefet.drain_current(0.5, vds_v=-0.1)
+
+    def test_geometry_scaling_of_current(self):
+        small = FeFET(FeFETParameters(width_nm=250, length_nm=250), vth_v=0.6)
+        wide = FeFET(FeFETParameters(width_nm=500, length_nm=250), vth_v=0.6)
+        assert wide.drain_current(1.0) == pytest.approx(2.0 * small.drain_current(1.0), rel=1e-6)
+
+    def test_transfer_characteristic_spans_decades(self):
+        fefet = FeFET(vth_v=0.84)
+        _, current = fefet.transfer_characteristic()
+        assert current.max() / current.min() > 100.0
+
+
+class TestVthHandling:
+    def test_vth_setter_within_window(self):
+        fefet = FeFET()
+        fefet.vth_v = 0.9
+        assert fefet.vth_v == 0.9
+
+    def test_vth_setter_rejects_far_outside(self):
+        fefet = FeFET()
+        with pytest.raises(DeviceModelError):
+            fefet.vth_v = 5.0
+
+    def test_constructor_rejects_far_outside(self):
+        with pytest.raises(DeviceModelError):
+            FeFET(vth_v=-3.0)
+
+    def test_clip_vth_scalar(self):
+        clipped = clip_vth(10.0, SIMULATION_DEVICE)
+        assert clipped == pytest.approx(SIMULATION_DEVICE.vth_high_v + 0.5)
+
+    def test_clip_vth_array(self):
+        values = clip_vth(np.array([-5.0, 0.9, 5.0]), SIMULATION_DEVICE)
+        assert values[1] == pytest.approx(0.9)
+        assert values[0] < values[1] < values[2]
+
+
+class TestSwingExtraction:
+    def test_extracted_swing_close_to_model(self):
+        fefet = FeFET(vth_v=0.84)
+        vgs = np.linspace(0.0, 1.2, 241)
+        current = fefet.drain_current(vgs)
+        swing = subthreshold_swing_from_curve(vgs, current)
+        assert 0.07 < swing < 0.15
+
+    def test_rejects_flat_curve(self):
+        vgs = np.linspace(0, 1, 10)
+        with pytest.raises(DeviceModelError):
+            subthreshold_swing_from_curve(vgs, np.full(10, 1e-9))
+
+    def test_rejects_nonpositive_current(self):
+        vgs = np.linspace(0, 1, 10)
+        with pytest.raises(DeviceModelError):
+            subthreshold_swing_from_curve(vgs, np.zeros(10))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(DeviceModelError):
+            subthreshold_swing_from_curve([0, 1, 2], [1e-9, 1e-8])

@@ -1,0 +1,99 @@
+"""Tests for the Preisach-style programming model."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    MAX_PROGRAM_PULSE_V,
+    MIN_PROGRAM_PULSE_V,
+    PreisachModel,
+    PreisachParameters,
+)
+from repro.exceptions import ProgrammingError
+
+
+class TestSwitchedFraction:
+    def test_monotonic_in_pulse_amplitude(self):
+        model = PreisachModel()
+        pulses = np.linspace(MIN_PROGRAM_PULSE_V, MAX_PROGRAM_PULSE_V, 20)
+        fractions = model.switched_fraction(pulses)
+        assert np.all(np.diff(fractions) > 0)
+
+    def test_endpoints_normalized(self):
+        model = PreisachModel()
+        assert model.switched_fraction(MIN_PROGRAM_PULSE_V) == pytest.approx(0.0, abs=1e-9)
+        assert model.switched_fraction(MAX_PROGRAM_PULSE_V) == pytest.approx(1.0, abs=1e-9)
+
+    def test_out_of_range_pulse_rejected(self):
+        model = PreisachModel()
+        with pytest.raises(ProgrammingError):
+            model.switched_fraction(0.5)
+        with pytest.raises(ProgrammingError):
+            model.switched_fraction(5.0)
+
+    def test_scalar_returns_float(self):
+        model = PreisachModel()
+        assert isinstance(model.switched_fraction(2.0), float)
+
+
+class TestVthProgramming:
+    def test_vth_decreases_with_pulse_amplitude(self):
+        model = PreisachModel()
+        pulses = np.linspace(MIN_PROGRAM_PULSE_V, MAX_PROGRAM_PULSE_V, 15)
+        vth = model.vth_after_pulse(pulses)
+        assert np.all(np.diff(vth) < 0)
+
+    def test_min_pulse_gives_high_vth(self):
+        model = PreisachModel()
+        assert model.vth_after_pulse(MIN_PROGRAM_PULSE_V) == pytest.approx(
+            model.device.vth_high_v
+        )
+
+    def test_max_pulse_gives_low_vth(self):
+        model = PreisachModel()
+        assert model.vth_after_pulse(MAX_PROGRAM_PULSE_V) == pytest.approx(
+            model.device.vth_low_v
+        )
+
+    def test_pulse_for_vth_roundtrip(self):
+        model = PreisachModel()
+        for target in np.linspace(model.device.vth_low_v, model.device.vth_high_v, 9):
+            pulse = model.pulse_for_vth(float(target))
+            assert model.vth_after_pulse(pulse) == pytest.approx(float(target), abs=1e-6)
+
+    def test_pulse_for_vth_out_of_window_rejected(self):
+        model = PreisachModel()
+        with pytest.raises(ProgrammingError):
+            model.pulse_for_vth(2.0)
+        with pytest.raises(ProgrammingError):
+            model.pulse_for_vth(0.0)
+
+    def test_pulses_for_levels_shape(self):
+        model = PreisachModel()
+        levels = model.equally_spaced_vth_levels(8)
+        pulses = model.pulses_for_levels(levels)
+        assert pulses.shape == (8,)
+        assert np.all(pulses >= MIN_PROGRAM_PULSE_V)
+        assert np.all(pulses <= MAX_PROGRAM_PULSE_V)
+
+    def test_equally_spaced_levels_cover_window(self):
+        model = PreisachModel()
+        levels = model.equally_spaced_vth_levels(8)
+        assert levels[0] == pytest.approx(model.device.vth_low_v)
+        assert levels[-1] == pytest.approx(model.device.vth_high_v)
+        assert np.allclose(np.diff(levels), np.diff(levels)[0])
+
+    def test_programming_curve_default_resolution(self):
+        model = PreisachModel()
+        pulses, vth = model.programming_curve()
+        assert pulses.shape == (36,)  # 1 V to 4.5 V in 0.1 V steps
+        assert vth.shape == (36,)
+
+    def test_lower_coercive_voltage_switches_earlier(self):
+        soft = PreisachModel(parameters=PreisachParameters(coercive_voltage_v=2.0))
+        hard = PreisachModel(parameters=PreisachParameters(coercive_voltage_v=3.5))
+        assert soft.switched_fraction(2.5) > hard.switched_fraction(2.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(Exception):
+            PreisachParameters(coercive_voltage_v=-1.0)

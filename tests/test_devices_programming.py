@@ -1,0 +1,109 @@
+"""Tests for the single-pulse and write-verify programming schemes."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    DEFAULT_GATE_CAPACITANCE_F,
+    GaussianVthVariationModel,
+    PreisachModel,
+    Pulse,
+    PulseTrain,
+    SinglePulseProgrammer,
+    WriteVerifyProgrammer,
+)
+from repro.exceptions import ProgrammingError
+
+
+class TestPulseAndTrain:
+    def test_pulse_energy_scales_with_v_squared(self):
+        weak = Pulse(amplitude_v=1.0, width_s=200e-9)
+        strong = Pulse(amplitude_v=2.0, width_s=200e-9)
+        assert strong.energy_j() == pytest.approx(4.0 * weak.energy_j())
+
+    def test_pulse_rejects_zero_amplitude(self):
+        with pytest.raises(ProgrammingError):
+            Pulse(amplitude_v=0.0, width_s=200e-9)
+
+    def test_pulse_rejects_non_positive_width(self):
+        with pytest.raises(Exception):
+            Pulse(amplitude_v=1.0, width_s=0.0)
+
+    def test_train_totals(self):
+        train = PulseTrain()
+        train.append(Pulse(amplitude_v=-5.0, width_s=500e-9))
+        train.append(Pulse(amplitude_v=3.0, width_s=200e-9))
+        assert train.num_pulses == 2
+        assert train.total_width_s == pytest.approx(700e-9)
+        expected = DEFAULT_GATE_CAPACITANCE_F * (25.0 + 9.0)
+        assert train.total_energy_j() == pytest.approx(expected)
+
+
+class TestSinglePulseProgrammer:
+    def test_reaches_target_without_variation(self):
+        programmer = SinglePulseProgrammer()
+        outcome = programmer.program(0.84, rng=0)
+        assert outcome.achieved_vth_v == pytest.approx(0.84, abs=1e-6)
+        assert outcome.num_program_pulses == 1
+        assert outcome.error_v == pytest.approx(0.0, abs=1e-6)
+
+    def test_train_includes_erase(self):
+        outcome = SinglePulseProgrammer().program(0.9)
+        assert outcome.pulse_train.num_pulses == 2
+        assert outcome.pulse_train.pulses[0].amplitude_v < 0
+
+    def test_variation_produces_spread(self):
+        programmer = SinglePulseProgrammer(variation=GaussianVthVariationModel(sigma_v=0.05))
+        outcomes = programmer.program_levels([0.84] * 50, rng=1)
+        achieved = np.array([o.achieved_vth_v for o in outcomes])
+        assert achieved.std() > 0.02
+
+    def test_energy_positive(self):
+        outcome = SinglePulseProgrammer().program(0.6)
+        assert outcome.energy_j > 0
+
+    def test_lower_vth_target_costs_more_energy(self):
+        programmer = SinglePulseProgrammer()
+        low = programmer.program(0.5)   # needs a strong pulse
+        high = programmer.program(1.3)  # nearly erased state
+        assert low.energy_j > high.energy_j
+
+    def test_out_of_window_target_rejected(self):
+        with pytest.raises(ProgrammingError):
+            SinglePulseProgrammer().program(2.5)
+
+
+class TestWriteVerifyProgrammer:
+    def test_no_variation_converges_immediately(self):
+        programmer = WriteVerifyProgrammer(tolerance_v=0.01)
+        outcome = programmer.program(0.84, rng=0)
+        assert outcome.num_program_pulses == 1
+        assert abs(outcome.error_v) <= 0.01
+
+    def test_reduces_error_under_variation(self):
+        variation = GaussianVthVariationModel(sigma_v=0.06)
+        single = SinglePulseProgrammer(variation=variation)
+        verify = WriteVerifyProgrammer(variation=variation, tolerance_v=0.02, max_iterations=8)
+        targets = [0.84] * 40
+        single_errors = [abs(o.error_v) for o in single.program_levels(targets, rng=3)]
+        verify_errors = [abs(o.error_v) for o in verify.program_levels(targets, rng=3)]
+        assert np.mean(verify_errors) < np.mean(single_errors)
+
+    def test_costs_more_energy_than_single_pulse(self):
+        variation = GaussianVthVariationModel(sigma_v=0.06)
+        single = SinglePulseProgrammer(variation=variation).program(0.84, rng=5)
+        verify = WriteVerifyProgrammer(variation=variation).program(0.84, rng=5)
+        assert verify.energy_j > single.energy_j
+
+    def test_respects_max_iterations(self):
+        variation = GaussianVthVariationModel(sigma_v=0.2)
+        programmer = WriteVerifyProgrammer(
+            variation=variation, tolerance_v=1e-6, max_iterations=3
+        )
+        outcome = programmer.program(0.84, rng=7)
+        assert outcome.num_program_pulses <= 3
+
+    def test_shared_preisach_model(self):
+        preisach = PreisachModel()
+        programmer = WriteVerifyProgrammer(preisach=preisach)
+        assert programmer.preisach is preisach

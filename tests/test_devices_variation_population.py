@@ -1,0 +1,120 @@
+"""Tests for the variation models and the device-population study (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    DevicePopulation,
+    DomainSwitchingVariationModel,
+    FeFETParameters,
+    GaussianVthVariationModel,
+    PAPER_MAX_SIGMA_V,
+    variation_from_sigma,
+)
+from repro.devices.variation import check_variation_model
+from repro.exceptions import ConfigurationError
+
+
+class TestGaussianVariation:
+    def test_zero_sigma_is_deterministic(self):
+        model = GaussianVthVariationModel(sigma_v=0.0)
+        assert model.sample_vth(0.84, rng=0) == pytest.approx(0.84)
+
+    def test_sample_spread_matches_sigma(self):
+        model = GaussianVthVariationModel(sigma_v=0.05)
+        samples = model.sample_vth(np.full(4000, 0.84), rng=1)
+        assert samples.std() == pytest.approx(0.05, rel=0.1)
+
+    def test_sigma_independent_of_state(self):
+        model = GaussianVthVariationModel(sigma_v=0.03)
+        assert model.sigma_for_vth(0.5) == model.sigma_for_vth(1.2) == 0.03
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(Exception):
+            GaussianVthVariationModel(sigma_v=-0.01)
+
+    def test_factory_helper(self):
+        assert variation_from_sigma(0.08).sigma_v == 0.08
+
+    def test_scalar_sample_returns_float(self):
+        assert isinstance(GaussianVthVariationModel(0.01).sample_vth(0.9, rng=0), float)
+
+
+class TestDomainSwitchingVariation:
+    def test_num_domains_scales_with_area(self):
+        small = DomainSwitchingVariationModel(FeFETParameters(width_nm=250, length_nm=250))
+        large = DomainSwitchingVariationModel(FeFETParameters(width_nm=500, length_nm=500))
+        assert large.num_domains == pytest.approx(4 * small.num_domains, rel=0.05)
+
+    def test_sigma_peaks_at_mid_window(self):
+        model = DomainSwitchingVariationModel()
+        device = model.device
+        mid = 0.5 * (device.vth_low_v + device.vth_high_v)
+        assert model.sigma_for_vth(mid) > model.sigma_for_vth(device.vth_high_v)
+        assert model.sigma_for_vth(mid) > model.sigma_for_vth(device.vth_low_v)
+
+    def test_max_sigma_in_paper_range(self):
+        model = DomainSwitchingVariationModel()
+        assert 0.04 < model.max_sigma_v() < 0.12  # tens of mV, up to ~80 mV
+
+    def test_larger_device_has_less_variation(self):
+        small = DomainSwitchingVariationModel(FeFETParameters(width_nm=250, length_nm=250))
+        large = DomainSwitchingVariationModel(FeFETParameters(width_nm=450, length_nm=450))
+        assert large.max_sigma_v() < small.max_sigma_v()
+
+    def test_samples_bounded_by_window_plus_mismatch(self):
+        model = DomainSwitchingVariationModel(baseline_sigma_v=0.0)
+        samples = model.sample_vth(np.full(500, 0.84), rng=2)
+        assert samples.min() >= model.device.vth_low_v - 1e-9
+        assert samples.max() <= model.device.vth_high_v + 1e-9
+
+    def test_empirical_sigma_matches_analytical(self):
+        model = DomainSwitchingVariationModel()
+        nominal = 0.84
+        samples = model.sample_vth(np.full(5000, nominal), rng=3)
+        assert samples.std() == pytest.approx(model.sigma_for_vth(nominal), rel=0.15)
+
+    def test_check_variation_model_protocol(self):
+        check_variation_model(DomainSwitchingVariationModel())
+        check_variation_model(GaussianVthVariationModel(0.01))
+        with pytest.raises(ConfigurationError):
+            check_variation_model(object())
+
+
+class TestDevicePopulation:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return DevicePopulation(num_devices=300).run_fast(rng=11)
+
+    def test_eight_states(self, summary):
+        assert summary.num_states == 8
+
+    def test_state_means_are_ordered(self, summary):
+        means = [d.statistics.mean for d in summary.distributions]
+        assert np.all(np.diff(means) > 0)
+
+    def test_max_sigma_in_expected_range(self, summary):
+        assert 0.03 < summary.max_sigma_v < 0.12
+
+    def test_mean_error_small(self, summary):
+        for distribution in summary.distributions:
+            assert abs(distribution.mean_error_v) < 0.03
+
+    def test_records_structure(self, summary):
+        records = summary.as_records()
+        assert len(records) == 8
+        assert {"state", "sigma_mv", "mean_vth_v"} <= set(records[0])
+
+    def test_histogram_counts(self, summary):
+        counts, edges = summary.distributions[0].histogram(bins=20)
+        assert counts.sum() == 300
+
+    def test_slow_path_matches_fast_path_statistically(self):
+        population = DevicePopulation(num_devices=60)
+        slow = population.run(rng=5)
+        fast = population.run_fast(rng=5)
+        assert slow.num_states == fast.num_states
+        assert abs(slow.max_sigma_v - fast.max_sigma_v) < 0.05
+
+    def test_paper_constant_sanity(self):
+        assert PAPER_MAX_SIGMA_V == pytest.approx(0.080)

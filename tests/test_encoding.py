@@ -1,0 +1,123 @@
+"""Tests for the LSH encoder and feature scalers."""
+
+import numpy as np
+import pytest
+
+from repro.encoding import MinMaxScaler, RandomHyperplaneLSH, StandardScaler, l2_normalize
+from repro.exceptions import ConfigurationError
+
+
+class TestRandomHyperplaneLSH:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(200, 16))
+
+    def test_signature_shape_and_values(self, data):
+        encoder = RandomHyperplaneLSH(num_bits=32, seed=0)
+        signatures = encoder.fit_encode(data)
+        assert signatures.shape == (200, 32)
+        assert set(np.unique(signatures)) <= {0, 1}
+
+    def test_deterministic_given_seed(self, data):
+        a = RandomHyperplaneLSH(num_bits=16, seed=5).fit_encode(data)
+        b = RandomHyperplaneLSH(num_bits=16, seed=5).fit_encode(data)
+        assert np.array_equal(a, b)
+
+    def test_identical_vectors_identical_signatures(self, data):
+        encoder = RandomHyperplaneLSH(num_bits=64, seed=1).fit(data)
+        signatures = encoder.encode(np.vstack([data[0], data[0]]))
+        assert np.array_equal(signatures[0], signatures[1])
+
+    def test_hamming_correlates_with_angle(self, data):
+        # Random-hyperplane LSH approximates the cosine distance: closer
+        # vectors must get closer signatures on average.
+        encoder = RandomHyperplaneLSH(num_bits=256, center=False, seed=2).fit(data)
+        base = data[0]
+        near = base + 0.1 * np.random.default_rng(3).normal(size=16)
+        far = -base
+        signatures = encoder.encode(np.vstack([base, near, far]))
+        hamming_near = np.count_nonzero(signatures[0] != signatures[1])
+        hamming_far = np.count_nonzero(signatures[0] != signatures[2])
+        assert hamming_near < hamming_far
+
+    def test_estimated_angle_range(self, data):
+        encoder = RandomHyperplaneLSH(num_bits=128, seed=4).fit(data)
+        signatures = encoder.encode(data[:2])
+        angle = encoder.estimated_angle(signatures[0], signatures[1])
+        assert 0.0 <= angle <= np.pi
+
+    def test_estimated_angle_identical_is_zero(self, data):
+        encoder = RandomHyperplaneLSH(num_bits=64, seed=4).fit(data)
+        signature = encoder.encode(data[:1])[0]
+        assert encoder.estimated_angle(signature, signature) == 0.0
+
+    def test_encode_before_fit_rejected(self, data):
+        with pytest.raises(ConfigurationError):
+            RandomHyperplaneLSH(num_bits=8).encode(data)
+
+    def test_dimension_mismatch_rejected(self, data):
+        encoder = RandomHyperplaneLSH(num_bits=8, seed=0).fit(data)
+        with pytest.raises(ConfigurationError):
+            encoder.encode(np.ones((2, 5)))
+
+    def test_wrong_signature_shape_rejected(self, data):
+        encoder = RandomHyperplaneLSH(num_bits=8, seed=0).fit(data)
+        with pytest.raises(ConfigurationError):
+            encoder.estimated_angle(np.zeros(4), np.zeros(4))
+
+
+class TestMinMaxScaler:
+    def test_scales_to_unit_interval(self):
+        scaler = MinMaxScaler()
+        data = np.array([[0.0, -10.0], [5.0, 10.0], [2.5, 0.0]])
+        scaled = scaler.fit_transform(data)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_clips_out_of_range(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [1.0]]))
+        assert scaler.transform(np.array([[2.0]]))[0, 0] == 1.0
+        assert scaler.transform(np.array([[-1.0]]))[0, 0] == 0.0
+
+    def test_constant_feature_does_not_divide_by_zero(self):
+        scaled = MinMaxScaler().fit_transform(np.array([[3.0], [3.0]]))
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+    def test_dimension_mismatch_rejected(self):
+        scaler = MinMaxScaler().fit(np.ones((3, 2)))
+        with pytest.raises(ConfigurationError):
+            scaler.transform(np.ones((3, 3)))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(loc=5.0, scale=3.0, size=(500, 4))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_constant_feature_finite(self):
+        scaled = StandardScaler().fit_transform(np.array([[1.0], [1.0], [1.0]]))
+        assert np.all(np.isfinite(scaled))
+
+
+class TestL2Normalize:
+    def test_unit_norm_rows(self):
+        data = np.array([[3.0, 4.0], [1.0, 0.0]])
+        normalized = l2_normalize(data)
+        assert np.allclose(np.linalg.norm(normalized, axis=1), 1.0)
+
+    def test_zero_row_unchanged(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0]])
+        normalized = l2_normalize(data)
+        assert np.allclose(normalized[0], 0.0)

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs end to end and prints its tables.
+
+The examples are the user-facing entry points of the repository, so the test
+suite executes each one in a subprocess (with reduced workload arguments
+where the script accepts them) and checks that it exits cleanly and produces
+the expected headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, extra argv, text expected in stdout)
+EXAMPLE_CASES = [
+    ("quickstart.py", [], "nearest neighbor"),
+    ("nn_classification.py", ["2"], "TCAM+LSH"),
+    ("few_shot_learning.py", ["4"], "TCAM+LSH baseline trails"),
+    ("energy_analysis.py", [], "feature extraction on the GPU"),
+    ("distance_function_analysis.py", [], "distance function"),
+    ("variation_study.py", ["3"], "variation"),
+]
+
+
+@pytest.mark.parametrize("script, argv, expected", EXAMPLE_CASES)
+def test_example_runs_cleanly(script, argv, expected):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    completed = subprocess.run(
+        [sys.executable, str(path), *argv],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\nstdout:\n{completed.stdout[-2000:]}\n"
+        f"stderr:\n{completed.stderr[-2000:]}"
+    )
+    assert expected.lower() in completed.stdout.lower()

@@ -1,0 +1,110 @@
+"""Tests for the per-figure experiment drivers and their registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        registered = set(list_experiments())
+        assert {"fig2b", "fig4", "gnd", "fig5", "fig6", "fig7", "fig8", "fig9", "energy"} <= registered
+
+    def test_titles_are_non_empty(self):
+        for title in list_experiments().values():
+            assert isinstance(title, str) and title
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig42")
+
+    def test_result_table_rendering(self):
+        result = run_experiment("gnd", quick=True)
+        table = result.to_table()
+        assert "conductance" in table
+
+    def test_empty_records_table(self):
+        result = ExperimentResult("x", "Empty", records=[])
+        assert "no records" in result.to_table()
+
+
+class TestFastDrivers:
+    """Drivers that run in well under a second even at paper scale."""
+
+    def test_fig2b(self):
+        result = run_experiment("fig2b", quick=True)
+        assert result.summary["num_states"] == 8
+        assert result.summary["current_decades_spanned"] > 2.0
+        assert 60.0 < result.summary["mean_subthreshold_swing_mv_per_dec"] < 200.0
+        assert len(result.records) == 8
+
+    def test_fig4(self):
+        result = run_experiment("fig4", quick=True)
+        assert result.summary["s1_curve_monotonic"]
+        assert 3 <= result.summary["derivative_peak_distance"] <= 5
+        assert result.summary["derivative_drops_at_far_distances"]
+
+    def test_gnd(self):
+        result = run_experiment("gnd", quick=True)
+        assert result.summary["g1_4_greater_than_g4_1"]
+        assert result.summary["g1_7_much_greater_than_g7_1"]
+        assert result.summary["g1_4_greater_than_g7_1"]
+
+    def test_fig5(self):
+        result = run_experiment("fig5", quick=True)
+        assert 30.0 < result.summary["max_sigma_mv"] < 120.0
+        assert result.summary["num_states"] == 8
+        assert len(result.records) == 8
+
+    def test_energy(self):
+        result = run_experiment("energy", quick=True)
+        summary = result.summary
+        assert summary["dataline_search_energy_overhead_percent"] == pytest.approx(56.0, abs=8.0)
+        assert 5.0 < summary["programming_energy_saving_percent"] < 30.0
+        assert summary["search_delay_ratio"] == pytest.approx(1.0)
+        assert summary["end_to_end_energy_improvement_mcam"] == pytest.approx(4.4, abs=0.5)
+        assert summary["end_to_end_latency_improvement_mcam"] == pytest.approx(4.5, abs=0.6)
+
+    def test_reproducible_given_seed(self):
+        a = run_experiment("fig5", quick=True, seed=5)
+        b = run_experiment("fig5", quick=True, seed=5)
+        assert a.summary["max_sigma_mv"] == pytest.approx(b.summary["max_sigma_mv"])
+
+
+class TestApplicationDrivers:
+    """Quick-mode runs of the accuracy experiments (slower, still seconds)."""
+
+    def test_fig6(self):
+        result = run_experiment("fig6", quick=True)
+        assert result.summary["mcam3_vs_tcam_lsh_gap_percent"] > 0.0
+        methods = {record["method"] for record in result.records}
+        assert methods == {"mcam-3bit", "mcam-2bit", "tcam-lsh", "cosine", "euclidean"}
+        datasets = {record["dataset"] for record in result.records}
+        assert len(datasets) == 4
+
+    def test_fig7(self):
+        result = run_experiment("fig7", quick=True)
+        assert result.summary["mcam3_vs_tcam_lsh_gap_percent"] > 5.0
+        assert abs(result.summary["cosine_minus_mcam3_percent"]) < 5.0
+        tasks = {record["task"] for record in result.records}
+        assert tasks == {"5-way 1-shot", "5-way 5-shot", "20-way 1-shot", "20-way 5-shot"}
+
+    def test_fig8(self):
+        result = run_experiment("fig8", quick=True)
+        assert result.summary["robust_up_to_80mv"]
+        assert result.summary["max_accuracy_drop_at_300mv_percent"] > result.summary[
+            "max_accuracy_drop_at_80mv_percent"
+        ]
+
+    def test_fig9(self):
+        result = run_experiment("fig9", quick=True)
+        assert result.summary["trend_correlation"] > 0.9
+        assert abs(result.summary["mean_experiment_minus_simulation_percent"]) < 10.0
+        kinds = {record["kind"] for record in result.records}
+        assert kinds == {"distance_function", "few_shot"}

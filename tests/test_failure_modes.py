@@ -1,0 +1,134 @@
+"""Failure-injection and robustness tests across subsystems.
+
+These tests deliberately push the models outside their comfortable operating
+points — extreme device variation, adversarial sensing noise, degenerate
+datasets, saturated quantizers — and check that the library either degrades
+gracefully or fails loudly with its own exception types (never silently
+returning nonsense).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    ConductanceLUT,
+    MCAMArray,
+    MatchLineModel,
+    TimeDomainSenseAmplifier,
+    build_varied_lut,
+)
+from repro.core import MCAMSearcher, SoftwareSearcher, UniformQuantizer
+from repro.datasets import Dataset, train_test_split
+from repro.devices import GaussianVthVariationModel
+from repro.exceptions import DatasetError, ReproError
+from repro.mann import MANNMemory
+from repro.utils import accuracy
+
+
+class TestExtremeVariation:
+    def test_huge_variation_destroys_but_does_not_crash(self, small_space):
+        """At 500 mV sigma the distance function is scrambled, not broken."""
+        lut = build_varied_lut(bits=3, variation=GaussianVthVariationModel(0.5), rng=0)
+        assert np.all(np.isfinite(lut.table_s))
+        assert np.all(lut.table_s >= 0)
+
+    def test_accuracy_degrades_monotonically_with_variation(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(60, 16))
+        labels = rng.integers(0, 4, size=60)
+        queries = features + rng.normal(0, 0.05, size=features.shape)
+
+        accuracies = []
+        for sigma in (0.0, 0.15, 0.6):
+            lut = build_varied_lut(
+                bits=3, variation=GaussianVthVariationModel(sigma), rng=1
+            )
+            searcher = MCAMSearcher(bits=3, lut=lut).fit(features, labels)
+            accuracies.append(accuracy(searcher.predict(queries), labels))
+        assert accuracies[0] >= accuracies[2]
+        assert accuracies[0] > 0.9  # nominal hardware recovers the points
+
+    def test_degenerate_flat_lut_still_returns_a_winner(self):
+        flat = ConductanceLUT(table_s=np.full((8, 8), 1e-6), bits=3)
+        array = MCAMArray(num_cells=4, bits=3, lut=flat)
+        array.write([[0, 1, 2, 3], [4, 5, 6, 7]], labels=[0, 1])
+        result = array.search([0, 1, 2, 3])
+        assert result.winner in (0, 1)
+
+
+class TestAdversarialSensing:
+    def test_extreme_timing_noise_drops_accuracy_toward_chance(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(40, 16))
+        labels = rng.integers(0, 4, size=40)
+        matchline = MatchLineModel(num_cells=16)
+        noisy_sense = TimeDomainSenseAmplifier(matchline, timing_noise_sigma_s=1.0)
+        clean = MCAMSearcher(bits=3).fit(features, labels)
+        noisy = MCAMSearcher(bits=3, sense_amplifier=noisy_sense, seed=3).fit(features, labels)
+        queries = features
+        assert accuracy(clean.predict(queries), labels) == 1.0
+        assert accuracy(noisy.predict(queries, rng=4), labels) < 0.9
+
+
+class TestDegenerateData:
+    def test_constant_features_do_not_crash_any_engine(self):
+        features = np.ones((10, 5))
+        labels = np.arange(10) % 2
+        for searcher in (SoftwareSearcher("euclidean"), MCAMSearcher(bits=3)):
+            searcher.fit(features, labels)
+            predictions = searcher.predict(features[:3])
+            assert predictions.shape == (3,)
+
+    def test_single_class_dataset_predicts_that_class(self):
+        rng = np.random.default_rng(5)
+        features = rng.normal(size=(12, 4))
+        labels = np.zeros(12, dtype=int)
+        searcher = MCAMSearcher(bits=2).fit(features, labels)
+        assert set(searcher.predict(features)) == {0}
+
+    def test_tiny_dataset_split_keeps_both_sides_nonempty(self):
+        dataset = Dataset("tiny", np.arange(10).reshape(5, 2).astype(float), np.array([0, 0, 1, 1, 1]))
+        split = train_test_split(dataset, test_fraction=0.2, rng=0)
+        assert split.train.num_samples >= 2
+        assert split.test.num_samples >= 1
+
+    def test_duplicate_rows_tie_break_deterministically(self):
+        features = np.vstack([np.zeros((3, 4)), np.ones((3, 4))])
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        searcher = MCAMSearcher(bits=3).fit(features, labels)
+        # All three zero rows are exact matches; the lowest index must win.
+        assert searcher.nearest(np.zeros(4)) == 0
+
+    def test_quantizer_saturation_does_not_flip_ordering(self):
+        quantizer = UniformQuantizer(bits=2)
+        quantizer.fit(np.array([[0.0], [1.0]]))
+        states = quantizer.quantize(np.array([[-100.0], [0.5], [100.0]]))
+        assert states[0, 0] <= states[1, 0] <= states[2, 0]
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_share_a_base_class(self):
+        from repro import exceptions
+
+        error_types = [
+            exceptions.ConfigurationError,
+            exceptions.DeviceModelError,
+            exceptions.ProgrammingError,
+            exceptions.CircuitError,
+            exceptions.CapacityError,
+            exceptions.SearchError,
+            exceptions.QuantizationError,
+            exceptions.DatasetError,
+            exceptions.EnergyModelError,
+            exceptions.ExperimentError,
+        ]
+        for error_type in error_types:
+            assert issubclass(error_type, ReproError)
+
+    def test_library_errors_are_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            MANNMemory().classify(np.ones((1, 3)))
+        with pytest.raises(ReproError):
+            Dataset("bad", np.ones((2, 2)), np.array([1]))
+        with pytest.raises(ReproError):
+            UniformQuantizer(bits=3).quantize(np.ones((1, 1)))

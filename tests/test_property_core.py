@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for quantization, metrics and search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import UniformQuantizer
+from repro.distance import (
+    cosine_distance,
+    euclidean_distance,
+    hamming_distance,
+    linf_distance,
+    manhattan_distance,
+)
+from repro.encoding import MinMaxScaler, RandomHyperplaneLSH
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def feature_matrices(min_rows=2, max_rows=12, min_cols=1, max_cols=6):
+    return st.integers(min_cols, max_cols).flatmap(
+        lambda cols: arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(min_rows, max_rows), st.just(cols)),
+            elements=finite_floats,
+        )
+    )
+
+
+class TestQuantizerProperties:
+    @given(features=feature_matrices(), bits=st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_states_always_in_range(self, features, bits):
+        quantizer = UniformQuantizer(bits=bits)
+        states = quantizer.fit_quantize(features)
+        assert states.min() >= 0
+        assert states.max() < 2**bits
+
+    @given(features=feature_matrices(min_rows=3), bits=st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_error_bounded_by_bin_width(self, features, bits):
+        quantizer = UniformQuantizer(bits=bits)
+        quantizer.fit(features)
+        reconstructed = quantizer.dequantize(quantizer.quantize(features))
+        low, high = quantizer.ranges
+        bin_width = (high - low) / 2**bits
+        assert np.all(np.abs(features - reconstructed) <= bin_width / 2 + 1e-9)
+
+    @given(
+        values=arrays(np.float64, st.integers(3, 20), elements=finite_floats),
+        bits=st.integers(1, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantization_preserves_ordering(self, values, bits):
+        features = np.sort(values).reshape(-1, 1)
+        states = UniformQuantizer(bits=bits).fit_quantize(features)
+        assert np.all(np.diff(states[:, 0]) >= 0)
+
+
+class TestMetricProperties:
+    vectors = arrays(np.float64, 6, elements=finite_floats)
+
+    @given(a=vectors, b=vectors, c=vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_triangle_inequality_and_symmetry(self, a, b, c):
+        for metric in (euclidean_distance, manhattan_distance, linf_distance):
+            assert metric(a, b) >= 0
+            assert metric(a, b) == pytest.approx(metric(b, a), rel=1e-9, abs=1e-9)
+            assert metric(a, c) <= metric(a, b) + metric(b, c) + 1e-6 * (
+                1.0 + metric(a, b) + metric(b, c)
+            )
+
+    @given(a=vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_identity_of_indiscernibles(self, a):
+        assert euclidean_distance(a, a) == 0.0
+        assert manhattan_distance(a, a) == 0.0
+        assert linf_distance(a, a) == 0.0
+
+    @given(a=vectors, b=vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_cosine_distance_bounded(self, a, b):
+        assert 0.0 <= cosine_distance(a, b) <= 2.0
+
+    @given(
+        a=arrays(np.int64, 16, elements=st.integers(0, 1)),
+        b=arrays(np.int64, 16, elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hamming_bounds_and_symmetry(self, a, b):
+        distance = hamming_distance(a, b)
+        assert 0 <= distance <= 16
+        assert distance == hamming_distance(b, a)
+        assert hamming_distance(a, a) == 0
+
+
+class TestEncodingProperties:
+    @given(features=feature_matrices(min_rows=3, min_cols=2))
+    @settings(max_examples=40, deadline=None)
+    def test_minmax_output_in_unit_interval(self, features):
+        scaled = MinMaxScaler().fit_transform(features)
+        assert np.all(scaled >= 0.0) and np.all(scaled <= 1.0)
+
+    @given(
+        features=feature_matrices(min_rows=4, min_cols=2, max_cols=5),
+        num_bits=st.integers(4, 64),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lsh_signatures_binary_and_deterministic(self, features, num_bits):
+        encoder = RandomHyperplaneLSH(num_bits=num_bits, seed=0)
+        signatures = encoder.fit_encode(features)
+        assert signatures.shape == (features.shape[0], num_bits)
+        assert set(np.unique(signatures)) <= {0, 1}
+        assert np.array_equal(signatures, encoder.encode(features))

@@ -1,0 +1,94 @@
+"""Tests for the package's public surface: exports, version, docstrings."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.devices",
+    "repro.circuits",
+    "repro.distance",
+    "repro.encoding",
+    "repro.datasets",
+    "repro.mann",
+    "repro.energy",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+class TestTopLevelPackage:
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_paper_metadata(self):
+        assert "FeFET" in repro.PAPER
+        assert repro.ARXIV_ID == "2011.07095"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_core_classes_importable_from_top_level(self):
+        assert repro.MCAMSearcher is not None
+        assert repro.UniformQuantizer is not None
+        assert repro.MCAMDistance is not None
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+class TestDocumentedPublicClasses:
+    @pytest.mark.parametrize(
+        "qualified_name",
+        [
+            "repro.core.MCAMSearcher",
+            "repro.core.SoftwareSearcher",
+            "repro.core.TCAMLSHSearcher",
+            "repro.core.UniformQuantizer",
+            "repro.core.MCAMDistance",
+            "repro.circuits.MCAMCell",
+            "repro.circuits.MCAMArray",
+            "repro.circuits.TCAMArray",
+            "repro.circuits.ConductanceLUT",
+            "repro.circuits.MatchLineModel",
+            "repro.devices.FeFET",
+            "repro.devices.PreisachModel",
+            "repro.devices.DevicePopulation",
+            "repro.datasets.SyntheticEmbeddingSpace",
+            "repro.mann.MANNMemory",
+            "repro.mann.FewShotEvaluator",
+            "repro.energy.CAMEnergyModel",
+            "repro.energy.EndToEndComparison",
+            "repro.analysis.NNClassificationBenchmark",
+            "repro.analysis.VariationSweep",
+        ],
+    )
+    def test_public_classes_have_docstrings(self, qualified_name):
+        module_name, _, class_name = qualified_name.rpartition(".")
+        module = importlib.import_module(module_name)
+        cls = getattr(module, class_name)
+        assert cls.__doc__ and len(cls.__doc__.strip()) > 30

@@ -1,0 +1,76 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import DEFAULT_EXPERIMENT_SEED, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(7).integers(0, 1000, size=10)
+        b = ensure_rng(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=20)
+        b = ensure_rng(2).integers(0, 1_000_000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(5)
+        generator = ensure_rng(sequence)
+        assert isinstance(generator, np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_default_experiment_seed_is_positive_int(self):
+        assert isinstance(DEFAULT_EXPERIMENT_SEED, int)
+        assert DEFAULT_EXPERIMENT_SEED > 0
+
+
+class TestSpawnRngs:
+    def test_spawn_count(self):
+        children = spawn_rngs(11, 4)
+        assert len(children) == 4
+        assert all(isinstance(child, np.random.Generator) for child in children)
+
+    def test_spawn_reproducible_from_int_seed(self):
+        first = [g.integers(0, 1000) for g in spawn_rngs(13, 3)]
+        second = [g.integers(0, 1000) for g in spawn_rngs(13, 3)]
+        assert first == second
+
+    def test_spawned_streams_are_independent(self):
+        children = spawn_rngs(17, 2)
+        a = children[0].integers(0, 1_000_000, size=50)
+        b = children[1].integers(0, 1_000_000, size=50)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_from_generator(self):
+        generator = np.random.default_rng(19)
+        children = spawn_rngs(generator, 3)
+        assert len(children) == 3
+
+    def test_spawn_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_spawn_from_none_gives_fresh_generators(self):
+        children = spawn_rngs(None, 2)
+        assert len(children) == 2

@@ -1,0 +1,162 @@
+"""Tests for repro.utils.stats, repro.utils.tables and repro.utils.io."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.io import load_csv, load_json, save_csv, save_json, to_jsonable
+from repro.utils.stats import (
+    accuracy,
+    geometric_mean,
+    histogram,
+    relative_difference,
+    summarize,
+)
+from repro.utils.tables import (
+    format_percent,
+    format_ratio,
+    format_records,
+    format_si,
+    format_table,
+)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.count == 4
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_value_has_zero_std(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+        assert stats.stderr == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        low, high = stats.confidence_interval()
+        assert low <= stats.mean <= high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([1.0, float("nan")])
+
+
+class TestAccuracyAndFriends:
+    def test_accuracy_all_correct(self):
+        assert accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_accuracy_partial(self):
+        assert accuracy([1, 2, 3, 4], [1, 2, 0, 0]) == 0.5
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            accuracy([1, 2], [1, 2, 3])
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            accuracy([], [])
+
+    def test_relative_difference(self):
+        assert relative_difference(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_relative_difference_zero_reference(self):
+        with pytest.raises(ConfigurationError):
+            relative_difference(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_histogram_counts_sum(self):
+        counts, edges = histogram([1, 2, 3, 4, 5], bins=5)
+        assert counts.sum() == 5
+        assert len(edges) == 6
+
+    def test_histogram_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            histogram([])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert len(lines) == 4  # header, separator, two rows
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="My title")
+        assert text.startswith("My title")
+
+    def test_format_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_records_default_columns(self):
+        text = format_records([{"a": 1, "b": 2.0}, {"a": 3, "b": 4.0}])
+        assert "a" in text and "b" in text
+
+    def test_format_records_missing_key_renders_dash(self):
+        text = format_records([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in text
+
+    def test_format_records_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_records([])
+
+    def test_format_percent(self):
+        assert format_percent(0.9834) == "98.34%"
+
+    def test_format_ratio(self):
+        assert format_ratio(4.4) == "4.40x"
+
+    def test_format_si_nano(self):
+        assert format_si(3.2e-9, "J", decimals=1) == "3.2 nJ"
+
+    def test_format_si_zero(self):
+        assert format_si(0.0, "J") == "0 J"
+
+    def test_none_cell(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text
+
+
+class TestIO:
+    def test_json_roundtrip(self, tmp_path):
+        data = {"value": np.float64(1.5), "array": np.arange(3), "flag": np.bool_(True)}
+        path = save_json(data, tmp_path / "out.json")
+        loaded = load_json(path)
+        assert loaded["value"] == 1.5
+        assert loaded["array"] == [0, 1, 2]
+        assert loaded["flag"] is True
+
+    def test_csv_roundtrip(self, tmp_path):
+        records = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5, "c": "x"}]
+        path = save_csv(records, tmp_path / "out.csv")
+        loaded = load_csv(path)
+        assert len(loaded) == 2
+        assert loaded[0]["a"] == "1"
+        assert loaded[1]["c"] == "x"
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv([], tmp_path / "out.csv")
+
+    def test_to_jsonable_handles_nested(self):
+        nested = {"outer": [{"inner": np.int32(7)}]}
+        assert to_jsonable(nested) == {"outer": [{"inner": 7}]}
+
+    def test_json_creates_parent_dirs(self, tmp_path):
+        path = save_json({"x": 1}, tmp_path / "deep" / "dir" / "out.json")
+        assert path.exists()

@@ -1,0 +1,147 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    as_1d_array,
+    as_2d_array,
+    check_bits,
+    check_choice,
+    check_feature_matrix,
+    check_int_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_same_length,
+    check_state_matrix,
+)
+
+
+class TestScalarChecks:
+    def test_check_positive_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive(value, "x")
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-0.1, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_probability_accepts(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_check_probability_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability(value, "p")
+
+
+class TestIntChecks:
+    def test_in_range(self):
+        assert check_int_in_range(3, "n", minimum=1, maximum=5) == 3
+
+    def test_below_minimum(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(0, "n", minimum=1)
+
+    def test_above_maximum(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(10, "n", maximum=5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(2.5, "n")
+
+    def test_accepts_numpy_integer(self):
+        assert check_int_in_range(np.int64(4), "n", minimum=0) == 4
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 6])
+    def test_check_bits_accepts(self, bits):
+        assert check_bits(bits) == bits
+
+    @pytest.mark.parametrize("bits", [0, 7, -1])
+    def test_check_bits_rejects(self, bits):
+        with pytest.raises(ConfigurationError):
+            check_bits(bits)
+
+
+class TestChoiceAndLength:
+    def test_choice_accepts_member(self):
+        assert check_choice("a", "mode", ("a", "b")) == "a"
+
+    def test_choice_rejects_non_member(self):
+        with pytest.raises(ConfigurationError):
+            check_choice("c", "mode", ("a", "b"))
+
+    def test_same_length_accepts(self):
+        a, b = check_same_length([1, 2], [3, 4], "a", "b")
+        assert len(a) == len(b) == 2
+
+    def test_same_length_rejects(self):
+        with pytest.raises(ConfigurationError):
+            check_same_length([1, 2], [3], "a", "b")
+
+
+class TestArrayChecks:
+    def test_as_1d_from_scalar(self):
+        assert as_1d_array(3.0, "x").shape == (1,)
+
+    def test_as_1d_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            as_1d_array([[1, 2], [3, 4]], "x")
+
+    def test_as_2d_from_1d(self):
+        assert as_2d_array([1.0, 2.0, 3.0], "x").shape == (1, 3)
+
+    def test_as_2d_rejects_3d(self):
+        with pytest.raises(ConfigurationError):
+            as_2d_array(np.zeros((2, 2, 2)), "x")
+
+    def test_feature_matrix_accepts_finite(self):
+        matrix = check_feature_matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert matrix.shape == (2, 2)
+
+    def test_feature_matrix_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_feature_matrix([[1.0, float("nan")]])
+
+    def test_feature_matrix_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            check_feature_matrix(np.zeros((0, 3)))
+
+    def test_state_matrix_accepts_integers(self):
+        states = check_state_matrix([[0, 1], [2, 3]], num_states=4)
+        assert states.dtype == np.int64
+
+    def test_state_matrix_accepts_integer_valued_floats(self):
+        states = check_state_matrix([[0.0, 1.0]], num_states=2)
+        assert states.tolist() == [[0, 1]]
+
+    def test_state_matrix_rejects_fractional(self):
+        with pytest.raises(ConfigurationError):
+            check_state_matrix([[0.5]], num_states=2)
+
+    def test_state_matrix_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            check_state_matrix([[0, 4]], num_states=4)
+
+    def test_state_matrix_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_state_matrix([[-1, 0]], num_states=4)
+
+    def test_state_matrix_promotes_1d(self):
+        states = check_state_matrix([0, 1, 2], num_states=3)
+        assert states.shape == (1, 3)
