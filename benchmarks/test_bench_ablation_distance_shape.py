@@ -13,7 +13,6 @@ measures few-shot accuracy, confirming that
   the Hamming space of LSH signatures.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (

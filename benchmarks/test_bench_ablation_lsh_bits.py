@@ -9,8 +9,6 @@ approaches the software baseline, but at the iso-word-length operating point
 MCAM — which is the comparison Figs. 6 and 7 make.
 """
 
-import numpy as np
-import pytest
 
 from repro.core import MCAMSearcher, SoftwareSearcher, TCAMLSHSearcher
 from repro.datasets import SyntheticEmbeddingSpace

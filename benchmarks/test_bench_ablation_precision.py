@@ -8,8 +8,6 @@ around 3 bits — the precision FeFETs can realistically provide — and that a
 1-bit cell (a plain binary CAM over thresholded features) is clearly worse.
 """
 
-import numpy as np
-import pytest
 
 from repro.core import MCAMSearcher, SoftwareSearcher
 from repro.datasets import SyntheticEmbeddingSpace

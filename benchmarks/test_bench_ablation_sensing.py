@@ -7,7 +7,6 @@ finite timing resolution are added to the RC match-line model and the
 few-shot accuracy is compared against ideal sensing.
 """
 
-import numpy as np
 import pytest
 
 from repro.circuits import MatchLineModel, TimeDomainSenseAmplifier

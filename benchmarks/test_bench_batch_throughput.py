@@ -1,0 +1,113 @@
+"""Single-query vs. batched search throughput (the batch-runtime speedup).
+
+The batched runtime evaluates a whole query matrix in one vectorized pass
+over the programmed array state; this benchmark records the measured
+queries/sec of both paths so the speedup is a tracked number.  The MCAM
+comparison also gates the ratio: a 256-query batch must be at least 5x
+faster than 256 single-query calls, with identical neighbor indices.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import make_searcher
+
+pytestmark = pytest.mark.smoke
+
+NUM_STORED = 512
+NUM_FEATURES = 32
+NUM_QUERIES = 256
+REQUIRED_MCAM_SPEEDUP = 5.0
+
+RNG = np.random.default_rng(42)
+
+
+def _timed(fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def workload():
+    features = RNG.normal(size=(NUM_STORED, NUM_FEATURES))
+    labels = RNG.integers(0, 16, size=NUM_STORED)
+    queries = RNG.normal(size=(NUM_QUERIES, NUM_FEATURES))
+    return features, labels, queries
+
+
+def _fit(name, workload):
+    features, labels, _ = workload
+    return make_searcher(name, num_features=NUM_FEATURES, seed=7).fit(features, labels)
+
+
+def test_mcam_batch_speedup_at_least_5x(workload, record_result):
+    searcher = _fit("mcam-3bit", workload)
+    queries = workload[2]
+
+    def run_single():
+        return [searcher.kneighbors(query, k=1).indices[0] for query in queries]
+
+    def run_batch():
+        return searcher.kneighbors_batch(queries, k=1).indices[:, 0]
+
+    # Identical neighbor indices is part of the acceptance gate.
+    np.testing.assert_array_equal(np.asarray(run_single()), run_batch())
+
+    single_s = _timed(run_single)
+    batch_s = _timed(run_batch)
+    speedup = single_s / batch_s
+    single_qps = NUM_QUERIES / single_s
+    batch_qps = NUM_QUERIES / batch_s
+    record_result(
+        "batch_throughput_mcam",
+        f"stored={NUM_STORED} features={NUM_FEATURES} queries={NUM_QUERIES}\n"
+        f"single-query: {single_qps:,.0f} queries/sec\n"
+        f"batched:      {batch_qps:,.0f} queries/sec\n"
+        f"speedup:      {speedup:.1f}x",
+    )
+    assert speedup >= REQUIRED_MCAM_SPEEDUP, (
+        f"batched MCAM search is only {speedup:.1f}x faster than looped "
+        f"single-query search (required: {REQUIRED_MCAM_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.parametrize("name", ("cosine", "tcam-lsh"))
+def test_batch_throughput_tracked_for_baselines(name, workload, record_result):
+    searcher = _fit(name, workload)
+    queries = workload[2]
+    single_s = _timed(
+        lambda: [searcher.kneighbors(query, k=1).indices[0] for query in queries]
+    )
+    batch_s = _timed(lambda: searcher.kneighbors_batch(queries, k=1))
+    record_result(
+        f"batch_throughput_{name.replace('-', '_')}",
+        f"stored={NUM_STORED} features={NUM_FEATURES} queries={NUM_QUERIES}\n"
+        f"single-query: {NUM_QUERIES / single_s:,.0f} queries/sec\n"
+        f"batched:      {NUM_QUERIES / batch_s:,.0f} queries/sec\n"
+        f"speedup:      {single_s / batch_s:.1f}x",
+    )
+    # Batching must never be slower than the loop it replaces.
+    assert batch_s < single_s
+
+
+def test_mcam_batch_search_rate(benchmark, workload):
+    searcher = _fit("mcam-3bit", workload)
+    queries = workload[2]
+    result = benchmark(searcher.kneighbors_batch, queries, 1)
+    assert result.indices.shape == (NUM_QUERIES, 1)
+
+
+def test_mcam_single_query_search_rate(benchmark, workload):
+    searcher = _fit("mcam-3bit", workload)
+    query = workload[2][0]
+    result = benchmark(searcher.kneighbors, query, 1)
+    assert result.indices.shape == (1,)

@@ -7,7 +7,6 @@ delay that distinguishes the CAM from a sequential software scan.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import ScalingStudy
 

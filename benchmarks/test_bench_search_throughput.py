@@ -12,6 +12,8 @@ from repro.circuits import MCAMArray, build_nominal_lut, build_varied_lut
 from repro.core import MCAMSearcher, UniformQuantizer
 from repro.devices import GaussianVthVariationModel
 
+pytestmark = pytest.mark.smoke
+
 RNG = np.random.default_rng(2021)
 
 

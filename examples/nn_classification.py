@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import sys
 
-import numpy as np
 
 from repro.analysis import FIG6_METHODS, NNClassificationBenchmark, average_gap_percent
 from repro.datasets import FIG6_DATASET_KEYS, UCI_SPECS, load_uci_dataset

@@ -4,12 +4,13 @@ This example walks through the core public API in a few steps:
 
 1. generate a small labeled dataset (an Iris-like synthetic substitute),
 2. split it 80/20 as in the paper's NN-classification protocol,
-3. fit the three search engines the paper compares — FP32 cosine software
-   search, the TCAM+LSH baseline and the proposed 3-bit MCAM — on the same
-   training data,
-4. classify the test queries with each engine and compare accuracies,
+3. build the three search engines the paper compares — FP32 cosine software
+   search, the TCAM+LSH baseline and the proposed 3-bit MCAM — through the
+   backend registry,
+4. classify the whole test batch with each engine in one vectorized search
+   and compare accuracies,
 5. peek inside the MCAM: the quantized states stored in the array and the
-   conductance-based distance ranking for one query.
+   conductance-based distance ranking for a batch of queries.
 
 Run with::
 
@@ -18,9 +19,7 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import MCAMSearcher, SoftwareSearcher, TCAMLSHSearcher
+from repro.core import available_backends, make_searcher
 from repro.datasets import load_iris, train_test_split
 from repro.utils import accuracy, format_table
 
@@ -35,36 +34,46 @@ def main() -> None:
         f"dataset: {dataset.name} — {dataset.num_samples} samples, "
         f"{dataset.num_features} features, {dataset.num_classes} classes"
     )
-    print(f"train/test split: {split.train.num_samples}/{split.test.num_samples} samples\n")
+    print(f"train/test split: {split.train.num_samples}/{split.test.num_samples} samples")
 
-    # 2. The three engines of the paper's comparison.  The CAM word length
-    #    always equals the number of features.
+    # 2. Engines are discoverable by name through the backend registry; the
+    #    CAM word length always equals the number of features.
+    print(f"registered search backends: {', '.join(available_backends())}\n")
     engines = {
-        "cosine (FP32 software)": SoftwareSearcher(metric="cosine"),
-        "TCAM + LSH (Hamming)": TCAMLSHSearcher(num_bits=dataset.num_features, seed=SEED),
-        "MCAM 3-bit (proposed)": MCAMSearcher(bits=3, seed=SEED),
+        "cosine (FP32 software)": make_searcher("cosine", dataset.num_features),
+        "TCAM + LSH (Hamming)": make_searcher("tcam-lsh", dataset.num_features, seed=SEED),
+        "MCAM 3-bit (proposed)": make_searcher("mcam-3bit", dataset.num_features, seed=SEED),
     }
 
-    # 3. Fit every engine on the same training data and classify the test set.
+    # 3. Fit every engine on the same training data and classify the whole
+    #    test batch in one vectorized search (predict_batch).
     rows = []
     for name, engine in engines.items():
         engine.fit(split.train.features, split.train.labels)
-        predictions = engine.predict(split.test.features)
+        predictions = engine.predict_batch(split.test.features)
         rows.append([name, 100.0 * accuracy(predictions, split.test.labels)])
     print(format_table(["method", "test accuracy (%)"], rows, float_format="{:.1f}"))
 
-    # 4. Look inside the MCAM: stored states and the distance ranking.
+    # 4. Look inside the MCAM: stored states and the batched distance ranking.
     mcam = engines["MCAM 3-bit (proposed)"]
-    query = split.test.features[0]
-    query_states = mcam.quantizer.quantize(query.reshape(1, -1))[0]
-    result = mcam.kneighbors(query, k=3)
-    print("\nfirst test query, quantized to 3-bit states:", query_states.tolist())
-    print("three nearest stored rows (row index, ML conductance in uS, label):")
-    for index, score, label in zip(result.indices, result.scores, result.labels):
-        print(f"  row {index:3d}   {1e6 * score:8.3f} uS   class {label}")
+    queries = split.test.features[:3]
+    query_states = mcam.quantizer.quantize(queries)
+    batch = mcam.kneighbors_batch(queries, k=3)
+    print("\nfirst three test queries, quantized to 3-bit states:")
+    for states in query_states:
+        print(f"  {states.tolist()}")
+    print("three nearest stored rows per query (row index, ML conductance in uS, label):")
+    for q in range(len(batch)):
+        result = batch[q]
+        neighbors = ", ".join(
+            f"row {index:3d} @ {1e6 * score:7.3f} uS -> class {label}"
+            for index, score, label in zip(result.indices, result.scores, result.labels)
+        )
+        print(f"  query {q}: {neighbors}")
     print(
         "\nThe row with the smallest match-line conductance is the nearest "
-        "neighbor — the MCAM finds it in a single in-memory search step."
+        "neighbor — the MCAM ranks the whole query batch in one vectorized "
+        "in-memory search pass."
     )
 
 

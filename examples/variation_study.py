@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import sys
 
-import numpy as np
 
 from repro.analysis import VariationSweep
 from repro.datasets import SyntheticEmbeddingSpace

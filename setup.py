@@ -1,3 +1,37 @@
-from setuptools import setup
+"""Packaging for the FeFET MCAM nearest-neighbor search reproduction."""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+HERE = Path(__file__).parent
+
+VERSION = re.search(
+    r'__version__ = "([^"]+)"',
+    (HERE / "src" / "repro" / "version.py").read_text(encoding="utf-8"),
+).group(1)
+
+README = HERE / "README.md"
+
+setup(
+    name="repro-fefet-mcam-nn",
+    version=VERSION,
+    description=(
+        "Reproduction of 'In-Memory Nearest Neighbor Search with FeFET "
+        "Multi-Bit Content-Addressable Memories' (DATE 2021)"
+    ),
+    long_description=README.read_text(encoding="utf-8") if README.exists() else "",
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.9",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+    ],
+)

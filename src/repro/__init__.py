@@ -38,6 +38,7 @@ from .exceptions import (
     SearchError,
 )
 from .core import (
+    BatchQueryResult,
     MCAMDistance,
     MCAMSearcher,
     NearestNeighborSearcher,
@@ -45,7 +46,10 @@ from .core import (
     SoftwareSearcher,
     TCAMLSHSearcher,
     UniformQuantizer,
+    available_backends,
+    get_backend,
     make_searcher,
+    register_backend,
 )
 
 __all__ = [
@@ -63,6 +67,7 @@ __all__ = [
     "QuantizationError",
     "ReproError",
     "SearchError",
+    "BatchQueryResult",
     "MCAMDistance",
     "MCAMSearcher",
     "NearestNeighborSearcher",
@@ -70,5 +75,8 @@ __all__ = [
     "SoftwareSearcher",
     "TCAMLSHSearcher",
     "UniformQuantizer",
+    "available_backends",
+    "get_backend",
     "make_searcher",
+    "register_backend",
 ]

@@ -12,7 +12,7 @@ bar-chart rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from ..exceptions import ConfigurationError
 from ..utils.rng import SeedLike, ensure_rng, spawn_rngs
 from ..utils.stats import SummaryStatistics, accuracy, summarize
 from ..utils.validation import check_int_in_range
-from ..core.search import NearestNeighborSearcher, make_searcher
+from ..core.search import get_backend, make_searcher
 from ..datasets.base import Dataset, train_test_split
 
 #: Methods compared in Fig. 6, in presentation order.
@@ -68,6 +68,8 @@ class NNClassificationBenchmark:
         self.methods = tuple(methods)
         if not self.methods:
             raise ConfigurationError("at least one method is required")
+        for method in self.methods:
+            get_backend(method)  # fail fast on names the registry cannot resolve
         self.num_splits = check_int_in_range(num_splits, "num_splits", minimum=1)
         self.test_fraction = test_fraction
 
@@ -99,7 +101,7 @@ class NNClassificationBenchmark:
                     seed=split_rng,
                 )
                 searcher.fit(split.train.features, split.train.labels)
-                predictions = searcher.predict(split.test.features, rng=split_rng)
+                predictions = searcher.predict_batch(split.test.features, rng=split_rng)
                 per_method[method].append(accuracy(predictions, split.test.labels))
         return {
             method: ClassificationResult(

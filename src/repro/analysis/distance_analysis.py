@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..utils.rng import SeedLike, ensure_rng
+from ..utils.rng import SeedLike
 from ..utils.validation import check_bits, check_int_in_range
 from ..circuits.conductance_lut import ConductanceLUT, build_nominal_lut, build_varied_lut
 from ..devices.variation import VariationModel

@@ -20,9 +20,8 @@ over a sequential software scan).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..utils.rng import SeedLike, ensure_rng

@@ -15,19 +15,18 @@ the few-shot tasks are re-evaluated on episodes shared across sigma values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..utils.rng import SeedLike, ensure_rng, spawn_rngs
-from ..utils.stats import summarize
 from ..utils.validation import check_bits, check_int_in_range
 from ..circuits.conductance_lut import build_varied_lut
 from ..core.search import MCAMSearcher
 from ..datasets.omniglot import SyntheticEmbeddingSpace
 from ..devices.variation import GaussianVthVariationModel
-from ..mann.fewshot import FewShotEvaluator, FewShotResult
+from ..mann.fewshot import FewShotEvaluator
 
 #: Sigma values (in volts) swept in Fig. 8: 0 mV to 300 mV.  The 80 mV point
 #: (the largest sigma observed in the Fig. 5 device study) is included so the

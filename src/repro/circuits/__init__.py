@@ -41,9 +41,11 @@ from .mcam_cell import (
     analog_inverse,
 )
 from .sense_amplifier import (
+    BatchSensingResult,
     IdealWinnerTakeAll,
     SensingResult,
     TimeDomainSenseAmplifier,
+    sense_all,
     sensing_error_rate,
 )
 from .tcam import DONT_CARE, TCAMArray, TCAMSearchResult
@@ -72,9 +74,11 @@ __all__ = [
     "MCAMCell",
     "MCAMVoltageScheme",
     "analog_inverse",
+    "BatchSensingResult",
     "IdealWinnerTakeAll",
     "SensingResult",
     "TimeDomainSenseAmplifier",
+    "sense_all",
     "sensing_error_rate",
     "DONT_CARE",
     "TCAMArray",

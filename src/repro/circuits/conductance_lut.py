@@ -122,6 +122,25 @@ class ConductanceLUT:
         per_cell = self.table_s[query[np.newaxis, :], rows]
         return per_cell.sum(axis=1)
 
+    def row_profiles(self, stored_rows) -> np.ndarray:
+        """Per-cell conductance profiles of programmed rows, for caching.
+
+        Parameters
+        ----------
+        stored_rows:
+            Integer matrix of shape ``(num_rows, num_cells)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(num_rows, num_cells, num_states)``:
+            ``profiles[r, c, i]`` is the conductance of row ``r``'s cell ``c``
+            when searched with input state ``i``.  Arrays cache this once per
+            programming so searches reduce to a gather + sum.
+        """
+        rows = check_state_matrix(stored_rows, self.num_states, name="stored_rows")
+        return np.moveaxis(self.table_s[:, rows], 0, -1)
+
     def distance_by_separation(self) -> np.ndarray:
         """Mean conductance as a function of state distance ``|I - S|``.
 

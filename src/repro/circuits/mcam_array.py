@@ -20,7 +20,7 @@ Two fidelity levels are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from ..devices.variation import VariationModel
 from .conductance_lut import ConductanceLUT, build_nominal_lut
 from .matchline import MatchLineModel
 from .mcam_cell import ML_PRECHARGE_V, MCAMVoltageScheme
-from .sense_amplifier import IdealWinnerTakeAll, SensingResult, TimeDomainSenseAmplifier
+from .sense_amplifier import IdealWinnerTakeAll, SensingResult, sense_all
 
 
 def program_cell_profiles(
@@ -184,6 +184,10 @@ class MCAMArray:
         self._stored_states = np.zeros((0, self.num_cells), dtype=np.int64)
         self._labels: List[Optional[int]] = []
         self._profiles: Optional[np.ndarray] = None  # per-cell device mode only
+        # Programmed-array cache: per-cell conductance profiles in
+        # (num_cells, num_states, num_rows) layout, built lazily after each
+        # write and reused across queries.
+        self._by_cell_profiles: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Storage
@@ -213,6 +217,7 @@ class MCAMArray:
         self._stored_states = np.zeros((0, self.num_cells), dtype=np.int64)
         self._labels = []
         self._profiles = None
+        self._by_cell_profiles = None
 
     def write(
         self,
@@ -275,15 +280,49 @@ class MCAMArray:
                     self._profiles = new_profiles
                     self._stored_states = np.vstack([self._stored_states, entries])
                     self._labels.extend(labels)
+                    self._by_cell_profiles = None
                     return
             self._profiles = np.concatenate([self._profiles, new_profiles], axis=0)
 
         self._stored_states = np.vstack([self._stored_states, entries])
         self._labels.extend(labels)
+        self._by_cell_profiles = None
 
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
+    def row_profiles(self) -> np.ndarray:
+        """Per-cell conductance profiles of the programmed rows.
+
+        Shape ``(num_rows, num_cells, num_states)``; ``[r, c, i]`` is the
+        conductance of row ``r``'s cell ``c`` under input state ``i``.  In
+        per-cell device mode these are the physically programmed profiles; in
+        look-up-table mode they are derived from the cached search profiles.
+        Returns a copy, like :attr:`stored_states`.
+        """
+        if self.num_rows == 0:
+            raise CircuitError("cannot search an empty array")
+        if self._profiles is not None:
+            return self._profiles.copy()
+        return np.moveaxis(self._profiles_by_cell(), -1, 0).copy()
+
+    def _profiles_by_cell(self) -> np.ndarray:
+        """Programmed profiles as ``(num_cells, num_states, num_rows)``.
+
+        This layout makes a batched search a sequence of ``num_cells`` cheap
+        ``(num_queries, num_rows)`` gathers.  Built once per programming —
+        from the physical profiles in device mode, from the LUT otherwise —
+        and reused across every subsequent query.
+        """
+        if self._by_cell_profiles is None:
+            source = (
+                self._profiles
+                if self._profiles is not None
+                else self.lut.row_profiles(self._stored_states)
+            )
+            self._by_cell_profiles = np.ascontiguousarray(np.moveaxis(source, 0, -1))
+        return self._by_cell_profiles
+
     def row_conductances(self, query) -> np.ndarray:
         """Total ML conductance of every stored row for ``query``."""
         if self.num_rows == 0:
@@ -293,13 +332,22 @@ class MCAMArray:
             raise CircuitError(
                 f"query must be a vector of length {self.num_cells}, got shape {query.shape}"
             )
-        query = check_state_matrix(query.reshape(1, -1), self.num_states, name="query")[0]
-        if self._profiles is not None:
-            per_cell = np.take_along_axis(
-                self._profiles, query[np.newaxis, :, np.newaxis], axis=2
-            )[:, :, 0]
-            return per_cell.sum(axis=1)
-        return self.lut.row_conductance(self._stored_states, query)
+        return self.row_conductances_batch(query.reshape(1, -1))[0]
+
+    def row_conductances_batch(self, queries) -> np.ndarray:
+        """ML conductance matrix ``(num_queries, num_rows)`` for a query batch.
+
+        Accumulates cell conductances in a fixed cell order over the cached
+        programmed profiles.  The reduction order is independent of the
+        batch size, so batched results are bitwise identical to single-query
+        :meth:`row_conductances` calls.
+        """
+        queries = self._check_query_batch(queries)
+        by_cell = self._profiles_by_cell()
+        conductances = np.zeros((queries.shape[0], self.num_rows))
+        for cell in range(self.num_cells):
+            conductances += by_cell[cell][queries[:, cell]]
+        return conductances
 
     def search(self, query, rng: SeedLike = None) -> ArraySearchResult:
         """Single-step in-memory nearest-neighbor search for one query."""
@@ -314,14 +362,37 @@ class MCAMArray:
         )
 
     def search_batch(self, queries, rng: SeedLike = None) -> List[ArraySearchResult]:
-        """Search the array with every row of ``queries``."""
-        queries = check_state_matrix(queries, self.num_states, name="queries")
-        if queries.shape[1] != self.num_cells:
-            raise CircuitError(
-                f"queries have {queries.shape[1]} cells but the array has {self.num_cells}"
+        """Search the array with every row of ``queries``.
+
+        The conductance matrix is evaluated in one vectorized pass; sensing
+        consumes the RNG in query order, matching a loop of :meth:`search`
+        calls.
+        """
+        conductances = self.row_conductances_batch(queries)
+        sensing = sense_all(self.sense_amplifier, conductances, rng=rng)
+        return [
+            ArraySearchResult(
+                winner=int(sensing.winners[i]),
+                label=self._labels[int(sensing.winners[i])],
+                row_conductances_s=conductances[i],
+                sensing=sensing[i],
             )
-        generator = ensure_rng(rng)
-        return [self.search(query, rng=generator) for query in queries]
+            for i in range(len(sensing))
+        ]
+
+    def _check_query_batch(self, queries) -> np.ndarray:
+        queries = np.asarray(queries)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        if queries.ndim != 2 or queries.shape[1] != self.num_cells:
+            raise CircuitError(
+                f"queries must have shape (n, {self.num_cells}), got {queries.shape}"
+            )
+        if self.num_rows == 0:
+            raise CircuitError("cannot search an empty array")
+        if queries.shape[0] == 0:
+            return queries.astype(np.int64)
+        return check_state_matrix(queries, self.num_states, name="queries")
 
     def nearest(self, query, rng: SeedLike = None) -> int:
         """Row index of the nearest neighbor of ``query``."""

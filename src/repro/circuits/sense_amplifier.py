@@ -20,17 +20,48 @@ idealization:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import CircuitError
 from ..utils.rng import SeedLike, ensure_rng
-from ..utils.validation import check_non_negative, check_positive
+from ..utils.validation import check_non_negative
 from .matchline import MatchLineModel
 
 #: Default ML sensing reference voltage (fraction of the 0.8 V pre-charge).
 DEFAULT_REFERENCE_V = 0.4
+
+
+@dataclass(frozen=True)
+class BatchSensingResult:
+    """Outcome of sensing a whole batch of queries against all rows.
+
+    Attributes
+    ----------
+    winners:
+        Winning row index per query, shape ``(num_queries,)``.
+    rankings:
+        Row indices ordered best-first per query, shape
+        ``(num_queries, num_rows)``.
+    scores:
+        Per-row decision quantity per query (smaller is better), shape
+        ``(num_queries, num_rows)``.
+    """
+
+    winners: np.ndarray
+    rankings: np.ndarray
+    scores: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.winners.shape[0])
+
+    def __getitem__(self, index: int) -> "SensingResult":
+        """The ``index``-th query's result as a single-query SensingResult."""
+        return SensingResult(
+            winner=int(self.winners[index]),
+            ranking=self.rankings[index],
+            scores=self.scores[index],
+        )
 
 
 @dataclass(frozen=True)
@@ -76,6 +107,59 @@ class IdealWinnerTakeAll:
             ranking=ranking,
             scores=conductances.copy(),
         )
+
+    def sense_batch(self, conductance_matrix_s, rng: SeedLike = None) -> BatchSensingResult:
+        """Rank every row of a ``(num_queries, num_rows)`` conductance matrix.
+
+        One vectorized argsort serves the whole batch; with zero queries an
+        empty result is returned.
+        """
+        matrix = _check_conductance_matrix(conductance_matrix_s)
+        rankings = np.argsort(matrix, axis=1, kind="stable")
+        winners = rankings[:, 0] if matrix.shape[0] else np.empty(0, dtype=np.int64)
+        return BatchSensingResult(winners=winners, rankings=rankings, scores=matrix.copy())
+
+
+def _check_conductance_matrix(conductance_matrix_s) -> np.ndarray:
+    matrix = np.asarray(conductance_matrix_s, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise CircuitError(
+            f"conductance matrix must be (num_queries, num_rows) with at least "
+            f"one row, got shape {matrix.shape}"
+        )
+    if np.any(matrix < 0) or np.any(~np.isfinite(matrix)):
+        raise CircuitError("row conductances must be finite and non-negative")
+    return matrix
+
+
+def _loop_sense(sense_amplifier, matrix: np.ndarray, rng: SeedLike) -> BatchSensingResult:
+    """Sense a validated conductance matrix row by row with a shared RNG."""
+    generator = ensure_rng(rng)
+    results = [sense_amplifier.sense(row, rng=generator) for row in matrix]
+    if not results:
+        return BatchSensingResult(
+            winners=np.empty(0, dtype=np.int64),
+            rankings=np.empty((0, matrix.shape[1]), dtype=np.int64),
+            scores=np.empty((0, matrix.shape[1])),
+        )
+    return BatchSensingResult(
+        winners=np.asarray([r.winner for r in results], dtype=np.int64),
+        rankings=np.stack([r.ranking for r in results]),
+        scores=np.stack([r.scores for r in results]),
+    )
+
+
+def sense_all(sense_amplifier, conductance_matrix_s, rng: SeedLike = None) -> BatchSensingResult:
+    """Batch-sense a conductance matrix with any sense amplifier.
+
+    Uses the amplifier's native :meth:`sense_batch` when available and falls
+    back to per-query :meth:`sense` calls (consuming the RNG in the same
+    query order a loop would) otherwise, so custom amplifiers keep working.
+    """
+    batch_sense = getattr(sense_amplifier, "sense_batch", None)
+    if batch_sense is not None:
+        return batch_sense(conductance_matrix_s, rng=rng)
+    return _loop_sense(sense_amplifier, _check_conductance_matrix(conductance_matrix_s), rng)
 
 
 class TimeDomainSenseAmplifier:
@@ -144,6 +228,14 @@ class TimeDomainSenseAmplifier:
             ranking=order,
             scores=-times,
         )
+
+    def sense_batch(self, conductance_matrix_s, rng: SeedLike = None) -> BatchSensingResult:
+        """Sense every row of a ``(num_queries, num_rows)`` conductance matrix.
+
+        Queries are sensed in order with a shared RNG, so the timing-noise
+        draws match a loop of single-query :meth:`sense` calls exactly.
+        """
+        return _loop_sense(self, _check_conductance_matrix(conductance_matrix_s), rng)
 
 
 def sensing_error_rate(

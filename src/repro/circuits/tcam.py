@@ -21,13 +21,13 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import CapacityError, CircuitError
-from ..utils.rng import SeedLike, ensure_rng
+from ..utils.rng import SeedLike
 from ..utils.validation import check_int_in_range
 from ..devices.fefet import FeFETParameters
 from .conductance_lut import build_nominal_lut
 from .mcam_cell import ML_PRECHARGE_V, MCAMVoltageScheme
 from .matchline import MatchLineModel
-from .sense_amplifier import IdealWinnerTakeAll, SensingResult
+from .sense_amplifier import IdealWinnerTakeAll, SensingResult, sense_all
 
 #: Sentinel used for the "don't care" (wildcard) state in stored TCAM rows.
 DONT_CARE = -1
@@ -88,6 +88,10 @@ class TCAMArray:
         self.sense_amplifier = sense_amplifier if sense_amplifier is not None else IdealWinnerTakeAll()
         self._stored_bits = np.zeros((0, self.num_cells), dtype=np.int64)
         self._labels: List[Optional[int]] = []
+        # Programmed-state cache: which stored cells participate in Hamming
+        # comparisons (i.e. are not wildcards); rebuilt on write, reused
+        # across every query.
+        self._care_mask: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Storage
@@ -111,6 +115,7 @@ class TCAMArray:
         """Erase all stored rows."""
         self._stored_bits = np.zeros((0, self.num_cells), dtype=np.int64)
         self._labels = []
+        self._care_mask = None
 
     def write(self, rows, labels: Optional[Sequence[int]] = None) -> None:
         """Store binary (or ternary, with ``DONT_CARE`` entries) rows."""
@@ -137,31 +142,67 @@ class TCAMArray:
             )
         self._stored_bits = np.vstack([self._stored_bits, rows])
         self._labels.extend(labels)
+        self._care_mask = None
 
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
+    def care_mask(self) -> np.ndarray:
+        """Boolean matrix marking stored cells that are not wildcards.
+
+        Built once per programming and reused by every Hamming evaluation.
+        """
+        if self._care_mask is None:
+            self._care_mask = self._stored_bits != DONT_CARE
+        return self._care_mask
+
     def hamming_distances(self, query) -> np.ndarray:
         """Hamming distance of ``query`` to every stored row (wildcards match)."""
         query = self._check_query(query)
-        stored = self._stored_bits
-        mismatches = (stored != query[np.newaxis, :]) & (stored != DONT_CARE)
+        mismatches = (self._stored_bits != query[np.newaxis, :]) & self.care_mask()
         return mismatches.sum(axis=1)
 
-    def row_conductances(self, query) -> np.ndarray:
-        """ML conductance of every row: mismatches conduct, matches leak."""
-        distances = self.hamming_distances(query)
+    #: Cap on the ``chunk * num_rows * num_cells`` mismatch temporary used by
+    #: the batched Hamming evaluation; larger batches run in query chunks.
+    _BATCH_MISMATCH_ELEMENTS = 1 << 24
+
+    def hamming_distances_batch(self, queries) -> np.ndarray:
+        """Hamming distance matrix ``(num_queries, num_rows)`` for a query batch."""
+        queries = self._check_query_batch(queries)
+        num_queries = queries.shape[0]
+        care = self.care_mask()
+        out = np.empty((num_queries, self.num_rows), dtype=np.int64)
+        if num_queries == 0:
+            return out
+        chunk = max(1, self._BATCH_MISMATCH_ELEMENTS // max(1, self.num_rows * self.num_cells))
+        for start in range(0, num_queries, chunk):
+            stop = min(start + chunk, num_queries)
+            mismatches = (
+                self._stored_bits[np.newaxis, :, :] != queries[start:stop, np.newaxis, :]
+            ) & care[np.newaxis, :, :]
+            out[start:stop] = mismatches.sum(axis=2)
+        return out
+
+    def _conductances_from_distances(self, distances) -> np.ndarray:
         matches = self.num_cells - distances
         return (
             distances * self.mismatch_conductance_s + matches * self.match_conductance_s
         ).astype(np.float64)
+
+    def row_conductances(self, query) -> np.ndarray:
+        """ML conductance of every row: mismatches conduct, matches leak."""
+        return self._conductances_from_distances(self.hamming_distances(query))
+
+    def row_conductances_batch(self, queries) -> np.ndarray:
+        """ML conductance matrix ``(num_queries, num_rows)`` for a query batch."""
+        return self._conductances_from_distances(self.hamming_distances_batch(queries))
 
     def search(self, query, rng: SeedLike = None) -> TCAMSearchResult:
         """Nearest-neighbor (minimum Hamming distance) search for one query."""
         if self.num_rows == 0:
             raise CircuitError("cannot search an empty TCAM")
         distances = self.hamming_distances(query)
-        conductances = self.row_conductances(query)
+        conductances = self._conductances_from_distances(distances)
         sensing = self.sense_amplifier.sense(conductances, rng=rng)
         return TCAMSearchResult(
             winner=sensing.winner,
@@ -172,12 +213,27 @@ class TCAMArray:
         )
 
     def search_batch(self, queries, rng: SeedLike = None) -> List[TCAMSearchResult]:
-        """Search with every row of ``queries``."""
-        queries = np.asarray(queries)
-        if queries.ndim == 1:
-            queries = queries.reshape(1, -1)
-        generator = ensure_rng(rng)
-        return [self.search(query, rng=generator) for query in queries]
+        """Search with every row of ``queries``.
+
+        Hamming distances are evaluated for the whole batch in one vectorized
+        pass; sensing consumes the RNG in query order, matching a loop of
+        :meth:`search` calls.
+        """
+        if self.num_rows == 0:
+            raise CircuitError("cannot search an empty TCAM")
+        distances = self.hamming_distances_batch(queries)
+        conductances = self._conductances_from_distances(distances)
+        sensing = sense_all(self.sense_amplifier, conductances, rng=rng)
+        return [
+            TCAMSearchResult(
+                winner=int(sensing.winners[i]),
+                label=self._labels[int(sensing.winners[i])],
+                hamming_distances=distances[i],
+                row_conductances_s=conductances[i],
+                sensing=sensing[i],
+            )
+            for i in range(len(sensing))
+        ]
 
     def predict(self, queries, rng: SeedLike = None) -> np.ndarray:
         """Labels of the minimum-Hamming-distance row for every query."""
@@ -204,3 +260,16 @@ class TCAMArray:
         if not np.all(np.isin(query, (0, 1))):
             raise CircuitError("TCAM queries must be binary (0/1)")
         return query
+
+    def _check_query_batch(self, queries) -> np.ndarray:
+        queries = np.asarray(queries)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        if queries.ndim != 2 or queries.shape[1] != self.num_cells:
+            raise CircuitError(
+                f"queries must have shape (n, {self.num_cells}), got {queries.shape}"
+            )
+        queries = queries.astype(np.int64)
+        if not np.all(np.isin(queries, (0, 1))):
+            raise CircuitError("TCAM queries must be binary (0/1)")
+        return queries

@@ -21,12 +21,16 @@ from .distance import (
 from .knn import KNNClassifier
 from .quantization import UniformQuantizer
 from .search import (
+    BatchQueryResult,
     MCAMSearcher,
     NearestNeighborSearcher,
     QueryResult,
     SoftwareSearcher,
     TCAMLSHSearcher,
+    available_backends,
+    get_backend,
     make_searcher,
+    register_backend,
 )
 
 __all__ = [
@@ -36,10 +40,14 @@ __all__ = [
     "profile_to_lut",
     "KNNClassifier",
     "UniformQuantizer",
+    "BatchQueryResult",
     "MCAMSearcher",
     "NearestNeighborSearcher",
     "QueryResult",
     "SoftwareSearcher",
     "TCAMLSHSearcher",
+    "available_backends",
+    "get_backend",
     "make_searcher",
+    "register_backend",
 ]

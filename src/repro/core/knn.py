@@ -13,7 +13,7 @@ stored entries; with ``k=1`` it reduces exactly to the paper's setup.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -71,26 +71,39 @@ class KNNClassifier:
         if not self.is_fitted:
             raise SearchError("classifier must be fitted before predicting")
         result = self.searcher.kneighbors(query, k=self.k, rng=rng)
-        if any(label is None for label in result.labels):
+        return self._vote(result.labels, result.scores)
+
+    def _vote(self, labels, scores) -> int:
+        """Majority (or distance-weighted) vote over one query's neighbors."""
+        if any(label is None for label in labels):
             raise SearchError("stored entries must all be labeled for k-NN voting")
         if self.weighting == "uniform":
-            votes = Counter(result.labels)
+            votes = Counter(labels)
             best_count = max(votes.values())
             # Tie-break toward the label of the nearest neighbor.
             tied = {label for label, count in votes.items() if count == best_count}
-            for label in result.labels:
+            for label in labels:
                 if label in tied:
                     return int(label)
         weights: Counter = Counter()
-        for label, score in zip(result.labels, result.scores):
+        for label, score in zip(labels, scores):
             weights[label] += 1.0 / (float(score) + 1e-18)
         return int(max(weights, key=weights.get))
 
     def predict(self, queries, rng: SeedLike = None) -> np.ndarray:
-        """Predicted labels for every row of ``queries``."""
+        """Predicted labels for every row of ``queries``.
+
+        Neighbors for the whole batch are found in one vectorized search;
+        only the voting runs per query.
+        """
+        if not self.is_fitted:
+            raise SearchError("classifier must be fitted before predicting")
         queries = check_feature_matrix(queries, "queries")
         generator = ensure_rng(rng)
-        return np.asarray([self.predict_one(query, rng=generator) for query in queries])
+        result = self.searcher.kneighbors_batch(queries, k=self.k, rng=generator)
+        return np.asarray(
+            [self._vote(result.labels[i], result.scores[i]) for i in range(len(result))]
+        )
 
     def score(self, queries, labels, rng: SeedLike = None) -> float:
         """Classification accuracy on a labeled query set."""

@@ -12,15 +12,30 @@ features:
    function (:class:`MCAMSearcher`).
 
 All engines implement the same :class:`NearestNeighborSearcher` interface
-(`fit`, `kneighbors`, `predict`), so the accuracy harness and the examples
-can swap them freely.
+(`fit`, `kneighbors`, `kneighbors_batch`, `predict`), so the accuracy
+harness and the examples can swap them freely.  Queries are evaluated in
+vectorized batches: :meth:`NearestNeighborSearcher.kneighbors_batch` ranks
+an entire query matrix in one pass over the programmed array state, which is
+built once per :meth:`fit` and reused across queries.
+
+Engines are discoverable by string through the **backend registry**:
+:func:`register_backend` associates a name with a factory, and
+:func:`make_searcher` (or :func:`get_backend`) resolves names such as
+``"mcam-3bit"`` or ``"cosine"`` without callers having to import the
+concrete classes.  Third-party backends plug in the same way::
+
+    @register_backend("my-engine")
+    def _make_my_engine(num_features, **config):
+        return MyEngine(...)
+
+    searcher = make_searcher("my-engine", num_features=64)
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,12 +44,38 @@ from ..utils.rng import SeedLike, ensure_rng
 from ..utils.validation import check_bits, check_feature_matrix, check_int_in_range
 from ..circuits.conductance_lut import ConductanceLUT
 from ..circuits.mcam_array import MCAMArray
+from ..circuits.sense_amplifier import IdealWinnerTakeAll, sense_all
 from ..circuits.tcam import TCAMArray
 from ..devices.variation import VariationModel
-from ..distance.metrics import get_batch_metric
-from ..encoding.features import MinMaxScaler
+from ..distance.metrics import get_batch_metric, get_matrix_metric
 from ..encoding.lsh import RandomHyperplaneLSH
 from .quantization import UniformQuantizer
+
+
+def _stable_smallest_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Per-row indices of the ``k`` smallest scores, ties toward lower index.
+
+    Selects exactly the first ``k`` columns of
+    ``np.argsort(scores, axis=1, kind="stable")`` — i.e. the ``k``
+    lexicographically smallest ``(score, index)`` pairs per row — without
+    paying for a full stable sort when ``k`` is small.
+    """
+    num_queries, num_entries = scores.shape
+    if k == 1:
+        # argmin returns the first occurrence of the minimum: stable top-1.
+        return np.argmin(scores, axis=1).reshape(-1, 1)
+    if 4 * k >= num_entries:
+        return np.argsort(scores, axis=1, kind="stable")[:, :k]
+    # Candidates are every entry not larger than the k-th smallest value;
+    # ties at that threshold are resolved toward the lower index, matching
+    # a stable sort.
+    thresholds = np.partition(scores, k - 1, axis=1)[:, k - 1]
+    top = np.empty((num_queries, k), dtype=np.int64)
+    for q in range(num_queries):
+        candidates = np.flatnonzero(scores[q] <= thresholds[q])
+        order = np.argsort(scores[q][candidates], kind="stable")
+        top[q] = candidates[order[:k]]
+    return top
 
 
 @dataclass(frozen=True)
@@ -57,12 +98,45 @@ class QueryResult:
     labels: tuple
 
 
+@dataclass(frozen=True)
+class BatchQueryResult:
+    """Result of a k-nearest-neighbor query for a whole batch of queries.
+
+    Attributes
+    ----------
+    indices:
+        Indices of the ``k`` nearest stored entries per query, closest
+        first; shape ``(num_queries, k)``.
+    scores:
+        Engine score per returned index (smaller is closer); shape
+        ``(num_queries, k)``.
+    labels:
+        Tuple of per-query label tuples (``None`` entries when unlabeled).
+    """
+
+    indices: np.ndarray
+    scores: np.ndarray
+    labels: tuple
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    def __getitem__(self, index: int) -> QueryResult:
+        """The ``index``-th query's result as a single-query QueryResult."""
+        return QueryResult(
+            indices=self.indices[index],
+            scores=self.scores[index],
+            labels=self.labels[index],
+        )
+
+
 class NearestNeighborSearcher(abc.ABC):
     """Common interface of all NN-search engines."""
 
     def __init__(self) -> None:
         self._labels: Optional[np.ndarray] = None
         self._num_entries = 0
+        self._num_features = 0
 
     # ------------------------------------------------------------------
     # Interface
@@ -71,6 +145,11 @@ class NearestNeighborSearcher(abc.ABC):
     def num_entries(self) -> int:
         """Number of stored data points."""
         return self._num_entries
+
+    @property
+    def num_features(self) -> int:
+        """Feature width of the stored data (0 before :meth:`fit`)."""
+        return self._num_features
 
     @property
     def is_fitted(self) -> bool:
@@ -88,6 +167,7 @@ class NearestNeighborSearcher(abc.ABC):
                 )
         self._labels = labels
         self._num_entries = features.shape[0]
+        self._num_features = features.shape[1]
         self._fit(features, labels)
         return self
 
@@ -103,24 +183,72 @@ class NearestNeighborSearcher(abc.ABC):
         )
         return QueryResult(indices=top, scores=scores[:k], labels=labels)
 
+    def kneighbors_batch(self, queries, k: int = 1, rng: SeedLike = None) -> BatchQueryResult:
+        """The ``k`` nearest stored entries for every row of ``queries``.
+
+        The whole query matrix is evaluated in one vectorized pass over the
+        programmed array state.  For the CAM engines the results are bitwise
+        identical to a loop of :meth:`kneighbors` calls; for the software
+        metrics the neighbor ranking matches while scores may differ from
+        the loop by float rounding (BLAS matrix-matrix vs. matrix-vector).
+        An empty batch (``(0, num_features)``) yields an empty result.
+        """
+        self._require_fitted()
+        k = check_int_in_range(k, "k", minimum=1, maximum=self._num_entries)
+        queries = self._check_query_batch(queries)
+        if queries.shape[0] == 0:
+            return BatchQueryResult(
+                indices=np.empty((0, k), dtype=np.int64),
+                scores=np.empty((0, k)),
+                labels=(),
+            )
+        indices, scores = self._rank_batch(queries, rng=ensure_rng(rng), k=k)
+        labels = tuple(
+            tuple(None if self._labels is None else self._labels[i] for i in row)
+            for row in indices
+        )
+        return BatchQueryResult(indices=indices, scores=scores, labels=labels)
+
     def nearest(self, query, rng: SeedLike = None) -> int:
         """Index of the nearest stored entry."""
         return int(self.kneighbors(query, k=1, rng=rng).indices[0])
 
     def predict(self, queries, rng: SeedLike = None) -> np.ndarray:
         """Label of the nearest neighbor for every row of ``queries``."""
+        return self.predict_batch(queries, rng=rng)
+
+    def predict_batch(self, queries, rng: SeedLike = None) -> np.ndarray:
+        """Label of the nearest neighbor for every row of ``queries``.
+
+        The batch is evaluated in one vectorized search over the programmed
+        array state.
+        """
         self._require_fitted()
         if self._labels is None:
             raise SearchError("cannot predict labels: the searcher was fitted without labels")
-        queries = check_feature_matrix(queries, "queries")
-        generator = ensure_rng(rng)
-        return np.asarray(
-            [self._labels[self.nearest(query, rng=generator)] for query in queries]
-        )
+        queries = self._check_query_batch(queries)
+        if queries.shape[0] == 0:
+            return self._labels[:0].copy()
+        result = self.kneighbors_batch(queries, k=1, rng=rng)
+        return self._labels[result.indices[:, 0]]
 
     def _require_fitted(self) -> None:
         if not self.is_fitted:
             raise SearchError("searcher must be fitted before searching")
+
+    def _check_query_batch(self, queries) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        if queries.ndim != 2:
+            raise SearchError(f"queries must be two-dimensional, got shape {queries.shape}")
+        if queries.shape[1] != self._num_features:
+            raise SearchError(
+                f"queries have {queries.shape[1]} features, expected {self._num_features}"
+            )
+        if queries.size and not np.all(np.isfinite(queries)):
+            raise SearchError("queries must contain only finite values")
+        return queries
 
     # ------------------------------------------------------------------
     # Hooks implemented by the concrete engines
@@ -132,6 +260,18 @@ class NearestNeighborSearcher(abc.ABC):
     @abc.abstractmethod
     def _rank(self, query: np.ndarray, rng: np.random.Generator):
         """Return ``(indices_sorted_best_first, scores_sorted_best_first)``."""
+
+    def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+        """Batch counterpart of :meth:`_rank`: top-``k`` ``(num_queries, k)`` arrays.
+
+        The default implementation loops over :meth:`_rank` so custom
+        subclasses keep working; the built-in engines override it with a
+        fully vectorized pass.
+        """
+        ranked = [self._rank(query, rng=rng) for query in queries]
+        indices = np.stack([indices[:k] for indices, _ in ranked])
+        scores = np.stack([scores[:k] for _, scores in ranked])
+        return indices, scores
 
 
 class SoftwareSearcher(NearestNeighborSearcher):
@@ -147,6 +287,7 @@ class SoftwareSearcher(NearestNeighborSearcher):
         super().__init__()
         self.metric = metric
         self._distance = get_batch_metric(metric)
+        self._distance_matrix = get_matrix_metric(metric)
         self._features: Optional[np.ndarray] = None
 
     def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
@@ -163,6 +304,14 @@ class SoftwareSearcher(NearestNeighborSearcher):
         order = np.argsort(distances, kind="stable")
         return order, distances[order]
 
+    def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+        distances = np.asarray(
+            self._distance_matrix(self._features, queries.astype(np.float32)),
+            dtype=np.float64,
+        )
+        indices = _stable_smallest_k(distances, k)
+        return indices, np.take_along_axis(distances, indices, axis=1)
+
 
 class MCAMSearcher(NearestNeighborSearcher):
     """NN search on the FeFET MCAM with the proposed distance function.
@@ -170,7 +319,9 @@ class MCAMSearcher(NearestNeighborSearcher):
     The real-valued features are quantized to the cell precision with a
     uniform quantizer calibrated on the stored data; the quantized entries
     are written to an :class:`~repro.circuits.mcam_array.MCAMArray`, and each
-    query is a single in-memory search.
+    query is a single in-memory search.  The array's conductance state is
+    programmed once per :meth:`fit` and reused across queries; batched
+    queries are evaluated in one vectorized pass over it.
 
     Parameters
     ----------
@@ -223,6 +374,18 @@ class MCAMSearcher(NearestNeighborSearcher):
         order = result.sensing.ranking
         return order, result.row_conductances_s[order]
 
+    def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+        query_states = self.quantizer.quantize(queries)
+        conductances = self._array.row_conductances_batch(query_states)
+        amplifier = self._array.sense_amplifier
+        if type(amplifier) is IdealWinnerTakeAll:
+            # Ideal sensing ranks by conductance with stable tie-breaking,
+            # which the top-k selector reproduces without a full sort.
+            indices = _stable_smallest_k(conductances, k)
+        else:
+            indices = sense_all(amplifier, conductances, rng=rng).rankings[:, :k]
+        return indices, np.take_along_axis(conductances, indices, axis=1)
+
     @property
     def array(self) -> MCAMArray:
         """The underlying MCAM array (available after :meth:`fit`)."""
@@ -232,6 +395,9 @@ class MCAMSearcher(NearestNeighborSearcher):
 
 class TCAMLSHSearcher(NearestNeighborSearcher):
     """The TCAM+LSH baseline: Hamming distance over LSH signatures.
+
+    Query batches are encoded to signatures in one projection and searched
+    against the programmed TCAM in one vectorized Hamming pass.
 
     Parameters
     ----------
@@ -262,11 +428,145 @@ class TCAMLSHSearcher(NearestNeighborSearcher):
         order = result.sensing.ranking
         return order, result.hamming_distances[order].astype(np.float64)
 
+    def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+        signatures = self.encoder.encode(queries)
+        distances = self._tcam.hamming_distances_batch(signatures)
+        amplifier = self._tcam.sense_amplifier
+        if type(amplifier) is IdealWinnerTakeAll:
+            # Row conductance is strictly increasing in Hamming distance, so
+            # ranking the integer distances reproduces ideal ML sensing.
+            indices = _stable_smallest_k(distances, k)
+        else:
+            conductances = self._tcam._conductances_from_distances(distances)
+            indices = sense_all(amplifier, conductances, rng=rng).rankings[:, :k]
+        scores = np.take_along_axis(distances, indices, axis=1).astype(np.float64)
+        return indices, scores
+
     @property
     def tcam(self) -> TCAMArray:
         """The underlying TCAM array (available after :meth:`fit`)."""
         self._require_fitted()
         return self._tcam
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+#: Factory signature: ``factory(num_features, bits=..., lut=..., variation=...,
+#: lsh_bits=..., seed=...) -> NearestNeighborSearcher``.  Factories receive
+#: every keyword :func:`make_searcher` accepts and use the ones they need.
+BackendFactory = Callable[..., NearestNeighborSearcher]
+
+_BACKENDS: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: Optional[BackendFactory] = None):
+    """Register a searcher factory under ``name`` (usable as a decorator).
+
+    Parameters
+    ----------
+    name:
+        Backend name (matched case-insensitively by :func:`get_backend`).
+    factory:
+        Callable ``factory(num_features, **config)`` returning a fresh
+        :class:`NearestNeighborSearcher`.  When omitted, the function
+        returns a decorator.
+
+    Raises
+    ------
+    SearchError
+        If ``name`` is already registered.
+    """
+
+    def _register(fn: BackendFactory) -> BackendFactory:
+        key = name.lower()
+        if key in _BACKENDS:
+            raise SearchError(f"search backend {name!r} is already registered")
+        _BACKENDS[key] = fn
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def get_backend(name: str) -> BackendFactory:
+    """Look up a registered backend factory by name.
+
+    Raises
+    ------
+    SearchError
+        If ``name`` is not a registered backend.
+    """
+    try:
+        return _BACKENDS[name.lower()]
+    except KeyError:
+        raise SearchError(
+            f"unknown searcher {name!r}; available backends: "
+            f"{', '.join(available_backends())}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered search backends, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+@register_backend("cosine")
+def _make_cosine(num_features: int, **config) -> SoftwareSearcher:
+    return SoftwareSearcher(metric="cosine")
+
+
+@register_backend("euclidean")
+def _make_euclidean(num_features: int, **config) -> SoftwareSearcher:
+    return SoftwareSearcher(metric="euclidean")
+
+
+@register_backend("manhattan")
+def _make_manhattan(num_features: int, **config) -> SoftwareSearcher:
+    return SoftwareSearcher(metric="manhattan")
+
+
+@register_backend("linf")
+def _make_linf(num_features: int, **config) -> SoftwareSearcher:
+    return SoftwareSearcher(metric="linf")
+
+
+@register_backend("mcam")
+def _make_mcam(
+    num_features: int,
+    bits: int = 3,
+    lut: Optional[ConductanceLUT] = None,
+    variation: Optional[VariationModel] = None,
+    seed: SeedLike = None,
+    **config,
+) -> MCAMSearcher:
+    return MCAMSearcher(bits=bits, lut=lut, variation=variation, seed=seed)
+
+
+@register_backend("mcam-3bit")
+def _make_mcam_3bit(num_features: int, **config) -> MCAMSearcher:
+    return _make_mcam(num_features, **{**config, "bits": 3})
+
+
+@register_backend("mcam-2bit")
+def _make_mcam_2bit(num_features: int, **config) -> MCAMSearcher:
+    return _make_mcam(num_features, **{**config, "bits": 2})
+
+
+def _make_tcam_lsh(
+    num_features: int,
+    lsh_bits: Optional[int] = None,
+    seed: SeedLike = None,
+    **config,
+) -> TCAMLSHSearcher:
+    signature_bits = lsh_bits if lsh_bits is not None else num_features
+    return TCAMLSHSearcher(num_bits=signature_bits, seed=seed)
+
+
+register_backend("tcam-lsh", _make_tcam_lsh)
+register_backend("tcam+lsh", _make_tcam_lsh)
+register_backend("tcam", _make_tcam_lsh)
 
 
 def make_searcher(
@@ -280,24 +580,19 @@ def make_searcher(
 ) -> NearestNeighborSearcher:
     """Factory for the engines compared in the paper's figures.
 
-    ``name`` is one of ``"cosine"``, ``"euclidean"``, ``"mcam-3bit"``,
-    ``"mcam-2bit"``, ``"mcam"`` (uses ``bits``) or ``"tcam-lsh"``.
-    ``num_features`` sets the iso-word-length LSH signature size when
-    ``lsh_bits`` is not given.
+    ``name`` is resolved through the backend registry; the built-in backends
+    are ``"cosine"``, ``"euclidean"``, ``"manhattan"``, ``"linf"``,
+    ``"mcam"`` (uses ``bits``), ``"mcam-3bit"``, ``"mcam-2bit"`` and
+    ``"tcam-lsh"``.  ``num_features`` sets the iso-word-length LSH signature
+    size when ``lsh_bits`` is not given.  Additional backends registered via
+    :func:`register_backend` are resolved the same way.
     """
-    name = name.lower()
-    if name in ("cosine", "euclidean", "manhattan", "linf"):
-        return SoftwareSearcher(metric=name)
-    if name == "mcam":
-        return MCAMSearcher(bits=bits, lut=lut, variation=variation, seed=seed)
-    if name == "mcam-3bit":
-        return MCAMSearcher(bits=3, lut=lut, variation=variation, seed=seed)
-    if name == "mcam-2bit":
-        return MCAMSearcher(bits=2, lut=lut, variation=variation, seed=seed)
-    if name in ("tcam-lsh", "tcam+lsh", "tcam"):
-        signature_bits = lsh_bits if lsh_bits is not None else num_features
-        return TCAMLSHSearcher(num_bits=signature_bits, seed=seed)
-    raise SearchError(
-        f"unknown searcher {name!r}; expected one of 'cosine', 'euclidean', "
-        f"'manhattan', 'linf', 'mcam', 'mcam-2bit', 'mcam-3bit', 'tcam-lsh'"
+    factory = get_backend(name)
+    return factory(
+        num_features,
+        bits=bits,
+        lut=lut,
+        variation=variation,
+        lsh_bits=lsh_bits,
+        seed=seed,
     )

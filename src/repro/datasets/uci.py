@@ -14,7 +14,7 @@ Wine Quality (red), which is a genuinely hard, imbalanced 6-class task.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from ..exceptions import DatasetError
 from ..utils.rng import SeedLike

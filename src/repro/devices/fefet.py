@@ -23,7 +23,7 @@ function; absolute currents are calibrated to the range shown in Fig. 2(b)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 import numpy as np

@@ -11,8 +11,8 @@ sigma, histogram), which the Fig. 5 experiment driver and benchmark consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

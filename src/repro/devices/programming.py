@@ -22,16 +22,8 @@ import numpy as np
 
 from ..exceptions import ProgrammingError
 from ..utils.rng import SeedLike, ensure_rng
-from ..utils.validation import check_int_in_range, check_non_negative, check_positive
-from .fefet import FeFETParameters
-from .preisach import (
-    ERASE_PULSE_V,
-    ERASE_PULSE_WIDTH_S,
-    MAX_PROGRAM_PULSE_V,
-    MIN_PROGRAM_PULSE_V,
-    PROGRAM_PULSE_WIDTH_S,
-    PreisachModel,
-)
+from ..utils.validation import check_int_in_range, check_positive
+from .preisach import ERASE_PULSE_V, ERASE_PULSE_WIDTH_S, PROGRAM_PULSE_WIDTH_S, PreisachModel
 from .variation import VariationModel
 
 #: Effective gate capacitance used to estimate per-pulse programming energy.

@@ -151,6 +151,121 @@ def hamming_distances(rows, query) -> np.ndarray:
     return np.count_nonzero(rows != query[np.newaxis, :], axis=1)
 
 
+# ----------------------------------------------------------------------
+# Many-queries-vs-many-rows metrics (used by the batched search runtime)
+# ----------------------------------------------------------------------
+def _check_rows_queries(rows, queries):
+    rows = as_2d_array(rows, "rows")
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim == 1:
+        queries = queries.reshape(1, -1)
+    if queries.ndim != 2:
+        raise ConfigurationError(
+            f"queries must be two-dimensional, got shape {queries.shape}"
+        )
+    if rows.shape[1] != queries.shape[1]:
+        raise ConfigurationError(
+            f"query width {queries.shape[1]} does not match row width {rows.shape[1]}"
+        )
+    return rows, queries
+
+
+#: Cap on the ``chunk * num_rows * num_features`` broadcast temporary used by
+#: the elementwise distance matrices; larger batches run in query chunks.
+_BROADCAST_CHUNK_ELEMENTS = 1 << 24
+
+
+def _chunked_broadcast_matrix(rows, queries, reduce_fn) -> np.ndarray:
+    """Apply an elementwise-difference reduction per query chunk.
+
+    ``reduce_fn(diff)`` reduces a ``(chunk, num_rows, num_features)``
+    difference tensor over its last axis.  Chunking the query axis bounds the
+    temporary at ``_BROADCAST_CHUNK_ELEMENTS`` doubles without changing any
+    per-query result.
+    """
+    num_queries = queries.shape[0]
+    out = np.empty((num_queries, rows.shape[0]))
+    if num_queries == 0:
+        return out
+    per_query = max(1, rows.shape[0] * rows.shape[1])
+    chunk = max(1, _BROADCAST_CHUNK_ELEMENTS // per_query)
+    for start in range(0, num_queries, chunk):
+        stop = min(start + chunk, num_queries)
+        diff = queries[start:stop, np.newaxis, :] - rows[np.newaxis, :, :]
+        out[start:stop] = reduce_fn(diff)
+    return out
+
+
+def euclidean_distance_matrix(rows, queries) -> np.ndarray:
+    """L2 distance of every query to every row, shape ``(num_queries, num_rows)``."""
+    rows, queries = _check_rows_queries(rows, queries)
+    return _chunked_broadcast_matrix(
+        rows, queries, lambda diff: np.linalg.norm(diff, axis=2)
+    )
+
+
+def manhattan_distance_matrix(rows, queries) -> np.ndarray:
+    """L1 distance of every query to every row, shape ``(num_queries, num_rows)``."""
+    rows, queries = _check_rows_queries(rows, queries)
+    return _chunked_broadcast_matrix(
+        rows, queries, lambda diff: np.sum(np.abs(diff), axis=2)
+    )
+
+
+def linf_distance_matrix(rows, queries) -> np.ndarray:
+    """L-infinity distance of every query to every row, shape ``(num_queries, num_rows)``."""
+    rows, queries = _check_rows_queries(rows, queries)
+    return _chunked_broadcast_matrix(
+        rows, queries, lambda diff: np.max(np.abs(diff), axis=2)
+    )
+
+
+def cosine_distance_matrix(rows, queries) -> np.ndarray:
+    """Cosine distance of every query to every row, shape ``(num_queries, num_rows)``.
+
+    Zero-norm rows or queries are maximally distant (distance 1), matching
+    :func:`cosine_distances`.
+    """
+    rows, queries = _check_rows_queries(rows, queries)
+    row_norms = np.linalg.norm(rows, axis=1)
+    query_norms = np.linalg.norm(queries, axis=1)
+    distances = np.ones((queries.shape[0], rows.shape[0]))
+    valid_rows = row_norms > 0.0
+    valid_queries = query_norms > 0.0
+    if not valid_rows.any() or not valid_queries.any():
+        return distances
+    similarities = (
+        queries[valid_queries] @ rows[valid_rows].T
+        / np.outer(query_norms[valid_queries], row_norms[valid_rows])
+    )
+    block = 1.0 - np.clip(similarities, -1.0, 1.0)
+    distances[np.ix_(valid_queries, valid_rows)] = block
+    return distances
+
+
+def hamming_distance_matrix(rows, queries) -> np.ndarray:
+    """Hamming distance of every query to every discrete row, ``(num_queries, num_rows)``."""
+    rows = np.asarray(rows)
+    queries = np.asarray(queries)
+    if queries.ndim == 1:
+        queries = queries.reshape(1, -1)
+    if rows.ndim != 2 or queries.ndim != 2 or rows.shape[1] != queries.shape[1]:
+        raise ConfigurationError(
+            f"rows must be (n, d) and queries (m, d), got {rows.shape} and {queries.shape}"
+        )
+    num_queries = queries.shape[0]
+    out = np.empty((num_queries, rows.shape[0]), dtype=np.int64)
+    if num_queries == 0:
+        return out
+    chunk = max(1, _BROADCAST_CHUNK_ELEMENTS // max(1, rows.shape[0] * rows.shape[1]))
+    for start in range(0, num_queries, chunk):
+        stop = min(start + chunk, num_queries)
+        out[start:stop] = np.count_nonzero(
+            rows[np.newaxis, :, :] != queries[start:stop, np.newaxis, :], axis=2
+        )
+    return out
+
+
 #: Registry of batched metrics by name; used by the software search engine.
 BATCH_METRICS: Dict[str, Callable] = {
     "euclidean": euclidean_distances,
@@ -158,6 +273,15 @@ BATCH_METRICS: Dict[str, Callable] = {
     "linf": linf_distances,
     "cosine": cosine_distances,
     "hamming": hamming_distances,
+}
+
+#: Registry of distance-matrix metrics by name; used by the batched runtime.
+MATRIX_METRICS: Dict[str, Callable] = {
+    "euclidean": euclidean_distance_matrix,
+    "manhattan": manhattan_distance_matrix,
+    "linf": linf_distance_matrix,
+    "cosine": cosine_distance_matrix,
+    "hamming": hamming_distance_matrix,
 }
 
 
@@ -174,4 +298,20 @@ def get_batch_metric(name: str) -> Callable:
     except KeyError:
         raise ConfigurationError(
             f"unknown metric {name!r}; available metrics: {sorted(BATCH_METRICS)}"
+        ) from None
+
+
+def get_matrix_metric(name: str) -> Callable:
+    """Look up a distance-matrix metric by name.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` is not a known metric.
+    """
+    try:
+        return MATRIX_METRICS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown metric {name!r}; available metrics: {sorted(MATRIX_METRICS)}"
         ) from None

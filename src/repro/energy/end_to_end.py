@@ -25,12 +25,12 @@ search cost is negligible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from ..exceptions import EnergyModelError
 from ..utils.validation import check_int_in_range, check_probability
 from ..mann.feature_extractor import ConvNetSpec, paper_convnet
-from .cam_energy import CAMEnergyModel, mcam_energy_model, tcam_energy_model
+from .cam_energy import mcam_energy_model, tcam_energy_model
 from .gpu_baseline import GPUCost, JetsonTX2Model
 
 #: Fraction of the GPU-only MANN inference cost spent in the NN-search stage

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..exceptions import EnergyModelError
 from ..utils.validation import check_int_in_range, check_non_negative, check_positive
 from ..mann.feature_extractor import ConvNetSpec, paper_convnet
 

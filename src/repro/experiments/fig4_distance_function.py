@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..utils.rng import DEFAULT_EXPERIMENT_SEED, SeedLike, ensure_rng
 from ..analysis.distance_analysis import analyze_distance_function, run_gnd_study

@@ -1,8 +1,12 @@
-"""Fig. 6: NN-classification accuracy on the four UCI-style datasets."""
+"""Fig. 6: NN-classification accuracy on the four UCI-style datasets.
+
+Each split fits every backend once and classifies the whole test split
+through the vectorized batch-search runtime; method names resolve through
+the backend registry of :mod:`repro.core.search`.
+"""
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..utils.rng import DEFAULT_EXPERIMENT_SEED, SeedLike, ensure_rng, spawn_rngs
 from ..analysis.accuracy import FIG6_METHODS, NNClassificationBenchmark, average_gap_percent

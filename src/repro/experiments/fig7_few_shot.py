@@ -1,4 +1,9 @@
-"""Fig. 7: one/few-shot learning accuracy on the Omniglot-like embedding space."""
+"""Fig. 7: one/few-shot learning accuracy on the Omniglot-like embedding space.
+
+Every episode programs the memory once and classifies its full query batch
+through the vectorized batch-search runtime; method names resolve through
+the backend registry of :mod:`repro.core.search`.
+"""
 
 from __future__ import annotations
 

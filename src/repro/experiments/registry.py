@@ -12,7 +12,7 @@ use paper-scale episode counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List
 
 from ..exceptions import ExperimentError
 from ..utils.rng import DEFAULT_EXPERIMENT_SEED, SeedLike

@@ -1,28 +1,29 @@
 """Few-shot learning evaluation harness (the pipeline behind Fig. 7 and 8).
 
 For each episode the support embeddings are written to the MANN memory
-(which programs the CAM, a one-time cost) and every query embedding is
-classified by nearest-neighbor search; the episode accuracy is the fraction
-of correctly labeled queries and the task accuracy is the mean over
-episodes.  The harness is agnostic to the memory's searcher, so the same
-episodes evaluate the cosine/Euclidean software baselines, the TCAM+LSH
-baseline and the 2-/3-bit MCAMs — exactly the comparison of Fig. 7.
+(which programs the CAM, a one-time cost) and the full query batch is
+classified in one vectorized nearest-neighbor search; the episode accuracy
+is the fraction of correctly labeled queries and the task accuracy is the
+mean over episodes.  The harness is agnostic to the memory's searcher —
+factories resolve engines through the backend registry of
+:mod:`repro.core.search` — so the same episodes evaluate the
+cosine/Euclidean software baselines, the TCAM+LSH baseline and the 2-/3-bit
+MCAMs — exactly the comparison of Fig. 7.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
-import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..utils.rng import SeedLike, ensure_rng, spawn_rngs
 from ..utils.stats import SummaryStatistics, accuracy, summarize
 from ..utils.validation import check_int_in_range
-from ..core.search import NearestNeighborSearcher, make_searcher
+from ..core.search import make_searcher
 from ..datasets.omniglot import SyntheticEmbeddingSpace
-from .episodes import Episode, EpisodeSampler, PAPER_FEWSHOT_TASKS
+from .episodes import Episode, EpisodeSampler
 from .memory import MANNMemory, SearcherFactory
 
 
@@ -152,7 +153,11 @@ def run_episode(
     searcher_factory: SearcherFactory,
     rng: SeedLike = None,
 ) -> float:
-    """Accuracy of one method on one episode."""
+    """Accuracy of one method on one episode.
+
+    The support set programs the memory once; the episode's entire query
+    batch is then classified through one vectorized search.
+    """
     memory = MANNMemory(searcher_factory=searcher_factory)
     memory.write(episode.support_embeddings, episode.support_labels)
     predictions = memory.classify(episode.query_embeddings, rng=rng)

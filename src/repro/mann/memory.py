@@ -101,11 +101,16 @@ class MANNMemory:
         return self
 
     def classify(self, query_embeddings, rng: SeedLike = None) -> np.ndarray:
-        """Label of the nearest stored entry for each query embedding."""
+        """Label of the nearest stored entry for each query embedding.
+
+        The whole query batch is classified in one vectorized search over
+        the programmed memory, which is how a CAM serves an episode: program
+        the support set once, then stream every query through it.
+        """
         if self._searcher is None:
             raise SearchError("memory must be written before it can be queried")
         queries = check_feature_matrix(query_embeddings, "query_embeddings")
-        return self._searcher.predict(queries, rng=ensure_rng(rng))
+        return self._searcher.predict_batch(queries, rng=ensure_rng(rng))
 
     def clear(self) -> None:
         """Forget the stored support set."""

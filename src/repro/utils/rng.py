@@ -9,7 +9,7 @@ reproducible when a seed is given and independent when one is not.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -7,7 +7,6 @@ from repro.circuits import (
     MCAMArray,
     MCAMVoltageScheme,
     TimeDomainSenseAmplifier,
-    build_nominal_lut,
     program_cell_profiles,
 )
 from repro.devices import FeFETParameters, GaussianVthVariationModel

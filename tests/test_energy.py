@@ -1,6 +1,5 @@
 """Tests for the CAM, GPU and end-to-end energy/latency models."""
 
-import numpy as np
 import pytest
 
 from repro.energy import (

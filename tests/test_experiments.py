@@ -1,6 +1,5 @@
 """Tests for the per-figure experiment drivers and their registry."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ExperimentError

@@ -20,7 +20,7 @@ from repro.circuits import (
 from repro.core import MCAMSearcher, SoftwareSearcher, UniformQuantizer
 from repro.datasets import Dataset, train_test_split
 from repro.devices import GaussianVthVariationModel
-from repro.exceptions import DatasetError, ReproError
+from repro.exceptions import ReproError
 from repro.mann import MANNMemory
 from repro.utils import accuracy
 

@@ -1,7 +1,6 @@
 """Integration tests spanning several subsystems end to end."""
 
 import numpy as np
-import pytest
 
 from repro.circuits import MCAMArray, build_varied_lut
 from repro.core import (
@@ -11,12 +10,7 @@ from repro.core import (
     TCAMLSHSearcher,
     UniformQuantizer,
 )
-from repro.datasets import (
-    SyntheticEmbeddingSpace,
-    load_iris,
-    load_wine,
-    train_test_split,
-)
+from repro.datasets import SyntheticEmbeddingSpace, load_wine, train_test_split
 from repro.devices import GaussianVthVariationModel
 from repro.mann import EpisodeSampler, FewShotEvaluator, MANNMemory
 from repro.utils import accuracy

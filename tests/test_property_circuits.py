@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.circuits import ConductanceLUT, MatchLineModel, MCAMVoltageScheme, build_nominal_lut
+from repro.circuits import MatchLineModel, MCAMVoltageScheme, build_nominal_lut
 from repro.circuits.sense_amplifier import IdealWinnerTakeAll
 from repro.core import MCAMDistance
 from repro.devices import FeFET, PreisachModel
