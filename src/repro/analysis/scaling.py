@@ -7,14 +7,17 @@ scales: what happens to accuracy and per-search energy as
 * the number of stored rows grows (more classes / more shots), and
 * the word length shrinks (fewer features per entry, e.g. after PCA).
 
-This module sweeps both dimensions with the same episodic few-shot workload
-used in Fig. 7 and the CAM energy model of Sec. IV-C, so the trade-off curves
-are directly comparable to the paper's operating points.  The corresponding
-benchmark (``benchmarks/test_bench_scaling.py``) asserts the qualitative
-expectations: accuracy degrades gracefully as more classes are stored, search
-energy grows linearly with rows and cells, and the single-step search delay
-is independent of the number of stored rows (the key architectural advantage
-over a sequential software scan).
+This module sweeps both dimensions — plus the *shard count*, i.e. how many
+fixed-geometry arrays the store is tiled across — with the same episodic
+few-shot workload used in Fig. 7 and the CAM energy model of Sec. IV-C, so
+the trade-off curves are directly comparable to the paper's operating
+points.  The corresponding benchmark (``benchmarks/test_bench_scaling.py``)
+asserts the qualitative expectations: accuracy degrades gracefully as more
+classes are stored, search energy grows linearly with rows and cells, and
+the single-step search delay is independent of the number of stored rows
+(the key architectural advantage over a sequential software scan).  Sharding
+preserves both properties: tiles are searched in parallel (delay unchanged)
+and the summed tile energy matches the single-array energy at equal rows.
 """
 
 from __future__ import annotations
@@ -26,7 +29,9 @@ from typing import List, Sequence, Tuple
 from ..exceptions import ConfigurationError
 from ..utils.rng import SeedLike, ensure_rng
 from ..utils.validation import check_bits, check_int_in_range
+from ..circuits.tiles import split_rows_evenly
 from ..core.search import MCAMSearcher
+from ..core.sharding import SHARD_EXECUTORS, ShardedSearcher
 from ..datasets.omniglot import EmbeddingSpaceSpec, SyntheticEmbeddingSpace
 from ..energy.cam_energy import mcam_energy_model
 from ..mann.fewshot import FewShotEvaluator
@@ -43,11 +48,17 @@ class ScalingPoint:
     accuracy_percent: float
     search_energy_j: float
     search_delay_s: float
+    num_shards: int = 1
 
     @property
     def energy_per_row_j(self) -> float:
         """Search energy divided by the number of stored rows."""
         return self.search_energy_j / self.stored_rows
+
+    @property
+    def rows_per_shard(self) -> int:
+        """Rows the largest tile holds at this operating point."""
+        return -(-self.stored_rows // self.num_shards)
 
 
 @dataclass(frozen=True)
@@ -57,21 +68,47 @@ class ScalingStudyResult:
     points: Tuple[ScalingPoint, ...]
     bits: int
 
+    def _base_shards(self) -> int:
+        """Smallest shard count present (the single-array sweep by default)."""
+        return min(p.num_shards for p in self.points)
+
     def capacity_series(self, num_cells: int) -> List[ScalingPoint]:
-        """Points with a fixed word length, ordered by stored rows."""
-        series = [p for p in self.points if p.num_cells == num_cells]
+        """Single-array points with a fixed word length, ordered by stored rows."""
+        base = self._base_shards()
+        series = [
+            p for p in self.points if p.num_cells == num_cells and p.num_shards == base
+        ]
         if not series:
             raise ConfigurationError(f"no scaling points with num_cells={num_cells}")
         return sorted(series, key=lambda p: p.stored_rows)
 
     def word_length_series(self, n_way: int, k_shot: int) -> List[ScalingPoint]:
-        """Points with a fixed task, ordered by word length."""
-        series = [p for p in self.points if p.n_way == n_way and p.k_shot == k_shot]
+        """Single-array points with a fixed task, ordered by word length."""
+        base = self._base_shards()
+        series = [
+            p
+            for p in self.points
+            if p.n_way == n_way and p.k_shot == k_shot and p.num_shards == base
+        ]
         if not series:
             raise ConfigurationError(
                 f"no scaling points for the {n_way}-way {k_shot}-shot task"
             )
         return sorted(series, key=lambda p: p.num_cells)
+
+    def shard_series(self, n_way: int, k_shot: int, num_cells: int) -> List[ScalingPoint]:
+        """Points with a fixed task and word length, ordered by shard count."""
+        series = [
+            p
+            for p in self.points
+            if p.n_way == n_way and p.k_shot == k_shot and p.num_cells == num_cells
+        ]
+        if not series:
+            raise ConfigurationError(
+                f"no scaling points for the {n_way}-way {k_shot}-shot task "
+                f"with num_cells={num_cells}"
+            )
+        return sorted(series, key=lambda p: p.num_shards)
 
     def as_records(self):
         """Table-friendly records of every operating point."""
@@ -80,6 +117,7 @@ class ScalingStudyResult:
                 "task": f"{p.n_way}-way {p.k_shot}-shot",
                 "num_cells": p.num_cells,
                 "stored_rows": p.stored_rows,
+                "num_shards": p.num_shards,
                 "accuracy_percent": p.accuracy_percent,
                 "search_energy_fJ": 1e15 * p.search_energy_j,
                 "search_delay_ns": 1e9 * p.search_delay_s,
@@ -103,6 +141,14 @@ class ScalingStudy:
         Episodes per operating point.
     bits:
         MCAM precision.
+    shard_counts:
+        Shard counts to sweep: each operating point is re-evaluated with the
+        stored rows tiled across that many fixed-geometry arrays (``1`` is
+        the paper's single-array setup).  Sharded search is exact, so this
+        axis probes the energy/geometry trade-off, not accuracy.
+    executor:
+        Per-shard execution strategy for the sharded points (``"serial"``
+        or ``"threads"``).
     """
 
     def __init__(
@@ -112,6 +158,8 @@ class ScalingStudy:
         word_lengths: Sequence[int] = (16, 32, 64),
         num_episodes: int = 20,
         bits: int = 3,
+        shard_counts: Sequence[int] = (1,),
+        executor: str = "serial",
     ) -> None:
         self.ways = tuple(int(w) for w in ways)
         if not self.ways or any(w < 2 for w in self.ways):
@@ -122,6 +170,37 @@ class ScalingStudy:
             raise ConfigurationError("word_lengths must contain integers >= 2")
         self.num_episodes = check_int_in_range(num_episodes, "num_episodes", minimum=1)
         self.bits = check_bits(bits)
+        self.shard_counts = tuple(int(s) for s in shard_counts)
+        if not self.shard_counts or any(s < 1 for s in self.shard_counts):
+            raise ConfigurationError("shard_counts must contain integers >= 1")
+        if executor.lower() not in SHARD_EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {tuple(sorted(SHARD_EXECUTORS))}, got {executor!r}"
+            )
+        self.executor = executor
+
+    def _searcher_factory(self, num_shards: int):
+        if num_shards == 1:
+            return lambda: MCAMSearcher(bits=self.bits)
+        return lambda: ShardedSearcher(
+            lambda: MCAMSearcher(bits=self.bits),
+            num_shards=num_shards,
+            executor=self.executor,
+        )
+
+    def _sharded_search_cost(self, num_cells: int, stored_rows: int, num_shards: int):
+        """Summed tile energy and parallel-tile delay of one sharded search."""
+        tile_costs = [
+            mcam_energy_model(
+                num_cells=num_cells, num_rows=stop - start, bits=self.bits
+            ).search_cost()
+            for start, stop in split_rows_evenly(stored_rows, num_shards)
+        ]
+        energy_j = float(sum(cost.energy_j for cost in tile_costs))
+        # Tiles sense their match lines concurrently, so the store-level
+        # delay is the slowest tile, not the sum.
+        delay_s = max(cost.delay_s for cost in tile_costs)
+        return energy_j, delay_s
 
     def run(self, rng: SeedLike = None) -> ScalingStudyResult:
         """Evaluate accuracy and search energy at every operating point."""
@@ -133,27 +212,40 @@ class ScalingStudy:
                 seed=generator.integers(2**31 - 1),
             )
             for n_way in self.ways:
+                # Sharded search is exact, so accuracy cannot depend on the
+                # shard count: evaluate the episodes once per operating point
+                # (through the most-sharded geometry, exercising the real
+                # multi-array path) and sweep only the energy/delay model.
                 evaluator = FewShotEvaluator(
                     space, n_way=n_way, k_shot=self.k_shot, num_episodes=self.num_episodes
                 )
                 result = evaluator.evaluate(
-                    searcher_factory=lambda: MCAMSearcher(bits=self.bits),
+                    searcher_factory=self._searcher_factory(max(self.shard_counts)),
                     method_name=f"mcam-{self.bits}bit",
-                    rng=generator,
+                    rng=int(generator.integers(2**31 - 1)),
                 )
                 stored_rows = n_way * self.k_shot
-                energy = mcam_energy_model(
-                    num_cells=num_cells, num_rows=stored_rows, bits=self.bits
-                ).search_cost()
-                points.append(
-                    ScalingPoint(
-                        n_way=n_way,
-                        k_shot=self.k_shot,
-                        num_cells=num_cells,
-                        stored_rows=stored_rows,
-                        accuracy_percent=result.accuracy_percent,
-                        search_energy_j=energy.energy_j,
-                        search_delay_s=energy.delay_s,
+                seen_shard_counts = set()
+                for num_shards in self.shard_counts:
+                    # Tiny stores collapse to one row per tile; record the
+                    # tile count the cost was actually computed over, once.
+                    effective_shards = min(num_shards, stored_rows)
+                    if effective_shards in seen_shard_counts:
+                        continue
+                    seen_shard_counts.add(effective_shards)
+                    energy_j, delay_s = self._sharded_search_cost(
+                        num_cells, stored_rows, effective_shards
                     )
-                )
+                    points.append(
+                        ScalingPoint(
+                            n_way=n_way,
+                            k_shot=self.k_shot,
+                            num_cells=num_cells,
+                            stored_rows=stored_rows,
+                            accuracy_percent=result.accuracy_percent,
+                            search_energy_j=energy_j,
+                            search_delay_s=delay_s,
+                            num_shards=effective_shards,
+                        )
+                    )
         return ScalingStudyResult(points=tuple(points), bits=self.bits)

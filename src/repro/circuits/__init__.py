@@ -12,6 +12,8 @@ paper evaluates:
 * :mod:`~repro.circuits.matchline` / :mod:`~repro.circuits.sense_amplifier`
   — the RC discharge model of Fig. 4(c) and the winner-take-all sensing,
 * :mod:`~repro.circuits.tcam` — the TCAM Hamming-distance baseline,
+* :mod:`~repro.circuits.tiles` — fixed-geometry tiling of stores larger than
+  one physical array,
 * :mod:`~repro.circuits.acam` — the analog-CAM concept of Fig. 1(a),
 * :mod:`~repro.circuits.and_array` — the GLOBALFOUNDRIES AND-array 2-bit
   demonstration of Sec. IV-D.
@@ -49,6 +51,15 @@ from .sense_amplifier import (
     sensing_error_rate,
 )
 from .tcam import DONT_CARE, TCAMArray, TCAMSearchResult
+from .tiles import (
+    CAMTile,
+    CAMTileSet,
+    FixedGeometryArray,
+    TileGeometry,
+    partition_rows,
+    resolve_max_rows,
+    split_rows_evenly,
+)
 
 __all__ = [
     "ACAMArray",
@@ -83,4 +94,11 @@ __all__ = [
     "DONT_CARE",
     "TCAMArray",
     "TCAMSearchResult",
+    "CAMTile",
+    "CAMTileSet",
+    "FixedGeometryArray",
+    "TileGeometry",
+    "partition_rows",
+    "resolve_max_rows",
+    "split_rows_evenly",
 ]

@@ -31,6 +31,7 @@ from ..devices.fefet import FeFETParameters, _drain_current_from_overdrive, clip
 from ..devices.variation import VariationModel
 from .conductance_lut import ConductanceLUT, build_nominal_lut
 from .matchline import MatchLineModel
+from .tiles import FixedGeometryArray, resolve_max_rows
 from .mcam_cell import ML_PRECHARGE_V, MCAMVoltageScheme
 from .sense_amplifier import IdealWinnerTakeAll, SensingResult, sense_all
 
@@ -120,7 +121,7 @@ class ArraySearchResult:
         return self.sensing.top_k(k)
 
 
-class MCAMArray:
+class MCAMArray(FixedGeometryArray):
     """A multi-bit CAM array performing single-step in-memory NN search.
 
     Parameters
@@ -131,7 +132,12 @@ class MCAMArray:
     bits:
         Bit precision of every cell (2 or 3 in the paper).
     capacity:
-        Maximum number of rows; ``None`` means unbounded (simulation only).
+        Backward-compatible alias for ``max_rows``.
+    max_rows:
+        Explicit physical row count of the array; ``None`` means unbounded
+        (simulation only).  A real array has fixed geometry — stores larger
+        than ``max_rows`` are served by tiling across several arrays (see
+        :mod:`repro.circuits.tiles`) or by the sharded search runtime.
     lut:
         Conductance look-up table shared by all cells (look-up-table mode).
         Defaults to the nominal table for ``bits``.
@@ -155,12 +161,11 @@ class MCAMArray:
         scheme: Optional[MCAMVoltageScheme] = None,
         sense_amplifier=None,
         ml_voltage_v: float = ML_PRECHARGE_V,
+        max_rows: Optional[int] = None,
     ) -> None:
         self.num_cells = check_int_in_range(num_cells, "num_cells", minimum=1)
         self.bits = check_bits(bits)
-        if capacity is not None:
-            capacity = check_int_in_range(capacity, "capacity", minimum=1)
-        self.capacity = capacity
+        self.max_rows = resolve_max_rows(max_rows, capacity)
         self.scheme = scheme if scheme is not None else MCAMVoltageScheme(bits=self.bits)
         if self.scheme.bits != self.bits:
             raise ConfigurationError(
@@ -250,10 +255,10 @@ class MCAMArray:
         else:
             labels = [None] * entries.shape[0]
         new_total = self.num_rows + entries.shape[0]
-        if self.capacity is not None and new_total > self.capacity:
+        if self.max_rows is not None and new_total > self.max_rows:
             raise CapacityError(
-                f"writing {entries.shape[0]} entries exceeds the array capacity "
-                f"({self.capacity} rows, {self.num_rows} already used)"
+                f"writing {entries.shape[0]} entries exceeds the array geometry "
+                f"({self.max_rows} rows, {self.num_rows} already used)"
             )
 
         if self.variation is not None:

@@ -25,6 +25,7 @@ from ..utils.rng import SeedLike
 from ..utils.validation import check_int_in_range
 from ..devices.fefet import FeFETParameters
 from .conductance_lut import build_nominal_lut
+from .tiles import FixedGeometryArray, resolve_max_rows
 from .mcam_cell import ML_PRECHARGE_V, MCAMVoltageScheme
 from .matchline import MatchLineModel
 from .sense_amplifier import IdealWinnerTakeAll, SensingResult, sense_all
@@ -48,7 +49,7 @@ class TCAMSearchResult:
         return self.sensing.top_k(k)
 
 
-class TCAMArray:
+class TCAMArray(FixedGeometryArray):
     """Binary/ternary CAM performing in-memory Hamming-distance search.
 
     Parameters
@@ -56,7 +57,11 @@ class TCAMArray:
     num_cells:
         Word width in bits (e.g. the LSH signature length).
     capacity:
-        Optional maximum number of rows.
+        Backward-compatible alias for ``max_rows``.
+    max_rows:
+        Explicit physical row count; ``None`` means unbounded (simulation
+        only).  Larger stores tile across arrays, see
+        :mod:`repro.circuits.tiles`.
     device:
         FeFET parameters; the match/mismatch conductances are taken from the
         1-bit MCAM cell built from the same device, keeping the TCAM and MCAM
@@ -70,11 +75,10 @@ class TCAMArray:
         device: Optional[FeFETParameters] = None,
         sense_amplifier=None,
         ml_voltage_v: float = ML_PRECHARGE_V,
+        max_rows: Optional[int] = None,
     ) -> None:
         self.num_cells = check_int_in_range(num_cells, "num_cells", minimum=1)
-        if capacity is not None:
-            capacity = check_int_in_range(capacity, "capacity", minimum=1)
-        self.capacity = capacity
+        self.max_rows = resolve_max_rows(max_rows, capacity)
         self.device = device if device is not None else FeFETParameters()
         self.ml_voltage_v = ml_voltage_v
         # 1-bit MCAM cell conductances: diagonal = match, off-diagonal = mismatch.
@@ -136,9 +140,9 @@ class TCAMArray:
                 raise CircuitError(f"got {len(labels)} labels for {rows.shape[0]} rows")
         else:
             labels = [None] * rows.shape[0]
-        if self.capacity is not None and self.num_rows + rows.shape[0] > self.capacity:
+        if self.max_rows is not None and self.num_rows + rows.shape[0] > self.max_rows:
             raise CapacityError(
-                f"writing {rows.shape[0]} rows exceeds the TCAM capacity ({self.capacity})"
+                f"writing {rows.shape[0]} rows exceeds the TCAM geometry ({self.max_rows} rows)"
             )
         self._stored_bits = np.vstack([self._stored_bits, rows])
         self._labels.extend(labels)

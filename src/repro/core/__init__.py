@@ -20,6 +20,13 @@ from .distance import (
 )
 from .knn import KNNClassifier
 from .quantization import UniformQuantizer
+from .sharding import (
+    SerialShardExecutor,
+    ShardedSearcher,
+    ThreadedShardExecutor,
+    merge_shard_topk,
+    register_shard_executor,
+)
 from .search import (
     BatchQueryResult,
     MCAMSearcher,
@@ -40,6 +47,11 @@ __all__ = [
     "profile_to_lut",
     "KNNClassifier",
     "UniformQuantizer",
+    "SerialShardExecutor",
+    "ShardedSearcher",
+    "ThreadedShardExecutor",
+    "merge_shard_topk",
+    "register_shard_executor",
     "BatchQueryResult",
     "MCAMSearcher",
     "NearestNeighborSearcher",

@@ -90,20 +90,62 @@ class KNNClassifier:
             weights[label] += 1.0 / (float(score) + 1e-18)
         return int(max(weights, key=weights.get))
 
+    def _vote_batch(self, neighbor_labels: np.ndarray, scores: np.ndarray) -> np.ndarray:
+        """Vote over every query's neighbors in one vectorized pass.
+
+        Replicates :meth:`_vote` exactly, including its tie-breaking: among
+        vote-count (or weight) ties the winner is the tied label whose first
+        occurrence in the neighbor list is nearest, and weighted votes are
+        accumulated in neighbor order so the float sums match bitwise.
+        """
+        num_queries, k = neighbor_labels.shape
+        classes, codes = np.unique(neighbor_labels, return_inverse=True)
+        codes = codes.reshape(num_queries, k)
+        num_classes = classes.shape[0]
+        flat = codes + np.arange(num_queries)[:, np.newaxis] * num_classes
+        # First-occurrence position of every (query, label) pair; untouched
+        # pairs keep the sentinel k so they lose every tie-break.
+        first_pos = np.full((num_queries, num_classes), k, dtype=np.int64)
+        np.minimum.at(
+            first_pos,
+            (np.repeat(np.arange(num_queries), k), codes.ravel()),
+            np.tile(np.arange(k), num_queries),
+        )
+        if self.weighting == "uniform":
+            tallies = np.bincount(flat.ravel(), minlength=num_queries * num_classes)
+        else:
+            weights = 1.0 / (scores.astype(np.float64) + 1e-18)
+            tallies = np.bincount(
+                flat.ravel(), weights=weights.ravel(), minlength=num_queries * num_classes
+            )
+        tallies = tallies.reshape(num_queries, num_classes)
+        best = tallies.max(axis=1)
+        tied = tallies == best[:, np.newaxis]
+        winner_codes = np.where(tied, first_pos, k).argmin(axis=1)
+        return classes[winner_codes]
+
     def predict(self, queries, rng: SeedLike = None) -> np.ndarray:
         """Predicted labels for every row of ``queries``.
 
-        Neighbors for the whole batch are found in one vectorized search;
-        only the voting runs per query.
+        The whole batch is served by one vectorized neighbor search followed
+        by one vectorized voting kernel (:meth:`_vote_batch`); nothing loops
+        per query.  Predictions are identical to a loop of
+        :meth:`predict_one` calls.
         """
         if not self.is_fitted:
             raise SearchError("classifier must be fitted before predicting")
         queries = check_feature_matrix(queries, "queries")
         generator = ensure_rng(rng)
         result = self.searcher.kneighbors_batch(queries, k=self.k, rng=generator)
-        return np.asarray(
-            [self._vote(result.labels[i], result.scores[i]) for i in range(len(result))]
-        )
+        neighbor_labels = np.asarray(result.labels)
+        if not np.issubdtype(neighbor_labels.dtype, np.integer):
+            # None entries (unlabeled rows) or non-integer label types: fall
+            # back to the per-query vote, which validates them and applies
+            # the same int() winner cast a predict_one call would.
+            return np.asarray(
+                [self._vote(result.labels[i], result.scores[i]) for i in range(len(result))]
+            )
+        return self._vote_batch(neighbor_labels, np.asarray(result.scores))
 
     def score(self, queries, labels, rng: SeedLike = None) -> float:
         """Classification accuracy on a labeled query set."""

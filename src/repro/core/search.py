@@ -156,6 +156,34 @@ class NearestNeighborSearcher(abc.ABC):
         """Whether :meth:`fit` has been called."""
         return self._num_entries > 0
 
+    def calibrate(self, features) -> "NearestNeighborSearcher":
+        """Freeze data-dependent preprocessing on ``features`` (no-op by default).
+
+        Engines with data-dependent preprocessing (the MCAM's quantizer
+        calibration, the LSH encoder's centering) normally fit it inside
+        :meth:`fit`.  Sharded execution calls :meth:`calibrate` with the
+        *full* stored feature matrix before fitting each shard on its slice,
+        so every shard quantizes/encodes exactly like one unsharded engine
+        would — the precondition for bitwise-identical sharded results.
+        """
+        features = check_feature_matrix(features, "features")
+        self._calibrate(features)
+        return self
+
+    def _calibrate(self, features: np.ndarray) -> None:
+        """Engine-specific calibration hook; the default does nothing."""
+
+    def adopt_calibration(self, source: "NearestNeighborSearcher") -> bool:
+        """Copy frozen preprocessing from an already-calibrated sibling.
+
+        Sharded execution calibrates one shard engine on the full store and
+        shares that state with the remaining shards instead of recomputing
+        the full-store calibration per shard.  Returns False when ``source``
+        is incompatible (the caller falls back to :meth:`calibrate`); the
+        default implementation supports nothing.
+        """
+        return False
+
     def fit(self, features, labels: Optional[Sequence[int]] = None) -> "NearestNeighborSearcher":
         """Store ``features`` (and optional ``labels``) as the search memory."""
         features = check_feature_matrix(features, "features")
@@ -337,6 +365,10 @@ class MCAMSearcher(NearestNeighborSearcher):
         Optional non-ideal sensing model.
     seed:
         Randomness for programming variation / sensing noise.
+    max_rows:
+        Optional physical row count of the array; stores larger than this
+        raise a :class:`~repro.exceptions.CapacityError` (shard across
+        arrays with :class:`~repro.core.sharding.ShardedSearcher` instead).
     """
 
     def __init__(
@@ -346,25 +378,55 @@ class MCAMSearcher(NearestNeighborSearcher):
         variation: Optional[VariationModel] = None,
         sense_amplifier=None,
         seed: SeedLike = None,
+        max_rows: Optional[int] = None,
     ) -> None:
         super().__init__()
         self.bits = check_bits(bits)
         self.lut = lut
         self.variation = variation
         self.sense_amplifier = sense_amplifier
+        self.max_rows = max_rows
         self._rng = ensure_rng(seed)
         self.quantizer = UniformQuantizer(bits=self.bits)
+        self._calibrated = False
         self._array: Optional[MCAMArray] = None
 
+    def _calibrate(self, features: np.ndarray) -> None:
+        # Calibrating on the full store (rather than this engine's slice of
+        # it) is what makes shards quantize identically to one big array.
+        self.quantizer.fit(features)
+        self._calibrated = True
+
+    def adopt_calibration(self, source: "NearestNeighborSearcher") -> bool:
+        if (
+            isinstance(source, MCAMSearcher)
+            and source._calibrated
+            and source.bits == self.bits
+        ):
+            # The quantizer is read-only during search, so sharing the fitted
+            # instance across shard threads is safe.
+            self.quantizer = source.quantizer
+            self._calibrated = True
+            return True
+        return False
+
     def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
-        states = self.quantizer.fit(features).quantize(features)
-        self._array = MCAMArray(
-            num_cells=features.shape[1],
-            bits=self.bits,
-            lut=self.lut,
-            variation=self.variation,
-            sense_amplifier=self.sense_amplifier,
-        )
+        if not self._calibrated:
+            self.quantizer.fit(features)
+        states = self.quantizer.quantize(features)
+        if self._array is not None and self._array.num_cells == features.shape[1]:
+            # Refit on the same geometry reprograms the existing array instead
+            # of rebuilding it (and its LUT), e.g. once per few-shot episode.
+            self._array.clear()
+        else:
+            self._array = MCAMArray(
+                num_cells=features.shape[1],
+                bits=self.bits,
+                lut=self.lut,
+                variation=self.variation,
+                sense_amplifier=self.sense_amplifier,
+                max_rows=self.max_rows,
+            )
         label_list = None if labels is None else list(labels)
         self._array.write(states, labels=label_list, rng=self._rng)
 
@@ -407,18 +469,47 @@ class TCAMLSHSearcher(NearestNeighborSearcher):
         TCAM work used 512.
     seed:
         Randomness for the LSH hyperplanes.
+    max_rows:
+        Optional physical row count of the TCAM; stores larger than this
+        raise a :class:`~repro.exceptions.CapacityError`.
     """
 
-    def __init__(self, num_bits: int, seed: SeedLike = None) -> None:
+    def __init__(self, num_bits: int, seed: SeedLike = None, max_rows: Optional[int] = None) -> None:
         super().__init__()
         self.num_bits = check_int_in_range(num_bits, "num_bits", minimum=1)
+        self.max_rows = max_rows
         self._rng = ensure_rng(seed)
         self.encoder = RandomHyperplaneLSH(num_bits=self.num_bits, seed=self._rng)
+        self._calibrated = False
         self._tcam: Optional[TCAMArray] = None
 
+    def _calibrate(self, features: np.ndarray) -> None:
+        # Fitting the encoder on the full store freezes its centering mean,
+        # so every shard produces the same signatures as one unsharded TCAM.
+        self.encoder.fit(features)
+        self._calibrated = True
+
+    def adopt_calibration(self, source: "NearestNeighborSearcher") -> bool:
+        if (
+            isinstance(source, TCAMLSHSearcher)
+            and source._calibrated
+            and source.num_bits == self.num_bits
+        ):
+            # The encoder is read-only during search, so sharing the fitted
+            # instance across shard threads is safe.
+            self.encoder = source.encoder
+            self._calibrated = True
+            return True
+        return False
+
     def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
-        signatures = self.encoder.fit(features).encode(features)
-        self._tcam = TCAMArray(num_cells=self.num_bits)
+        if not self._calibrated:
+            self.encoder.fit(features)
+        signatures = self.encoder.encode(features)
+        if self._tcam is not None and self._tcam.num_cells == self.num_bits:
+            self._tcam.clear()
+        else:
+            self._tcam = TCAMArray(num_cells=self.num_bits, max_rows=self.max_rows)
         label_list = None if labels is None else list(labels)
         self._tcam.write(signatures, labels=label_list)
 
@@ -493,17 +584,29 @@ def register_backend(name: str, factory: Optional[BackendFactory] = None):
 def get_backend(name: str) -> BackendFactory:
     """Look up a registered backend factory by name.
 
+    Besides the registered names, the compound form ``"sharded(<backend>)"``
+    (e.g. ``"sharded(mcam-3bit)"``) resolves to a factory that partitions the
+    store across multiple fixed-capacity arrays of the named backend and
+    merges per-shard results into exact global top-k — see
+    :class:`~repro.core.sharding.ShardedSearcher`.  The factory honours the
+    ``shards``, ``max_rows_per_array``, ``executor`` and ``num_workers``
+    keywords of :func:`make_searcher`.
+
     Raises
     ------
     SearchError
         If ``name`` is not a registered backend.
     """
+    key = name.lower().strip()
+    if key.startswith("sharded(") and key.endswith(")"):
+        inner = key[len("sharded("):-1].strip()
+        return _sharded_backend_factory(get_backend(inner))
     try:
-        return _BACKENDS[name.lower()]
+        return _BACKENDS[key]
     except KeyError:
         raise SearchError(
             f"unknown searcher {name!r}; available backends: "
-            f"{', '.join(available_backends())}"
+            f"{', '.join(available_backends())} (any of them also as 'sharded(<name>)')"
         ) from None
 
 
@@ -539,9 +642,12 @@ def _make_mcam(
     lut: Optional[ConductanceLUT] = None,
     variation: Optional[VariationModel] = None,
     seed: SeedLike = None,
+    max_rows_per_array: Optional[int] = None,
     **config,
 ) -> MCAMSearcher:
-    return MCAMSearcher(bits=bits, lut=lut, variation=variation, seed=seed)
+    return MCAMSearcher(
+        bits=bits, lut=lut, variation=variation, seed=seed, max_rows=max_rows_per_array
+    )
 
 
 @register_backend("mcam-3bit")
@@ -558,15 +664,69 @@ def _make_tcam_lsh(
     num_features: int,
     lsh_bits: Optional[int] = None,
     seed: SeedLike = None,
+    max_rows_per_array: Optional[int] = None,
     **config,
 ) -> TCAMLSHSearcher:
     signature_bits = lsh_bits if lsh_bits is not None else num_features
-    return TCAMLSHSearcher(num_bits=signature_bits, seed=seed)
+    return TCAMLSHSearcher(num_bits=signature_bits, seed=seed, max_rows=max_rows_per_array)
 
 
 register_backend("tcam-lsh", _make_tcam_lsh)
 register_backend("tcam+lsh", _make_tcam_lsh)
 register_backend("tcam", _make_tcam_lsh)
+
+
+def _sharded_backend_factory(inner_factory: BackendFactory) -> BackendFactory:
+    """Wrap a backend factory so it builds a :class:`ShardedSearcher`.
+
+    The returned factory consumes the sharding keywords (``shards``,
+    ``max_rows_per_array``, ``executor``, ``num_workers``) and forwards
+    everything else — including ``max_rows_per_array``, which bounds each
+    shard's physical array — to ``inner_factory``, one call per shard.
+
+    Seeding: shard 0 receives the caller's seed (concretized when ``None``)
+    so its data-dependent preprocessing reproduces the unsharded engine
+    bitwise; later shards receive seeds derived per shard index, so
+    per-array randomness such as device-variation sampling is independent
+    across physical arrays — as it would be in real silicon.  Shared
+    data-independent state (e.g. LSH hyperplanes) still comes from shard 0
+    through the calibration-adoption path.
+    """
+    from .sharding import ShardedSearcher  # deferred: sharding imports this module
+
+    def factory(num_features: int, **config) -> NearestNeighborSearcher:
+        shards = config.pop("shards", None)
+        executor = config.pop("executor", "serial")
+        num_workers = config.pop("num_workers", None)
+        max_rows_per_array = config.get("max_rows_per_array")
+        base_seed = config.get("seed")
+        if not isinstance(base_seed, (int, np.integer)):
+            # None, Generator or SeedSequence: concretize to one integer so
+            # per-shard seeds can be derived deterministically from it.
+            base_seed = int(ensure_rng(base_seed).integers(2**31 - 1))
+        base_seed = int(base_seed)
+
+        def make_shard(shard_index: int) -> NearestNeighborSearcher:
+            shard_config = dict(config)
+            if shard_index == 0:
+                shard_config["seed"] = base_seed
+            else:
+                shard_config["seed"] = int(
+                    np.random.default_rng([base_seed, shard_index]).integers(2**31 - 1)
+                )
+            return inner_factory(num_features, **shard_config)
+
+        make_shard.shard_aware = True
+        return ShardedSearcher(
+            make_shard,
+            num_shards=shards,
+            max_rows_per_array=max_rows_per_array,
+            executor=executor,
+            num_workers=num_workers,
+        )
+
+    factory._is_sharded_factory = True
+    return factory
 
 
 def make_searcher(
@@ -577,6 +737,10 @@ def make_searcher(
     variation: Optional[VariationModel] = None,
     lsh_bits: Optional[int] = None,
     seed: SeedLike = None,
+    shards: Optional[int] = None,
+    max_rows_per_array: Optional[int] = None,
+    executor: str = "serial",
+    num_workers: Optional[int] = None,
 ) -> NearestNeighborSearcher:
     """Factory for the engines compared in the paper's figures.
 
@@ -586,8 +750,27 @@ def make_searcher(
     ``"tcam-lsh"``.  ``num_features`` sets the iso-word-length LSH signature
     size when ``lsh_bits`` is not given.  Additional backends registered via
     :func:`register_backend` are resolved the same way.
+
+    Sharded multi-array execution is requested either through the compound
+    name ``"sharded(<backend>)"`` or by passing ``shards=`` (a fixed shard
+    count) or ``max_rows_per_array=`` (fixed-geometry tiles, the shard count
+    following from the store size).  ``executor`` picks the per-shard
+    execution strategy (``"serial"`` or ``"threads"``) and ``num_workers``
+    bounds the thread pool.  Sharded results are bitwise identical to the
+    unsharded backend for the deterministic (ideal-sensing) engines.
     """
     factory = get_backend(name)
+    if (shards is not None or max_rows_per_array is not None) and not getattr(
+        factory, "_is_sharded_factory", False
+    ):
+        factory = _sharded_backend_factory(factory)
+    if not getattr(factory, "_is_sharded_factory", False) and (
+        executor != "serial" or num_workers is not None
+    ):
+        raise SearchError(
+            "executor/num_workers apply only to sharded execution; pass shards= or "
+            "max_rows_per_array=, or use a 'sharded(<backend>)' name"
+        )
     return factory(
         num_features,
         bits=bits,
@@ -595,4 +778,8 @@ def make_searcher(
         variation=variation,
         lsh_bits=lsh_bits,
         seed=seed,
+        shards=shards,
+        max_rows_per_array=max_rows_per_array,
+        executor=executor,
+        num_workers=num_workers,
     )

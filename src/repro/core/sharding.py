@@ -1,0 +1,342 @@
+"""Sharded multi-array execution: exact top-k search over fixed-capacity shards.
+
+One physical CAM array holds a bounded number of rows, so serving a store
+larger than one array means partitioning the entries across N arrays and
+merging per-array results.  :class:`ShardedSearcher` does exactly that at the
+search-engine level: it wraps any
+:class:`~repro.core.search.NearestNeighborSearcher` factory, partitions the
+fitted store into contiguous shards (a fixed shard count, or fixed-geometry
+tiles of ``max_rows_per_array`` rows), fits one engine per shard, and merges
+per-shard top-k candidates into the exact global top-k with the same stable
+tie-breaking the unsharded engines use.  For the deterministic (ideal
+sensing) engines the merged results are **bitwise identical** to the wrapped
+backend searching one unbounded array.
+
+Per-shard ranking is dispatched through a pluggable executor strategy:
+
+* ``"serial"`` — shards are ranked one after another in the calling thread,
+* ``"threads"`` — shards are ranked concurrently in a thread pool.  The
+  heavy per-shard work is NumPy ufunc/BLAS kernels that release the GIL, so
+  threads scale on multi-core hosts without any pickling cost.
+
+Additional strategies (e.g. a process pool or an async gateway) can be
+plugged in through :func:`register_shard_executor`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.tiles import partition_rows, split_rows_evenly
+from ..exceptions import SearchError
+from ..utils.rng import spawn_rngs
+from ..utils.validation import check_int_in_range
+from .search import NearestNeighborSearcher, _stable_smallest_k
+
+#: Factory signature for shard engines: a fresh searcher, built either with
+#: no arguments or — for factories marked ``shard_aware = True`` — with the
+#: shard index as the single positional argument.
+ShardFactory = Callable[..., NearestNeighborSearcher]
+
+
+class SerialShardExecutor:
+    """Run per-shard jobs one after another in the calling thread."""
+
+    name = "serial"
+
+    def __init__(self, num_workers: Optional[int] = None) -> None:
+        # Accepted for interface uniformity; serial execution has no pool.
+        self.num_workers = num_workers
+
+    def map(self, fn, jobs) -> list:
+        """Apply ``fn`` to every job, in order."""
+        return [fn(job) for job in jobs]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class ThreadedShardExecutor:
+    """Run per-shard jobs concurrently in a lazily created thread pool.
+
+    Per-shard ranking is dominated by NumPy kernels that release the GIL
+    (elementwise ufuncs, reductions, BLAS), so a thread pool parallelizes
+    shards across cores without serializing the query batch.
+
+    Parameters
+    ----------
+    num_workers:
+        Thread count; defaults to the host CPU count.
+    """
+
+    name = "threads"
+
+    def __init__(self, num_workers: Optional[int] = None) -> None:
+        if num_workers is not None:
+            num_workers = check_int_in_range(num_workers, "num_workers", minimum=1)
+        self.num_workers = num_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self.num_workers if self.num_workers is not None else os.cpu_count() or 1
+            self._pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-shard")
+        return self._pool
+
+    def map(self, fn, jobs) -> list:
+        """Apply ``fn`` to every job concurrently, preserving job order."""
+        jobs = list(jobs)
+        if len(jobs) <= 1:
+            return [fn(job) for job in jobs]
+        return list(self._ensure_pool().map(fn, jobs))
+
+    def close(self) -> None:
+        """Shut the thread pool down (it is re-created on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+#: Registry of executor strategies by name.
+SHARD_EXECUTORS: Dict[str, Callable[..., object]] = {
+    "serial": SerialShardExecutor,
+    "threads": ThreadedShardExecutor,
+}
+
+
+def register_shard_executor(name: str, factory: Callable[..., object]) -> None:
+    """Register an executor strategy under ``name``.
+
+    ``factory`` is called as ``factory(num_workers=...)`` and must return an
+    object with ``map(fn, jobs)`` (order-preserving) and ``close()``.
+    """
+    key = name.lower()
+    if key in SHARD_EXECUTORS:
+        raise SearchError(f"shard executor {name!r} is already registered")
+    SHARD_EXECUTORS[key] = factory
+
+
+def merge_shard_topk(
+    candidate_scores: np.ndarray, candidate_indices: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard top-k candidates into exact global top-k, vectorized.
+
+    Parameters
+    ----------
+    candidate_scores / candidate_indices:
+        ``(num_queries, num_candidates)`` arrays pooling every shard's local
+        top-k, with indices already translated to global row numbers.
+    k:
+        Global neighbor count to keep per query.
+
+    Returns
+    -------
+    (indices, scores):
+        ``(num_queries, k)`` arrays holding, per query, the ``k``
+        lexicographically smallest ``(score, global_index)`` pairs — i.e.
+        scores ascending with ties broken toward the lower global row index,
+        exactly matching the stable ranking of an unsharded engine.
+
+    Notes
+    -----
+    Within each shard, candidates arrive sorted by score; across shards they
+    are merely grouped.  Re-ordering every query's candidate row by global
+    index first makes the positional tie-breaking of the stable top-k
+    selector coincide with global-index tie-breaking, which is what the
+    unsharded stable argsort produces.
+    """
+    if candidate_scores.shape != candidate_indices.shape or candidate_scores.ndim != 2:
+        raise SearchError(
+            f"candidate scores and indices must share a 2-D shape, got "
+            f"{candidate_scores.shape} and {candidate_indices.shape}"
+        )
+    num_candidates = candidate_scores.shape[1]
+    if not 1 <= k <= num_candidates:
+        raise SearchError(f"k must lie in [1, {num_candidates}], got {k}")
+    by_index = np.argsort(candidate_indices, axis=1, kind="stable")
+    scores = np.take_along_axis(candidate_scores, by_index, axis=1)
+    indices = np.take_along_axis(candidate_indices, by_index, axis=1)
+    top = _stable_smallest_k(scores, k)
+    return (
+        np.take_along_axis(indices, top, axis=1),
+        np.take_along_axis(scores, top, axis=1),
+    )
+
+
+class ShardedSearcher(NearestNeighborSearcher):
+    """Exact nearest-neighbor search over multiple fixed-capacity shards.
+
+    Wraps any registered backend: :meth:`fit` partitions the store into
+    contiguous shards, builds one engine per shard from ``searcher_factory``
+    (calibrating each on the *full* store so data-dependent preprocessing
+    matches the unsharded engine), and queries fan out to every shard whose
+    local top-k candidates are merged into the exact global top-k.
+
+    Parameters
+    ----------
+    searcher_factory:
+        Callable returning a fresh
+        :class:`~repro.core.search.NearestNeighborSearcher`.  It is called
+        with no arguments (identically configured engines for every shard)
+        unless it carries a truthy ``shard_aware`` attribute, in which case
+        it receives the shard index — letting it seed per-array randomness
+        (e.g. device variation) independently per shard while shard 0
+        reproduces the unsharded engine.
+        :func:`~repro.core.search.make_searcher` arranges exactly that
+        automatically.
+    num_shards:
+        Fixed shard count; entries are split as evenly as possible and shard
+        counts exceeding the store size collapse to one entry per shard.
+        Defaults to 2 when neither ``num_shards`` nor ``max_rows_per_array``
+        is given.
+    max_rows_per_array:
+        Fixed tile capacity; the shard count follows from the store size
+        (``ceil(num_entries / max_rows_per_array)``).  Mutually exclusive
+        with ``num_shards``.
+    executor:
+        Per-shard execution strategy: ``"serial"`` or ``"threads"`` (or any
+        name added via :func:`register_shard_executor`).
+    num_workers:
+        Worker bound for pooled executors; defaults to the host CPU count.
+    """
+
+    def __init__(
+        self,
+        searcher_factory: ShardFactory,
+        num_shards: Optional[int] = None,
+        max_rows_per_array: Optional[int] = None,
+        executor: str = "serial",
+        num_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if not callable(searcher_factory):
+            raise SearchError("searcher_factory must be a zero-argument callable")
+        if num_shards is not None and max_rows_per_array is not None:
+            raise SearchError(
+                "pass either num_shards or max_rows_per_array, not both; the shard "
+                "count follows from the tile capacity when max_rows_per_array is given"
+            )
+        if num_shards is not None:
+            num_shards = check_int_in_range(num_shards, "num_shards", minimum=1)
+        if max_rows_per_array is not None:
+            max_rows_per_array = check_int_in_range(
+                max_rows_per_array, "max_rows_per_array", minimum=1
+            )
+        if num_shards is None and max_rows_per_array is None:
+            num_shards = 2
+        try:
+            executor_factory = SHARD_EXECUTORS[executor.lower()]
+        except (KeyError, AttributeError):
+            raise SearchError(
+                f"unknown shard executor {executor!r}; available: "
+                f"{', '.join(sorted(SHARD_EXECUTORS))}"
+            ) from None
+        self.searcher_factory = searcher_factory
+        self._factory_takes_index = bool(getattr(searcher_factory, "shard_aware", False))
+        self.requested_shards = num_shards
+        self.max_rows_per_array = max_rows_per_array
+        self.executor_name = executor.lower()
+        self._executor = executor_factory(num_workers=num_workers)
+        self._shards: List[NearestNeighborSearcher] = []
+        self._offsets: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of non-empty shards after :meth:`fit` (0 before)."""
+        return len(self._shards)
+
+    @property
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Entries stored per shard, in global row order."""
+        return tuple(shard.num_entries for shard in self._shards)
+
+    @property
+    def shard_searchers(self) -> Tuple[NearestNeighborSearcher, ...]:
+        """The per-shard engines (available after :meth:`fit`)."""
+        return tuple(self._shards)
+
+    def close(self) -> None:
+        """Release executor resources (e.g. the thread pool)."""
+        self._executor.close()
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def _partition(self, num_entries: int):
+        if self.max_rows_per_array is not None:
+            return partition_rows(num_entries, self.max_rows_per_array)
+        return split_rows_evenly(num_entries, self.requested_shards)
+
+    def _build_shard(self, index: int) -> NearestNeighborSearcher:
+        if self._factory_takes_index:
+            shard = self.searcher_factory(index)
+        else:
+            shard = self.searcher_factory()
+        if not isinstance(shard, NearestNeighborSearcher):
+            raise SearchError(
+                "searcher_factory must return a NearestNeighborSearcher, got "
+                f"{type(shard).__name__}"
+            )
+        return shard
+
+    def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
+        spans = self._partition(features.shape[0])
+        if len(self._shards) != len(spans):
+            # Refits with an unchanged partition count (the episodic
+            # workload) reprogram the existing shard engines in place —
+            # same amortization the unsharded engines get from searcher
+            # reuse — instead of rebuilding N engines per fit.
+            self._shards = [self._build_shard(index) for index in range(len(spans))]
+        self._offsets = [start for start, _ in spans]
+        calibrated: Optional[NearestNeighborSearcher] = None
+        for shard, (start, stop) in zip(self._shards, spans):
+            # Calibrate on the FULL store so quantizers/encoders match the
+            # unsharded engine bitwise; the first shard pays the full-store
+            # pass and its siblings adopt the frozen state.
+            if calibrated is None or not shard.adopt_calibration(calibrated):
+                shard.calibrate(features)
+                calibrated = shard
+            shard_labels = None if labels is None else labels[start:stop]
+            shard.fit(features[start:stop], shard_labels)
+
+    # ------------------------------------------------------------------
+    # Ranking
+    # ------------------------------------------------------------------
+    def _rank(self, query: np.ndarray, rng: np.random.Generator):
+        indices, scores = self._rank_batch(query.reshape(1, -1), rng=rng, k=self._num_entries)
+        return indices[0], scores[0]
+
+    def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+        if not self._shards:
+            raise SearchError("sharded searcher must be fitted before searching")
+        if len(self._shards) == 1:
+            indices, scores = self._shards[0]._rank_batch(queries, rng=rng, k=k)
+            return indices.astype(np.int64, copy=False) + self._offsets[0], scores
+        # Independent per-shard streams: stochastic engines stay deterministic
+        # under any executor because no generator is shared across threads.
+        shard_rngs = spawn_rngs(rng, len(self._shards))
+
+        def rank_shard(job):
+            shard, offset, shard_rng = job
+            shard_k = min(k, shard.num_entries)
+            indices, scores = shard._rank_batch(queries, rng=shard_rng, k=shard_k)
+            return indices.astype(np.int64, copy=False) + offset, scores
+
+        jobs = list(zip(self._shards, self._offsets, shard_rngs))
+        results = self._executor.map(rank_shard, jobs)
+        candidate_indices = np.concatenate([indices for indices, _ in results], axis=1)
+        candidate_scores = np.concatenate([scores for _, scores in results], axis=1)
+        return merge_shard_topk(candidate_scores, candidate_indices, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShardedSearcher(shards={self.num_shards or self.requested_shards}, "
+            f"max_rows_per_array={self.max_rows_per_array}, executor={self.executor_name!r})"
+        )

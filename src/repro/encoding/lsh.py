@@ -56,10 +56,18 @@ class RandomHyperplaneLSH:
         return self._hyperplanes is not None
 
     def fit(self, features) -> "RandomHyperplaneLSH":
-        """Draw the random hyperplanes for the dimensionality of ``features``."""
+        """Fit the encoder: draw hyperplanes, compute the centering mean.
+
+        The hyperplanes depend only on the feature dimensionality, so they
+        are drawn once and reused by subsequent ``fit`` calls of the same
+        width (refitting a reused encoder on new data — e.g. one searcher
+        serving many few-shot episodes — keeps the hash family stable and
+        only refreshes the data-dependent centering mean).
+        """
         features = check_feature_matrix(features, "features")
         num_features = features.shape[1]
-        self._hyperplanes = self._rng.normal(0.0, 1.0, size=(num_features, self.num_bits))
+        if self._hyperplanes is None or self._hyperplanes.shape[0] != num_features:
+            self._hyperplanes = self._rng.normal(0.0, 1.0, size=(num_features, self.num_bits))
         self._mean = features.mean(axis=0) if self.center else np.zeros(num_features)
         return self
 

@@ -98,13 +98,31 @@ class FewShotEvaluator:
         method_name: str = "custom",
         rng: SeedLike = None,
     ) -> FewShotResult:
-        """Evaluate one method over ``num_episodes`` fresh episodes."""
+        """Evaluate one method over ``num_episodes`` fresh episodes.
+
+        One searcher is allocated up front and reprogrammed per episode (the
+        CAM workload: rewrite the support rows, then stream the episode's
+        whole query block through one batched search).  Episode sampling and
+        classification use independent streams (as :meth:`compare` always
+        has), so engines that draw randomness during search — stochastic
+        sensing, sharded execution — cannot perturb which episodes are
+        evaluated.
+        """
         generator = ensure_rng(rng)
+        memory = MANNMemory(searcher_factory=searcher_factory, reuse_searcher=True)
+        episode_rngs = spawn_rngs(generator, self.num_episodes)
         episode_accuracies = []
-        for episode in self.sampler.episodes(self.num_episodes, rng=generator):
-            episode_accuracies.append(
-                run_episode(episode, searcher_factory, rng=generator)
-            )
+        try:
+            for episode, episode_rng in zip(
+                self.sampler.episodes(self.num_episodes, rng=generator), episode_rngs
+            ):
+                episode_accuracies.append(
+                    run_episode(episode, searcher_factory, rng=episode_rng, memory=memory)
+                )
+        finally:
+            # Deterministically release searcher resources (e.g. a sharded
+            # thread pool) instead of waiting for garbage collection.
+            memory.clear()
         return FewShotResult(
             method=method_name,
             n_way=self.sampler.n_way,
@@ -121,22 +139,31 @@ class FewShotEvaluator:
 
         All methods see exactly the same support/query embeddings in every
         episode, which is the comparison the paper makes: the only moving
-        part is the distance function / search hardware.
+        part is the distance function / search hardware.  Each method keeps
+        one searcher allocation for the whole run.
         """
         if not factories:
             raise ConfigurationError("factories must contain at least one method")
         generator = ensure_rng(rng)
         per_method_accuracies: Dict[str, list] = {name: [] for name in factories}
+        memories = {
+            name: MANNMemory(searcher_factory=factory, reuse_searcher=True)
+            for name, factory in factories.items()
+        }
         # One independent stream per episode for the stochastic engines so
         # adding/removing a method does not change the other methods' results.
         episode_rngs = spawn_rngs(generator, self.num_episodes)
-        for episode, episode_rng in zip(
-            self.sampler.episodes(self.num_episodes, rng=generator), episode_rngs
-        ):
-            for name, factory in factories.items():
-                per_method_accuracies[name].append(
-                    run_episode(episode, factory, rng=episode_rng)
-                )
+        try:
+            for episode, episode_rng in zip(
+                self.sampler.episodes(self.num_episodes, rng=generator), episode_rngs
+            ):
+                for name, factory in factories.items():
+                    per_method_accuracies[name].append(
+                        run_episode(episode, factory, rng=episode_rng, memory=memories[name])
+                    )
+        finally:
+            for memory in memories.values():
+                memory.clear()
         return {
             name: FewShotResult(
                 method=name,
@@ -152,13 +179,18 @@ def run_episode(
     episode: Episode,
     searcher_factory: SearcherFactory,
     rng: SeedLike = None,
+    memory: Optional[MANNMemory] = None,
 ) -> float:
     """Accuracy of one method on one episode.
 
     The support set programs the memory once; the episode's entire query
-    batch is then classified through one vectorized search.
+    batch then rides one vectorized ``predict_batch`` search.  Passing a
+    ``memory`` (e.g. one with ``reuse_searcher=True``) lets callers serve
+    many episodes from a single searcher allocation; otherwise a fresh
+    single-episode memory is built from ``searcher_factory``.
     """
-    memory = MANNMemory(searcher_factory=searcher_factory)
+    if memory is None:
+        memory = MANNMemory(searcher_factory=searcher_factory)
     memory.write(episode.support_embeddings, episode.support_labels)
     predictions = memory.classify(episode.query_embeddings, rng=rng)
     return accuracy(predictions, episode.query_labels)
@@ -168,6 +200,9 @@ def default_method_factories(
     embedding_dim: int,
     lsh_bits: Optional[int] = None,
     seed: SeedLike = None,
+    shards: Optional[int] = None,
+    max_rows_per_array: Optional[int] = None,
+    executor: str = "serial",
 ) -> Dict[str, SearcherFactory]:
     """The five methods compared in Fig. 7, as searcher factories.
 
@@ -181,16 +216,31 @@ def default_method_factories(
         original TCAM+LSH configuration of the paper's footnote 1).
     seed:
         Seed for the stochastic engines (LSH hyperplanes).
+    shards / max_rows_per_array / executor:
+        Optional sharded-execution configuration forwarded to
+        :func:`~repro.core.search.make_searcher`; when either ``shards`` or
+        ``max_rows_per_array`` is given every method partitions its support
+        set across fixed-capacity arrays (results stay identical — sharding
+        is exact).
     """
     generator = ensure_rng(seed)
     seeds = generator.integers(0, 2**31 - 1, size=8)
     signature_bits = lsh_bits if lsh_bits is not None else embedding_dim
+    sharding = {
+        "shards": shards,
+        "max_rows_per_array": max_rows_per_array,
+        "executor": executor,
+    }
     return {
-        "cosine": lambda: make_searcher("cosine", embedding_dim),
-        "euclidean": lambda: make_searcher("euclidean", embedding_dim),
-        "mcam-3bit": lambda: make_searcher("mcam-3bit", embedding_dim, seed=int(seeds[0])),
-        "mcam-2bit": lambda: make_searcher("mcam-2bit", embedding_dim, seed=int(seeds[1])),
+        "cosine": lambda: make_searcher("cosine", embedding_dim, **sharding),
+        "euclidean": lambda: make_searcher("euclidean", embedding_dim, **sharding),
+        "mcam-3bit": lambda: make_searcher(
+            "mcam-3bit", embedding_dim, seed=int(seeds[0]), **sharding
+        ),
+        "mcam-2bit": lambda: make_searcher(
+            "mcam-2bit", embedding_dim, seed=int(seeds[1]), **sharding
+        ),
         "tcam-lsh": lambda: make_searcher(
-            "tcam-lsh", embedding_dim, lsh_bits=signature_bits, seed=int(seeds[2])
+            "tcam-lsh", embedding_dim, lsh_bits=signature_bits, seed=int(seeds[2]), **sharding
         ),
     }

@@ -27,6 +27,7 @@ from ..exceptions import ConfigurationError, SearchError
 from ..utils.rng import SeedLike, ensure_rng
 from ..utils.validation import check_choice, check_feature_matrix
 from ..core.search import NearestNeighborSearcher, SoftwareSearcher
+from ..core.sharding import ShardedSearcher
 
 #: Factory signature: called with no arguments, returns a fresh searcher.
 SearcherFactory = Callable[[], NearestNeighborSearcher]
@@ -45,17 +46,45 @@ class MANNMemory:
     readout:
         ``"nearest"`` (store every support embedding) or ``"prototype"``
         (store per-class mean embeddings).
+    reuse_searcher:
+        When True, the factory is called once and subsequent writes refit
+        the same searcher instead of building a fresh one — the episodic
+        workload of the few-shot harness, where one physical CAM is simply
+        reprogrammed per episode.
+    shards / max_rows_per_array / executor:
+        Optional sharded-execution configuration: when either ``shards`` or
+        ``max_rows_per_array`` is given the memory's searcher becomes a
+        :class:`~repro.core.sharding.ShardedSearcher` partitioning the
+        support set across fixed-capacity arrays.
     """
 
     def __init__(
         self,
         searcher_factory: Optional[SearcherFactory] = None,
         readout: str = "nearest",
+        reuse_searcher: bool = False,
+        shards: Optional[int] = None,
+        max_rows_per_array: Optional[int] = None,
+        executor: str = "serial",
     ) -> None:
         if searcher_factory is None:
             searcher_factory = lambda: SoftwareSearcher(metric="cosine")  # noqa: E731
+        if shards is not None or max_rows_per_array is not None:
+            base_factory = searcher_factory
+            searcher_factory = lambda: ShardedSearcher(  # noqa: E731
+                base_factory,
+                num_shards=shards,
+                max_rows_per_array=max_rows_per_array,
+                executor=executor,
+            )
+        elif executor != "serial":
+            raise ConfigurationError(
+                "executor applies only to sharded memories; pass shards= or "
+                "max_rows_per_array= as well"
+            )
         self.searcher_factory = searcher_factory
         self.readout = check_choice(readout, "readout", ("nearest", "prototype"))
+        self.reuse_searcher = bool(reuse_searcher)
         self._searcher: Optional[NearestNeighborSearcher] = None
         self._num_entries = 0
 
@@ -95,10 +124,18 @@ class MANNMemory:
                 [embeddings[labels == c].mean(axis=0) for c in classes]
             )
             embeddings, labels = prototypes, classes
-        self._searcher = self.searcher_factory()
+        if self._searcher is None or not self.reuse_searcher:
+            self._release_searcher()
+            self._searcher = self.searcher_factory()
         self._searcher.fit(embeddings, labels)
         self._num_entries = embeddings.shape[0]
         return self
+
+    def _release_searcher(self) -> None:
+        """Free executor resources (e.g. a shard thread pool) before dropping."""
+        close = getattr(self._searcher, "close", None)
+        if close is not None:
+            close()
 
     def classify(self, query_embeddings, rng: SeedLike = None) -> np.ndarray:
         """Label of the nearest stored entry for each query embedding.
@@ -114,5 +151,6 @@ class MANNMemory:
 
     def clear(self) -> None:
         """Forget the stored support set."""
+        self._release_searcher()
         self._searcher = None
         self._num_entries = 0

@@ -64,3 +64,53 @@ class TestScalingStudy:
             ScalingStudy(ways=(1,))
         with pytest.raises(ConfigurationError):
             ScalingStudy(word_lengths=(1,))
+
+
+class TestShardSweep:
+    @pytest.fixture(scope="class")
+    def sharded_result(self):
+        study = ScalingStudy(
+            ways=(5,), k_shot=2, word_lengths=(16,), num_episodes=3, shard_counts=(1, 4)
+        )
+        return study.run(rng=0)
+
+    def test_shard_series_sorted_by_shard_count(self, sharded_result):
+        series = sharded_result.shard_series(5, 2, 16)
+        assert [p.num_shards for p in series] == [1, 4]
+
+    def test_accuracy_identical_across_shard_counts(self, sharded_result):
+        # Sharded search is exact, so only the geometry axis may change.
+        series = sharded_result.shard_series(5, 2, 16)
+        assert len({p.accuracy_percent for p in series}) == 1
+
+    def test_summed_tile_energy_close_to_single_array(self, sharded_result):
+        series = sharded_result.shard_series(5, 2, 16)
+        assert series[1].search_energy_j == pytest.approx(series[0].search_energy_j)
+
+    def test_delay_unchanged_by_sharding(self, sharded_result):
+        series = sharded_result.shard_series(5, 2, 16)
+        assert series[1].search_delay_s == pytest.approx(series[0].search_delay_s)
+
+    def test_single_array_series_exclude_sharded_points(self, sharded_result):
+        assert all(p.num_shards == 1 for p in sharded_result.capacity_series(16))
+        assert all(p.num_shards == 1 for p in sharded_result.word_length_series(5, 2))
+
+    def test_collapsed_shard_counts_deduplicated(self):
+        study = ScalingStudy(
+            ways=(5,), k_shot=1, word_lengths=(16,), num_episodes=1, shard_counts=(8, 16)
+        )
+        result = study.run(rng=0)
+        # A 5-row store collapses both requested counts to 5 one-row tiles.
+        assert [p.num_shards for p in result.points] == [5]
+
+    def test_rows_per_shard(self, sharded_result):
+        point = sharded_result.shard_series(5, 2, 16)[1]
+        assert point.rows_per_shard == 3  # ceil(10 / 4)
+
+    def test_unknown_executor_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            ScalingStudy(executor="treads")
+
+    def test_unknown_shard_series_rejected(self, sharded_result):
+        with pytest.raises(ConfigurationError):
+            sharded_result.shard_series(7, 2, 16)

@@ -83,3 +83,56 @@ class TestKNNClassifier:
     def test_invalid_weighting_rejected(self):
         with pytest.raises(Exception):
             KNNClassifier(SoftwareSearcher(), k=1, weighting="gaussian")
+
+
+class TestBatchedVotingKernel:
+    """The vectorized voting kernel must replicate the per-query vote exactly."""
+
+    def _loop_predictions(self, knn, queries):
+        result = knn.searcher.kneighbors_batch(queries, k=knn.k)
+        return np.asarray(
+            [knn._vote(result.labels[i], result.scores[i]) for i in range(len(result))]
+        )
+
+    @pytest.mark.parametrize("weighting", ("uniform", "distance"))
+    def test_batch_matches_per_query_vote_on_tie_heavy_data(self, weighting):
+        rng = np.random.default_rng(17)
+        # Few distinct integer features + few labels: vote counts and
+        # distance weights collide constantly.
+        features = rng.integers(0, 3, size=(60, 4)).astype(float)
+        labels = rng.integers(0, 4, size=60)
+        queries = rng.integers(0, 3, size=(50, 4)).astype(float)
+        knn = KNNClassifier(MCAMSearcher(bits=2, seed=1), k=7, weighting=weighting).fit(
+            features, labels
+        )
+        batch = knn.predict(queries)
+        assert np.array_equal(batch, self._loop_predictions(knn, queries))
+        assert np.array_equal(
+            batch, np.asarray([knn.predict_one(query) for query in queries])
+        )
+
+    @pytest.mark.parametrize("weighting", ("uniform", "distance"))
+    def test_batch_matches_per_query_vote_on_software_engine(self, weighting, noisy_clusters):
+        features, labels, queries, _ = noisy_clusters
+        knn = KNNClassifier(SoftwareSearcher("euclidean"), k=9, weighting=weighting).fit(
+            features, labels
+        )
+        assert np.array_equal(knn.predict(queries), self._loop_predictions(knn, queries))
+
+    def test_non_contiguous_labels(self):
+        features = np.array([[0.0, 0.0], [0.2, 0.0], [5.0, 5.0], [5.2, 5.0], [5.1, 5.1]])
+        labels = np.array([-3, 100, 7, 7, 100])
+        knn = KNNClassifier(SoftwareSearcher("euclidean"), k=3).fit(features, labels)
+        predictions = knn.predict(np.array([[0.1, 0.0], [5.1, 5.0]]))
+        assert predictions[1] == 7
+        assert np.array_equal(predictions, self._loop_predictions(knn, np.array([[0.1, 0.0], [5.1, 5.0]])))
+
+    def test_works_over_sharded_searcher(self, noisy_clusters):
+        from repro.core import ShardedSearcher
+
+        features, labels, queries, _ = noisy_clusters
+        plain = KNNClassifier(SoftwareSearcher("euclidean"), k=5).fit(features, labels)
+        sharded = KNNClassifier(
+            ShardedSearcher(lambda: SoftwareSearcher("euclidean"), num_shards=4), k=5
+        ).fit(features, labels)
+        assert np.array_equal(plain.predict(queries), sharded.predict(queries))

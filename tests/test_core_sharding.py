@@ -1,0 +1,323 @@
+"""Tests for the sharded multi-array execution layer.
+
+The acceptance bar of the sharding layer is *bitwise* parity: partitioning a
+store across fixed-capacity CAM tiles and merging per-shard top-k must
+return exactly the neighbors, scores and labels of the unsharded backend,
+for every shard count, both executor strategies, tie-heavy data and every
+k-range edge case.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CAMTileSet,
+    MCAMArray,
+    TileGeometry,
+    partition_rows,
+    split_rows_evenly,
+)
+from repro.core import (
+    ShardedSearcher,
+    SoftwareSearcher,
+    get_backend,
+    make_searcher,
+    merge_shard_topk,
+)
+from repro.exceptions import CapacityError, ConfigurationError, ReproError, SearchError
+
+CAM_BACKENDS = ("mcam-3bit", "mcam-2bit", "tcam-lsh")
+ALL_BACKENDS = CAM_BACKENDS + ("euclidean",)
+
+NUM_FEATURES = 8
+
+
+@pytest.fixture(scope="module")
+def store():
+    rng = np.random.default_rng(11)
+    features = rng.normal(size=(41, NUM_FEATURES))
+    labels = rng.integers(0, 5, size=41)
+    queries = rng.normal(size=(9, NUM_FEATURES))
+    return features, labels, queries
+
+
+@pytest.fixture(scope="module")
+def tie_heavy_store():
+    # A tiny integer alphabet makes CAM scores collide constantly, so the
+    # stable (lowest global index) tie-breaking carries the whole ordering.
+    rng = np.random.default_rng(23)
+    features = rng.integers(0, 2, size=(40, NUM_FEATURES)).astype(float)
+    labels = rng.integers(0, 3, size=40)
+    queries = rng.integers(0, 2, size=(12, NUM_FEATURES)).astype(float)
+    return features, labels, queries
+
+
+def _fit_pair(name, data, **shard_config):
+    features, labels, _ = data
+    base = make_searcher(name, num_features=NUM_FEATURES, seed=7).fit(features, labels)
+    sharded = make_searcher(name, num_features=NUM_FEATURES, seed=7, **shard_config).fit(
+        features, labels
+    )
+    return base, sharded
+
+
+def _assert_batch_equal(expected, actual):
+    np.testing.assert_array_equal(expected.indices, actual.indices)
+    np.testing.assert_array_equal(expected.scores, actual.scores)
+    assert expected.labels == actual.labels
+
+
+class TestShardParity:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    @pytest.mark.parametrize("shards", (1, 2, 7))
+    @pytest.mark.parametrize("executor", ("serial", "threads"))
+    def test_bitwise_parity_with_unsharded_backend(self, store, name, shards, executor):
+        base, sharded = _fit_pair(name, store, shards=shards, executor=executor)
+        queries = store[2]
+        for k in (1, 3, base.num_entries):
+            _assert_batch_equal(
+                base.kneighbors_batch(queries, k=k), sharded.kneighbors_batch(queries, k=k)
+            )
+
+    @pytest.mark.parametrize("name", CAM_BACKENDS + ("euclidean", "manhattan"))
+    @pytest.mark.parametrize("shards", (2, 7))
+    def test_tie_heavy_data_keeps_stable_tie_breaking(self, tie_heavy_store, name, shards):
+        base, sharded = _fit_pair(name, tie_heavy_store, shards=shards)
+        queries = tie_heavy_store[2]
+        for k in (1, 5, base.num_entries):
+            _assert_batch_equal(
+                base.kneighbors_batch(queries, k=k), sharded.kneighbors_batch(queries, k=k)
+            )
+
+    @pytest.mark.parametrize("name", CAM_BACKENDS)
+    def test_single_query_kneighbors_parity(self, store, name):
+        base, sharded = _fit_pair(name, store, shards=3)
+        query = store[2][0]
+        expected = base.kneighbors(query, k=4)
+        actual = sharded.kneighbors(query, k=4)
+        np.testing.assert_array_equal(expected.indices, actual.indices)
+        np.testing.assert_array_equal(expected.scores, actual.scores)
+        assert expected.labels == actual.labels
+
+    @pytest.mark.parametrize("name", CAM_BACKENDS)
+    def test_predict_batch_parity(self, store, name):
+        base, sharded = _fit_pair(name, store, shards=5, executor="threads")
+        queries = store[2]
+        np.testing.assert_array_equal(base.predict_batch(queries), sharded.predict_batch(queries))
+
+
+class TestShardEdgeCases:
+    def test_more_shards_than_entries_collapses_to_singleton_shards(self, store):
+        features, labels, queries = store
+        base = make_searcher("mcam-3bit", num_features=NUM_FEATURES, seed=7).fit(
+            features[:5], labels[:5]
+        )
+        sharded = make_searcher("mcam-3bit", num_features=NUM_FEATURES, seed=7, shards=9).fit(
+            features[:5], labels[:5]
+        )
+        assert sharded.num_shards == 5  # empty shards are dropped
+        assert sharded.shard_sizes == (1, 1, 1, 1, 1)
+        for k in (1, 5):
+            _assert_batch_equal(
+                base.kneighbors_batch(queries, k=k), sharded.kneighbors_batch(queries, k=k)
+            )
+
+    def test_store_smaller_than_one_tile_is_a_single_shard(self, store):
+        features, labels, queries = store
+        base, sharded = _fit_pair("mcam-3bit", store, max_rows_per_array=1000)
+        assert sharded.num_shards == 1
+        _assert_batch_equal(
+            base.kneighbors_batch(queries, k=3), sharded.kneighbors_batch(queries, k=3)
+        )
+
+    def test_k_larger_than_every_shard(self, store):
+        # 41 entries over 7 shards: the largest shard holds 6 rows, far fewer
+        # than k=20; the merge must still produce the exact global top-20.
+        base, sharded = _fit_pair("tcam-lsh", store, shards=7)
+        assert max(sharded.shard_sizes) < 20
+        _assert_batch_equal(
+            base.kneighbors_batch(store[2], k=20), sharded.kneighbors_batch(store[2], k=20)
+        )
+
+    def test_k_beyond_store_rejected_like_unsharded(self, store):
+        features, labels, queries = store
+        base, sharded = _fit_pair("mcam-3bit", store, shards=3)
+        with pytest.raises(ReproError):
+            base.kneighbors_batch(queries, k=features.shape[0] + 1)
+        with pytest.raises(ReproError):
+            sharded.kneighbors_batch(queries, k=features.shape[0] + 1)
+
+    def test_tiled_arrays_are_geometry_bounded(self, store):
+        features, labels, _ = store
+        sharded = make_searcher(
+            "mcam-3bit", num_features=NUM_FEATURES, seed=7, max_rows_per_array=16
+        ).fit(features, labels)
+        assert sharded.num_shards == 3
+        assert sharded.shard_sizes == (16, 16, 9)
+        for shard in sharded.shard_searchers:
+            assert shard.array.max_rows == 16
+            assert shard.array.num_rows <= 16
+
+    def test_unfitted_search_rejected(self):
+        sharded = ShardedSearcher(lambda: SoftwareSearcher("euclidean"), num_shards=2)
+        with pytest.raises(SearchError):
+            sharded.kneighbors(np.zeros(4))
+
+
+class TestShardConfiguration:
+    def test_both_shards_and_max_rows_rejected(self):
+        with pytest.raises(SearchError):
+            ShardedSearcher(lambda: SoftwareSearcher(), num_shards=2, max_rows_per_array=8)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedSearcher(lambda: SoftwareSearcher(), num_shards=0)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SearchError):
+            ShardedSearcher(lambda: SoftwareSearcher(), num_shards=2, executor="mpi")
+
+    def test_non_callable_factory_rejected(self):
+        with pytest.raises(SearchError):
+            ShardedSearcher("mcam-3bit", num_shards=2)
+
+    def test_factory_must_return_searcher(self, store):
+        features, labels, _ = store
+        sharded = ShardedSearcher(lambda: object(), num_shards=2)
+        with pytest.raises(SearchError):
+            sharded.fit(features, labels)
+
+    def test_compound_registry_name_resolves(self, store):
+        features, labels, queries = store
+        factory = get_backend("sharded(mcam-3bit)")
+        searcher = factory(NUM_FEATURES, shards=4, seed=3)
+        assert isinstance(searcher, ShardedSearcher)
+        searcher.fit(features, labels)
+        assert searcher.num_shards == 4
+        assert searcher.kneighbors_batch(queries, k=2).indices.shape == (len(queries), 2)
+
+    def test_compound_name_with_unknown_inner_backend_rejected(self):
+        with pytest.raises(SearchError):
+            get_backend("sharded(no-such-engine)")
+
+    def test_default_shard_count_is_two(self, store):
+        features, labels, _ = store
+        sharded = ShardedSearcher(lambda: SoftwareSearcher("euclidean")).fit(features, labels)
+        assert sharded.num_shards == 2
+
+    def test_generator_seed_supported(self, store):
+        features, labels, queries = store
+        sharded = make_searcher(
+            "mcam-3bit", num_features=NUM_FEATURES, seed=np.random.default_rng(0), shards=3
+        ).fit(features, labels)
+        assert sharded.kneighbors_batch(queries, k=2).indices.shape == (len(queries), 2)
+
+    def test_searcher_class_as_factory_gets_no_shard_index(self, store):
+        features, labels, queries = store
+        sharded = ShardedSearcher(SoftwareSearcher, num_shards=2).fit(features, labels)
+        assert sharded.kneighbors_batch(queries, k=1).indices.shape == (len(queries), 1)
+
+    def test_refit_reuses_shard_engines_when_partition_unchanged(self, store):
+        features, labels, queries = store
+        sharded = ShardedSearcher(lambda: SoftwareSearcher("euclidean"), num_shards=4)
+        sharded.fit(features, labels)
+        engines = sharded.shard_searchers
+        sharded.fit(features + 1.0, labels)
+        assert sharded.shard_searchers == engines
+        reference = SoftwareSearcher("euclidean").fit(features + 1.0, labels)
+        np.testing.assert_array_equal(
+            reference.kneighbors_batch(queries, k=5).indices,
+            sharded.kneighbors_batch(queries, k=5).indices,
+        )
+
+
+class TestMergeKernel:
+    def test_merge_prefers_lower_global_index_on_ties(self):
+        scores = np.array([[0.5, 0.1, 0.1, 0.5]])
+        indices = np.array([[7, 9, 2, 4]])
+        merged_indices, merged_scores = merge_shard_topk(scores, indices, k=3)
+        np.testing.assert_array_equal(merged_indices, [[2, 9, 4]])
+        np.testing.assert_array_equal(merged_scores, [[0.1, 0.1, 0.5]])
+
+    def test_merge_validates_k(self):
+        scores = np.zeros((1, 3))
+        indices = np.zeros((1, 3), dtype=np.int64)
+        with pytest.raises(SearchError):
+            merge_shard_topk(scores, indices, k=4)
+        with pytest.raises(SearchError):
+            merge_shard_topk(scores, indices, k=0)
+
+    def test_merge_validates_shapes(self):
+        with pytest.raises(SearchError):
+            merge_shard_topk(np.zeros((1, 3)), np.zeros((1, 2), dtype=np.int64), k=1)
+
+
+class TestCircuitTiles:
+    def test_partition_rows_fills_fixed_tiles(self):
+        assert partition_rows(41, 16) == ((0, 16), (16, 32), (32, 41))
+        assert partition_rows(16, 16) == ((0, 16),)
+        assert partition_rows(0, 16) == ()
+
+    def test_split_rows_evenly_balances_and_drops_empties(self):
+        assert split_rows_evenly(41, 7) == (
+            (0, 6),
+            (6, 12),
+            (12, 18),
+            (18, 24),
+            (24, 30),
+            (30, 36),
+            (36, 41),
+        )
+        assert split_rows_evenly(3, 5) == ((0, 1), (1, 2), (2, 3))
+        assert split_rows_evenly(0, 3) == ()
+
+    def test_tile_geometry_counts_tiles(self):
+        geometry = TileGeometry(max_rows=16, num_cells=8)
+        assert geometry.tiles_for(0) == 0
+        assert geometry.tiles_for(16) == 1
+        assert geometry.tiles_for(17) == 2
+        with pytest.raises(ConfigurationError):
+            TileGeometry(max_rows=0, num_cells=8)
+
+    def test_tile_set_matches_one_unbounded_array(self):
+        rng = np.random.default_rng(3)
+        states = rng.integers(0, 8, size=(40, 6))
+        labels = list(rng.integers(0, 4, size=40))
+        queries = rng.integers(0, 8, size=(5, 6))
+
+        reference = MCAMArray(num_cells=6, bits=3)
+        reference.write(states, labels=labels)
+
+        geometry = TileGeometry(max_rows=16, num_cells=6)
+        tiles = CAMTileSet(geometry, lambda: MCAMArray(num_cells=6, bits=3, max_rows=16))
+        tiles.write(states, labels=labels)
+
+        assert tiles.num_tiles == 3
+        assert tiles.num_rows == 40
+        assert tiles.labels == labels
+        np.testing.assert_array_equal(
+            reference.row_conductances_batch(queries), tiles.row_conductances_batch(queries)
+        )
+
+    def test_tile_set_incremental_writes_fill_last_tile_first(self):
+        geometry = TileGeometry(max_rows=4, num_cells=3)
+        tiles = CAMTileSet(geometry, lambda: MCAMArray(num_cells=3, bits=2, max_rows=4))
+        tiles.write(np.ones((3, 3), dtype=np.int64))
+        assert tiles.num_tiles == 1
+        tiles.write(np.ones((2, 3), dtype=np.int64))
+        assert tiles.num_tiles == 2
+        assert [tile.num_rows for tile in tiles.tiles] == [4, 1]
+        assert tiles.tiles[1].row_offset == 4
+
+    def test_array_geometry_still_enforced(self):
+        array = MCAMArray(num_cells=3, bits=2, max_rows=2)
+        array.write(np.zeros((2, 3), dtype=np.int64))
+        assert array.is_full
+        assert array.remaining_rows == 0
+        with pytest.raises(CapacityError):
+            array.write(np.zeros((1, 3), dtype=np.int64))
+
+    def test_max_rows_and_capacity_alias_must_agree(self):
+        assert MCAMArray(num_cells=2, bits=2, capacity=5).max_rows == 5
+        with pytest.raises(ConfigurationError):
+            MCAMArray(num_cells=2, bits=2, capacity=5, max_rows=6)

@@ -195,3 +195,53 @@ class TestFewShotEvaluation:
         evaluator = FewShotEvaluator(small_space, n_way=5, k_shot=1, num_episodes=5)
         result = evaluator.evaluate(lambda: MCAMSearcher(bits=3), "mcam", rng=3)
         assert result.accuracy > 0.5
+
+
+class TestSearcherReuse:
+    """The evaluator serves every episode from one searcher allocation."""
+
+    def test_memory_reuses_searcher_across_writes(self, small_space):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return SoftwareSearcher("cosine")
+
+        memory = MANNMemory(searcher_factory=factory, reuse_searcher=True)
+        for seed in range(3):
+            embeddings, labels = small_space.sample([0, 1, 2], 3, rng=seed)
+            memory.write(embeddings, labels)
+        assert len(calls) == 1
+
+        fresh = MANNMemory(searcher_factory=factory)
+        for seed in range(3):
+            embeddings, labels = small_space.sample([0, 1, 2], 3, rng=seed)
+            fresh.write(embeddings, labels)
+        assert len(calls) == 4
+
+    def test_reused_memory_matches_fresh_memory_results(self, small_space):
+        evaluator = FewShotEvaluator(small_space, n_way=5, k_shot=1, num_episodes=6)
+        reused = evaluator.evaluate(lambda: MCAMSearcher(bits=3), "mcam", rng=5)
+        # Episode-by-episode reference without any searcher reuse, replaying
+        # the evaluator's stream structure (per-episode classification rngs).
+        from repro.utils.rng import spawn_rngs
+
+        sampler = EpisodeSampler(small_space, n_way=5, k_shot=1, queries_per_class=5)
+        generator = np.random.default_rng(5)
+        episode_rngs = spawn_rngs(generator, 6)
+        reference = [
+            run_episode(episode, lambda: MCAMSearcher(bits=3), rng=episode_rng)
+            for episode, episode_rng in zip(sampler.episodes(6, rng=generator), episode_rngs)
+        ]
+        assert reused.statistics.mean == pytest.approx(np.mean(reference))
+
+    def test_sharded_memory_classifies_like_unsharded(self, small_space):
+        embeddings, labels = small_space.sample([0, 1, 2, 3], 6, rng=9)
+        queries, _ = small_space.sample([0, 1, 2, 3], 4, rng=10)
+        plain = MANNMemory(searcher_factory=lambda: MCAMSearcher(bits=3))
+        sharded = MANNMemory(
+            searcher_factory=lambda: MCAMSearcher(bits=3), shards=3, executor="threads"
+        )
+        plain.write(embeddings, labels)
+        sharded.write(embeddings, labels)
+        assert np.array_equal(plain.classify(queries), sharded.classify(queries))
