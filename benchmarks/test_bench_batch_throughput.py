@@ -21,7 +21,12 @@ pytestmark = pytest.mark.smoke
 NUM_STORED = 512
 NUM_FEATURES = 32
 NUM_QUERIES = 256
-REQUIRED_MCAM_SPEEDUP = 5.0
+#: Originally 5x against the seed per-cell single-query path; the fused LUT
+#: gather kernel (gated separately in test_bench_episode_throughput.py) made
+#: single queries ~4x faster, so the batch-vs-looped ratio narrowed to ~5x
+#: with no remaining margin.  3x still guards the batch API's amortization
+#: without flaking on the faster single-query baseline.
+REQUIRED_MCAM_SPEEDUP = 3.0
 
 RNG = np.random.default_rng(42)
 

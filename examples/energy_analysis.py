@@ -69,10 +69,11 @@ def main() -> None:
         ],
     ]
     print(format_table(["quantity", "TCAM", "MCAM 3-bit", "MCAM / TCAM"], rows))
+    dataline_ratio = mcam_search.breakdown.dataline_j / tcam_search.breakdown.dataline_j
     print(
         f"\nMCAM search energy overhead: {comparison.search_energy_overhead_percent:+.1f}% "
         "(data-line drive alone: "
-        f"{100.0 * (mcam_search.breakdown.dataline_j / tcam_search.breakdown.dataline_j - 1.0):+.1f}%, "
+        f"{100.0 * (dataline_ratio - 1.0):+.1f}%, "
         "paper: +56%)"
     )
     print(

@@ -51,6 +51,12 @@ from .core import (
     make_searcher,
     register_backend,
 )
+from .runtime import (
+    ParallelTrialRunner,
+    PersistentProcessPool,
+    ProcessShardExecutor,
+    resolve_trial_runner,
+)
 
 __all__ = [
     "ARXIV_ID",
@@ -79,4 +85,8 @@ __all__ = [
     "get_backend",
     "make_searcher",
     "register_backend",
+    "ParallelTrialRunner",
+    "PersistentProcessPool",
+    "ProcessShardExecutor",
+    "resolve_trial_runner",
 ]

@@ -23,7 +23,7 @@ and the summed tile energy matches the single-array energy at equal rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 from ..exceptions import ConfigurationError
@@ -31,10 +31,11 @@ from ..utils.rng import SeedLike, ensure_rng
 from ..utils.validation import check_bits, check_int_in_range
 from ..circuits.tiles import split_rows_evenly
 from ..core.search import MCAMSearcher
-from ..core.sharding import SHARD_EXECUTORS, ShardedSearcher
+from ..core.sharding import ShardedSearcher, available_shard_executors
 from ..datasets.omniglot import EmbeddingSpaceSpec, SyntheticEmbeddingSpace
 from ..energy.cam_energy import mcam_energy_model
 from ..mann.fewshot import FewShotEvaluator
+from ..runtime import resolve_trial_runner
 
 
 @dataclass(frozen=True)
@@ -147,8 +148,15 @@ class ScalingStudy:
         the paper's single-array setup).  Sharded search is exact, so this
         axis probes the energy/geometry trade-off, not accuracy.
     executor:
-        Per-shard execution strategy for the sharded points (``"serial"``
-        or ``"threads"``).
+        Per-shard execution strategy for the sharded points (``"serial"``,
+        ``"threads"`` or ``"processes"``).
+    trial_executor:
+        Dispatch strategy for the study's operating points (``"serial"``,
+        ``"threads"`` or ``"processes"``): each ``(word length, ways)``
+        evaluation is one self-contained trial with a pre-drawn seed, so
+        parallel dispatch reproduces the serial results exactly.
+    num_workers:
+        Worker bound for the pooled trial strategies.
     """
 
     def __init__(
@@ -160,6 +168,8 @@ class ScalingStudy:
         bits: int = 3,
         shard_counts: Sequence[int] = (1,),
         executor: str = "serial",
+        trial_executor: str = "serial",
+        num_workers: Optional[int] = None,
     ) -> None:
         self.ways = tuple(int(w) for w in ways)
         if not self.ways or any(w < 2 for w in self.ways):
@@ -173,20 +183,14 @@ class ScalingStudy:
         self.shard_counts = tuple(int(s) for s in shard_counts)
         if not self.shard_counts or any(s < 1 for s in self.shard_counts):
             raise ConfigurationError("shard_counts must contain integers >= 1")
-        if executor.lower() not in SHARD_EXECUTORS:
+        if executor.lower() not in available_shard_executors():
             raise ConfigurationError(
-                f"executor must be one of {tuple(sorted(SHARD_EXECUTORS))}, got {executor!r}"
+                f"executor must be one of {available_shard_executors()}, got {executor!r}"
             )
         self.executor = executor
-
-    def _searcher_factory(self, num_shards: int):
-        if num_shards == 1:
-            return lambda: MCAMSearcher(bits=self.bits)
-        return lambda: ShardedSearcher(
-            lambda: MCAMSearcher(bits=self.bits),
-            num_shards=num_shards,
-            executor=self.executor,
-        )
+        self.trial_executor = trial_executor
+        self.num_workers = num_workers
+        resolve_trial_runner(trial_executor, num_workers=num_workers).close()
 
     def _sharded_search_cost(self, num_cells: int, stored_rows: int, num_shards: int):
         """Summed tile energy and parallel-tile delay of one sharded search."""
@@ -202,50 +206,115 @@ class ScalingStudy:
         delay_s = max(cost.delay_s for cost in tile_costs)
         return energy_j, delay_s
 
-    def run(self, rng: SeedLike = None) -> ScalingStudyResult:
-        """Evaluate accuracy and search energy at every operating point."""
+    def trials(self, rng: SeedLike = None) -> Tuple["_ScalingTrial", ...]:
+        """The study's operating-point work units, with pre-drawn seeds.
+
+        Seeds are drawn from ``rng`` in the exact order the serial loop
+        consumes them (space seed per word length, then one evaluation seed
+        per way count), so dispatched results match the serial study.
+        """
         generator = ensure_rng(rng)
-        points = []
+        units = []
         for num_cells in self.word_lengths:
             space = SyntheticEmbeddingSpace(
                 EmbeddingSpaceSpec(embedding_dim=num_cells),
                 seed=generator.integers(2**31 - 1),
             )
             for n_way in self.ways:
-                # Sharded search is exact, so accuracy cannot depend on the
-                # shard count: evaluate the episodes once per operating point
-                # (through the most-sharded geometry, exercising the real
-                # multi-array path) and sweep only the energy/delay model.
-                evaluator = FewShotEvaluator(
-                    space, n_way=n_way, k_shot=self.k_shot, num_episodes=self.num_episodes
-                )
-                result = evaluator.evaluate(
-                    searcher_factory=self._searcher_factory(max(self.shard_counts)),
-                    method_name=f"mcam-{self.bits}bit",
-                    rng=int(generator.integers(2**31 - 1)),
-                )
-                stored_rows = n_way * self.k_shot
-                seen_shard_counts = set()
-                for num_shards in self.shard_counts:
-                    # Tiny stores collapse to one row per tile; record the
-                    # tile count the cost was actually computed over, once.
-                    effective_shards = min(num_shards, stored_rows)
-                    if effective_shards in seen_shard_counts:
-                        continue
-                    seen_shard_counts.add(effective_shards)
-                    energy_j, delay_s = self._sharded_search_cost(
-                        num_cells, stored_rows, effective_shards
+                units.append(
+                    _ScalingTrial(
+                        space=space,
+                        num_cells=num_cells,
+                        n_way=n_way,
+                        k_shot=self.k_shot,
+                        num_episodes=self.num_episodes,
+                        bits=self.bits,
+                        num_shards=max(self.shard_counts),
+                        shard_executor=self.executor,
+                        eval_seed=int(generator.integers(2**31 - 1)),
                     )
-                    points.append(
-                        ScalingPoint(
-                            n_way=n_way,
-                            k_shot=self.k_shot,
-                            num_cells=num_cells,
-                            stored_rows=stored_rows,
-                            accuracy_percent=result.accuracy_percent,
-                            search_energy_j=energy_j,
-                            search_delay_s=delay_s,
-                            num_shards=effective_shards,
-                        )
+                )
+        return tuple(units)
+
+    def run(self, rng: SeedLike = None) -> ScalingStudyResult:
+        """Evaluate accuracy and search energy at every operating point.
+
+        Accuracy evaluations — the expensive part — dispatch through the
+        trial runtime; the analytic energy/delay sweep over shard counts
+        runs in-process afterwards.
+        """
+        units = self.trials(rng)
+        runner = resolve_trial_runner(self.trial_executor, num_workers=self.num_workers)
+        try:
+            accuracies = runner.map(_run_scaling_trial, units)
+        finally:
+            runner.close()
+        points = []
+        for trial, accuracy_percent in zip(units, accuracies):
+            stored_rows = trial.n_way * self.k_shot
+            seen_shard_counts = set()
+            for num_shards in self.shard_counts:
+                # Tiny stores collapse to one row per tile; record the
+                # tile count the cost was actually computed over, once.
+                effective_shards = min(num_shards, stored_rows)
+                if effective_shards in seen_shard_counts:
+                    continue
+                seen_shard_counts.add(effective_shards)
+                energy_j, delay_s = self._sharded_search_cost(
+                    trial.num_cells, stored_rows, effective_shards
+                )
+                points.append(
+                    ScalingPoint(
+                        n_way=trial.n_way,
+                        k_shot=self.k_shot,
+                        num_cells=trial.num_cells,
+                        stored_rows=stored_rows,
+                        accuracy_percent=accuracy_percent,
+                        search_energy_j=energy_j,
+                        search_delay_s=delay_s,
+                        num_shards=effective_shards,
                     )
+                )
         return ScalingStudyResult(points=tuple(points), bits=self.bits)
+
+
+@dataclass(frozen=True)
+class _ScalingTrial:
+    """One self-contained operating-point evaluation."""
+
+    space: SyntheticEmbeddingSpace
+    num_cells: int
+    n_way: int
+    k_shot: int
+    num_episodes: int
+    bits: int
+    num_shards: int
+    shard_executor: str
+    eval_seed: int
+
+
+def _run_scaling_trial(trial: _ScalingTrial) -> float:
+    """Accuracy of one operating point (module-level: process-shippable).
+
+    Sharded search is exact, so accuracy cannot depend on the shard count:
+    the episodes are evaluated once per operating point (through the
+    most-sharded geometry, exercising the real multi-array path) and the
+    energy/delay model sweeps the remaining shard counts analytically.
+    """
+    if trial.num_shards == 1:
+        factory = lambda: MCAMSearcher(bits=trial.bits)  # noqa: E731
+    else:
+        factory = lambda: ShardedSearcher(  # noqa: E731
+            lambda: MCAMSearcher(bits=trial.bits),
+            num_shards=trial.num_shards,
+            executor=trial.shard_executor,
+        )
+    evaluator = FewShotEvaluator(
+        trial.space, n_way=trial.n_way, k_shot=trial.k_shot, num_episodes=trial.num_episodes
+    )
+    result = evaluator.evaluate(
+        searcher_factory=factory,
+        method_name=f"mcam-{trial.bits}bit",
+        rng=trial.eval_seed,
+    )
+    return result.accuracy_percent

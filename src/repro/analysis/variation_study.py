@@ -10,12 +10,19 @@ The sweep here follows the paper's methodology: for each sigma, Gaussian
 V_th noise is injected into the conductance look-up table (a fresh varied
 table per episode batch), the MCAM searcher is rebuilt around that table and
 the few-shot tasks are re-evaluated on episodes shared across sigma values.
+
+Every ``(task, sigma, LUT)`` evaluation is one self-contained Monte-Carlo
+trial carrying its own RNG stream, dispatched through the parallel
+experiment runtime (:mod:`repro.runtime`): with ``executor="processes"`` the
+sweep fans out across worker processes and still produces **bitwise
+identical** sweep points at any worker count, because the streams are
+spawned in a fixed order before dispatch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +34,7 @@ from ..core.search import MCAMSearcher
 from ..datasets.omniglot import SyntheticEmbeddingSpace
 from ..devices.variation import GaussianVthVariationModel
 from ..mann.fewshot import FewShotEvaluator
+from ..runtime import resolve_trial_runner
 
 #: Sigma values (in volts) swept in Fig. 8: 0 mV to 300 mV.  The 80 mV point
 #: (the largest sigma observed in the Fig. 5 device study) is included so the
@@ -108,6 +116,14 @@ class VariationSweep:
     luts_per_sigma:
         Number of independently varied look-up tables averaged per sigma;
         each models a different physical array instance.
+    executor:
+        Trial-dispatch strategy: ``"serial"`` (the reference path),
+        ``"threads"`` or ``"processes"``.  Every ``(task, sigma, LUT)``
+        trial carries its own pre-spawned RNG stream, so the parallel
+        strategies produce bitwise-identical sweep points at any worker
+        count.
+    num_workers:
+        Worker bound for the pooled strategies; defaults to the CPU count.
     """
 
     def __init__(
@@ -118,6 +134,8 @@ class VariationSweep:
         num_episodes: int = 30,
         bits: int = 3,
         luts_per_sigma: int = 3,
+        executor: str = "serial",
+        num_workers: Optional[int] = None,
     ) -> None:
         self.space = space
         self.tasks = tuple(tasks)
@@ -131,33 +149,91 @@ class VariationSweep:
         self.num_episodes = check_int_in_range(num_episodes, "num_episodes", minimum=1)
         self.bits = check_bits(bits)
         self.luts_per_sigma = check_int_in_range(luts_per_sigma, "luts_per_sigma", minimum=1)
+        self.executor = executor
+        self.num_workers = num_workers
+        # Validate the executor name eagerly, not in the middle of a sweep.
+        resolve_trial_runner(executor, num_workers=num_workers).close()
+
+    def trials(self, rng: SeedLike = None) -> Tuple["_VariationTrial", ...]:
+        """The sweep's Monte-Carlo work units, with pre-spawned RNG streams.
+
+        Streams are spawned from ``rng`` in a fixed (task-major, sigma-minor)
+        order — the exact consumption order of the serial loop — which is
+        what makes the dispatched results independent of where the trials
+        execute.
+        """
+        generator = ensure_rng(rng)
+        units = []
+        for n_way, k_shot in self.tasks:
+            for sigma in self.sigmas_v:
+                for lut_rng in spawn_rngs(generator, self.luts_per_sigma):
+                    units.append(
+                        _VariationTrial(
+                            space=self.space,
+                            n_way=n_way,
+                            k_shot=k_shot,
+                            sigma_v=sigma,
+                            bits=self.bits,
+                            num_episodes=self.num_episodes,
+                            rng=lut_rng,
+                        )
+                    )
+        return tuple(units)
 
     def run(self, rng: SeedLike = None) -> VariationSweepResult:
         """Execute the sweep and collect accuracy-versus-sigma points."""
-        generator = ensure_rng(rng)
+        units = self.trials(rng)
+        runner = resolve_trial_runner(self.executor, num_workers=self.num_workers)
+        try:
+            accuracies = runner.map(_run_variation_trial, units)
+        finally:
+            runner.close()
         points = []
-        for n_way, k_shot in self.tasks:
-            evaluator = FewShotEvaluator(
-                self.space, n_way=n_way, k_shot=k_shot, num_episodes=self.num_episodes
-            )
-            for sigma in self.sigmas_v:
-                accuracies = []
-                lut_rngs = spawn_rngs(generator, self.luts_per_sigma)
-                for lut_rng in lut_rngs:
-                    variation = GaussianVthVariationModel(sigma_v=sigma)
-                    lut = build_varied_lut(bits=self.bits, variation=variation, rng=lut_rng)
-                    result = evaluator.evaluate(
-                        searcher_factory=lambda lut=lut: MCAMSearcher(bits=self.bits, lut=lut),
-                        method_name=f"mcam-{self.bits}bit",
-                        rng=lut_rng,
-                    )
-                    accuracies.append(result.accuracy_percent)
-                points.append(
-                    VariationSweepPoint(
-                        sigma_v=sigma,
-                        n_way=n_way,
-                        k_shot=k_shot,
-                        accuracy_percent=float(np.mean(accuracies)),
-                    )
+        per_point = self.luts_per_sigma
+        for start in range(0, len(units), per_point):
+            trial = units[start]
+            points.append(
+                VariationSweepPoint(
+                    sigma_v=trial.sigma_v,
+                    n_way=trial.n_way,
+                    k_shot=trial.k_shot,
+                    accuracy_percent=float(np.mean(accuracies[start : start + per_point])),
                 )
+            )
         return VariationSweepResult(points=tuple(points), bits=self.bits)
+
+
+@dataclass(frozen=True)
+class _VariationTrial:
+    """One self-contained ``(task, sigma, LUT)`` Monte-Carlo work unit."""
+
+    space: SyntheticEmbeddingSpace
+    n_way: int
+    k_shot: int
+    sigma_v: float
+    bits: int
+    num_episodes: int
+    rng: np.random.Generator
+
+
+def _run_variation_trial(trial: _VariationTrial) -> float:
+    """Evaluate one varied LUT on one task (module-level: process-shippable).
+
+    Consumes the trial's private stream in the same order the serial sweep
+    always has — LUT variation draws first, then episode sampling — so the
+    result is a pure function of the trial unit.
+    """
+    variation = GaussianVthVariationModel(sigma_v=trial.sigma_v)
+    lut = build_varied_lut(bits=trial.bits, variation=variation, rng=trial.rng)
+    evaluator = FewShotEvaluator(
+        trial.space,
+        n_way=trial.n_way,
+        k_shot=trial.k_shot,
+        num_episodes=trial.num_episodes,
+    )
+    result = evaluator.evaluate(
+        searcher_factory=lambda: MCAMSearcher(bits=trial.bits, lut=lut),
+        method_name=f"mcam-{trial.bits}bit",
+        rng=trial.rng,
+    )
+    return result.accuracy_percent

@@ -36,6 +36,43 @@ from .mcam_cell import ML_PRECHARGE_V, MCAMVoltageScheme
 from .sense_amplifier import IdealWinnerTakeAll, SensingResult, sense_all
 
 
+#: Salt mixed into the row-keyed reprogramming seeds so the per-row streams
+#: cannot collide with other consumers of the same base seed.
+_REPROGRAM_KEY_SALT = 0x52455052  # "REPR"
+
+
+def _labels_of_winners(labels: List[Optional[int]], winners: np.ndarray, what: str) -> np.ndarray:
+    """Winning-row labels for a batch of queries, vectorized when possible.
+
+    Raises only when a *winning* row is unlabeled (mixed stores stay
+    predictable as long as every winner carries a label, matching the
+    semantics of a per-query search loop).
+    """
+    if any(label is None for label in labels):
+        winner_labels = [labels[int(winner)] for winner in winners]
+        if any(label is None for label in winner_labels):
+            raise CircuitError(f"cannot predict labels: {what} are unlabeled")
+        return np.asarray(winner_labels)
+    return np.asarray(labels)[winners]
+
+
+def _reprogram_base_seed(rng: SeedLike) -> int:
+    """Concretize a ``reprogram`` seed to one integer base for row keying.
+
+    Integers pass through unchanged (the reproducible path: a fixed seed
+    makes delta and full reprogramming bitwise identical).  Generators and
+    ``None`` yield a fresh base per call — still row-keyed, but not
+    repeatable.
+    """
+    if isinstance(rng, (int, np.integer)):
+        if rng < 0:
+            raise ValueError(f"seed must be non-negative, got {rng}")
+        return int(rng)
+    if isinstance(rng, np.random.SeedSequence):
+        return int(rng.generate_state(1, dtype=np.uint64)[0])
+    return int(ensure_rng(rng).integers(2**63 - 1))
+
+
 def program_cell_profiles(
     stored_states: np.ndarray,
     scheme: MCAMVoltageScheme,
@@ -193,6 +230,9 @@ class MCAMArray(FixedGeometryArray):
         # (num_cells, num_states, num_rows) layout, built lazily after each
         # write and reused across queries.
         self._by_cell_profiles: Optional[np.ndarray] = None
+        # (cell * num_states) offsets into the flattened profile table used by
+        # the fused gather kernel; geometry-fixed, built on first use.
+        self._gather_offsets: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Storage
@@ -224,6 +264,21 @@ class MCAMArray(FixedGeometryArray):
         self._profiles = None
         self._by_cell_profiles = None
 
+    def _check_entries_and_labels(self, entries, labels: Optional[Sequence[int]]):
+        """Shared entry/label validation of the write and reprogram paths."""
+        entries = check_state_matrix(entries, self.num_states, name="entries")
+        if entries.shape[1] != self.num_cells:
+            raise CircuitError(
+                f"entries have {entries.shape[1]} cells but the array has {self.num_cells}"
+            )
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != entries.shape[0]:
+                raise CircuitError(f"got {len(labels)} labels for {entries.shape[0]} entries")
+        else:
+            labels = [None] * entries.shape[0]
+        return entries, labels
+
     def write(
         self,
         entries,
@@ -241,19 +296,7 @@ class MCAMArray(FixedGeometryArray):
         rng:
             Randomness for per-cell variation sampling (per-cell device mode).
         """
-        entries = check_state_matrix(entries, self.num_states, name="entries")
-        if entries.shape[1] != self.num_cells:
-            raise CircuitError(
-                f"entries have {entries.shape[1]} cells but the array has {self.num_cells}"
-            )
-        if labels is not None:
-            labels = list(labels)
-            if len(labels) != entries.shape[0]:
-                raise CircuitError(
-                    f"got {len(labels)} labels for {entries.shape[0]} entries"
-                )
-        else:
-            labels = [None] * entries.shape[0]
+        entries, labels = self._check_entries_and_labels(entries, labels)
         new_total = self.num_rows + entries.shape[0]
         if self.max_rows is not None and new_total > self.max_rows:
             raise CapacityError(
@@ -293,6 +336,142 @@ class MCAMArray(FixedGeometryArray):
         self._labels.extend(labels)
         self._by_cell_profiles = None
 
+    def reprogram(
+        self,
+        entries,
+        labels: Optional[Sequence[int]] = None,
+        rng: SeedLike = None,
+        row_offset: int = 0,
+    ) -> np.ndarray:
+        """Replace the array contents, re-programming only the changed rows.
+
+        A physical refit (the episodic workload, a streaming update, a sweep
+        re-running on a mutated store) rewrites an array that is already
+        programmed.  Erasing and re-writing every row — what
+        :meth:`clear` + :meth:`write` models — re-programs cells whose stored
+        state did not change.  ``reprogram`` diffs ``entries`` against the
+        currently stored states and touches only the rows that differ:
+
+        * **look-up-table mode**: unchanged rows keep their slice of the
+          cached search profiles, so a refit that changes ``m`` of ``n`` rows
+          costs ``O(m)`` profile work instead of ``O(n)``;
+        * **per-cell device mode**: unchanged rows keep their physically
+          programmed conductance profiles, and only changed rows sample fresh
+          device variation.
+
+        Device-mode sampling is **row-keyed**: the variation draw for row
+        ``r`` depends only on ``(rng, row_offset + r)`` and the row's new
+        states — not on how many rows are re-programmed alongside it.  With a
+        fixed integer ``rng`` seed a delta reprogram is therefore bitwise
+        identical to a full reprogram of the same contents, which is what
+        makes incremental refits safe to use in reproducible sweeps.
+
+        Parameters
+        ----------
+        entries:
+            Integer matrix ``(num_entries, num_cells)`` of quantized states;
+            replaces the stored contents wholesale (the row count may grow or
+            shrink).
+        labels:
+            Optional per-entry labels (replaced wholesale as well).
+        rng:
+            Base seed for the row-keyed device-variation sampling.  Pass an
+            integer for reproducible row-keyed programming; a Generator or
+            ``None`` concretizes to a fresh base seed (still row-keyed, not
+            reproducible across calls).  Ignored in look-up-table mode.
+        row_offset:
+            Global index of this array's first row, used only to key the
+            per-row sampling when the array is one tile of a larger store
+            (see :class:`~repro.circuits.tiles.CAMTileSet`).
+
+        Returns
+        -------
+        numpy.ndarray
+            Indices of the rows whose stored states changed (including rows
+            that did not previously exist).
+        """
+        entries, labels = self._check_entries_and_labels(entries, labels)
+        if self.max_rows is not None and entries.shape[0] > self.max_rows:
+            raise CapacityError(
+                f"reprogramming {entries.shape[0]} entries exceeds the array geometry "
+                f"({self.max_rows} rows)"
+            )
+
+        old = self._stored_states
+        new_rows = entries.shape[0]
+        common = min(old.shape[0], new_rows)
+        unchanged = np.zeros(new_rows, dtype=bool)
+        if common:
+            unchanged[:common] = np.all(old[:common] == entries[:common], axis=1)
+        changed = np.flatnonzero(~unchanged)
+
+        if self.variation is not None:
+            self._reprogram_device_profiles(entries, unchanged, changed, rng, row_offset)
+            self._by_cell_profiles = None
+        else:
+            self._update_profile_cache(entries, unchanged, changed)
+        self._stored_states = entries.copy()
+        self._labels = labels
+        return changed
+
+    def _reprogram_device_profiles(
+        self,
+        entries: np.ndarray,
+        unchanged: np.ndarray,
+        changed: np.ndarray,
+        rng: SeedLike,
+        row_offset: int,
+    ) -> None:
+        """Row-keyed device-mode profile update for :meth:`reprogram`."""
+        if self._profiles is None and self._stored_states.shape[0]:
+            # Rows written before the variation model was attached carry
+            # nominal profiles, exactly as a subsequent write() would assume.
+            self._profiles = program_cell_profiles(
+                self._stored_states,
+                scheme=self.scheme,
+                device=self.device,
+                variation=None,
+                ml_voltage_v=self.ml_voltage_v,
+            )
+        base_seed = _reprogram_base_seed(rng)
+        new_profiles = np.empty((entries.shape[0], self.num_cells, self.num_states))
+        keep = np.flatnonzero(unchanged)
+        if keep.size:
+            new_profiles[keep] = self._profiles[keep]
+        for row in changed:
+            row = int(row)
+            generator = np.random.default_rng(
+                [_REPROGRAM_KEY_SALT, base_seed, row_offset + row]
+            )
+            new_profiles[row] = program_cell_profiles(
+                entries[row : row + 1],
+                scheme=self.scheme,
+                device=self.device,
+                variation=self.variation,
+                ml_voltage_v=self.ml_voltage_v,
+                rng=generator,
+            )[0]
+        self._profiles = new_profiles
+
+    def _update_profile_cache(
+        self, entries: np.ndarray, unchanged: np.ndarray, changed: np.ndarray
+    ) -> None:
+        """Delta-update the cached by-cell search profiles (LUT mode)."""
+        cache = self._by_cell_profiles
+        if cache is None:
+            return
+        new_rows = entries.shape[0]
+        if new_rows != cache.shape[-1]:
+            resized = np.empty(cache.shape[:-1] + (new_rows,))
+            keep = np.flatnonzero(unchanged)
+            if keep.size:
+                resized[..., keep] = cache[..., keep]
+            cache = resized
+            self._by_cell_profiles = cache
+        if changed.size:
+            fresh = self.lut.row_profiles(entries[changed])
+            cache[..., changed] = np.moveaxis(fresh, 0, -1)
+
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
@@ -314,10 +493,11 @@ class MCAMArray(FixedGeometryArray):
     def _profiles_by_cell(self) -> np.ndarray:
         """Programmed profiles as ``(num_cells, num_states, num_rows)``.
 
-        This layout makes a batched search a sequence of ``num_cells`` cheap
-        ``(num_queries, num_rows)`` gathers.  Built once per programming —
-        from the physical profiles in device mode, from the LUT otherwise —
-        and reused across every subsequent query.
+        This layout makes a batched search one fused gather over the cached
+        table (small workloads) or ``num_cells`` cheap
+        ``(num_queries, num_rows)`` gathers (large ones).  Built once per
+        programming — from the physical profiles in device mode, from the LUT
+        otherwise — and reused across every subsequent query.
         """
         if self._by_cell_profiles is None:
             source = (
@@ -339,20 +519,54 @@ class MCAMArray(FixedGeometryArray):
             )
         return self.row_conductances_batch(query.reshape(1, -1))[0]
 
+    #: Work-size bound (``num_queries * num_rows * num_cells``) below which the
+    #: batched conductance evaluation runs as one fused gather + ordered sum.
+    #: Small (episode-shaped) workloads are dominated by the per-cell Python
+    #: dispatch the fused kernel eliminates; large workloads are memory-bound
+    #: and stay on the streaming per-cell accumulation, which never
+    #: materializes the ``(num_cells, num_queries, num_rows)`` gather.
+    _FUSED_GATHER_MAX_ELEMENTS = 1 << 16
+
     def row_conductances_batch(self, queries) -> np.ndarray:
         """ML conductance matrix ``(num_queries, num_rows)`` for a query batch.
 
-        Accumulates cell conductances in a fixed cell order over the cached
-        programmed profiles.  The reduction order is independent of the
-        batch size, so batched results are bitwise identical to single-query
-        :meth:`row_conductances` calls.
+        Cell conductances are accumulated in a fixed cell order over the
+        cached programmed profiles — either by one fused gather + ordered sum
+        (small workloads) or by a streaming per-cell accumulation (large
+        ones).  Both kernels reduce in the same sequential cell order, so the
+        result is independent of the kernel choice and of the batch size:
+        batched results are bitwise identical to single-query
+        :meth:`row_conductances` calls, and sharded (row-sliced) evaluations
+        are bitwise identical to unsharded ones.
         """
         queries = self._check_query_batch(queries)
         by_cell = self._profiles_by_cell()
-        conductances = np.zeros((queries.shape[0], self.num_rows))
+        num_queries = queries.shape[0]
+        if num_queries * self.num_rows * self.num_cells <= self._FUSED_GATHER_MAX_ELEMENTS:
+            return self._fused_conductances(by_cell, queries)
+        conductances = np.zeros((num_queries, self.num_rows))
         for cell in range(self.num_cells):
             conductances += by_cell[cell][queries[:, cell]]
         return conductances
+
+    def _fused_conductances(self, by_cell: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        """One fused LUT gather + ordered sum for a (small) query batch.
+
+        ``by_cell`` flattens to a ``(num_cells * num_states, num_rows)``
+        table; row ``cell * num_states + state`` holds the conductances the
+        ``cell``-th cell contributes to every stored row under input
+        ``state``.  A single ``take`` gathers the
+        ``(num_cells, num_queries, num_rows)`` contribution stack and one
+        ``add.reduce`` over the leading axis accumulates it in cell order —
+        the exact floating-point reduction the per-cell loop performs.
+        """
+        flat = by_cell.reshape(self.num_cells * self.num_states, self.num_rows)
+        if self._gather_offsets is None:
+            self._gather_offsets = (
+                np.arange(self.num_cells, dtype=np.int64) * self.num_states
+            )[:, np.newaxis]
+        gathered = np.take(flat, queries.T + self._gather_offsets, axis=0)
+        return np.add.reduce(gathered, axis=0)
 
     def search(self, query, rng: SeedLike = None) -> ArraySearchResult:
         """Single-step in-memory nearest-neighbor search for one query."""
@@ -406,18 +620,22 @@ class MCAMArray(FixedGeometryArray):
     def predict(self, queries, rng: SeedLike = None) -> np.ndarray:
         """Labels of the nearest neighbor for every query row.
 
+        The batch rides one vectorized conductance evaluation and one
+        vectorized winner selection plus a single label take — nothing loops
+        per query, and no per-query result objects are built.
+
         Raises
         ------
         CircuitError
             If any stored entry was written without a label.
         """
-        results = self.search_batch(queries, rng=rng)
-        labels = []
-        for result in results:
-            if result.label is None:
-                raise CircuitError("cannot predict labels: stored entries are unlabeled")
-            labels.append(result.label)
-        return np.asarray(labels)
+        conductances = self.row_conductances_batch(queries)
+        if type(self.sense_amplifier) is IdealWinnerTakeAll:
+            # First-occurrence argmin matches the stable ranking's winner.
+            winners = np.argmin(conductances, axis=1)
+        else:
+            winners = sense_all(self.sense_amplifier, conductances, rng=rng).winners
+        return _labels_of_winners(self._labels, winners, "stored entries")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

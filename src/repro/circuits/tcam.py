@@ -25,6 +25,7 @@ from ..utils.rng import SeedLike
 from ..utils.validation import check_int_in_range
 from ..devices.fefet import FeFETParameters
 from .conductance_lut import build_nominal_lut
+from .mcam_array import _labels_of_winners
 from .tiles import FixedGeometryArray, resolve_max_rows
 from .mcam_cell import ML_PRECHARGE_V, MCAMVoltageScheme
 from .matchline import MatchLineModel
@@ -32,6 +33,20 @@ from .sense_amplifier import IdealWinnerTakeAll, SensingResult, sense_all
 
 #: Sentinel used for the "don't care" (wildcard) state in stored TCAM rows.
 DONT_CARE = -1
+
+
+def _hamming_kernel_factors(rows: np.ndarray):
+    """Affine factors of the matmul Hamming kernel for a block of rows.
+
+    A mismatch of a caring cell storing bit ``s`` under query bit ``q`` is
+    ``care * (s XOR q) = care*s + q*(care - 2*care*s)``, so the distances to
+    ``rows`` are ``base + queries @ weights`` with ``base[r] = sum_c care*s``
+    and ``weights[c, r] = care - 2*care*s``.  The single source of the
+    encoding: the full kernel build and the delta cache patch both call it.
+    """
+    care = (rows != DONT_CARE).astype(np.float64)
+    cared_bits = np.where(rows == 1, 1.0, 0.0)
+    return cared_bits.sum(axis=1), (care - 2.0 * cared_bits).T
 
 
 @dataclass(frozen=True)
@@ -89,13 +104,18 @@ class TCAMArray(FixedGeometryArray):
             np.mean(lut.table_s[~np.eye(2, dtype=bool)])
         )
         self.matchline = MatchLineModel(num_cells=self.num_cells, precharge_v=ml_voltage_v)
-        self.sense_amplifier = sense_amplifier if sense_amplifier is not None else IdealWinnerTakeAll()
+        if sense_amplifier is None:
+            sense_amplifier = IdealWinnerTakeAll()
+        self.sense_amplifier = sense_amplifier
         self._stored_bits = np.zeros((0, self.num_cells), dtype=np.int64)
         self._labels: List[Optional[int]] = []
-        # Programmed-state cache: which stored cells participate in Hamming
-        # comparisons (i.e. are not wildcards); rebuilt on write, reused
-        # across every query.
+        # Programmed-state caches, rebuilt on write and reused across every
+        # query: which stored cells participate in Hamming comparisons (i.e.
+        # are not wildcards), and the affine matmul form of the batched
+        # Hamming kernel (see _hamming_kernel).
         self._care_mask: Optional[np.ndarray] = None
+        self._hamming_base: Optional[np.ndarray] = None
+        self._hamming_weights: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Storage
@@ -120,9 +140,11 @@ class TCAMArray(FixedGeometryArray):
         self._stored_bits = np.zeros((0, self.num_cells), dtype=np.int64)
         self._labels = []
         self._care_mask = None
+        self._hamming_base = None
+        self._hamming_weights = None
 
-    def write(self, rows, labels: Optional[Sequence[int]] = None) -> None:
-        """Store binary (or ternary, with ``DONT_CARE`` entries) rows."""
+    def _check_rows_and_labels(self, rows, labels: Optional[Sequence[int]]):
+        """Shared row/label validation of the write and reprogram paths."""
         rows = np.asarray(rows)
         if rows.ndim == 1:
             rows = rows.reshape(1, -1)
@@ -131,8 +153,7 @@ class TCAMArray(FixedGeometryArray):
                 f"rows must have shape (n, {self.num_cells}), got {rows.shape}"
             )
         rows = rows.astype(np.int64)
-        valid = np.isin(rows, (0, 1, DONT_CARE))
-        if not np.all(valid):
+        if not np.all(np.isin(rows, (0, 1, DONT_CARE))):
             raise CircuitError("TCAM rows may only contain 0, 1 or DONT_CARE (-1)")
         if labels is not None:
             labels = list(labels)
@@ -140,6 +161,11 @@ class TCAMArray(FixedGeometryArray):
                 raise CircuitError(f"got {len(labels)} labels for {rows.shape[0]} rows")
         else:
             labels = [None] * rows.shape[0]
+        return rows, labels
+
+    def write(self, rows, labels: Optional[Sequence[int]] = None) -> None:
+        """Store binary (or ternary, with ``DONT_CARE`` entries) rows."""
+        rows, labels = self._check_rows_and_labels(rows, labels)
         if self.max_rows is not None and self.num_rows + rows.shape[0] > self.max_rows:
             raise CapacityError(
                 f"writing {rows.shape[0]} rows exceeds the TCAM geometry ({self.max_rows} rows)"
@@ -147,6 +173,50 @@ class TCAMArray(FixedGeometryArray):
         self._stored_bits = np.vstack([self._stored_bits, rows])
         self._labels.extend(labels)
         self._care_mask = None
+        self._hamming_base = None
+        self._hamming_weights = None
+
+    def reprogram(self, rows, labels: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Replace the stored rows, re-programming only the changed ones.
+
+        The TCAM counterpart of
+        :meth:`~repro.circuits.mcam_array.MCAMArray.reprogram`: ``rows``
+        replaces the stored contents wholesale, but cells of unchanged rows
+        keep their programmed state and their slices of the cached search
+        kernel, so an episodic refit that swaps ``m`` of ``n`` rows costs
+        ``O(m)`` cache work.  Returns the indices of the changed rows.
+        """
+        rows, labels = self._check_rows_and_labels(rows, labels)
+        if self.max_rows is not None and rows.shape[0] > self.max_rows:
+            raise CapacityError(
+                f"reprogramming {rows.shape[0]} rows exceeds the TCAM geometry "
+                f"({self.max_rows} rows)"
+            )
+
+        old = self._stored_bits
+        common = min(old.shape[0], rows.shape[0])
+        unchanged = np.zeros(rows.shape[0], dtype=bool)
+        if common:
+            unchanged[:common] = np.all(old[:common] == rows[:common], axis=1)
+        changed = np.flatnonzero(~unchanged)
+
+        same_geometry = rows.shape[0] == old.shape[0]
+        if same_geometry and self._care_mask is not None and changed.size:
+            self._care_mask[changed] = rows[changed] != DONT_CARE
+        elif not same_geometry:
+            self._care_mask = None
+        if self._hamming_weights is not None and same_geometry:
+            if changed.size:
+                base, weights = _hamming_kernel_factors(rows[changed])
+                self._hamming_base[changed] = base
+                self._hamming_weights[:, changed] = weights
+        else:
+            self._hamming_base = None
+            self._hamming_weights = None
+
+        self._stored_bits = rows.copy()
+        self._labels = labels
+        return changed
 
     # ------------------------------------------------------------------
     # Search
@@ -160,32 +230,42 @@ class TCAMArray(FixedGeometryArray):
             self._care_mask = self._stored_bits != DONT_CARE
         return self._care_mask
 
+    def _hamming_kernel(self):
+        """Affine matmul form of the batched Hamming evaluation.
+
+        The whole distance matrix is one affine map of the query batch,
+        ``distances = base + queries @ weights`` (see
+        :func:`_hamming_kernel_factors`).  Both factors are integer-valued
+        and bounded by the word width, far inside the float64 exact-integer
+        range, so the BLAS product is exact and the kernel is bitwise
+        identical to the mismatch-mask evaluation it replaces — while running
+        an order of magnitude faster and never materializing the
+        ``(num_queries, num_rows, num_cells)`` mismatch temporary.
+        """
+        if self._hamming_weights is None:
+            base, weights = _hamming_kernel_factors(self._stored_bits)
+            self._hamming_base = base
+            self._hamming_weights = np.ascontiguousarray(weights)
+        return self._hamming_base, self._hamming_weights
+
     def hamming_distances(self, query) -> np.ndarray:
         """Hamming distance of ``query`` to every stored row (wildcards match)."""
         query = self._check_query(query)
-        mismatches = (self._stored_bits != query[np.newaxis, :]) & self.care_mask()
-        return mismatches.sum(axis=1)
-
-    #: Cap on the ``chunk * num_rows * num_cells`` mismatch temporary used by
-    #: the batched Hamming evaluation; larger batches run in query chunks.
-    _BATCH_MISMATCH_ELEMENTS = 1 << 24
+        return self.hamming_distances_batch(query.reshape(1, -1))[0]
 
     def hamming_distances_batch(self, queries) -> np.ndarray:
-        """Hamming distance matrix ``(num_queries, num_rows)`` for a query batch."""
+        """Hamming distance matrix ``(num_queries, num_rows)`` for a query batch.
+
+        Evaluated as one exact affine matmul over the programmed-state kernel
+        (see :meth:`_hamming_kernel`); integer distances are recovered
+        exactly, so results are independent of batching and identical to the
+        boolean mismatch evaluation.
+        """
         queries = self._check_query_batch(queries)
-        num_queries = queries.shape[0]
-        care = self.care_mask()
-        out = np.empty((num_queries, self.num_rows), dtype=np.int64)
-        if num_queries == 0:
-            return out
-        chunk = max(1, self._BATCH_MISMATCH_ELEMENTS // max(1, self.num_rows * self.num_cells))
-        for start in range(0, num_queries, chunk):
-            stop = min(start + chunk, num_queries)
-            mismatches = (
-                self._stored_bits[np.newaxis, :, :] != queries[start:stop, np.newaxis, :]
-            ) & care[np.newaxis, :, :]
-            out[start:stop] = mismatches.sum(axis=2)
-        return out
+        base, weights = self._hamming_kernel()
+        mismatches = queries.astype(np.float64) @ weights
+        mismatches += base[np.newaxis, :]
+        return np.rint(mismatches).astype(np.int64)
 
     def _conductances_from_distances(self, distances) -> np.ndarray:
         matches = self.num_cells - distances
@@ -240,14 +320,22 @@ class TCAMArray(FixedGeometryArray):
         ]
 
     def predict(self, queries, rng: SeedLike = None) -> np.ndarray:
-        """Labels of the minimum-Hamming-distance row for every query."""
-        results = self.search_batch(queries, rng=rng)
-        labels = []
-        for result in results:
-            if result.label is None:
-                raise CircuitError("cannot predict labels: stored rows are unlabeled")
-            labels.append(result.label)
-        return np.asarray(labels)
+        """Labels of the minimum-Hamming-distance row for every query.
+
+        One vectorized Hamming evaluation, one vectorized winner selection
+        and a single label take — no per-query result objects are built.
+        """
+        if self.num_rows == 0:
+            raise CircuitError("cannot search an empty TCAM")
+        distances = self.hamming_distances_batch(queries)
+        if type(self.sense_amplifier) is IdealWinnerTakeAll:
+            # Conductance is strictly increasing in distance, so the stable
+            # first-occurrence argmin reproduces ideal ML sensing.
+            winners = np.argmin(distances, axis=1)
+        else:
+            conductances = self._conductances_from_distances(distances)
+            winners = sense_all(self.sense_amplifier, conductances, rng=rng).winners
+        return _labels_of_winners(self._labels, winners, "stored rows")
 
     def exact_match(self, query) -> np.ndarray:
         """Indices of rows matching ``query`` exactly (wildcards match anything)."""

@@ -234,7 +234,7 @@ class CAMTileSet:
         """Drop every tile (the arrays are released, not just erased)."""
         self._tiles = []
 
-    def _new_tile(self) -> CAMTile:
+    def _validated_array(self):
         array = self.array_factory()
         if array.num_rows != 0:
             raise CircuitError("array_factory must return an empty array")
@@ -249,7 +249,10 @@ class CAMTileSet:
                 f"array_factory produced arrays with max_rows={max_rows}, smaller "
                 f"than the tile geometry ({self.geometry.max_rows})"
             )
-        tile = CAMTile(array=array, row_offset=self.num_rows)
+        return array
+
+    def _new_tile(self) -> CAMTile:
+        tile = CAMTile(array=self._validated_array(), row_offset=self.num_rows)
         self._tiles.append(tile)
         return tile
 
@@ -293,6 +296,53 @@ class CAMTileSet:
             else:
                 tile.array.write(chunk, labels=chunk_labels, rng=rng)
             written = stop
+
+    def reprogram(self, entries, labels: Optional[Sequence] = None, rng: SeedLike = None):
+        """Replace the whole store, re-programming only the changed rows.
+
+        The tiled counterpart of the arrays' ``reprogram``: ``entries``
+        replaces the stored contents wholesale, each existing tile
+        delta-reprograms its span (unchanged rows keep their programmed
+        state), surplus tiles are released and missing tiles are opened from
+        ``array_factory``.  Row-keyed device-mode sampling (the MCAM's
+        ``rng=seed`` path) is keyed by **global** row index, so the same
+        contents produce the same physical profiles whether they were
+        programmed in one delta pass or from scratch.
+
+        Returns the global indices of the changed rows.
+        """
+        entries = np.asarray(entries)
+        if entries.ndim == 1:
+            entries = entries.reshape(1, -1)
+        if entries.ndim != 2:
+            raise CircuitError(f"entries must be two-dimensional, got shape {entries.shape}")
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != entries.shape[0]:
+                raise CircuitError(f"got {len(labels)} labels for {entries.shape[0]} entries")
+        spans = partition_rows(entries.shape[0], self.geometry.max_rows)
+        del self._tiles[len(spans):]
+        while len(self._tiles) < len(spans):
+            self._tiles.append(
+                CAMTile(
+                    array=self._validated_array(),
+                    row_offset=len(self._tiles) * self.geometry.max_rows,
+                )
+            )
+        changed_global = []
+        for tile, (start, stop) in zip(self._tiles, spans):
+            chunk = entries[start:stop]
+            chunk_labels = None if labels is None else labels[start:stop]
+            if rng is None:
+                changed = tile.array.reprogram(chunk, labels=chunk_labels)
+            else:
+                changed = tile.array.reprogram(
+                    chunk, labels=chunk_labels, rng=rng, row_offset=start
+                )
+            changed_global.append(np.asarray(changed, dtype=np.int64) + start)
+        if changed_global:
+            return np.concatenate(changed_global)
+        return np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Search

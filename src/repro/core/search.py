@@ -369,6 +369,16 @@ class MCAMSearcher(NearestNeighborSearcher):
         Optional physical row count of the array; stores larger than this
         raise a :class:`~repro.exceptions.CapacityError` (shard across
         arrays with :class:`~repro.core.sharding.ShardedSearcher` instead).
+    program_seed:
+        Optional integer enabling **row-keyed** device-variation programming:
+        every fit routes through the array's delta-reprogramming path with
+        this base seed, so a row's physical profile depends only on the seed,
+        the row index and the stored states — not on how many fits preceded
+        it.  Refits then re-sample only the rows that changed, and results
+        are independent of episode execution order (the property the
+        process-parallel experiment runtime relies on).  Ignored when no
+        ``variation`` model is attached (LUT-mode programming is
+        deterministic already).
     """
 
     def __init__(
@@ -379,6 +389,7 @@ class MCAMSearcher(NearestNeighborSearcher):
         sense_amplifier=None,
         seed: SeedLike = None,
         max_rows: Optional[int] = None,
+        program_seed: Optional[int] = None,
     ) -> None:
         super().__init__()
         self.bits = check_bits(bits)
@@ -386,6 +397,7 @@ class MCAMSearcher(NearestNeighborSearcher):
         self.variation = variation
         self.sense_amplifier = sense_amplifier
         self.max_rows = max_rows
+        self.program_seed = None if program_seed is None else int(program_seed)
         self._rng = ensure_rng(seed)
         self.quantizer = UniformQuantizer(bits=self.bits)
         self._calibrated = False
@@ -414,11 +426,8 @@ class MCAMSearcher(NearestNeighborSearcher):
         if not self._calibrated:
             self.quantizer.fit(features)
         states = self.quantizer.quantize(features)
-        if self._array is not None and self._array.num_cells == features.shape[1]:
-            # Refit on the same geometry reprograms the existing array instead
-            # of rebuilding it (and its LUT), e.g. once per few-shot episode.
-            self._array.clear()
-        else:
+        reuse = self._array is not None and self._array.num_cells == features.shape[1]
+        if not reuse:
             self._array = MCAMArray(
                 num_cells=features.shape[1],
                 bits=self.bits,
@@ -428,7 +437,20 @@ class MCAMSearcher(NearestNeighborSearcher):
                 max_rows=self.max_rows,
             )
         label_list = None if labels is None else list(labels)
-        self._array.write(states, labels=label_list, rng=self._rng)
+        if self.variation is None and reuse:
+            # LUT-mode refit on the same geometry: delta-reprogram the
+            # existing array — unchanged rows keep their cached search
+            # profiles, bitwise identical to an erase + rewrite.
+            self._array.reprogram(states, labels=label_list)
+        elif self.variation is not None and self.program_seed is not None:
+            # Row-keyed device programming: a delta refit samples variation
+            # only for the rows whose stored states changed, and equals a
+            # from-scratch program of the same contents under the same seed.
+            self._array.reprogram(states, labels=label_list, rng=self.program_seed)
+        else:
+            if reuse:
+                self._array.clear()
+            self._array.write(states, labels=label_list, rng=self._rng)
 
     def _rank(self, query: np.ndarray, rng: np.random.Generator):
         query_states = self.quantizer.quantize(query.reshape(1, -1))[0]
@@ -474,7 +496,9 @@ class TCAMLSHSearcher(NearestNeighborSearcher):
         raise a :class:`~repro.exceptions.CapacityError`.
     """
 
-    def __init__(self, num_bits: int, seed: SeedLike = None, max_rows: Optional[int] = None) -> None:
+    def __init__(
+        self, num_bits: int, seed: SeedLike = None, max_rows: Optional[int] = None
+    ) -> None:
         super().__init__()
         self.num_bits = check_int_in_range(num_bits, "num_bits", minimum=1)
         self.max_rows = max_rows
@@ -506,12 +530,14 @@ class TCAMLSHSearcher(NearestNeighborSearcher):
         if not self._calibrated:
             self.encoder.fit(features)
         signatures = self.encoder.encode(features)
+        label_list = None if labels is None else list(labels)
         if self._tcam is not None and self._tcam.num_cells == self.num_bits:
-            self._tcam.clear()
+            # Refit: delta-reprogram the programmed TCAM; unchanged signature
+            # rows keep their cached Hamming kernel slices.
+            self._tcam.reprogram(signatures, labels=label_list)
         else:
             self._tcam = TCAMArray(num_cells=self.num_bits, max_rows=self.max_rows)
-        label_list = None if labels is None else list(labels)
-        self._tcam.write(signatures, labels=label_list)
+            self._tcam.write(signatures, labels=label_list)
 
     def _rank(self, query: np.ndarray, rng: np.random.Generator):
         signature = self.encoder.encode(query.reshape(1, -1))[0]
@@ -643,10 +669,16 @@ def _make_mcam(
     variation: Optional[VariationModel] = None,
     seed: SeedLike = None,
     max_rows_per_array: Optional[int] = None,
+    program_seed: Optional[int] = None,
     **config,
 ) -> MCAMSearcher:
     return MCAMSearcher(
-        bits=bits, lut=lut, variation=variation, seed=seed, max_rows=max_rows_per_array
+        bits=bits,
+        lut=lut,
+        variation=variation,
+        seed=seed,
+        max_rows=max_rows_per_array,
+        program_seed=program_seed,
     )
 
 
@@ -741,6 +773,7 @@ def make_searcher(
     max_rows_per_array: Optional[int] = None,
     executor: str = "serial",
     num_workers: Optional[int] = None,
+    program_seed: Optional[int] = None,
 ) -> NearestNeighborSearcher:
     """Factory for the engines compared in the paper's figures.
 
@@ -782,4 +815,5 @@ def make_searcher(
         max_rows_per_array=max_rows_per_array,
         executor=executor,
         num_workers=num_workers,
+        program_seed=program_seed,
     )

@@ -17,10 +17,15 @@ Per-shard ranking is dispatched through a pluggable executor strategy:
 * ``"serial"`` — shards are ranked one after another in the calling thread,
 * ``"threads"`` — shards are ranked concurrently in a thread pool.  The
   heavy per-shard work is NumPy ufunc/BLAS kernels that release the GIL, so
-  threads scale on multi-core hosts without any pickling cost.
+  threads scale on multi-core hosts without any pickling cost,
+* ``"processes"`` — shards are ranked in a persistent worker-process pool
+  (:class:`~repro.runtime.process_pool.ProcessShardExecutor`), sidestepping
+  the GIL entirely at the cost of pickling the per-shard jobs.
 
-Additional strategies (e.g. a process pool or an async gateway) can be
-plugged in through :func:`register_shard_executor`.
+Additional strategies (e.g. an async gateway) can be plugged in through
+:func:`register_shard_executor`.  Shard jobs are self-contained module-level
+callables, so any executor — in-thread, pooled or cross-process — produces
+bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -75,6 +80,9 @@ class ThreadedShardExecutor:
 
     name = "threads"
 
+    #: Worker-thread name prefix; subclasses (e.g. the trial runner) override.
+    _thread_name_prefix = "repro-shard"
+
     def __init__(self, num_workers: Optional[int] = None) -> None:
         if num_workers is not None:
             num_workers = check_int_in_range(num_workers, "num_workers", minimum=1)
@@ -84,7 +92,9 @@ class ThreadedShardExecutor:
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             workers = self.num_workers if self.num_workers is not None else os.cpu_count() or 1
-            self._pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-shard")
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=self._thread_name_prefix
+            )
         return self._pool
 
     def map(self, fn, jobs) -> list:
@@ -112,12 +122,55 @@ def register_shard_executor(name: str, factory: Callable[..., object]) -> None:
     """Register an executor strategy under ``name``.
 
     ``factory`` is called as ``factory(num_workers=...)`` and must return an
-    object with ``map(fn, jobs)`` (order-preserving) and ``close()``.
+    object with ``map(fn, jobs)`` (order-preserving) and ``close()``.  For
+    cross-process executors, ``fn`` and every job are guaranteed picklable.
     """
     key = name.lower()
     if key in SHARD_EXECUTORS:
         raise SearchError(f"shard executor {name!r} is already registered")
     SHARD_EXECUTORS[key] = factory
+
+
+def resolve_shard_executor(name: str) -> Callable[..., object]:
+    """Look up an executor factory, loading the runtime extras on demand.
+
+    The ``"processes"`` executor lives in :mod:`repro.runtime`, which
+    registers itself on import; resolving through this helper makes the name
+    available without callers having to import the runtime package first.
+    """
+    try:
+        key = name.lower()
+    except AttributeError:
+        raise SearchError(f"executor must be a string, got {type(name).__name__}") from None
+    if key not in SHARD_EXECUTORS:
+        from .. import runtime  # noqa: F401  — registers the process executor
+
+    try:
+        return SHARD_EXECUTORS[key]
+    except KeyError:
+        raise SearchError(
+            f"unknown shard executor {name!r}; available: "
+            f"{', '.join(sorted(SHARD_EXECUTORS))}"
+        ) from None
+
+
+def available_shard_executors() -> Tuple[str, ...]:
+    """Names of all shard executor strategies, including runtime extras."""
+    from .. import runtime  # noqa: F401  — registers the process executor
+
+    return tuple(sorted(SHARD_EXECUTORS))
+
+
+def _rank_shard_job(job) -> Tuple[np.ndarray, np.ndarray]:
+    """Rank one shard for one query batch (self-contained executor job).
+
+    Module-level (rather than a closure) so process-pool executors can ship
+    it to workers; the job tuple carries everything the ranking needs.
+    """
+    shard, offset, shard_rng, queries, k = job
+    shard_k = min(k, shard.num_entries)
+    indices, scores = shard._rank_batch(queries, rng=shard_rng, k=shard_k)
+    return indices.astype(np.int64, copy=False) + offset, scores
 
 
 def merge_shard_topk(
@@ -198,8 +251,9 @@ class ShardedSearcher(NearestNeighborSearcher):
         (``ceil(num_entries / max_rows_per_array)``).  Mutually exclusive
         with ``num_shards``.
     executor:
-        Per-shard execution strategy: ``"serial"`` or ``"threads"`` (or any
-        name added via :func:`register_shard_executor`).
+        Per-shard execution strategy: ``"serial"``, ``"threads"`` or
+        ``"processes"`` (or any name added via
+        :func:`register_shard_executor`).
     num_workers:
         Worker bound for pooled executors; defaults to the host CPU count.
     """
@@ -228,13 +282,7 @@ class ShardedSearcher(NearestNeighborSearcher):
             )
         if num_shards is None and max_rows_per_array is None:
             num_shards = 2
-        try:
-            executor_factory = SHARD_EXECUTORS[executor.lower()]
-        except (KeyError, AttributeError):
-            raise SearchError(
-                f"unknown shard executor {executor!r}; available: "
-                f"{', '.join(sorted(SHARD_EXECUTORS))}"
-            ) from None
+        executor_factory = resolve_shard_executor(executor)
         self.searcher_factory = searcher_factory
         self._factory_takes_index = bool(getattr(searcher_factory, "shard_aware", False))
         self.requested_shards = num_shards
@@ -320,17 +368,13 @@ class ShardedSearcher(NearestNeighborSearcher):
             indices, scores = self._shards[0]._rank_batch(queries, rng=rng, k=k)
             return indices.astype(np.int64, copy=False) + self._offsets[0], scores
         # Independent per-shard streams: stochastic engines stay deterministic
-        # under any executor because no generator is shared across threads.
+        # under any executor because no generator is shared across workers.
         shard_rngs = spawn_rngs(rng, len(self._shards))
-
-        def rank_shard(job):
-            shard, offset, shard_rng = job
-            shard_k = min(k, shard.num_entries)
-            indices, scores = shard._rank_batch(queries, rng=shard_rng, k=shard_k)
-            return indices.astype(np.int64, copy=False) + offset, scores
-
-        jobs = list(zip(self._shards, self._offsets, shard_rngs))
-        results = self._executor.map(rank_shard, jobs)
+        jobs = [
+            (shard, offset, shard_rng, queries, k)
+            for shard, offset, shard_rng in zip(self._shards, self._offsets, shard_rngs)
+        ]
+        results = self._executor.map(_rank_shard_job, jobs)
         candidate_indices = np.concatenate([indices for indices, _ in results], axis=1)
         candidate_scores = np.concatenate([scores for _, scores in results], axis=1)
         return merge_shard_topk(candidate_scores, candidate_indices, k)

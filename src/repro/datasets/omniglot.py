@@ -182,7 +182,9 @@ class SyntheticEmbeddingSpace:
         """Copy of the class prototype matrix."""
         return self._prototypes.copy()
 
-    def sample(self, class_indices, samples_per_class: int, rng: SeedLike = None) -> Tuple[np.ndarray, np.ndarray]:
+    def sample(
+        self, class_indices, samples_per_class: int, rng: SeedLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Sample embeddings for the requested classes.
 
         Parameters

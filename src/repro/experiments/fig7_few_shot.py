@@ -29,6 +29,8 @@ def run(
     shards: int = None,
     max_rows_per_array: int = None,
     executor: str = "serial",
+    episode_executor: str = "serial",
+    num_workers: int = None,
 ) -> ExperimentResult:
     """Evaluate all five methods on the four few-shot task configurations.
 
@@ -39,6 +41,10 @@ def run(
     ``shards`` / ``max_rows_per_array`` / ``executor`` run every method on
     the sharded multi-array execution layer; sharded search is exact, so the
     figure is unchanged — the knobs exist to exercise realistic geometries.
+    ``episode_executor`` dispatches every ``method x episode-chunk`` pair
+    through the parallel experiment runtime (``"threads"`` or
+    ``"processes"``); the method factories are picklable, so the figure's
+    episode loops fan out across worker processes unchanged.
     """
     generator = ensure_rng(seed)
     num_episodes = 25 if quick else 200
@@ -57,7 +63,12 @@ def run(
     cosine_gaps = []
     for n_way, k_shot in PAPER_FEWSHOT_TASKS:
         evaluator = FewShotEvaluator(
-            space, n_way=n_way, k_shot=k_shot, num_episodes=num_episodes
+            space,
+            n_way=n_way,
+            k_shot=k_shot,
+            num_episodes=num_episodes,
+            executor=episode_executor,
+            num_workers=num_workers,
         )
         results = evaluator.compare(factories, rng=generator)
         for method in FIG7_METHODS:

@@ -13,8 +13,10 @@ MCAMs — exactly the comparison of Fig. 7.
 
 from __future__ import annotations
 
+from copy import deepcopy
 from dataclasses import dataclass
-from typing import Dict, Optional
+from functools import partial
+from typing import Dict, List, Optional
 
 
 from ..exceptions import ConfigurationError
@@ -23,6 +25,8 @@ from ..utils.stats import SummaryStatistics, accuracy, summarize
 from ..utils.validation import check_int_in_range
 from ..core.search import make_searcher
 from ..datasets.omniglot import SyntheticEmbeddingSpace
+from ..runtime import default_worker_count, require_picklable, resolve_trial_runner
+from ..runtime.trials import ParallelTrialRunner, SerialTrialRunner, chunk_units
 from .episodes import Episode, EpisodeSampler
 from .memory import MANNMemory, SearcherFactory
 
@@ -76,6 +80,22 @@ class FewShotEvaluator:
         Number of episodes to average over.
     queries_per_class:
         Query embeddings per class in each episode.
+    executor:
+        Episode-dispatch strategy: ``"serial"`` (one searcher allocation,
+        episodes in order — the reference path), ``"threads"`` or
+        ``"processes"`` (episodes chunked across a persistent worker pool,
+        one searcher allocation per chunk).  Episodes and their RNG streams
+        are sampled up front in the serial order, so parallel dispatch
+        evaluates *identical* episodes; accuracies match the serial path for
+        engines whose per-episode results do not depend on programming
+        history — the LUT-mode MCAM, the seeded TCAM+LSH engine, the
+        software baselines, and device-mode MCAMs using row-keyed
+        ``program_seed`` programming.  Process dispatch additionally needs a
+        picklable ``searcher_factory`` (e.g. a :func:`functools.partial`
+        around ``make_searcher``, which :func:`default_method_factories`
+        returns).
+    num_workers:
+        Worker bound for the pooled strategies; defaults to the CPU count.
     """
 
     def __init__(
@@ -85,12 +105,35 @@ class FewShotEvaluator:
         k_shot: int,
         num_episodes: int = 100,
         queries_per_class: int = 5,
+        executor: str = "serial",
+        num_workers: Optional[int] = None,
     ) -> None:
         self.space = space
         self.sampler = EpisodeSampler(
             space, n_way=n_way, k_shot=k_shot, queries_per_class=queries_per_class
         )
         self.num_episodes = check_int_in_range(num_episodes, "num_episodes", minimum=1)
+        self.executor = executor
+        self.num_workers = num_workers
+        resolve_trial_runner(executor, num_workers=num_workers).close()
+
+    def _sampled_episodes(self, generator) -> List[Episode]:
+        """Draw the run's episodes up front, in the canonical serial order."""
+        return list(self.sampler.episodes(self.num_episodes, rng=generator))
+
+    def _episode_jobs(self, factory: SearcherFactory, episodes, episode_rngs, runner):
+        """Chunked ``(factory, episodes, rngs)`` jobs for pooled dispatch."""
+        if isinstance(runner, ParallelTrialRunner):
+            # Only process dispatch ships jobs across an interpreter
+            # boundary; thread dispatch runs closures and lambdas fine.
+            require_picklable(factory, "searcher_factory")
+        workers = runner.num_workers or default_worker_count()
+        num_chunks = workers * 2
+        episode_chunks = chunk_units(list(episodes), num_chunks)
+        rng_chunks = chunk_units(list(episode_rngs), num_chunks)
+        return [
+            (factory, chunk, rngs) for chunk, rngs in zip(episode_chunks, rng_chunks)
+        ]
 
     def evaluate(
         self,
@@ -100,29 +143,31 @@ class FewShotEvaluator:
     ) -> FewShotResult:
         """Evaluate one method over ``num_episodes`` fresh episodes.
 
-        One searcher is allocated up front and reprogrammed per episode (the
-        CAM workload: rewrite the support rows, then stream the episode's
-        whole query block through one batched search).  Episode sampling and
-        classification use independent streams (as :meth:`compare` always
-        has), so engines that draw randomness during search — stochastic
-        sensing, sharded execution — cannot perturb which episodes are
-        evaluated.
+        One searcher is allocated up front and delta-reprogrammed per episode
+        (the CAM workload: rewrite the support rows, then stream the
+        episode's whole query block through one batched search); pooled
+        executors keep one searcher per worker chunk instead.  Episode
+        sampling and classification use independent streams (as
+        :meth:`compare` always has), so engines that draw randomness during
+        search — stochastic sensing, sharded execution — cannot perturb
+        which episodes are evaluated.
         """
         generator = ensure_rng(rng)
-        memory = MANNMemory(searcher_factory=searcher_factory, reuse_searcher=True)
         episode_rngs = spawn_rngs(generator, self.num_episodes)
-        episode_accuracies = []
+        episodes = self._sampled_episodes(generator)
+        runner = resolve_trial_runner(self.executor, num_workers=self.num_workers)
         try:
-            for episode, episode_rng in zip(
-                self.sampler.episodes(self.num_episodes, rng=generator), episode_rngs
-            ):
-                episode_accuracies.append(
-                    run_episode(episode, searcher_factory, rng=episode_rng, memory=memory)
+            if isinstance(runner, SerialTrialRunner):
+                episode_accuracies = _run_episode_chunk(
+                    (searcher_factory, episodes, episode_rngs)
                 )
+            else:
+                jobs = self._episode_jobs(searcher_factory, episodes, episode_rngs, runner)
+                episode_accuracies = []
+                for chunk_accuracies in runner.map(_run_episode_chunk, jobs):
+                    episode_accuracies.extend(chunk_accuracies)
         finally:
-            # Deterministically release searcher resources (e.g. a sharded
-            # thread pool) instead of waiting for garbage collection.
-            memory.clear()
+            runner.close()
         return FewShotResult(
             method=method_name,
             n_way=self.sampler.n_way,
@@ -140,30 +185,63 @@ class FewShotEvaluator:
         All methods see exactly the same support/query embeddings in every
         episode, which is the comparison the paper makes: the only moving
         part is the distance function / search hardware.  Each method keeps
-        one searcher allocation for the whole run.
+        one searcher allocation for the whole run (serial) or per worker
+        chunk (pooled executors, which dispatch every ``method x chunk``
+        pair independently; stochastic-sensing engines then consume
+        per-method copies of the episode streams instead of the serial
+        path's shared stream — the deterministic paper methods are
+        unaffected).
         """
         if not factories:
             raise ConfigurationError("factories must contain at least one method")
         generator = ensure_rng(rng)
-        per_method_accuracies: Dict[str, list] = {name: [] for name in factories}
-        memories = {
-            name: MANNMemory(searcher_factory=factory, reuse_searcher=True)
-            for name, factory in factories.items()
-        }
         # One independent stream per episode for the stochastic engines so
         # adding/removing a method does not change the other methods' results.
         episode_rngs = spawn_rngs(generator, self.num_episodes)
+        episodes = self._sampled_episodes(generator)
+        runner = resolve_trial_runner(self.executor, num_workers=self.num_workers)
+        per_method_accuracies: Dict[str, list] = {}
         try:
-            for episode, episode_rng in zip(
-                self.sampler.episodes(self.num_episodes, rng=generator), episode_rngs
-            ):
+            if isinstance(runner, SerialTrialRunner):
+                per_method_accuracies = {name: [] for name in factories}
+                memories = {
+                    name: MANNMemory(searcher_factory=factory, reuse_searcher=True)
+                    for name, factory in factories.items()
+                }
+                try:
+                    for episode, episode_rng in zip(episodes, episode_rngs):
+                        for name, factory in factories.items():
+                            per_method_accuracies[name].append(
+                                run_episode(
+                                    episode, factory, rng=episode_rng, memory=memories[name]
+                                )
+                            )
+                finally:
+                    for memory in memories.values():
+                        memory.clear()
+            else:
+                jobs = []
+                spans = []
                 for name, factory in factories.items():
-                    per_method_accuracies[name].append(
-                        run_episode(episode, factory, rng=episode_rng, memory=memories[name])
-                    )
+                    # Every method gets its own *copies* of the episode
+                    # streams: process dispatch copies implicitly by
+                    # pickling, but thread dispatch would otherwise share
+                    # (and concurrently mutate) the Generator objects across
+                    # method jobs.
+                    method_rngs = deepcopy(episode_rngs)
+                    method_jobs = self._episode_jobs(factory, episodes, method_rngs, runner)
+                    spans.append((name, len(method_jobs)))
+                    jobs.extend(method_jobs)
+                results = runner.map(_run_episode_chunk, jobs)
+                cursor = 0
+                for name, count in spans:
+                    accuracies: list = []
+                    for chunk_accuracies in results[cursor : cursor + count]:
+                        accuracies.extend(chunk_accuracies)
+                    per_method_accuracies[name] = accuracies
+                    cursor += count
         finally:
-            for memory in memories.values():
-                memory.clear()
+            runner.close()
         return {
             name: FewShotResult(
                 method=name,
@@ -173,6 +251,28 @@ class FewShotEvaluator:
             )
             for name, values in per_method_accuracies.items()
         }
+
+
+def _run_episode_chunk(job) -> List[float]:
+    """Run one ordered chunk of episodes on one searcher allocation.
+
+    Module-level so pooled executors can ship it to worker processes; the
+    job carries ``(searcher_factory, episodes, episode_rngs)``.  One
+    :class:`MANNMemory` with ``reuse_searcher=True`` serves the whole chunk,
+    so every refit inside a worker rides the arrays' delta-reprogramming
+    path.
+    """
+    factory, episodes, episode_rngs = job
+    memory = MANNMemory(searcher_factory=factory, reuse_searcher=True)
+    try:
+        return [
+            run_episode(episode, factory, rng=episode_rng, memory=memory)
+            for episode, episode_rng in zip(episodes, episode_rngs)
+        ]
+    finally:
+        # Deterministically release searcher resources (e.g. a sharded
+        # thread pool) instead of waiting for garbage collection.
+        memory.clear()
 
 
 def run_episode(
@@ -231,16 +331,24 @@ def default_method_factories(
         "max_rows_per_array": max_rows_per_array,
         "executor": executor,
     }
+    # functools.partial around the module-level make_searcher (rather than a
+    # lambda) keeps every factory picklable, so the same method table drives
+    # both in-process evaluation and the process-parallel episode runtime.
     return {
-        "cosine": lambda: make_searcher("cosine", embedding_dim, **sharding),
-        "euclidean": lambda: make_searcher("euclidean", embedding_dim, **sharding),
-        "mcam-3bit": lambda: make_searcher(
-            "mcam-3bit", embedding_dim, seed=int(seeds[0]), **sharding
+        "cosine": partial(make_searcher, "cosine", embedding_dim, **sharding),
+        "euclidean": partial(make_searcher, "euclidean", embedding_dim, **sharding),
+        "mcam-3bit": partial(
+            make_searcher, "mcam-3bit", embedding_dim, seed=int(seeds[0]), **sharding
         ),
-        "mcam-2bit": lambda: make_searcher(
-            "mcam-2bit", embedding_dim, seed=int(seeds[1]), **sharding
+        "mcam-2bit": partial(
+            make_searcher, "mcam-2bit", embedding_dim, seed=int(seeds[1]), **sharding
         ),
-        "tcam-lsh": lambda: make_searcher(
-            "tcam-lsh", embedding_dim, lsh_bits=signature_bits, seed=int(seeds[2]), **sharding
+        "tcam-lsh": partial(
+            make_searcher,
+            "tcam-lsh",
+            embedding_dim,
+            lsh_bits=signature_bits,
+            seed=int(seeds[2]),
+            **sharding,
         ),
     }

@@ -1,0 +1,38 @@
+"""Parallel experiment runtime: persistent pools and Monte-Carlo dispatch.
+
+The execution layer behind the statistical sweeps:
+
+* :mod:`repro.runtime.process_pool` — a persistent worker-process pool and
+  the ``"processes"`` shard-executor strategy (registered on import),
+* :mod:`repro.runtime.trials` — the trial/episode dispatcher the Fig. 7/8
+  harnesses fan out on, with a strict determinism contract (self-contained
+  units, bitwise-identical results at any worker count).
+"""
+
+from .process_pool import (
+    PersistentProcessPool,
+    ProcessShardExecutor,
+    default_worker_count,
+)
+from .trials import (
+    ParallelTrialRunner,
+    SerialTrialRunner,
+    ThreadTrialRunner,
+    TRIAL_RUNNERS,
+    chunk_units,
+    require_picklable,
+    resolve_trial_runner,
+)
+
+__all__ = [
+    "PersistentProcessPool",
+    "ProcessShardExecutor",
+    "default_worker_count",
+    "ParallelTrialRunner",
+    "SerialTrialRunner",
+    "ThreadTrialRunner",
+    "TRIAL_RUNNERS",
+    "chunk_units",
+    "require_picklable",
+    "resolve_trial_runner",
+]

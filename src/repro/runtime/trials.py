@@ -1,0 +1,157 @@
+"""Monte-Carlo trial dispatch: the parallel experiment runtime.
+
+The paper's statistical results are sweeps of independent trials — the
+Fig. 8 device-variation study alone runs ``tasks x sigmas x luts_per_sigma``
+full program-and-search evaluations, and every one of them is embarrassingly
+parallel.  This module provides the dispatcher the experiment harnesses run
+on:
+
+* :class:`SerialTrialRunner` — in-process, in-order execution (the
+  reference path),
+* :class:`ThreadTrialRunner` — a thread pool, useful when trials release
+  the GIL,
+* :class:`ParallelTrialRunner` — a persistent worker-process pool for the
+  interpreter-bound Monte-Carlo workloads.
+
+**Determinism contract.**  A trial unit must be self-contained: it carries
+its own :class:`numpy.random.Generator` (spawned with
+:func:`~repro.utils.rng.spawn_rngs` *before* dispatch, in a fixed order) and
+the trial function must touch no shared mutable state.  Under that contract
+the runner only changes *where* trials execute, never *what* they compute —
+results are bitwise identical to the serial path at any worker count and any
+chunking, which is what lets the Fig. 8 sweep fan out across cores without
+perturbing a single data point.
+
+Trial functions dispatched to ``"processes"`` must be picklable
+(module-level functions; the experiment harnesses define theirs that way).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuits.tiles import split_rows_evenly
+from ..core.sharding import SerialShardExecutor, ThreadedShardExecutor
+from ..exceptions import ConfigurationError
+from ..utils.validation import check_int_in_range
+from .process_pool import PersistentProcessPool
+
+
+def chunk_units(units: Sequence, num_chunks: int) -> Tuple[Sequence, ...]:
+    """Split ``units`` into at most ``num_chunks`` contiguous, ordered chunks.
+
+    Chunk lengths differ by at most one and empty chunks are dropped, so the
+    concatenation of the chunks is exactly ``units`` — chunking can never
+    reorder (and therefore never change) trial results.
+    """
+    num_chunks = check_int_in_range(num_chunks, "num_chunks", minimum=1)
+    return tuple(units[start:stop] for start, stop in split_rows_evenly(len(units), num_chunks))
+
+
+def _run_trial_chunk(job) -> list:
+    """Run one chunk of self-contained trial units (worker-side loop)."""
+    fn, chunk = job
+    return [fn(unit) for unit in chunk]
+
+
+class SerialTrialRunner(SerialShardExecutor):
+    """Run every trial in the calling thread, in order (the reference path).
+
+    The executor interface (order-preserving ``map`` + ``close``) is shared
+    with the shard layer, so the in-process strategies are the shard
+    executors themselves.
+    """
+
+
+class ThreadTrialRunner(ThreadedShardExecutor):
+    """Run trials concurrently in a lazily created, persistent thread pool."""
+
+    _thread_name_prefix = "repro-trial"
+
+
+class ParallelTrialRunner:
+    """Dispatch Monte-Carlo trials to a persistent worker-process pool.
+
+    Trials are grouped into contiguous, ordered chunks (amortizing the
+    pickle round-trip over several trials) and each chunk runs as one job in
+    a worker process.  Because units are self-contained and chunking
+    preserves order, results are **bitwise identical to the serial runner at
+    any worker count** — parallelism changes wall-clock time, nothing else.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker-process count; defaults to the host CPU count.
+    chunks_per_worker:
+        Dispatch granularity: the unit list is split into
+        ``num_workers * chunks_per_worker`` chunks, balancing scheduling
+        slack against per-chunk shipping cost.
+    """
+
+    name = "processes"
+
+    def __init__(self, num_workers: Optional[int] = None, chunks_per_worker: int = 2) -> None:
+        self._pool = PersistentProcessPool(num_workers=num_workers)
+        self.num_workers = self._pool.num_workers
+        self.chunks_per_worker = check_int_in_range(
+            chunks_per_worker, "chunks_per_worker", minimum=1
+        )
+
+    def map(self, fn: Callable, units: Iterable) -> List:
+        """Apply ``fn`` to every unit in worker processes, preserving order."""
+        units = list(units)
+        if len(units) <= 1:
+            return [fn(unit) for unit in units]
+        chunks = chunk_units(units, self._pool.effective_workers * self.chunks_per_worker)
+        jobs = [(fn, chunk) for chunk in chunks]
+        results: List = []
+        for chunk_result in self._pool.map(_run_trial_chunk, jobs):
+            results.extend(chunk_result)
+        return results
+
+    def close(self) -> None:
+        """Shut down the worker processes."""
+        self._pool.close()
+
+
+#: Registry of trial-runner strategies by name (mirrors the shard-executor
+#: names, so experiment knobs read the same at both layers).
+TRIAL_RUNNERS: Dict[str, Callable[..., object]] = {
+    "serial": SerialTrialRunner,
+    "threads": ThreadTrialRunner,
+    "processes": ParallelTrialRunner,
+}
+
+
+def resolve_trial_runner(executor: str = "serial", num_workers: Optional[int] = None):
+    """Build a trial runner from an executor name.
+
+    ``executor`` is ``"serial"``, ``"threads"`` or ``"processes"``;
+    ``num_workers`` bounds the pooled strategies.
+    """
+    try:
+        factory = TRIAL_RUNNERS[executor.lower()]
+    except (KeyError, AttributeError):
+        raise ConfigurationError(
+            f"unknown trial executor {executor!r}; available: "
+            f"{', '.join(sorted(TRIAL_RUNNERS))}"
+        ) from None
+    return factory(num_workers=num_workers)
+
+
+def require_picklable(obj, what: str) -> None:
+    """Raise a helpful error when ``obj`` cannot be shipped to a worker.
+
+    Process-parallel dispatch pickles trial payloads; lambdas and closures
+    cannot cross the process boundary.  Callers use this to fail fast with
+    an actionable message instead of a bare ``PicklingError`` mid-sweep.
+    """
+    try:
+        pickle.dumps(obj)
+    except Exception as exc:
+        raise ConfigurationError(
+            f"{what} must be picklable for process-parallel execution "
+            f"(use a module-level function or functools.partial instead of a "
+            f"lambda/closure): {exc}"
+        ) from exc

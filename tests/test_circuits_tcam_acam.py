@@ -148,7 +148,9 @@ class TestACAMArray:
         acam = ACAMArray(num_cells=3)
         # The example rows of Fig. 1(a).
         acam.write([AnalogRange(0.0, 1.0), AnalogRange(0.0, 0.15), AnalogRange(0.5, 0.8)], label=0)
-        acam.write([AnalogRange(0.2, 0.55), AnalogRange(0.85, 1.0), AnalogRange(0.45, 0.85)], label=1)
+        acam.write(
+            [AnalogRange(0.2, 0.55), AnalogRange(0.85, 1.0), AnalogRange(0.45, 0.85)], label=1
+        )
         acam.write([AnalogRange(0.6, 0.8), AnalogRange(0.45, 0.55), AnalogRange(0.0, 0.5)], label=2)
         return acam
 

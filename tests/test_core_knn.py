@@ -125,7 +125,8 @@ class TestBatchedVotingKernel:
         knn = KNNClassifier(SoftwareSearcher("euclidean"), k=3).fit(features, labels)
         predictions = knn.predict(np.array([[0.1, 0.0], [5.1, 5.0]]))
         assert predictions[1] == 7
-        assert np.array_equal(predictions, self._loop_predictions(knn, np.array([[0.1, 0.0], [5.1, 5.0]])))
+        queries = np.array([[0.1, 0.0], [5.1, 5.0]])
+        assert np.array_equal(predictions, self._loop_predictions(knn, queries))
 
     def test_works_over_sharded_searcher(self, noisy_clusters):
         from repro.core import ShardedSearcher

@@ -13,7 +13,8 @@ from repro.experiments import (
 class TestRegistry:
     def test_all_paper_figures_registered(self):
         registered = set(list_experiments())
-        assert {"fig2b", "fig4", "gnd", "fig5", "fig6", "fig7", "fig8", "fig9", "energy"} <= registered
+        expected = {"fig2b", "fig4", "gnd", "fig5", "fig6", "fig7", "fig8", "fig9", "energy"}
+        assert expected <= registered
 
     def test_titles_are_non_empty(self):
         for title in list_experiments().values():

@@ -87,7 +87,9 @@ class TestDegenerateData:
         assert set(searcher.predict(features)) == {0}
 
     def test_tiny_dataset_split_keeps_both_sides_nonempty(self):
-        dataset = Dataset("tiny", np.arange(10).reshape(5, 2).astype(float), np.array([0, 0, 1, 1, 1]))
+        dataset = Dataset(
+            "tiny", np.arange(10).reshape(5, 2).astype(float), np.array([0, 0, 1, 1, 1])
+        )
         split = train_test_split(dataset, test_fraction=0.2, rng=0)
         assert split.train.num_samples >= 2
         assert split.test.num_samples >= 1

@@ -57,7 +57,9 @@ class TestVoltageSchemeProperties:
 
 class TestLUTProperties:
     @given(
-        stored=arrays(np.int64, st.tuples(st.integers(1, 8), st.just(6)), elements=st.integers(0, 7)),
+        stored=arrays(
+            np.int64, st.tuples(st.integers(1, 8), st.just(6)), elements=st.integers(0, 7)
+        ),
         query=arrays(np.int64, 6, elements=st.integers(0, 7)),
     )
     @settings(max_examples=60, deadline=None)

@@ -1,0 +1,283 @@
+"""Parallel experiment runtime: process pools, trial dispatch, determinism.
+
+The runtime's contract is strict: executors and trial runners change *where*
+work executes, never *what* it computes.  These tests pin that down —
+bitwise parity of the ``"processes"`` shard executor against ``"serial"``
+and ``"threads"`` on both CAM backends, worker-count-independent Fig. 8
+sweep points, and episode-parallel few-shot evaluation matching the serial
+reference.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import ScalingStudy
+from repro.analysis.variation_study import VariationSweep
+from repro.core import make_searcher
+from repro.core.sharding import available_shard_executors
+from repro.datasets.omniglot import SyntheticEmbeddingSpace
+from repro.exceptions import ConfigurationError
+from repro.mann.fewshot import FewShotEvaluator, default_method_factories
+from repro.runtime import (
+    ParallelTrialRunner,
+    PersistentProcessPool,
+    SerialTrialRunner,
+    ThreadTrialRunner,
+    chunk_units,
+    require_picklable,
+    resolve_trial_runner,
+)
+
+WORKERS = 2
+
+
+def _square(x):
+    return x * x
+
+
+class TestPersistentProcessPool:
+    def test_map_preserves_order_and_results(self):
+        pool = PersistentProcessPool(num_workers=WORKERS)
+        try:
+            assert pool.map(_square, range(17)) == [x * x for x in range(17)]
+        finally:
+            pool.close()
+
+    def test_pool_persists_across_maps_and_restarts_after_close(self):
+        pool = PersistentProcessPool(num_workers=WORKERS)
+        try:
+            assert pool.map(_square, [1, 2]) == [1, 4]
+            first = pool._pool
+            assert pool.map(_square, [3, 4]) == [9, 16]
+            assert pool._pool is first  # warm pool reused
+            pool.close()
+            assert pool._pool is None
+            assert pool.map(_square, [5, 6]) == [25, 36]  # restarted lazily
+        finally:
+            pool.close()
+
+    def test_single_job_runs_in_process(self):
+        pool = PersistentProcessPool(num_workers=WORKERS)
+        try:
+            assert pool.map(_square, [7]) == [49]
+            assert pool._pool is None  # short-cut never started workers
+        finally:
+            pool.close()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(Exception):
+            PersistentProcessPool(num_workers=0)
+
+
+class TestProcessShardExecutor:
+    @pytest.mark.parametrize("name", ("mcam-3bit", "tcam-lsh"))
+    def test_bitwise_parity_with_serial_and_threads(self, name):
+        rng = np.random.default_rng(31)
+        features = rng.normal(size=(160, 12))
+        labels = rng.integers(0, 5, size=160)
+        queries = rng.normal(size=(9, 12))
+
+        results = {}
+        for executor in ("serial", "threads", "processes"):
+            searcher = make_searcher(
+                name,
+                num_features=12,
+                seed=8,
+                shards=4,
+                executor=executor,
+                num_workers=WORKERS,
+            )
+            searcher.fit(features, labels)
+            try:
+                results[executor] = searcher.kneighbors_batch(queries, k=4)
+            finally:
+                searcher.close()
+        for executor in ("threads", "processes"):
+            np.testing.assert_array_equal(
+                results["serial"].indices, results[executor].indices
+            )
+            np.testing.assert_array_equal(
+                results["serial"].scores, results[executor].scores
+            )
+            assert results["serial"].labels == results[executor].labels
+
+    def test_processes_listed_as_available(self):
+        assert "processes" in available_shard_executors()
+
+
+class TestTrialRunners:
+    @pytest.mark.parametrize(
+        "runner_factory",
+        (
+            SerialTrialRunner,
+            partial(ThreadTrialRunner, num_workers=WORKERS),
+            partial(ParallelTrialRunner, num_workers=WORKERS),
+        ),
+    )
+    def test_map_matches_serial_loop(self, runner_factory):
+        runner = runner_factory()
+        try:
+            assert runner.map(_square, range(11)) == [x * x for x in range(11)]
+        finally:
+            runner.close()
+
+    def test_chunking_preserves_order_and_content(self):
+        units = list(range(13))
+        for num_chunks in (1, 2, 5, 13, 50):
+            chunks = chunk_units(units, num_chunks)
+            assert [u for chunk in chunks for u in chunk] == units
+            assert len(chunks) == min(num_chunks, len(units))
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_trial_runner("mpi")
+
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_trial_runner("serial"), SerialTrialRunner)
+        assert isinstance(resolve_trial_runner("threads"), ThreadTrialRunner)
+        assert isinstance(resolve_trial_runner("processes"), ParallelTrialRunner)
+
+    def test_require_picklable_flags_lambdas(self):
+        require_picklable(_square, "fn")  # module-level: fine
+        with pytest.raises(ConfigurationError):
+            require_picklable(lambda: None, "fn")
+
+
+class TestVariationSweepDeterminism:
+    """Same seed => same Fig. 8 points, at any executor and worker count."""
+
+    @staticmethod
+    def _sweep(executor, num_workers=None):
+        space = SyntheticEmbeddingSpace(seed=6)
+        sweep = VariationSweep(
+            space,
+            tasks=((5, 1),),
+            sigmas_v=(0.0, 0.1),
+            num_episodes=4,
+            luts_per_sigma=2,
+            executor=executor,
+            num_workers=num_workers,
+        )
+        return sweep.run(rng=123).points
+
+    def test_processes_bitwise_identical_to_serial_at_any_worker_count(self):
+        reference = self._sweep("serial")
+        for num_workers in (1, 2, 3):
+            assert self._sweep("processes", num_workers) == reference
+
+    def test_threads_bitwise_identical_to_serial(self):
+        assert self._sweep("threads", WORKERS) == self._sweep("serial")
+
+    def test_unknown_executor_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            VariationSweep(SyntheticEmbeddingSpace(seed=6), executor="mpi")
+
+
+class TestEpisodeParallelFewShot:
+    def test_parallel_episodes_match_serial(self):
+        space = SyntheticEmbeddingSpace(seed=9)
+        factory = partial(make_searcher, "mcam-3bit", space.embedding_dim, seed=3)
+        serial = FewShotEvaluator(space, n_way=5, k_shot=1, num_episodes=8).evaluate(
+            factory, rng=17
+        )
+        for executor in ("threads", "processes"):
+            parallel = FewShotEvaluator(
+                space,
+                n_way=5,
+                k_shot=1,
+                num_episodes=8,
+                executor=executor,
+                num_workers=WORKERS,
+            ).evaluate(factory, rng=17)
+            assert parallel.statistics.mean == serial.statistics.mean
+            assert parallel.statistics.minimum == serial.statistics.minimum
+            assert parallel.statistics.maximum == serial.statistics.maximum
+
+    def test_parallel_compare_matches_serial(self):
+        space = SyntheticEmbeddingSpace(seed=9)
+        factories = default_method_factories(space.embedding_dim, seed=1)
+        serial = FewShotEvaluator(space, n_way=5, k_shot=1, num_episodes=5).compare(
+            factories, rng=2
+        )
+        parallel = FewShotEvaluator(
+            space,
+            n_way=5,
+            k_shot=1,
+            num_episodes=5,
+            executor="processes",
+            num_workers=WORKERS,
+        ).compare(factories, rng=2)
+        assert set(serial) == set(parallel)
+        for name in serial:
+            assert serial[name].statistics.mean == parallel[name].statistics.mean
+
+    def test_default_method_factories_are_picklable(self):
+        for name, factory in default_method_factories(16, seed=0).items():
+            require_picklable(factory, name)
+
+    def test_unpicklable_factory_raises_helpful_error(self):
+        space = SyntheticEmbeddingSpace(seed=9)
+        evaluator = FewShotEvaluator(
+            space, n_way=5, k_shot=1, num_episodes=4, executor="processes", num_workers=WORKERS
+        )
+        with pytest.raises(ConfigurationError, match="picklable"):
+            evaluator.evaluate(lambda: None, rng=0)
+
+    def test_thread_executor_accepts_lambda_factories(self):
+        # Threads never cross an interpreter boundary, so closures that the
+        # serial path accepts must keep working.
+        space = SyntheticEmbeddingSpace(seed=9)
+        factory = lambda: make_searcher("mcam-3bit", space.embedding_dim, seed=3)  # noqa: E731
+        serial = FewShotEvaluator(space, n_way=5, k_shot=1, num_episodes=6).evaluate(
+            factory, rng=11
+        )
+        threaded = FewShotEvaluator(
+            space, n_way=5, k_shot=1, num_episodes=6, executor="threads", num_workers=WORKERS
+        ).evaluate(factory, rng=11)
+        assert threaded.statistics.mean == serial.statistics.mean
+
+    def test_threaded_compare_is_deterministic_for_stochastic_engines(self):
+        # Per-method stream copies: concurrent method jobs must not share
+        # (and race on) the same Generator objects.
+        from repro.circuits.matchline import MatchLineModel
+        from repro.circuits.sense_amplifier import TimeDomainSenseAmplifier
+        from repro.core.search import MCAMSearcher
+
+        def noisy_factory(seed):
+            def build():
+                amplifier = TimeDomainSenseAmplifier(
+                    MatchLineModel(num_cells=64), timing_noise_sigma_s=2e-10
+                )
+                return MCAMSearcher(bits=3, sense_amplifier=amplifier, seed=seed)
+
+            return build
+
+        space = SyntheticEmbeddingSpace(seed=9)
+        factories = {"a": noisy_factory(1), "b": noisy_factory(2)}
+
+        def run_once():
+            evaluator = FewShotEvaluator(
+                space, n_way=5, k_shot=1, num_episodes=6, executor="threads", num_workers=WORKERS
+            )
+            results = evaluator.compare(factories, rng=7)
+            return {name: results[name].statistics.mean for name in factories}
+
+        assert run_once() == run_once()
+
+
+class TestScalingStudyDeterminism:
+    def test_trial_executor_matches_serial(self):
+        kwargs = dict(ways=(5,), word_lengths=(16,), num_episodes=3, shard_counts=(1, 2))
+        reference = ScalingStudy(**kwargs).run(rng=7)
+        parallel = ScalingStudy(
+            **kwargs, trial_executor="processes", num_workers=WORKERS
+        ).run(rng=7)
+        assert reference.points == parallel.points
+
+    def test_unknown_trial_executor_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            ScalingStudy(trial_executor="mpi")
