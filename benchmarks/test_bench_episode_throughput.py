@@ -1,8 +1,12 @@
 """Episode throughput: the parallel experiment runtime's perf gates.
 
 Gates the three optimizations this layer stacks on the Monte-Carlo sweeps
-and records the measurements in ``BENCH_episode_throughput.json`` at the
-repository root, starting the benchmark trajectory:
+and records the measurements in
+``benchmarks/results/BENCH_episode_throughput.local.json`` (machine-local,
+gitignored — timings differ per host and rerun).  The file committed at the
+repository root, ``BENCH_episode_throughput.json``, carries only the
+schema-stable trajectory fields (workload shapes, gate thresholds,
+measurement names), so benchmark reruns never dirty the working tree:
 
 1. **Fused LUT gather kernel** — batched MCAM conductance evaluation at the
    paper's 5-way 1-shot episode shape must beat the seed per-cell
@@ -46,11 +50,25 @@ EPISODE_QUERIES = 25
 WORD_LENGTH = 64
 
 REQUIRED_KERNEL_SPEEDUP = 5.0
+REQUIRED_TCAM_KERNEL_SPEEDUP = 2.0
+REQUIRED_DELTA_SPEEDUP = 2.0
 REQUIRED_SWEEP_SPEEDUP = 3.0
 SWEEP_MIN_CORES = 4
 
-#: The benchmark trajectory lives at the repository root.
+#: Schema-stable trajectory fields committed at the repository root; the
+#: machine-local measurements land next to the other benchmark outputs.
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_episode_throughput.json"
+LOCAL_JSON_NAME = "BENCH_episode_throughput.local.json"
+
+#: Every measurement this module can record, independent of host (multicore
+#: gates may skip on small machines; the committed schema must not vary).
+MEASUREMENT_NAMES = (
+    "delta_reprogram",
+    "mcam_fused_kernel",
+    "parallel_variation_sweep",
+    "serial_episode_throughput",
+    "tcam_matmul_kernel",
+)
 
 RNG = np.random.default_rng(20211101)
 
@@ -67,15 +85,43 @@ def _best_of(fn, repeats: int, rounds: int = 5) -> float:
 
 
 @pytest.fixture(scope="module")
-def bench_report():
-    """Collects per-test measurements and writes the trajectory JSON."""
+def bench_report(results_dir):
+    """Collects measurements; timings go machine-local, the schema goes to git.
+
+    The full report (wall times, speedups, CPU count) is written under
+    ``benchmarks/results/`` where it is gitignored and uploaded as the CI
+    trajectory artifact.  The repo-root JSON is regenerated with only fields
+    that are identical on every host and every rerun, so committing after a
+    benchmark run never produces churn.
+    """
     report = {
         "benchmark": "episode_throughput",
         "cpu_count": os.cpu_count(),
         "measurements": {},
     }
     yield report["measurements"]
-    BENCH_JSON.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    local_json = results_dir / LOCAL_JSON_NAME
+    local_json.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    stable = {
+        "benchmark": "episode_throughput",
+        "gates": {
+            "delta_reprogram_speedup_min": REQUIRED_DELTA_SPEEDUP,
+            "mcam_fused_kernel_speedup_min": REQUIRED_KERNEL_SPEEDUP,
+            "parallel_sweep_min_cores": SWEEP_MIN_CORES,
+            "parallel_sweep_speedup_min": REQUIRED_SWEEP_SPEEDUP,
+            "tcam_matmul_kernel_speedup_min": REQUIRED_TCAM_KERNEL_SPEEDUP,
+        },
+        "local_results": f"benchmarks/results/{LOCAL_JSON_NAME}",
+        "measurements": list(MEASUREMENT_NAMES),
+        "workload": {
+            "episode_queries": EPISODE_QUERIES,
+            "episode_rows": EPISODE_ROWS,
+            "word_length": WORD_LENGTH,
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(stable, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 
 
 def _seed_conductance_loop(array: MCAMArray, queries: np.ndarray) -> np.ndarray:
@@ -151,8 +197,8 @@ def test_matmul_hamming_kernel_speedup(bench_report, record_result):
         f"speedup:             {speedup:.2f}x (bitwise identical)",
     )
     # The matmul kernel replaces an O(queries*rows*cells) boolean temporary
-    # with one BLAS product; anything below 2x would signal a regression.
-    assert speedup >= 2.0
+    # with one BLAS product; anything below the gate would signal a regression.
+    assert speedup >= REQUIRED_TCAM_KERNEL_SPEEDUP
 
 
 def test_delta_reprogram_speedup(bench_report, record_result):
@@ -193,7 +239,7 @@ def test_delta_reprogram_speedup(bench_report, record_result):
         f"delta reprogram: {1e3 * delta_s:.2f} ms\n"
         f"speedup:         {speedup:.2f}x",
     )
-    assert speedup >= 2.0, (
+    assert speedup >= REQUIRED_DELTA_SPEEDUP, (
         f"delta reprogramming is only {speedup:.2f}x faster than a full rewrite "
         f"with {changed_rows}/{rows} rows changed"
     )
@@ -202,12 +248,12 @@ def test_delta_reprogram_speedup(bench_report, record_result):
 def test_serial_episode_throughput_recorded(bench_report, record_result):
     """Record the serial episode rate (trajectory context, no gate)."""
     space = SyntheticEmbeddingSpace(seed=11)
-    evaluator = FewShotEvaluator(space, n_way=5, k_shot=1, num_episodes=20)
     factory = lambda: make_searcher("mcam-3bit", space.embedding_dim, seed=4)  # noqa: E731
 
-    start = time.perf_counter()
-    evaluator.evaluate(factory, rng=1)
-    elapsed = time.perf_counter() - start
+    with FewShotEvaluator(space, n_way=5, k_shot=1, num_episodes=20) as evaluator:
+        start = time.perf_counter()
+        evaluator.evaluate(factory, rng=1)
+        elapsed = time.perf_counter() - start
     rate = evaluator.num_episodes / elapsed
     bench_report["serial_episode_throughput"] = {
         "task": "5-way 1-shot",
@@ -234,15 +280,15 @@ def test_parallel_variation_sweep_speedup(bench_report, record_result):
         luts_per_sigma=4,
     )
 
-    serial_sweep = VariationSweep(space, executor="serial", **sweep_config)
-    start = time.perf_counter()
-    serial_points = serial_sweep.run(rng=42).points
-    serial_s = time.perf_counter() - start
+    with VariationSweep(space, executor="serial", **sweep_config) as serial_sweep:
+        start = time.perf_counter()
+        serial_points = serial_sweep.run(rng=42).points
+        serial_s = time.perf_counter() - start
 
-    parallel_sweep = VariationSweep(space, executor="processes", **sweep_config)
-    start = time.perf_counter()
-    parallel_points = parallel_sweep.run(rng=42).points
-    parallel_s = time.perf_counter() - start
+    with VariationSweep(space, executor="processes", **sweep_config) as parallel_sweep:
+        start = time.perf_counter()
+        parallel_points = parallel_sweep.run(rng=42).points
+        parallel_s = time.perf_counter() - start
 
     assert parallel_points == serial_points, (
         "process-parallel sweep points differ from the serial reference"

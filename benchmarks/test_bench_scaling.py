@@ -12,14 +12,14 @@ from repro.analysis import ScalingStudy
 
 
 def _run_study():
-    study = ScalingStudy(
+    with ScalingStudy(
         ways=(5, 20, 40),
         k_shot=5,
         word_lengths=(16, 64),
         num_episodes=10,
         bits=3,
-    )
-    return study.run(rng=53)
+    ) as study:
+        return study.run(rng=53)
 
 
 def test_scaling_study(benchmark, record_result):

@@ -42,10 +42,10 @@ def main(num_episodes: int = DEFAULT_EPISODES) -> None:
     rows = []
     gaps = []
     for n_way, k_shot in PAPER_FEWSHOT_TASKS:
-        evaluator = FewShotEvaluator(
+        with FewShotEvaluator(
             space, n_way=n_way, k_shot=k_shot, num_episodes=num_episodes
-        )
-        results = evaluator.compare(factories, rng=SEED)
+        ) as evaluator:
+            results = evaluator.compare(factories, rng=SEED)
         rows.append(
             [f"{n_way}-way {k_shot}-shot"]
             + [results[m].accuracy_percent for m in METHOD_ORDER]

@@ -59,14 +59,14 @@ def part2_sigma_sweep(num_episodes: int) -> None:
     print("=== Part 2: Fig. 8 — few-shot accuracy of the 3-bit MCAM vs Vth sigma ===\n")
     space = SyntheticEmbeddingSpace(seed=SEED)
     tasks = ((5, 1), (20, 1))
-    sweep = VariationSweep(
+    with VariationSweep(
         space,
         tasks=tasks,
         sigmas_v=(0.0, 0.05, 0.08, 0.15, 0.20, 0.30),
         num_episodes=num_episodes,
         luts_per_sigma=2,
-    )
-    result = sweep.run(rng=SEED)
+    ) as sweep:
+        result = sweep.run(rng=SEED)
 
     headers = ["sigma (mV)"] + [f"{n}-way {k}-shot (%)" for n, k in tasks]
     sigmas_mv, _ = result.series(*tasks[0])

@@ -190,7 +190,20 @@ class ScalingStudy:
         self.executor = executor
         self.trial_executor = trial_executor
         self.num_workers = num_workers
-        resolve_trial_runner(trial_executor, num_workers=num_workers).close()
+        # Persistent runner (also validates the executor name eagerly);
+        # released by close(), a `with` block, or the pool finalizer.
+        self._runner = resolve_trial_runner(trial_executor, num_workers=num_workers)
+
+    def close(self) -> None:
+        """Release the study's trial runner (idempotent)."""
+        self._runner.close()
+
+    def __enter__(self) -> "ScalingStudy":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def _sharded_search_cost(self, num_cells: int, stored_rows: int, num_shards: int):
         """Summed tile energy and parallel-tile delay of one sharded search."""
@@ -244,11 +257,7 @@ class ScalingStudy:
         runs in-process afterwards.
         """
         units = self.trials(rng)
-        runner = resolve_trial_runner(self.trial_executor, num_workers=self.num_workers)
-        try:
-            accuracies = runner.map(_run_scaling_trial, units)
-        finally:
-            runner.close()
+        accuracies = self._runner.map(_run_scaling_trial, units)
         points = []
         for trial, accuracy_percent in zip(units, accuracies):
             stored_rows = trial.n_way * self.k_shot
@@ -309,12 +318,12 @@ def _run_scaling_trial(trial: _ScalingTrial) -> float:
             num_shards=trial.num_shards,
             executor=trial.shard_executor,
         )
-    evaluator = FewShotEvaluator(
+    with FewShotEvaluator(
         trial.space, n_way=trial.n_way, k_shot=trial.k_shot, num_episodes=trial.num_episodes
-    )
-    result = evaluator.evaluate(
-        searcher_factory=factory,
-        method_name=f"mcam-{trial.bits}bit",
-        rng=trial.eval_seed,
-    )
+    ) as evaluator:
+        result = evaluator.evaluate(
+            searcher_factory=factory,
+            method_name=f"mcam-{trial.bits}bit",
+            rng=trial.eval_seed,
+        )
     return result.accuracy_percent

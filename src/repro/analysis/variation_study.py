@@ -151,8 +151,23 @@ class VariationSweep:
         self.luts_per_sigma = check_int_in_range(luts_per_sigma, "luts_per_sigma", minimum=1)
         self.executor = executor
         self.num_workers = num_workers
-        # Validate the executor name eagerly, not in the middle of a sweep.
-        resolve_trial_runner(executor, num_workers=num_workers).close()
+        # One persistent runner for the sweep's lifetime (also validates the
+        # executor name eagerly, not in the middle of a sweep): pooled
+        # workers stay warm across run() calls and are released by close(),
+        # a `with` block, or — as a safety net — a pool finalizer at garbage
+        # collection / interpreter exit.
+        self._runner = resolve_trial_runner(executor, num_workers=num_workers)
+
+    def close(self) -> None:
+        """Release the sweep's trial runner (idempotent)."""
+        self._runner.close()
+
+    def __enter__(self) -> "VariationSweep":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def trials(self, rng: SeedLike = None) -> Tuple["_VariationTrial", ...]:
         """The sweep's Monte-Carlo work units, with pre-spawned RNG streams.
@@ -183,11 +198,7 @@ class VariationSweep:
     def run(self, rng: SeedLike = None) -> VariationSweepResult:
         """Execute the sweep and collect accuracy-versus-sigma points."""
         units = self.trials(rng)
-        runner = resolve_trial_runner(self.executor, num_workers=self.num_workers)
-        try:
-            accuracies = runner.map(_run_variation_trial, units)
-        finally:
-            runner.close()
+        accuracies = self._runner.map(_run_variation_trial, units)
         points = []
         per_point = self.luts_per_sigma
         for start in range(0, len(units), per_point):
@@ -225,15 +236,15 @@ def _run_variation_trial(trial: _VariationTrial) -> float:
     """
     variation = GaussianVthVariationModel(sigma_v=trial.sigma_v)
     lut = build_varied_lut(bits=trial.bits, variation=variation, rng=trial.rng)
-    evaluator = FewShotEvaluator(
+    with FewShotEvaluator(
         trial.space,
         n_way=trial.n_way,
         k_shot=trial.k_shot,
         num_episodes=trial.num_episodes,
-    )
-    result = evaluator.evaluate(
-        searcher_factory=lambda: MCAMSearcher(bits=trial.bits, lut=lut),
-        method_name=f"mcam-{trial.bits}bit",
-        rng=trial.rng,
-    )
+    ) as evaluator:
+        result = evaluator.evaluate(
+            searcher_factory=lambda: MCAMSearcher(bits=trial.bits, lut=lut),
+            method_name=f"mcam-{trial.bits}bit",
+            rng=trial.rng,
+        )
     return result.accuracy_percent

@@ -234,6 +234,22 @@ class MCAMArray(FixedGeometryArray):
         # the fused gather kernel; geometry-fixed, built on first use.
         self._gather_offsets: Optional[np.ndarray] = None
 
+    def __getstate__(self):
+        """Pickle without the derived search caches.
+
+        ``_by_cell_profiles`` and ``_gather_offsets`` are pure functions of
+        the programmed state and dominate the pickle payload (the by-cell
+        table is ``num_states`` times the stored-state matrix); dropping them
+        makes shipping a programmed array across a process boundary — the
+        worker-resident shard cache of :mod:`repro.runtime` — cost the stored
+        states, not the query cache.  The receiver rebuilds them lazily and
+        bitwise identically on first search.
+        """
+        state = self.__dict__.copy()
+        state["_by_cell_profiles"] = None
+        state["_gather_offsets"] = None
+        return state
+
     # ------------------------------------------------------------------
     # Storage
     # ------------------------------------------------------------------

@@ -117,6 +117,21 @@ class TCAMArray(FixedGeometryArray):
         self._hamming_base: Optional[np.ndarray] = None
         self._hamming_weights: Optional[np.ndarray] = None
 
+    def __getstate__(self):
+        """Pickle without the derived search kernels.
+
+        The care mask and the affine Hamming factors are pure functions of
+        the stored bits and roughly ``9x`` the size of the bit matrix in
+        float64; dropping them keeps cross-process shipment (the
+        worker-resident shard cache) proportional to the programmed contents.
+        The receiver rebuilds them lazily and bitwise identically.
+        """
+        state = self.__dict__.copy()
+        state["_care_mask"] = None
+        state["_hamming_base"] = None
+        state["_hamming_weights"] = None
+        return state
+
     # ------------------------------------------------------------------
     # Storage
     # ------------------------------------------------------------------
@@ -176,7 +191,13 @@ class TCAMArray(FixedGeometryArray):
         self._hamming_base = None
         self._hamming_weights = None
 
-    def reprogram(self, rows, labels: Optional[Sequence[int]] = None) -> np.ndarray:
+    def reprogram(
+        self,
+        rows,
+        labels: Optional[Sequence[int]] = None,
+        rng: SeedLike = None,
+        row_offset: int = 0,
+    ) -> np.ndarray:
         """Replace the stored rows, re-programming only the changed ones.
 
         The TCAM counterpart of
@@ -185,7 +206,13 @@ class TCAMArray(FixedGeometryArray):
         keep their programmed state and their slices of the cached search
         kernel, so an episodic refit that swaps ``m`` of ``n`` rows costs
         ``O(m)`` cache work.  Returns the indices of the changed rows.
+
+        ``rng`` and ``row_offset`` are accepted for interface uniformity with
+        the MCAM's row-keyed device-mode path (so
+        :class:`~repro.circuits.tiles.CAMTileSet` can forward them to mixed
+        tile types) and are ignored: TCAM programming is deterministic.
         """
+        del rng, row_offset  # deterministic programming needs neither
         rows, labels = self._check_rows_and_labels(rows, labels)
         if self.max_rows is not None and rows.shape[0] > self.max_rows:
             raise CapacityError(

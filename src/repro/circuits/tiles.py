@@ -256,6 +256,20 @@ class CAMTileSet:
         self._tiles.append(tile)
         return tile
 
+    @staticmethod
+    def _coerce_entries_and_labels(entries, labels: Optional[Sequence]):
+        """Shared entry/label validation of the write, reprogram and append paths."""
+        entries = np.asarray(entries)
+        if entries.ndim == 1:
+            entries = entries.reshape(1, -1)
+        if entries.ndim != 2:
+            raise CircuitError(f"entries must be two-dimensional, got shape {entries.shape}")
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != entries.shape[0]:
+                raise CircuitError(f"got {len(labels)} labels for {entries.shape[0]} entries")
+        return entries, labels
+
     def write(self, entries, labels: Optional[Sequence] = None, rng: SeedLike = None) -> None:
         """Program ``entries`` across tiles, opening new arrays as needed.
 
@@ -272,15 +286,7 @@ class CAMTileSet:
             MCAM's per-cell device mode); leave ``None`` for arrays without
             an ``rng`` parameter.
         """
-        entries = np.asarray(entries)
-        if entries.ndim == 1:
-            entries = entries.reshape(1, -1)
-        if entries.ndim != 2:
-            raise CircuitError(f"entries must be two-dimensional, got shape {entries.shape}")
-        if labels is not None:
-            labels = list(labels)
-            if len(labels) != entries.shape[0]:
-                raise CircuitError(f"got {len(labels)} labels for {entries.shape[0]} entries")
+        entries, labels = self._coerce_entries_and_labels(entries, labels)
         written = 0
         while written < entries.shape[0]:
             if self._tiles and self._tiles[-1].num_rows < self.geometry.max_rows:
@@ -311,15 +317,7 @@ class CAMTileSet:
 
         Returns the global indices of the changed rows.
         """
-        entries = np.asarray(entries)
-        if entries.ndim == 1:
-            entries = entries.reshape(1, -1)
-        if entries.ndim != 2:
-            raise CircuitError(f"entries must be two-dimensional, got shape {entries.shape}")
-        if labels is not None:
-            labels = list(labels)
-            if len(labels) != entries.shape[0]:
-                raise CircuitError(f"got {len(labels)} labels for {entries.shape[0]} entries")
+        entries, labels = self._coerce_entries_and_labels(entries, labels)
         spans = partition_rows(entries.shape[0], self.geometry.max_rows)
         del self._tiles[len(spans):]
         while len(self._tiles) < len(spans):
@@ -343,6 +341,48 @@ class CAMTileSet:
         if changed_global:
             return np.concatenate(changed_global)
         return np.empty(0, dtype=np.int64)
+
+    def append(self, entries, labels: Optional[Sequence] = None, rng: SeedLike = None):
+        """Append rows behind the stored contents through the delta path.
+
+        The live-ingestion counterpart of :meth:`write`: new rows fill the
+        last partial tile and open fresh tiles as needed, but the affected
+        tiles are updated through their arrays' ``reprogram`` — existing rows
+        diff as unchanged and keep their programmed state, so an append costs
+        device work only for the new rows.  With an integer ``rng`` seed the
+        device-mode sampling is keyed by **global** row index, making an
+        append bitwise identical to a from-scratch :meth:`reprogram` of the
+        combined contents under the same seed.
+
+        Returns the global indices of the appended rows.
+        """
+        entries, labels = self._coerce_entries_and_labels(entries, labels)
+        start_global = self.num_rows
+        written = 0
+        while written < entries.shape[0]:
+            if self._tiles and self._tiles[-1].num_rows < self.geometry.max_rows:
+                tile = self._tiles[-1]
+            else:
+                tile = self._new_tile()
+            room = self.geometry.max_rows - tile.num_rows
+            stop = written + min(room, entries.shape[0] - written)
+            chunk = entries[written:stop]
+            chunk_labels = (
+                [None] * (stop - written) if labels is None else labels[written:stop]
+            )
+            stored = getattr(tile.array, "stored_states", None)
+            if stored is None:
+                stored = tile.array.stored_bits
+            merged = np.concatenate([stored, chunk], axis=0)
+            merged_labels = list(tile.array.labels) + list(chunk_labels)
+            if rng is None:
+                tile.array.reprogram(merged, labels=merged_labels)
+            else:
+                tile.array.reprogram(
+                    merged, labels=merged_labels, rng=rng, row_offset=tile.row_offset
+                )
+            written = stop
+        return np.arange(start_global, start_global + entries.shape[0], dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Search

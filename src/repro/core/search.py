@@ -184,6 +184,18 @@ class NearestNeighborSearcher(abc.ABC):
         """
         return False
 
+    def calibration_token(self):
+        """Hashable fingerprint of the frozen data-dependent preprocessing.
+
+        ``None`` means the engine has no data-dependent preprocessing (the
+        software metrics) or has not been calibrated yet.  The sharded
+        append path compares tokens before and after recalibrating on a
+        grown store: an unchanged token proves the stored representation of
+        untouched shards is still valid, so only the shards that received
+        new rows need a refit.
+        """
+        return None
+
     def fit(self, features, labels: Optional[Sequence[int]] = None) -> "NearestNeighborSearcher":
         """Store ``features`` (and optional ``labels``) as the search memory."""
         features = check_feature_matrix(features, "features")
@@ -422,6 +434,12 @@ class MCAMSearcher(NearestNeighborSearcher):
             return True
         return False
 
+    def calibration_token(self):
+        if not self._calibrated or not self.quantizer.is_fitted:
+            return None
+        low, high = self.quantizer.ranges
+        return (low.tobytes(), high.tobytes())
+
     def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
         if not self._calibrated:
             self.quantizer.fit(features)
@@ -525,6 +543,11 @@ class TCAMLSHSearcher(NearestNeighborSearcher):
             self._calibrated = True
             return True
         return False
+
+    def calibration_token(self):
+        if not self._calibrated:
+            return None
+        return self.encoder.calibration_token()
 
     def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
         if not self._calibrated:
@@ -730,6 +753,7 @@ def _sharded_backend_factory(inner_factory: BackendFactory) -> BackendFactory:
         shards = config.pop("shards", None)
         executor = config.pop("executor", "serial")
         num_workers = config.pop("num_workers", None)
+        appendable = config.pop("appendable", False)
         max_rows_per_array = config.get("max_rows_per_array")
         base_seed = config.get("seed")
         if not isinstance(base_seed, (int, np.integer)):
@@ -755,6 +779,7 @@ def _sharded_backend_factory(inner_factory: BackendFactory) -> BackendFactory:
             max_rows_per_array=max_rows_per_array,
             executor=executor,
             num_workers=num_workers,
+            appendable=appendable,
         )
 
     factory._is_sharded_factory = True
@@ -774,6 +799,7 @@ def make_searcher(
     executor: str = "serial",
     num_workers: Optional[int] = None,
     program_seed: Optional[int] = None,
+    appendable: bool = False,
 ) -> NearestNeighborSearcher:
     """Factory for the engines compared in the paper's figures.
 
@@ -788,9 +814,16 @@ def make_searcher(
     name ``"sharded(<backend>)"`` or by passing ``shards=`` (a fixed shard
     count) or ``max_rows_per_array=`` (fixed-geometry tiles, the shard count
     following from the store size).  ``executor`` picks the per-shard
-    execution strategy (``"serial"`` or ``"threads"``) and ``num_workers``
-    bounds the thread pool.  Sharded results are bitwise identical to the
-    unsharded backend for the deterministic (ideal-sensing) engines.
+    execution strategy (``"serial"``, ``"threads"`` or ``"processes"``) and
+    ``num_workers`` bounds the worker pool.  Sharded results are bitwise
+    identical to the unsharded backend for the deterministic (ideal-sensing)
+    engines.
+
+    ``appendable=True`` builds a sharded searcher that retains its fitted
+    store so :meth:`~repro.core.sharding.ShardedSearcher.append` can grow it
+    live: new rows route to the least-full shard, tiles grow through the
+    delta-reprogramming path, and the served results stay bitwise identical
+    to a from-scratch refit of the combined store.
     """
     factory = get_backend(name)
     if (shards is not None or max_rows_per_array is not None) and not getattr(
@@ -798,11 +831,11 @@ def make_searcher(
     ):
         factory = _sharded_backend_factory(factory)
     if not getattr(factory, "_is_sharded_factory", False) and (
-        executor != "serial" or num_workers is not None
+        executor != "serial" or num_workers is not None or appendable
     ):
         raise SearchError(
-            "executor/num_workers apply only to sharded execution; pass shards= or "
-            "max_rows_per_array=, or use a 'sharded(<backend>)' name"
+            "executor/num_workers/appendable apply only to sharded execution; pass "
+            "shards= or max_rows_per_array=, or use a 'sharded(<backend>)' name"
         )
     return factory(
         num_features,
@@ -816,4 +849,5 @@ def make_searcher(
         executor=executor,
         num_workers=num_workers,
         program_seed=program_seed,
+        appendable=appendable,
     )

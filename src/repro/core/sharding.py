@@ -26,11 +26,24 @@ Additional strategies (e.g. an async gateway) can be plugged in through
 :func:`register_shard_executor`.  Shard jobs are self-contained module-level
 callables, so any executor — in-thread, pooled or cross-process — produces
 bitwise-identical results.
+
+Two serving-oriented extensions ride on the executor seam:
+
+* executors advertising ``supports_shard_cache`` (the ``"processes"``
+  strategy) receive each programmed shard **once per program epoch** —
+  published through ``publish_shard`` and cached worker-resident — so
+  steady-state query batches ship only query payloads, and
+* :meth:`ShardedSearcher.append` grows a fitted store live (with
+  ``appendable=True``): new rows route to the least-full shard, the touched
+  engines refit through the arrays' delta-reprogramming path, and the
+  served results stay bitwise identical to a from-scratch refit.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -39,7 +52,7 @@ import numpy as np
 from ..circuits.tiles import partition_rows, split_rows_evenly
 from ..exceptions import SearchError
 from ..utils.rng import spawn_rngs
-from ..utils.validation import check_int_in_range
+from ..utils.validation import check_feature_matrix, check_int_in_range
 from .search import NearestNeighborSearcher, _stable_smallest_k
 
 #: Factory signature for shard engines: a fresh searcher, built either with
@@ -62,7 +75,14 @@ class SerialShardExecutor:
         return [fn(job) for job in jobs]
 
     def close(self) -> None:
-        """Nothing to release."""
+        """Nothing to release (idempotent)."""
+
+    def __enter__(self) -> "SerialShardExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 class ThreadedShardExecutor:
@@ -88,13 +108,18 @@ class ThreadedShardExecutor:
             num_workers = check_int_in_range(num_workers, "num_workers", minimum=1)
         self.num_workers = num_workers
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             workers = self.num_workers if self.num_workers is not None else os.cpu_count() or 1
-            self._pool = ThreadPoolExecutor(
+            pool = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix=self._thread_name_prefix
             )
+            self._pool = pool
+            # Safety net: shut the pool down at garbage collection or
+            # interpreter exit when a caller forgets close().
+            self._finalizer = weakref.finalize(self, pool.shutdown, wait=True)
         return self._pool
 
     def map(self, fn, jobs) -> list:
@@ -105,10 +130,18 @@ class ThreadedShardExecutor:
         return list(self._ensure_pool().map(fn, jobs))
 
     def close(self) -> None:
-        """Shut the thread pool down (it is re-created on next use)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the thread pool down (idempotent; re-created on next use)."""
+        finalizer, self._finalizer = self._finalizer, None
+        self._pool = None
+        if finalizer is not None:
+            finalizer()
+
+    def __enter__(self) -> "ThreadedShardExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 #: Registry of executor strategies by name.
@@ -165,12 +198,15 @@ def _rank_shard_job(job) -> Tuple[np.ndarray, np.ndarray]:
     """Rank one shard for one query batch (self-contained executor job).
 
     Module-level (rather than a closure) so process-pool executors can ship
-    it to workers; the job tuple carries everything the ranking needs.
+    it to workers; the job tuple carries everything the ranking needs.  The
+    index map translates shard-local row numbers to global store indices —
+    an identity-offset ``arange`` after a plain fit, arbitrary global rows
+    once live appends have routed entries to non-contiguous shards.
     """
-    shard, offset, shard_rng, queries, k = job
+    shard, index_map, shard_rng, queries, k = job
     shard_k = min(k, shard.num_entries)
     indices, scores = shard._rank_batch(queries, rng=shard_rng, k=shard_k)
-    return indices.astype(np.int64, copy=False) + offset, scores
+    return index_map[indices.astype(np.int64, copy=False)], scores
 
 
 def merge_shard_topk(
@@ -256,7 +292,18 @@ class ShardedSearcher(NearestNeighborSearcher):
         :func:`register_shard_executor`).
     num_workers:
         Worker bound for pooled executors; defaults to the host CPU count.
+    appendable:
+        When True the searcher retains its fitted store so :meth:`append`
+        can grow it live: new rows route to the least-full shard (opening a
+        fresh fixed-geometry tile only when every existing one is full) and
+        each touched shard refits through the engines' delta-reprogramming
+        path.  Served results stay bitwise identical to a from-scratch refit
+        of the combined store for the deterministic engines.
     """
+
+    #: Monotonic source of searcher identities used to key worker-resident
+    #: shard caches; combined with the parent PID so ids never collide.
+    _instance_ids = itertools.count()
 
     def __init__(
         self,
@@ -265,6 +312,7 @@ class ShardedSearcher(NearestNeighborSearcher):
         max_rows_per_array: Optional[int] = None,
         executor: str = "serial",
         num_workers: Optional[int] = None,
+        appendable: bool = False,
     ) -> None:
         super().__init__()
         if not callable(searcher_factory):
@@ -288,9 +336,23 @@ class ShardedSearcher(NearestNeighborSearcher):
         self.requested_shards = num_shards
         self.max_rows_per_array = max_rows_per_array
         self.executor_name = executor.lower()
+        self.appendable = bool(appendable)
         self._executor = executor_factory(num_workers=num_workers)
         self._shards: List[NearestNeighborSearcher] = []
-        self._offsets: List[int] = []
+        #: Per-shard global row indices (``index_map[local] -> global``).
+        self._index_maps: List[np.ndarray] = []
+        #: Per-shard program epochs: bumped every time a shard's programmed
+        #: contents change, never reused, so worker-resident caches can tell
+        #: stale state from current state.
+        self._shard_epochs: List[int] = []
+        self._epoch_counter = 0
+        #: Epoch/path bookkeeping of shards published to a caching executor.
+        self._published_epochs: Dict[int, int] = {}
+        self._published_paths: Dict[int, str] = {}
+        self._searcher_id = f"{os.getpid()}-{next(self._instance_ids)}"
+        #: Full fitted store, retained only for appendable searchers.
+        self._store_features: Optional[np.ndarray] = None
+        self._store_labels: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -311,8 +373,22 @@ class ShardedSearcher(NearestNeighborSearcher):
         return tuple(self._shards)
 
     def close(self) -> None:
-        """Release executor resources (e.g. the thread pool)."""
+        """Release executor resources (idempotent).
+
+        Worker pools shut down (they restart lazily on the next search) and
+        published worker-cache entries are forgotten, so a post-close search
+        republishes into a fresh spool.
+        """
+        self._published_epochs.clear()
+        self._published_paths.clear()
         self._executor.close()
+
+    def __enter__(self) -> "ShardedSearcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # Fitting
@@ -334,6 +410,11 @@ class ShardedSearcher(NearestNeighborSearcher):
             )
         return shard
 
+    def _next_epoch(self) -> int:
+        """A fresh, never-reused program epoch for one shard."""
+        self._epoch_counter += 1
+        return self._epoch_counter
+
     def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
         spans = self._partition(features.shape[0])
         if len(self._shards) != len(spans):
@@ -342,9 +423,12 @@ class ShardedSearcher(NearestNeighborSearcher):
             # same amortization the unsharded engines get from searcher
             # reuse — instead of rebuilding N engines per fit.
             self._shards = [self._build_shard(index) for index in range(len(spans))]
-        self._offsets = [start for start, _ in spans]
+            self._shard_epochs = [0] * len(spans)
+        self._index_maps = [
+            np.arange(start, stop, dtype=np.int64) for start, stop in spans
+        ]
         calibrated: Optional[NearestNeighborSearcher] = None
-        for shard, (start, stop) in zip(self._shards, spans):
+        for index, (shard, (start, stop)) in enumerate(zip(self._shards, spans)):
             # Calibrate on the FULL store so quantizers/encoders match the
             # unsharded engine bitwise; the first shard pays the full-store
             # pass and its siblings adopt the frozen state.
@@ -353,6 +437,133 @@ class ShardedSearcher(NearestNeighborSearcher):
                 calibrated = shard
             shard_labels = None if labels is None else labels[start:stop]
             shard.fit(features[start:stop], shard_labels)
+            self._shard_epochs[index] = self._next_epoch()
+        if self.appendable:
+            self._store_features = features.copy()
+            self._store_labels = None if labels is None else np.asarray(labels).copy()
+
+    # ------------------------------------------------------------------
+    # Live ingestion
+    # ------------------------------------------------------------------
+    def _route_appended_rows(self, num_new: int, full_features: np.ndarray) -> List[int]:
+        """Assign new global rows to the least-full shards, growing the geometry.
+
+        Rows are routed one at a time to the smallest open shard (ties break
+        toward the lower shard index); in fixed-geometry mode a fresh tile is
+        opened — calibrated like its siblings — once every existing tile is
+        full.  Returns the indices of the shards that received rows.
+        """
+        capacity = self.max_rows_per_array
+        sizes = [index_map.shape[0] for index_map in self._index_maps]
+        routed: Dict[int, List[int]] = {}
+        next_global = self._num_entries
+        for _ in range(num_new):
+            open_shards = [
+                index
+                for index, size in enumerate(sizes)
+                if capacity is None or size < capacity
+            ]
+            if open_shards:
+                target = min(open_shards, key=lambda index: (sizes[index], index))
+            else:
+                # Every fixed-geometry tile is full: open a fresh one.
+                target = len(self._shards)
+                shard = self._build_shard(target)
+                if not shard.adopt_calibration(self._shards[0]):
+                    shard.calibrate(full_features)
+                self._shards.append(shard)
+                self._shard_epochs.append(0)
+                self._index_maps.append(np.empty(0, dtype=np.int64))
+                sizes.append(0)
+            routed.setdefault(target, []).append(next_global)
+            sizes[target] += 1
+            next_global += 1
+        # One concatenation per touched shard keeps a bulk append linear in
+        # the appended row count instead of copying the growing map per row.
+        for target, new_globals in routed.items():
+            self._index_maps[target] = np.concatenate(
+                [self._index_maps[target], np.asarray(new_globals, dtype=np.int64)]
+            )
+        return list(routed)
+
+    def append(self, features, labels=None) -> "ShardedSearcher":
+        """Grow the fitted store in place (live ingestion).
+
+        New rows receive the next global indices, route to the least-full
+        shard and program through the engines' delta-reprogramming path;
+        shards that received no rows are refit only when the grown store
+        shifts the frozen calibration state (detected via
+        :meth:`~repro.core.search.NearestNeighborSearcher.calibration_token`),
+        in which case delta reprogramming still skips every row whose stored
+        representation did not change.  For the deterministic engines the
+        results served afterwards are **bitwise identical** to a
+        from-scratch refit of the combined store.
+
+        Appending to an empty (never fitted) searcher is exactly a
+        :meth:`fit`.  Requires ``appendable=True``.
+        """
+        if not self.appendable:
+            raise SearchError(
+                "this searcher does not retain its store for live appends; "
+                "construct it with appendable=True "
+                "(e.g. make_searcher(..., appendable=True))"
+            )
+        if not self._shards:
+            return self.fit(features, labels)
+        features = check_feature_matrix(features, "features")
+        if features.shape[1] != self._num_features:
+            raise SearchError(
+                f"appended rows have {features.shape[1]} features, "
+                f"expected {self._num_features}"
+            )
+        if labels is not None:
+            labels = np.asarray(labels)
+            if labels.shape[0] != features.shape[0]:
+                raise SearchError(
+                    f"got {labels.shape[0]} labels for {features.shape[0]} entries"
+                )
+        if (self._store_labels is None) != (labels is None):
+            raise SearchError(
+                "appended rows must be labeled exactly like the fitted store"
+            )
+        full_features = np.concatenate([self._store_features, features], axis=0)
+        full_labels = (
+            None
+            if labels is None
+            else np.concatenate([self._store_labels, labels], axis=0)
+        )
+        # Re-freeze data-dependent preprocessing on the grown store.  The
+        # token comparison below detects whether that moved the frozen state
+        # (e.g. a quantizer range extended by an out-of-range row): if it
+        # did, every shard's stored representation must be re-derived.
+        token_before = self._shards[0].calibration_token()
+        calibrated: Optional[NearestNeighborSearcher] = None
+        for shard in self._shards:
+            if calibrated is None or not shard.adopt_calibration(calibrated):
+                shard.calibrate(full_features)
+                calibrated = shard
+        token_after = self._shards[0].calibration_token()
+        # An engine that implements data-dependent calibration but reports no
+        # token (a third-party backend without calibration_token) gives us no
+        # way to prove untouched shards are still valid — refit everything
+        # rather than risk serving stale representations.
+        calibration_opaque = token_after is None and (
+            type(self._shards[0])._calibrate is not NearestNeighborSearcher._calibrate
+        )
+        recalibrated = token_after != token_before or calibration_opaque
+        received = self._route_appended_rows(features.shape[0], full_features)
+        self._store_features = full_features
+        self._store_labels = full_labels
+        self._labels = full_labels
+        self._num_entries = full_features.shape[0]
+        for index, shard in enumerate(self._shards):
+            if not recalibrated and index not in received:
+                continue
+            rows = self._index_maps[index]
+            shard_labels = None if full_labels is None else full_labels[rows]
+            shard.fit(full_features[rows], shard_labels)
+            self._shard_epochs[index] = self._next_epoch()
+        return self
 
     # ------------------------------------------------------------------
     # Ranking
@@ -361,20 +572,59 @@ class ShardedSearcher(NearestNeighborSearcher):
         indices, scores = self._rank_batch(query.reshape(1, -1), rng=rng, k=self._num_entries)
         return indices[0], scores[0]
 
+    def _cached_shard_jobs(self, shard_rngs, queries: np.ndarray, k: int) -> list:
+        """Jobs for a worker-caching executor: payloads ship once per epoch.
+
+        Shards whose program epoch moved since the last publication are
+        re-published through the executor (one pickle per epoch, not per
+        batch); every job then carries only the cache key — ``(searcher_id,
+        shard_index, epoch)`` — the published payload's location and the
+        query batch, so warm workers serve from their resident copies.
+        """
+        jobs = []
+        for index, shard_rng in enumerate(shard_rngs):
+            epoch = self._shard_epochs[index]
+            if self._published_epochs.get(index) != epoch:
+                self._published_paths[index] = self._executor.publish_shard(
+                    self._searcher_id,
+                    index,
+                    (self._shards[index], self._index_maps[index]),
+                )
+                self._published_epochs[index] = epoch
+            jobs.append(
+                (
+                    self._searcher_id,
+                    index,
+                    epoch,
+                    self._published_paths[index],
+                    shard_rng,
+                    queries,
+                    k,
+                )
+            )
+        return jobs
+
     def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
         if not self._shards:
             raise SearchError("sharded searcher must be fitted before searching")
         if len(self._shards) == 1:
             indices, scores = self._shards[0]._rank_batch(queries, rng=rng, k=k)
-            return indices.astype(np.int64, copy=False) + self._offsets[0], scores
+            return self._index_maps[0][indices.astype(np.int64, copy=False)], scores
         # Independent per-shard streams: stochastic engines stay deterministic
         # under any executor because no generator is shared across workers.
         shard_rngs = spawn_rngs(rng, len(self._shards))
-        jobs = [
-            (shard, offset, shard_rng, queries, k)
-            for shard, offset, shard_rng in zip(self._shards, self._offsets, shard_rngs)
-        ]
-        results = self._executor.map(_rank_shard_job, jobs)
+        if getattr(self._executor, "supports_shard_cache", False):
+            results = self._executor.map_cached(
+                self._cached_shard_jobs(shard_rngs, queries, k)
+            )
+        else:
+            jobs = [
+                (shard, index_map, shard_rng, queries, k)
+                for shard, index_map, shard_rng in zip(
+                    self._shards, self._index_maps, shard_rngs
+                )
+            ]
+            results = self._executor.map(_rank_shard_job, jobs)
         candidate_indices = np.concatenate([indices for indices, _ in results], axis=1)
         candidate_scores = np.concatenate([scores for _, scores in results], axis=1)
         return merge_shard_topk(candidate_scores, candidate_indices, k)

@@ -71,6 +71,18 @@ class RandomHyperplaneLSH:
         self._mean = features.mean(axis=0) if self.center else np.zeros(num_features)
         return self
 
+    def calibration_token(self):
+        """Hashable fingerprint of the data-dependent encoder state.
+
+        The hyperplanes are drawn once per feature width, so the centering
+        mean is the only state that shifts when the encoder is refit on a
+        grown store; comparing tokens tells callers (the sharded append
+        path) whether previously encoded signatures are still valid.
+        """
+        if self._mean is None:
+            return None
+        return self._mean.tobytes()
+
     def encode(self, features) -> np.ndarray:
         """Binary signatures (0/1 matrix of shape ``(n, num_bits)``)."""
         if not self.is_fitted:

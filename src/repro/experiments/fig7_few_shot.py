@@ -62,15 +62,17 @@ def run(
     gaps_2bit = []
     cosine_gaps = []
     for n_way, k_shot in PAPER_FEWSHOT_TASKS:
-        evaluator = FewShotEvaluator(
+        # The `with` block releases the evaluator's worker pool (and any
+        # sharded searcher pools it spun up) even when a task raises.
+        with FewShotEvaluator(
             space,
             n_way=n_way,
             k_shot=k_shot,
             num_episodes=num_episodes,
             executor=episode_executor,
             num_workers=num_workers,
-        )
-        results = evaluator.compare(factories, rng=generator)
+        ) as evaluator:
+            results = evaluator.compare(factories, rng=generator)
         for method in FIG7_METHODS:
             result = results[method]
             records.append(

@@ -44,7 +44,9 @@ def run(
         num_episodes = 100
         luts_per_sigma = 5
 
-    sweep = VariationSweep(
+    # The `with` block shuts the sweep's worker pool down even when a trial
+    # raises, instead of leaking processes until interpreter exit.
+    with VariationSweep(
         space,
         tasks=tasks,
         sigmas_v=sigmas,
@@ -52,8 +54,8 @@ def run(
         luts_per_sigma=luts_per_sigma,
         executor=executor,
         num_workers=num_workers,
-    )
-    result = sweep.run(rng=generator)
+    ) as sweep:
+        result = sweep.run(rng=generator)
 
     drops_at_80mv = [
         result.accuracy_drop_at(PAPER_MAX_SIGMA_V, n_way, k_shot) for n_way, k_shot in tasks

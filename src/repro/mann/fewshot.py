@@ -115,7 +115,27 @@ class FewShotEvaluator:
         self.num_episodes = check_int_in_range(num_episodes, "num_episodes", minimum=1)
         self.executor = executor
         self.num_workers = num_workers
-        resolve_trial_runner(executor, num_workers=num_workers).close()
+        # One persistent runner for the evaluator's lifetime: pooled workers
+        # stay warm across evaluate()/compare() calls (pools start lazily, so
+        # an unused evaluator costs nothing).  Construction also validates
+        # the executor name eagerly.
+        self._runner = resolve_trial_runner(executor, num_workers=num_workers)
+
+    def close(self) -> None:
+        """Release the evaluator's trial runner (idempotent).
+
+        Pooled runners restart lazily if the evaluator is used again; a
+        finalizer also shuts worker pools down at garbage collection or
+        interpreter exit, so forgetting close() cannot leak processes.
+        """
+        self._runner.close()
+
+    def __enter__(self) -> "FewShotEvaluator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def _sampled_episodes(self, generator) -> List[Episode]:
         """Draw the run's episodes up front, in the canonical serial order."""
@@ -155,19 +175,16 @@ class FewShotEvaluator:
         generator = ensure_rng(rng)
         episode_rngs = spawn_rngs(generator, self.num_episodes)
         episodes = self._sampled_episodes(generator)
-        runner = resolve_trial_runner(self.executor, num_workers=self.num_workers)
-        try:
-            if isinstance(runner, SerialTrialRunner):
-                episode_accuracies = _run_episode_chunk(
-                    (searcher_factory, episodes, episode_rngs)
-                )
-            else:
-                jobs = self._episode_jobs(searcher_factory, episodes, episode_rngs, runner)
-                episode_accuracies = []
-                for chunk_accuracies in runner.map(_run_episode_chunk, jobs):
-                    episode_accuracies.extend(chunk_accuracies)
-        finally:
-            runner.close()
+        runner = self._runner
+        if isinstance(runner, SerialTrialRunner):
+            episode_accuracies = _run_episode_chunk(
+                (searcher_factory, episodes, episode_rngs)
+            )
+        else:
+            jobs = self._episode_jobs(searcher_factory, episodes, episode_rngs, runner)
+            episode_accuracies = []
+            for chunk_accuracies in runner.map(_run_episode_chunk, jobs):
+                episode_accuracies.extend(chunk_accuracies)
         return FewShotResult(
             method=method_name,
             n_way=self.sampler.n_way,
@@ -199,49 +216,46 @@ class FewShotEvaluator:
         # adding/removing a method does not change the other methods' results.
         episode_rngs = spawn_rngs(generator, self.num_episodes)
         episodes = self._sampled_episodes(generator)
-        runner = resolve_trial_runner(self.executor, num_workers=self.num_workers)
+        runner = self._runner
         per_method_accuracies: Dict[str, list] = {}
-        try:
-            if isinstance(runner, SerialTrialRunner):
-                per_method_accuracies = {name: [] for name in factories}
-                memories = {
-                    name: MANNMemory(searcher_factory=factory, reuse_searcher=True)
-                    for name, factory in factories.items()
-                }
-                try:
-                    for episode, episode_rng in zip(episodes, episode_rngs):
-                        for name, factory in factories.items():
-                            per_method_accuracies[name].append(
-                                run_episode(
-                                    episode, factory, rng=episode_rng, memory=memories[name]
-                                )
+        if isinstance(runner, SerialTrialRunner):
+            per_method_accuracies = {name: [] for name in factories}
+            memories = {
+                name: MANNMemory(searcher_factory=factory, reuse_searcher=True)
+                for name, factory in factories.items()
+            }
+            try:
+                for episode, episode_rng in zip(episodes, episode_rngs):
+                    for name, factory in factories.items():
+                        per_method_accuracies[name].append(
+                            run_episode(
+                                episode, factory, rng=episode_rng, memory=memories[name]
                             )
-                finally:
-                    for memory in memories.values():
-                        memory.clear()
-            else:
-                jobs = []
-                spans = []
-                for name, factory in factories.items():
-                    # Every method gets its own *copies* of the episode
-                    # streams: process dispatch copies implicitly by
-                    # pickling, but thread dispatch would otherwise share
-                    # (and concurrently mutate) the Generator objects across
-                    # method jobs.
-                    method_rngs = deepcopy(episode_rngs)
-                    method_jobs = self._episode_jobs(factory, episodes, method_rngs, runner)
-                    spans.append((name, len(method_jobs)))
-                    jobs.extend(method_jobs)
-                results = runner.map(_run_episode_chunk, jobs)
-                cursor = 0
-                for name, count in spans:
-                    accuracies: list = []
-                    for chunk_accuracies in results[cursor : cursor + count]:
-                        accuracies.extend(chunk_accuracies)
-                    per_method_accuracies[name] = accuracies
-                    cursor += count
-        finally:
-            runner.close()
+                        )
+            finally:
+                for memory in memories.values():
+                    memory.clear()
+        else:
+            jobs = []
+            spans = []
+            for name, factory in factories.items():
+                # Every method gets its own *copies* of the episode
+                # streams: process dispatch copies implicitly by
+                # pickling, but thread dispatch would otherwise share
+                # (and concurrently mutate) the Generator objects across
+                # method jobs.
+                method_rngs = deepcopy(episode_rngs)
+                method_jobs = self._episode_jobs(factory, episodes, method_rngs, runner)
+                spans.append((name, len(method_jobs)))
+                jobs.extend(method_jobs)
+            results = runner.map(_run_episode_chunk, jobs)
+            cursor = 0
+            for name, count in spans:
+                accuracies: list = []
+                for chunk_accuracies in results[cursor : cursor + count]:
+                    accuracies.extend(chunk_accuracies)
+                per_method_accuracies[name] = accuracies
+                cursor += count
         return {
             name: FewShotResult(
                 method=name,

@@ -3,7 +3,9 @@
 The execution layer behind the statistical sweeps:
 
 * :mod:`repro.runtime.process_pool` — a persistent worker-process pool and
-  the ``"processes"`` shard-executor strategy (registered on import),
+  the ``"processes"`` shard-executor strategy (registered on import), with
+  a worker-resident shard cache so programmed arrays ship to each worker
+  once per program epoch instead of once per query batch,
 * :mod:`repro.runtime.trials` — the trial/episode dispatcher the Fig. 7/8
   harnesses fan out on, with a strict determinism contract (self-contained
   units, bitwise-identical results at any worker count).
@@ -13,6 +15,7 @@ from .process_pool import (
     PersistentProcessPool,
     ProcessShardExecutor,
     default_worker_count,
+    worker_shard_cache_epochs,
 )
 from .trials import (
     ParallelTrialRunner,
@@ -28,6 +31,7 @@ __all__ = [
     "PersistentProcessPool",
     "ProcessShardExecutor",
     "default_worker_count",
+    "worker_shard_cache_epochs",
     "ParallelTrialRunner",
     "SerialTrialRunner",
     "ThreadTrialRunner",

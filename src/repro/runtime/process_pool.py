@@ -21,13 +21,34 @@ Work functions and jobs must be picklable (module-level functions and
 plain-data payloads); both consumers are structured that way, which is also
 what guarantees workers see self-contained jobs and therefore produce
 results bitwise identical to in-process execution.
+
+**Worker-resident shard caching.**  Shipping a programmed shard engine on
+every query batch throws away the amortization that makes in-memory CAM
+search fast (arrays are programmed once and queried many times).  The
+``"processes"`` shard executor therefore publishes each programmed shard to
+a spool file **once per program epoch**; workers keep a process-global cache
+keyed by ``(searcher_id, shard_index, program_epoch)`` and load a shard from
+the spool only when the key misses — i.e. on first contact or after a
+reprogram/append bumped the shard's epoch.  Steady-state query batches ship
+only query payloads.  A worker can never serve stale state: every job
+carries the current epoch, and an epoch mismatch forces a reload.
+
+All pools support the context-manager protocol, ``close()`` is idempotent,
+and a :func:`weakref.finalize`-based safety net shuts workers down at
+garbage collection or interpreter exit when a caller forgets to close.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import shutil
+import tempfile
+import weakref
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.sharding import register_shard_executor
 from ..utils.validation import check_int_in_range
@@ -41,6 +62,10 @@ def default_worker_count() -> int:
 class PersistentProcessPool:
     """A process pool that starts lazily and stays warm across map calls.
 
+    Supports ``with`` blocks; :meth:`close` is idempotent and a finalizer
+    shuts the workers down at garbage collection or interpreter exit if the
+    owner never closed the pool explicitly.
+
     Parameters
     ----------
     num_workers:
@@ -52,6 +77,7 @@ class PersistentProcessPool:
             num_workers = check_int_in_range(num_workers, "num_workers", minimum=1)
         self.num_workers = num_workers
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
 
     @property
     def effective_workers(self) -> int:
@@ -60,7 +86,12 @@ class PersistentProcessPool:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.effective_workers)
+            pool = ProcessPoolExecutor(max_workers=self.effective_workers)
+            self._pool = pool
+            # Safety net: shut the workers down when the pool object is
+            # garbage collected or the interpreter exits, even if the owner
+            # forgot close(); close() triggers the same finalizer.
+            self._finalizer = weakref.finalize(self, pool.shutdown, wait=True)
         return self._pool
 
     def map(self, fn: Callable, jobs: Iterable, chunksize: int = 1) -> List:
@@ -76,42 +107,136 @@ class PersistentProcessPool:
         return list(self._ensure_pool().map(fn, jobs, chunksize=max(1, chunksize)))
 
     def close(self) -> None:
-        """Shut the worker processes down (the pool restarts on next use)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the workers down (idempotent; the pool restarts on next use)."""
+        finalizer, self._finalizer = self._finalizer, None
+        self._pool = None
+        if finalizer is not None:
+            finalizer()
+
+    def __enter__(self) -> "PersistentProcessPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Worker-resident shard cache
+# ----------------------------------------------------------------------
+#: Process-global store of shard payloads resident in THIS worker process:
+#: ``(searcher_id, shard_index) -> (program_epoch, shard_engine, index_map)``.
+#: A worker serves a cached shard only when the job's epoch matches the
+#: cached epoch, so reprogramming (which bumps the epoch) can never be
+#: answered from stale state.
+_WORKER_SHARD_CACHE: Dict[Tuple[str, int], Tuple[int, object, np.ndarray]] = {}
+
+
+def worker_shard_cache_epochs() -> Dict[Tuple[str, int], int]:
+    """Epochs of the shards resident in the calling process (introspection)."""
+    return {key: entry[0] for key, entry in _WORKER_SHARD_CACHE.items()}
+
+
+def _rank_cached_shard_job(job) -> Tuple[np.ndarray, np.ndarray]:
+    """Rank one query batch on a worker-resident (or freshly loaded) shard.
+
+    The job carries ``(searcher_id, shard_index, epoch, spool_path,
+    shard_rng, queries, k)``.  On an epoch match the resident engine serves
+    the batch without any deserialization; on a miss the published payload is
+    loaded from the spool and replaces the cached entry in place.
+    """
+    searcher_id, shard_index, epoch, path, shard_rng, queries, k = job
+    key = (searcher_id, shard_index)
+    entry = _WORKER_SHARD_CACHE.get(key)
+    if entry is None or entry[0] != epoch:
+        with open(path, "rb") as fh:
+            shard, index_map = pickle.load(fh)
+        entry = (epoch, shard, index_map)
+        _WORKER_SHARD_CACHE[key] = entry
+    _, shard, index_map = entry
+    shard_k = min(k, shard.num_entries)
+    indices, scores = shard._rank_batch(queries, rng=shard_rng, k=shard_k)
+    return index_map[indices.astype(np.int64, copy=False)], scores
 
 
 class ProcessShardExecutor:
     """Rank shards in a persistent worker-process pool.
 
-    The ``"processes"`` strategy of the shard-executor seam: every job —
-    a ``(shard_engine, offset, rng, queries, k)`` tuple — is shipped to a
-    worker, ranked there and the per-shard top-k results are returned to the
-    merging thread.  Jobs are self-contained and the per-shard RNG streams
-    are spawned before dispatch, so results are bitwise identical to the
-    ``"serial"`` and ``"threads"`` strategies at any worker count.
+    The ``"processes"`` strategy of the shard-executor seam.  Programmed
+    shards are published to a spool once per program epoch and cached
+    worker-resident (see the module docstring), so steady-state query
+    batches ship only query payloads; jobs and results stay bitwise
+    identical to the ``"serial"`` and ``"threads"`` strategies at any worker
+    count because per-shard RNG streams are spawned before dispatch and the
+    ranked payloads are self-contained.
 
-    Shipping a programmed shard engine costs one pickle round-trip per shard
-    per batch, so this strategy suits coarse batches or engines whose ranking
-    is interpreter-bound; for pure-NumPy ranking the ``"threads"`` strategy
-    is usually cheaper.  The pool itself persists across searches — the
-    worker start-up cost is paid once per searcher, not per query batch.
+    Set ``shard_cache=False`` to fall back to shipping every programmed
+    shard with every batch (the pre-caching behavior, kept as a measurable
+    baseline).  The pool itself persists across searches — the worker
+    start-up cost is paid once per searcher, not per query batch.
     """
 
     name = "processes"
 
-    def __init__(self, num_workers: Optional[int] = None) -> None:
+    def __init__(self, num_workers: Optional[int] = None, shard_cache: bool = True) -> None:
         self._pool = PersistentProcessPool(num_workers=num_workers)
         self.num_workers = self._pool.num_workers
+        self.shard_cache = bool(shard_cache)
+        self._spool_dir: Optional[str] = None
+        self._spool_finalizer: Optional[weakref.finalize] = None
+
+    @property
+    def supports_shard_cache(self) -> bool:
+        """Whether the sharded searcher should dispatch cache-keyed jobs."""
+        return self.shard_cache
+
+    def _ensure_spool(self) -> str:
+        if self._spool_dir is None:
+            spool_dir = tempfile.mkdtemp(prefix="repro-shard-spool-")
+            self._spool_dir = spool_dir
+            self._spool_finalizer = weakref.finalize(
+                self, shutil.rmtree, spool_dir, ignore_errors=True
+            )
+        return self._spool_dir
+
+    def publish_shard(self, searcher_id: str, shard_index: int, payload) -> str:
+        """Write one shard's payload to the spool (atomically), return its path.
+
+        Called by the sharded searcher once per ``(shard, program epoch)`` —
+        not per batch.  The file is replaced atomically so a later epoch's
+        publication can never be observed half-written.
+        """
+        path = os.path.join(
+            self._ensure_spool(), f"{searcher_id}-shard{shard_index}.pkl"
+        )
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+        return path
 
     def map(self, fn, jobs) -> list:
         """Apply ``fn`` to every job in worker processes, preserving order."""
         return self._pool.map(fn, jobs)
 
+    def map_cached(self, jobs) -> list:
+        """Rank cache-keyed shard jobs (built against published payloads)."""
+        return self._pool.map(_rank_cached_shard_job, jobs)
+
     def close(self) -> None:
-        """Shut down the worker processes."""
+        """Shut workers down and drop the spool (idempotent)."""
         self._pool.close()
+        finalizer, self._spool_finalizer = self._spool_finalizer, None
+        self._spool_dir = None
+        if finalizer is not None:
+            finalizer()
+
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 register_shard_executor("processes", ProcessShardExecutor)

@@ -111,8 +111,15 @@ class ParallelTrialRunner:
         return results
 
     def close(self) -> None:
-        """Shut down the worker processes."""
+        """Shut down the worker processes (idempotent)."""
         self._pool.close()
+
+    def __enter__(self) -> "ParallelTrialRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 #: Registry of trial-runner strategies by name (mirrors the shard-executor

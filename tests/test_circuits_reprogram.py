@@ -323,6 +323,74 @@ class TestTileSetReprogram:
                 tile_a.array.row_profiles(), tile_b.array.row_profiles()
             )
 
+    def test_reprogram_forwards_rng_to_tcam_tiles(self):
+        # Regression: forwarding rng/row_offset to deterministic TCAM tiles
+        # used to raise TypeError; the parameters are now accepted (and
+        # ignored) for tile-set uniformity.
+        geometry = TileGeometry(max_rows=4, num_cells=6)
+        tiles = CAMTileSet(geometry, lambda: TCAMArray(num_cells=6, max_rows=4))
+        bits = RNG.integers(0, 2, size=(10, 6))
+        tiles.reprogram(bits, rng=7)
+        fresh = CAMTileSet(geometry, lambda: TCAMArray(num_cells=6, max_rows=4))
+        fresh.write(bits)
+        queries = RNG.integers(0, 2, size=(3, 6))
+        np.testing.assert_array_equal(
+            tiles.row_conductances_batch(queries), fresh.row_conductances_batch(queries)
+        )
+
+
+class TestTileSetAppend:
+    """Live append: grow the store through the delta path, keyed globally."""
+
+    def test_lut_mode_append_matches_one_shot_write(self):
+        geometry = TileGeometry(max_rows=8, num_cells=10)
+        factory = lambda: MCAMArray(num_cells=10, bits=2, max_rows=8)  # noqa: E731
+        store = RNG.integers(0, 4, size=(20, 10))
+        extra = RNG.integers(0, 4, size=(7, 10))
+
+        tiles = CAMTileSet(geometry, factory)
+        tiles.write(store, labels=list(range(20)))
+        appended = tiles.append(extra, labels=list(range(20, 27)))
+        np.testing.assert_array_equal(appended, np.arange(20, 27))
+        assert (tiles.num_tiles, tiles.num_rows) == (4, 27)
+
+        fresh = CAMTileSet(geometry, factory)
+        fresh.write(np.vstack([store, extra]), labels=list(range(27)))
+        queries = RNG.integers(0, 4, size=(5, 10))
+        np.testing.assert_array_equal(
+            tiles.row_conductances_batch(queries), fresh.row_conductances_batch(queries)
+        )
+        assert tiles.labels == fresh.labels
+
+    def test_device_mode_append_matches_from_scratch_reprogram(self):
+        variation = GaussianVthVariationModel(sigma_v=0.05)
+        geometry = TileGeometry(max_rows=4, num_cells=6)
+
+        def factory():
+            return MCAMArray(num_cells=6, bits=2, variation=variation, max_rows=4)
+
+        store = RNG.integers(0, 4, size=(10, 6))
+        extra = RNG.integers(0, 4, size=(5, 6))
+
+        grown = CAMTileSet(geometry, factory)
+        grown.reprogram(store, rng=77)
+        grown.append(extra, rng=77)
+
+        full = CAMTileSet(geometry, factory)
+        full.reprogram(np.vstack([store, extra]), rng=77)
+        assert grown.num_tiles == full.num_tiles
+        for tile_a, tile_b in zip(grown.tiles, full.tiles):
+            np.testing.assert_array_equal(
+                tile_a.array.row_profiles(), tile_b.array.row_profiles()
+            )
+
+    def test_append_into_empty_tile_set_opens_tiles(self):
+        geometry = TileGeometry(max_rows=4, num_cells=6)
+        tiles = CAMTileSet(geometry, lambda: MCAMArray(num_cells=6, bits=2, max_rows=4))
+        appended = tiles.append(RNG.integers(0, 4, size=(6, 6)))
+        np.testing.assert_array_equal(appended, np.arange(6))
+        assert (tiles.num_tiles, tiles.num_rows) == (2, 6)
+
 
 class TestSearcherRefits:
     def test_mcam_searcher_refit_matches_fresh_fit(self):

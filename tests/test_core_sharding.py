@@ -7,6 +7,8 @@ for every shard count, both executor strategies, tie-heavy data and every
 k-range edge case.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -228,6 +230,213 @@ class TestShardConfiguration:
         np.testing.assert_array_equal(
             reference.kneighbors_batch(queries, k=5).indices,
             sharded.kneighbors_batch(queries, k=5).indices,
+        )
+
+
+class TestShardAppend:
+    """Live ingestion: append() must be indistinguishable from a refit."""
+
+    @staticmethod
+    def _make(name, **config):
+        return make_searcher(
+            name, num_features=NUM_FEATURES, seed=7, appendable=True, **config
+        )
+
+    @pytest.mark.parametrize("name", ("mcam-3bit", "tcam-lsh", "euclidean"))
+    @pytest.mark.parametrize("config", ({"shards": 3}, {"max_rows_per_array": 8}))
+    def test_append_bitwise_matches_from_scratch_refit(self, store, name, config):
+        features, labels, queries = store
+        grown = self._make(name, **config).fit(features[:30], labels[:30])
+        grown.append(features[30:], labels[30:])
+        refit = self._make(name, **config).fit(features, labels)
+        unsharded = make_searcher(name, num_features=NUM_FEATURES, seed=7).fit(
+            features, labels
+        )
+        for k in (1, 4, features.shape[0]):
+            expected = refit.kneighbors_batch(queries, k=k)
+            _assert_batch_equal(expected, grown.kneighbors_batch(queries, k=k))
+            _assert_batch_equal(expected, unsharded.kneighbors_batch(queries, k=k))
+
+    def test_append_to_empty_searcher_is_a_fit(self, store):
+        features, labels, queries = store
+        appended = self._make("mcam-3bit", shards=3).append(features, labels)
+        base = make_searcher("mcam-3bit", num_features=NUM_FEATURES, seed=7).fit(
+            features, labels
+        )
+        _assert_batch_equal(
+            base.kneighbors_batch(queries, k=3), appended.kneighbors_batch(queries, k=3)
+        )
+
+    def test_k_bounds_track_partial_appends(self, store):
+        features, labels, queries = store
+        searcher = self._make("mcam-3bit", shards=2).fit(features[:5], labels[:5])
+        searcher.append(features[5:8], labels[5:8])
+        base = make_searcher("mcam-3bit", num_features=NUM_FEATURES, seed=7).fit(
+            features[:8], labels[:8]
+        )
+        # k == total rows after the partial append works and matches bitwise;
+        # one beyond is rejected exactly like the unsharded engine.
+        _assert_batch_equal(
+            base.kneighbors_batch(queries, k=8), searcher.kneighbors_batch(queries, k=8)
+        )
+        with pytest.raises(ReproError):
+            searcher.kneighbors_batch(queries, k=9)
+        with pytest.raises(ReproError):
+            base.kneighbors_batch(queries, k=9)
+
+    def test_single_row_append_into_store_smaller_than_one_tile(self, store):
+        features, labels, queries = store
+        searcher = self._make("mcam-3bit", max_rows_per_array=1000).fit(
+            features[:6], labels[:6]
+        )
+        searcher.append(features[6:7], labels[6:7])
+        assert searcher.num_shards == 1
+        base = make_searcher("mcam-3bit", num_features=NUM_FEATURES, seed=7).fit(
+            features[:7], labels[:7]
+        )
+        for k in (1, 7):
+            _assert_batch_equal(
+                base.kneighbors_batch(queries, k=k),
+                searcher.kneighbors_batch(queries, k=k),
+            )
+
+    def test_append_opens_fresh_tile_when_geometry_is_full(self, store):
+        features, labels, queries = store
+        searcher = self._make("tcam-lsh", max_rows_per_array=8).fit(
+            features[:16], labels[:16]
+        )
+        assert searcher.num_shards == 2
+        searcher.append(features[16:20], labels[16:20])
+        assert searcher.num_shards == 3
+        assert searcher.shard_sizes == (8, 8, 4)
+        base = make_searcher("tcam-lsh", num_features=NUM_FEATURES, seed=7).fit(
+            features[:20], labels[:20]
+        )
+        _assert_batch_equal(
+            base.kneighbors_batch(queries, k=5), searcher.kneighbors_batch(queries, k=5)
+        )
+
+    def test_repeated_appends_balance_least_full_shards(self, store):
+        features, labels, queries = store
+        searcher = self._make("euclidean", shards=3).fit(features[:9], labels[:9])
+        for start in range(9, 15):
+            searcher.append(features[start : start + 1], labels[start : start + 1])
+        assert searcher.shard_sizes == (5, 5, 5)
+        base = make_searcher("euclidean", num_features=NUM_FEATURES, seed=7).fit(
+            features[:15], labels[:15]
+        )
+        _assert_batch_equal(
+            base.kneighbors_batch(queries, k=4), searcher.kneighbors_batch(queries, k=4)
+        )
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="multi-worker append parity mirrors the multi-core benchmark gates",
+    )
+    @pytest.mark.parametrize("num_workers", (2, 4))
+    def test_append_parity_on_processes_executor(self, store, num_workers):
+        features, labels, queries = store
+        config = dict(shards=4, executor="processes", num_workers=num_workers)
+        with self._make("mcam-3bit", **config) as grown, self._make(
+            "mcam-3bit", **config
+        ) as refit:
+            grown.fit(features[:30], labels[:30])
+            grown.kneighbors_batch(queries, k=2)  # warm the worker caches
+            grown.append(features[30:], labels[30:])
+            refit.fit(features, labels)
+            for k in (1, 5):
+                _assert_batch_equal(
+                    refit.kneighbors_batch(queries, k=k),
+                    grown.kneighbors_batch(queries, k=k),
+                )
+
+    def test_append_requires_appendable_flag(self, store):
+        features, labels, _ = store
+        searcher = make_searcher(
+            "mcam-3bit", num_features=NUM_FEATURES, seed=7, shards=2
+        ).fit(features, labels)
+        with pytest.raises(SearchError, match="appendable"):
+            searcher.append(features[:1], labels[:1])
+
+    def test_appendable_without_sharding_rejected(self):
+        with pytest.raises(SearchError):
+            make_searcher("mcam-3bit", num_features=NUM_FEATURES, appendable=True)
+
+    def test_append_label_consistency_enforced(self, store):
+        features, labels, _ = store
+        labeled = self._make("euclidean", shards=2).fit(features[:10], labels[:10])
+        with pytest.raises(SearchError):
+            labeled.append(features[10:12])  # unlabeled rows into a labeled store
+        unlabeled = self._make("euclidean", shards=2).fit(features[:10])
+        with pytest.raises(SearchError):
+            unlabeled.append(features[10:12], labels[10:12])
+
+    def test_append_feature_width_checked(self, store):
+        features, labels, _ = store
+        searcher = self._make("euclidean", shards=2).fit(features, labels)
+        with pytest.raises(SearchError):
+            searcher.append(features[:2, : NUM_FEATURES - 1])
+
+    def test_opaque_calibration_refits_every_shard(self, store):
+        # An engine with data-dependent calibration but no calibration_token
+        # override gives append() no proof that untouched shards are still
+        # valid, so every shard must refit (the conservative default).
+        features, labels, queries = store
+
+        class CenteredSearcher(SoftwareSearcher):
+            def _calibrate(self, features):
+                self._center = features.mean(axis=0)
+
+            def _fit(self, features, labels):
+                center = getattr(self, "_center", 0.0)
+                super()._fit(features - center, labels)
+
+            def _rank_batch(self, queries, rng, k):
+                center = getattr(self, "_center", 0.0)
+                return super()._rank_batch(queries - center, rng=rng, k=k)
+
+        searcher = ShardedSearcher(
+            lambda: CenteredSearcher("euclidean"), num_shards=3, appendable=True
+        )
+        searcher.fit(features[:30], labels[:30])
+        epochs = list(searcher._shard_epochs)
+        searcher.append(features[30:], labels[30:])
+        assert all(
+            after > before for before, after in zip(epochs, searcher._shard_epochs)
+        )
+        reference = ShardedSearcher(
+            lambda: CenteredSearcher("euclidean"), num_shards=3, appendable=True
+        ).fit(features, labels)
+        _assert_batch_equal(
+            reference.kneighbors_batch(queries, k=3),
+            searcher.kneighbors_batch(queries, k=3),
+        )
+
+    def test_untouched_shards_skip_refit_when_calibration_is_stable(self, store):
+        # The software metrics have no data-dependent calibration, so an
+        # append must bump only the program epoch of the shard that received
+        # the rows.
+        features, labels, _ = store
+        searcher = self._make("euclidean", shards=3).fit(features[:9], labels[:9])
+        epochs = list(searcher._shard_epochs)
+        searcher.append(features[9:10], labels[9:10])
+        changed = [
+            index
+            for index, (before, after) in enumerate(zip(epochs, searcher._shard_epochs))
+            if before != after
+        ]
+        assert len(changed) == 1
+
+    def test_refit_after_appends_restores_contiguous_partition(self, store):
+        features, labels, queries = store
+        searcher = self._make("mcam-3bit", shards=3).fit(features[:30], labels[:30])
+        searcher.append(features[30:], labels[30:])
+        searcher.fit(features, labels)  # full refit resets the row routing
+        base = make_searcher("mcam-3bit", num_features=NUM_FEATURES, seed=7).fit(
+            features, labels
+        )
+        _assert_batch_equal(
+            base.kneighbors_batch(queries, k=3), searcher.kneighbors_batch(queries, k=3)
         )
 
 

@@ -10,6 +10,8 @@ reference.
 
 from __future__ import annotations
 
+import os
+import pickle
 from functools import partial
 
 import numpy as np
@@ -17,7 +19,7 @@ import pytest
 
 from repro.analysis.scaling import ScalingStudy
 from repro.analysis.variation_study import VariationSweep
-from repro.core import make_searcher
+from repro.core import SoftwareSearcher, make_searcher
 from repro.core.sharding import available_shard_executors
 from repro.datasets.omniglot import SyntheticEmbeddingSpace
 from repro.exceptions import ConfigurationError
@@ -30,6 +32,11 @@ from repro.runtime import (
     chunk_units,
     require_picklable,
     resolve_trial_runner,
+)
+from repro.runtime.process_pool import (
+    _WORKER_SHARD_CACHE,
+    _rank_cached_shard_job,
+    worker_shard_cache_epochs,
 )
 
 WORKERS = 2
@@ -109,6 +116,135 @@ class TestProcessShardExecutor:
         assert "processes" in available_shard_executors()
 
 
+class TestWorkerShardCache:
+    """Worker-resident shards: ship once per epoch, never serve stale state."""
+
+    @staticmethod
+    def _store(rows=80, features=12, queries=7, seed=31):
+        rng = np.random.default_rng(seed)
+        return (
+            rng.normal(size=(rows, features)),
+            rng.integers(0, 5, size=rows),
+            rng.normal(size=(queries, features)),
+        )
+
+    def test_reprogram_between_batches_never_serves_stale_shards(self):
+        features, labels, queries = self._store()
+        mutated = features + 0.75  # every row (and the calibration) changes
+        with make_searcher(
+            "mcam-3bit",
+            num_features=12,
+            seed=8,
+            shards=4,
+            executor="processes",
+            num_workers=WORKERS,
+        ) as sharded:
+            reference = make_searcher("mcam-3bit", num_features=12, seed=8)
+            sharded.fit(features, labels)
+            reference.fit(features, labels)
+            first = sharded.kneighbors_batch(queries, k=4)  # warms every worker
+            np.testing.assert_array_equal(
+                reference.kneighbors_batch(queries, k=4).indices, first.indices
+            )
+            epochs_before = list(sharded._shard_epochs)
+            sharded.fit(mutated, labels)  # reprogram between batches
+            reference.fit(mutated, labels)
+            assert all(
+                after > before
+                for before, after in zip(epochs_before, sharded._shard_epochs)
+            )
+            # Every shard job carries the bumped epoch, so whichever worker
+            # serves it must reload — a stale cached shard would rank the
+            # old store and break this bitwise comparison.
+            expected = reference.kneighbors_batch(queries, k=4)
+            actual = sharded.kneighbors_batch(queries, k=4)
+            np.testing.assert_array_equal(expected.indices, actual.indices)
+            np.testing.assert_array_equal(expected.scores, actual.scores)
+
+    def test_shards_published_once_per_epoch_not_per_batch(self):
+        features, labels, queries = self._store()
+        with make_searcher(
+            "mcam-3bit",
+            num_features=12,
+            seed=8,
+            shards=4,
+            executor="processes",
+            num_workers=WORKERS,
+        ) as sharded:
+            sharded.fit(features, labels)
+            sharded.kneighbors_batch(queries, k=2)
+            published = dict(sharded._published_epochs)
+            paths = dict(sharded._published_paths)
+            mtimes = {index: os.stat(path).st_mtime_ns for index, path in paths.items()}
+            for _ in range(3):  # steady-state batches ship only queries
+                sharded.kneighbors_batch(queries, k=2)
+            assert sharded._published_epochs == published
+            assert {
+                index: os.stat(path).st_mtime_ns
+                for index, path in sharded._published_paths.items()
+            } == mtimes
+
+    def test_cached_job_is_keyed_by_epoch(self, tmp_path):
+        # Direct worker-side check: a matching epoch serves the resident
+        # shard (the spool may even have moved on), a bumped epoch reloads.
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(10, 4))
+        queries = rng.normal(size=(3, 4))
+        index_map = np.arange(10, dtype=np.int64)
+        path = tmp_path / "shard.pkl"
+        key = ("test-searcher", 0)
+        try:
+            path.write_bytes(
+                pickle.dumps((SoftwareSearcher("euclidean").fit(features), index_map))
+            )
+            job = lambda epoch: (  # noqa: E731
+                *key,
+                epoch,
+                str(path),
+                np.random.default_rng(1),
+                queries,
+                2,
+            )
+            first, _ = _rank_cached_shard_job(job(1))
+            assert worker_shard_cache_epochs()[key] == 1
+            # Re-publish different contents WITHOUT bumping the epoch: the
+            # resident copy must keep serving (the parent only rewrites the
+            # spool together with an epoch bump).
+            path.write_bytes(
+                pickle.dumps(
+                    (SoftwareSearcher("euclidean").fit(features + 5.0), index_map)
+                )
+            )
+            second, _ = _rank_cached_shard_job(job(1))
+            np.testing.assert_array_equal(first, second)
+            # An epoch bump forces the reload and must change the ranking.
+            third, _ = _rank_cached_shard_job(job(2))
+            assert worker_shard_cache_epochs()[key] == 2
+            assert not np.array_equal(first, third)
+        finally:
+            _WORKER_SHARD_CACHE.pop(key, None)
+
+    def test_disabling_the_cache_restores_ship_every_batch(self):
+        features, labels, queries = self._store()
+        with make_searcher(
+            "mcam-3bit",
+            num_features=12,
+            seed=8,
+            shards=4,
+            executor="processes",
+            num_workers=WORKERS,
+        ) as sharded:
+            sharded._executor.shard_cache = False
+            reference = make_searcher("mcam-3bit", num_features=12, seed=8)
+            sharded.fit(features, labels)
+            reference.fit(features, labels)
+            np.testing.assert_array_equal(
+                reference.kneighbors_batch(queries, k=3).indices,
+                sharded.kneighbors_batch(queries, k=3).indices,
+            )
+            assert sharded._published_epochs == {}
+
+
 class TestTrialRunners:
     @pytest.mark.parametrize(
         "runner_factory",
@@ -145,6 +281,83 @@ class TestTrialRunners:
         require_picklable(_square, "fn")  # module-level: fine
         with pytest.raises(ConfigurationError):
             require_picklable(lambda: None, "fn")
+
+
+class TestPoolLifecycle:
+    """Context managers, idempotent close, and the exit/GC safety nets."""
+
+    def test_pool_context_manager_closes_on_exit(self):
+        with PersistentProcessPool(num_workers=WORKERS) as pool:
+            assert pool.map(_square, [2, 3]) == [4, 9]
+            assert pool._pool is not None
+        assert pool._pool is None
+        assert pool.map(_square, [4, 5]) == [16, 25]  # restarts lazily
+        pool.close()
+
+    @pytest.mark.parametrize(
+        "factory",
+        (
+            PersistentProcessPool,
+            SerialTrialRunner,
+            partial(ThreadTrialRunner, num_workers=WORKERS),
+            partial(ParallelTrialRunner, num_workers=WORKERS),
+        ),
+    )
+    def test_close_is_idempotent(self, factory):
+        resource = factory()
+        resource.map(_square, [1, 2])
+        resource.close()
+        resource.close()  # second close must be a no-op, not an error
+
+    @pytest.mark.parametrize(
+        "factory",
+        (
+            SerialTrialRunner,
+            partial(ThreadTrialRunner, num_workers=WORKERS),
+            partial(ParallelTrialRunner, num_workers=WORKERS),
+        ),
+    )
+    def test_trial_runners_support_with_blocks(self, factory):
+        with factory() as runner:
+            assert runner.map(_square, [3, 4]) == [9, 16]
+
+    def test_forgotten_pool_is_finalized_at_gc(self):
+        pool = PersistentProcessPool(num_workers=WORKERS)
+        pool.map(_square, [1, 2, 3])
+        finalizer = pool._finalizer
+        assert finalizer is not None and finalizer.alive
+        del pool  # the safety net must shut the workers down without close()
+        assert not finalizer.alive
+
+    def test_evaluator_and_sweep_support_with_blocks(self):
+        space = SyntheticEmbeddingSpace(seed=9)
+        factory = partial(make_searcher, "mcam-3bit", space.embedding_dim, seed=3)
+        with FewShotEvaluator(
+            space, n_way=5, k_shot=1, num_episodes=4, executor="threads", num_workers=WORKERS
+        ) as evaluator:
+            result = evaluator.evaluate(factory, rng=17)
+        assert 0.0 <= result.statistics.mean <= 1.0
+        evaluator.close()  # close after the with block stays a no-op
+        with VariationSweep(
+            space,
+            tasks=((5, 1),),
+            sigmas_v=(0.0,),
+            num_episodes=2,
+            luts_per_sigma=1,
+            executor="threads",
+            num_workers=WORKERS,
+        ) as sweep:
+            assert len(sweep.run(rng=5).points) == 1
+
+    def test_sharded_searcher_supports_with_blocks(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(24, 6))
+        with make_searcher(
+            "euclidean", num_features=6, shards=3, executor="threads"
+        ) as searcher:
+            searcher.fit(features)
+            assert searcher.kneighbors_batch(features[:2], k=1).indices.shape == (2, 1)
+        searcher.close()  # idempotent after the with block
 
 
 class TestVariationSweepDeterminism:
