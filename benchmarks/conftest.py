@@ -7,11 +7,20 @@ roughly what factor, where crossovers fall) and times the run with
 pytest-benchmark.  Generated tables are also written to
 ``benchmarks/results/`` so the rows behind every figure can be inspected
 without re-running.
+
+**Stable rows vs. timings.**  The committed ``results/<name>.txt`` tables
+hold only schema-stable content — workload shapes, gate thresholds,
+deterministic model outputs, pass/fail lines — so a benchmark rerun never
+dirties the working tree.  Machine-local measurements (wall times,
+queries/sec, speedups) go to gitignored ``results/<name>.local.txt``
+siblings, which CI uploads as build artifacts; pass them through the
+``timing=`` argument of :func:`record_result`.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
@@ -29,14 +38,24 @@ def results_dir() -> Path:
 
 @pytest.fixture(scope="session")
 def record_result(results_dir):
-    """Persist an ExperimentResult (or free-form text) for later inspection."""
+    """Persist a benchmark's outputs for later inspection.
 
-    def _record(name: str, result) -> None:
-        path = results_dir / f"{name}.txt"
+    ``result`` (an :class:`ExperimentResult` or free-form text) must be
+    schema-stable — identical on every host and rerun — and lands in the
+    committed ``<name>.txt``.  Machine-local measurements go through
+    ``timing``: they land in the gitignored ``<name>.local.txt`` (together
+    with the stable rows, so the artifact is self-contained).
+    """
+
+    def _record(name: str, result, timing: Optional[str] = None) -> None:
         if isinstance(result, ExperimentResult):
             text = result.to_table() + "\n\nsummary: " + repr(result.summary) + "\n"
         else:
             text = str(result) + "\n"
-        path.write_text(text, encoding="utf-8")
+        (results_dir / f"{name}.txt").write_text(text, encoding="utf-8")
+        if timing is not None:
+            (results_dir / f"{name}.local.txt").write_text(
+                text + str(timing) + "\n", encoding="utf-8"
+            )
 
     return _record

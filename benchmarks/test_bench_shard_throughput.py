@@ -110,7 +110,10 @@ def test_threaded_executor_beats_serial_sharding(record_result):
     record_result(
         "shard_throughput_tcam_lsh",
         f"stored={THROUGHPUT_STORED} shards={NUM_SHARDS} "
-        f"queries={THROUGHPUT_QUERIES} cores={os.cpu_count()}\n"
+        f"queries={THROUGHPUT_QUERIES}\n"
+        f"gate: threaded sharding >= {REQUIRED_THREAD_SPEEDUP}x serial "
+        "sharding on >= 4 cores",
+        timing=f"cores={os.cpu_count()}\n"
         f"serial sharding:   {THROUGHPUT_QUERIES / serial_s:,.0f} queries/sec\n"
         f"threaded sharding: {THROUGHPUT_QUERIES / threaded_s:,.0f} queries/sec\n"
         f"speedup:           {speedup:.2f}x",

@@ -12,6 +12,9 @@ paper evaluates:
 * :mod:`~repro.circuits.matchline` / :mod:`~repro.circuits.sense_amplifier`
   — the RC discharge model of Fig. 4(c) and the winner-take-all sensing,
 * :mod:`~repro.circuits.tcam` — the TCAM Hamming-distance baseline,
+* :mod:`~repro.circuits.autotune` — shape-adaptive selection between the
+  algebraically identical batched-search kernels (micro-calibrated once per
+  workload shape and process; overridable via the arrays' ``kernel=`` knob),
 * :mod:`~repro.circuits.tiles` — fixed-geometry tiling of stores larger than
   one physical array,
 * :mod:`~repro.circuits.acam` — the analog-CAM concept of Fig. 1(a),
@@ -20,6 +23,7 @@ paper evaluates:
 """
 
 from .acam import ACAMArray, AnalogRange, mcam_input_levels, mcam_ranges
+from .autotune import clear_kernel_table, kernel_table, shape_bucket
 from .and_array import (
     ANDArrayExperiment,
     ANDArrayMeasurementConfig,
@@ -66,6 +70,9 @@ __all__ = [
     "AnalogRange",
     "mcam_input_levels",
     "mcam_ranges",
+    "clear_kernel_table",
+    "kernel_table",
+    "shape_bucket",
     "ANDArrayExperiment",
     "ANDArrayMeasurementConfig",
     "DL_SWEEP_HIGH_V",

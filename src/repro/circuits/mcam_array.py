@@ -29,6 +29,7 @@ from ..utils.rng import SeedLike, ensure_rng
 from ..utils.validation import check_bits, check_int_in_range, check_state_matrix
 from ..devices.fefet import FeFETParameters, _drain_current_from_overdrive, clip_vth
 from ..devices.variation import VariationModel
+from .autotune import check_kernel, lookup_kernel, select_kernel, shape_bucket
 from .conductance_lut import ConductanceLUT, build_nominal_lut
 from .matchline import MatchLineModel
 from .tiles import FixedGeometryArray, resolve_max_rows
@@ -185,6 +186,13 @@ class MCAMArray(FixedGeometryArray):
         FeFET parameters and voltage scheme used in per-cell device mode.
     sense_amplifier:
         Sensing model; defaults to :class:`IdealWinnerTakeAll`.
+    kernel:
+        Batched-conductance kernel override: ``"fused"``, ``"blocked"`` or
+        ``"dense"`` pin one implementation; ``None``/``"auto"`` (the
+        default) picks per workload shape through the micro-calibrated
+        kernel table of :mod:`repro.circuits.autotune`.  All kernels reduce
+        in the same sequential cell order, so the choice never changes a
+        result bit — only its speed.
     """
 
     def __init__(
@@ -199,8 +207,10 @@ class MCAMArray(FixedGeometryArray):
         sense_amplifier=None,
         ml_voltage_v: float = ML_PRECHARGE_V,
         max_rows: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.num_cells = check_int_in_range(num_cells, "num_cells", minimum=1)
+        self.kernel = check_kernel(kernel, self._KERNEL_CHOICES, "MCAM")
         self.bits = check_bits(bits)
         self.max_rows = resolve_max_rows(max_rows, capacity)
         self.scheme = scheme if scheme is not None else MCAMVoltageScheme(bits=self.bits)
@@ -535,35 +545,110 @@ class MCAMArray(FixedGeometryArray):
             )
         return self.row_conductances_batch(query.reshape(1, -1))[0]
 
-    #: Work-size bound (``num_queries * num_rows * num_cells``) below which the
-    #: batched conductance evaluation runs as one fused gather + ordered sum.
-    #: Small (episode-shaped) workloads are dominated by the per-cell Python
-    #: dispatch the fused kernel eliminates; large workloads are memory-bound
-    #: and stay on the streaming per-cell accumulation, which never
-    #: materializes the ``(num_cells, num_queries, num_rows)`` gather.
+    #: Kernel knob values accepted by the constructor and the per-call
+    #: ``kernel=`` argument.
+    _KERNEL_CHOICES = ("auto", "fused", "blocked", "dense")
+
+    #: Legacy hardcoded crossover (``num_queries * num_rows * num_cells``)
+    #: between the fused gather and the streaming per-cell accumulation.
+    #: Superseded by the shape-adaptive kernel table — kept only so the
+    #: benchmark suite can measure the old threshold policy as a baseline.
     _FUSED_GATHER_MAX_ELEMENTS = 1 << 16
 
-    def row_conductances_batch(self, queries) -> np.ndarray:
+    #: Element bound above which the fused kernel is excluded from the
+    #: autotuner's candidate set: its ``(cells, queries, rows)`` gather
+    #: temporary would dominate memory traffic long before this point, and
+    #: calibration should not allocate hundreds of megabytes to prove it.
+    _FUSED_CANDIDATE_MAX_ELEMENTS = 1 << 22
+
+    #: Cells gathered per ``take`` by the blocked kernel: large enough to
+    #: amortize the per-cell Python dispatch, small enough that the block
+    #: stack stays cache-friendly at mid-size (episode) shapes.
+    _BLOCK_CELLS = 16
+
+    def row_conductances_batch(self, queries, kernel: Optional[str] = None) -> np.ndarray:
         """ML conductance matrix ``(num_queries, num_rows)`` for a query batch.
 
         Cell conductances are accumulated in a fixed cell order over the
-        cached programmed profiles — either by one fused gather + ordered sum
-        (small workloads) or by a streaming per-cell accumulation (large
-        ones).  Both kernels reduce in the same sequential cell order, so the
-        result is independent of the kernel choice and of the batch size:
-        batched results are bitwise identical to single-query
-        :meth:`row_conductances` calls, and sharded (row-sliced) evaluations
-        are bitwise identical to unsharded ones.
+        cached programmed profiles by one of three kernels — the fused LUT
+        gather (tiny batches), the blocked gather (mid-size episode shapes)
+        or the streaming per-cell accumulation (huge stores).  ``kernel``
+        overrides the choice for this call; otherwise the array's ``kernel``
+        knob applies, and in its default ``"auto"`` mode the shape-adaptive
+        table of :mod:`repro.circuits.autotune` picks the fastest measured
+        kernel for the workload shape.  All kernels reduce in the same
+        sequential cell order, so the result is independent of the kernel
+        choice and of the batch size: batched results are bitwise identical
+        to single-query :meth:`row_conductances` calls, and sharded
+        (row-sliced) evaluations are bitwise identical to unsharded ones.
         """
         queries = self._check_query_batch(queries)
         by_cell = self._profiles_by_cell()
-        num_queries = queries.shape[0]
-        if num_queries * self.num_rows * self.num_cells <= self._FUSED_GATHER_MAX_ELEMENTS:
+        choice = (
+            check_kernel(kernel, self._KERNEL_CHOICES, "MCAM")
+            if kernel is not None
+            else self.kernel
+        )
+        if choice == "fused":
             return self._fused_conductances(by_cell, queries)
-        conductances = np.zeros((num_queries, self.num_rows))
-        for cell in range(self.num_cells):
-            conductances += by_cell[cell][queries[:, cell]]
-        return conductances
+        if choice == "blocked":
+            return self._blocked_conductances(by_cell, queries)
+        if choice == "dense":
+            return self._dense_conductances(by_cell, queries)
+        return self._autotuned_conductances(by_cell, queries)
+
+    def _autotuned_conductances(self, by_cell: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        """Dispatch through the micro-calibrated kernel table.
+
+        The steady-state path is deliberately thin — key, table lookup,
+        direct dispatch — because at episode shapes the kernels themselves
+        finish in microseconds; candidate closures are only built on the
+        one calibration miss per shape class.
+        """
+        num_queries = queries.shape[0]
+        if num_queries == 0:
+            # Nothing to measure; do not let degenerate batches pollute the
+            # calibration table.
+            return np.zeros((0, self.num_rows))
+        fused_eligible = (
+            num_queries * self.num_rows * self.num_cells
+            <= self._FUSED_CANDIDATE_MAX_ELEMENTS
+        )
+        # Eligibility is part of the key: a shape bucket can straddle the
+        # fused size guard, and a restricted calibration must not overwrite
+        # the winner measured with the full candidate set (or vice versa).
+        key = (
+            "mcam",
+            self.num_states,
+            self.num_cells,
+            shape_bucket(self.num_rows),
+            shape_bucket(num_queries),
+            fused_eligible,
+        )
+        name = lookup_kernel(key)
+        if name == "fused":
+            return self._fused_conductances(by_cell, queries)
+        if name == "blocked":
+            return self._blocked_conductances(by_cell, queries)
+        if name == "dense":
+            return self._dense_conductances(by_cell, queries)
+        candidates = {}
+        if fused_eligible:
+            candidates["fused"] = lambda: self._fused_conductances(by_cell, queries)
+        candidates["blocked"] = lambda: self._blocked_conductances(by_cell, queries)
+        candidates["dense"] = lambda: self._dense_conductances(by_cell, queries)
+        name, result = select_kernel(key, candidates)
+        if result is not None:
+            return result
+        return candidates[name]()
+
+    def _ensure_gather_offsets(self) -> np.ndarray:
+        """``(cell * num_states)`` row offsets into the flattened LUT table."""
+        if self._gather_offsets is None:
+            self._gather_offsets = (
+                np.arange(self.num_cells, dtype=np.int64) * self.num_states
+            )[:, np.newaxis]
+        return self._gather_offsets
 
     def _fused_conductances(self, by_cell: np.ndarray, queries: np.ndarray) -> np.ndarray:
         """One fused LUT gather + ordered sum for a (small) query batch.
@@ -577,12 +662,40 @@ class MCAMArray(FixedGeometryArray):
         the exact floating-point reduction the per-cell loop performs.
         """
         flat = by_cell.reshape(self.num_cells * self.num_states, self.num_rows)
-        if self._gather_offsets is None:
-            self._gather_offsets = (
-                np.arange(self.num_cells, dtype=np.int64) * self.num_states
-            )[:, np.newaxis]
-        gathered = np.take(flat, queries.T + self._gather_offsets, axis=0)
+        gathered = np.take(flat, queries.T + self._ensure_gather_offsets(), axis=0)
         return np.add.reduce(gathered, axis=0)
+
+    def _blocked_conductances(self, by_cell: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        """Blocked LUT gather with dense in-order accumulation (mid sizes).
+
+        The missing middle between the fused gather and the streaming
+        per-cell loop — e.g. the 20-way 5-shot episode shapes: one ``take``
+        gathers ``_BLOCK_CELLS`` cells' contributions at a time (amortizing
+        the per-cell Python dispatch the dense path pays for every cell)
+        while the block's slices are added to the accumulator strictly in
+        cell order, so the temporary stays bounded by one block stack and
+        the floating-point reduction is the exact sequence the other two
+        kernels perform — bitwise identical results.
+        """
+        flat = by_cell.reshape(self.num_cells * self.num_states, self.num_rows)
+        keys = queries.T + self._ensure_gather_offsets()
+        conductances = np.zeros((queries.shape[0], self.num_rows))
+        for start in range(0, self.num_cells, self._BLOCK_CELLS):
+            block = np.take(flat, keys[start : start + self._BLOCK_CELLS], axis=0)
+            for offset in range(block.shape[0]):
+                conductances += block[offset]
+        return conductances
+
+    def _dense_conductances(self, by_cell: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        """Streaming per-cell accumulation (huge stores).
+
+        Never materializes more than one ``(num_queries, num_rows)``
+        temporary, which is what wins once the workload is memory-bound.
+        """
+        conductances = np.zeros((queries.shape[0], self.num_rows))
+        for cell in range(self.num_cells):
+            conductances += by_cell[cell][queries[:, cell]]
+        return conductances
 
     def search(self, query, rng: SeedLike = None) -> ArraySearchResult:
         """Single-step in-memory nearest-neighbor search for one query."""

@@ -24,6 +24,7 @@ from ..exceptions import CapacityError, CircuitError
 from ..utils.rng import SeedLike
 from ..utils.validation import check_int_in_range
 from ..devices.fefet import FeFETParameters
+from .autotune import check_kernel, lookup_kernel, select_kernel, shape_bucket
 from .conductance_lut import build_nominal_lut
 from .mcam_array import _labels_of_winners
 from .tiles import FixedGeometryArray, resolve_max_rows
@@ -81,7 +82,22 @@ class TCAMArray(FixedGeometryArray):
         FeFET parameters; the match/mismatch conductances are taken from the
         1-bit MCAM cell built from the same device, keeping the TCAM and MCAM
         energetically comparable as the paper assumes.
+    kernel:
+        Batched Hamming kernel override: ``"matmul"`` pins the exact affine
+        matmul form, ``"mask"`` the boolean mismatch evaluation;
+        ``None``/``"auto"`` (the default) picks per workload shape through
+        the micro-calibrated kernel table of
+        :mod:`repro.circuits.autotune`.  Both kernels recover the integer
+        distances exactly, so the choice never changes a result.
     """
+
+    #: Kernel knob values accepted by the constructor and per-call override.
+    _KERNEL_CHOICES = ("auto", "matmul", "mask")
+
+    #: Element bound above which the mask kernel is excluded from the
+    #: autotuner's candidates: its boolean mismatch temporary is
+    #: ``O(queries * rows * cells)`` and cannot win once that spills caches.
+    _MASK_CANDIDATE_MAX_ELEMENTS = 1 << 22
 
     def __init__(
         self,
@@ -91,8 +107,10 @@ class TCAMArray(FixedGeometryArray):
         sense_amplifier=None,
         ml_voltage_v: float = ML_PRECHARGE_V,
         max_rows: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.num_cells = check_int_in_range(num_cells, "num_cells", minimum=1)
+        self.kernel = check_kernel(kernel, self._KERNEL_CHOICES, "TCAM")
         self.max_rows = resolve_max_rows(max_rows, capacity)
         self.device = device if device is not None else FeFETParameters()
         self.ml_voltage_v = ml_voltage_v
@@ -280,19 +298,86 @@ class TCAMArray(FixedGeometryArray):
         query = self._check_query(query)
         return self.hamming_distances_batch(query.reshape(1, -1))[0]
 
-    def hamming_distances_batch(self, queries) -> np.ndarray:
+    def hamming_distances_batch(self, queries, kernel: Optional[str] = None) -> np.ndarray:
         """Hamming distance matrix ``(num_queries, num_rows)`` for a query batch.
 
-        Evaluated as one exact affine matmul over the programmed-state kernel
-        (see :meth:`_hamming_kernel`); integer distances are recovered
-        exactly, so results are independent of batching and identical to the
-        boolean mismatch evaluation.
+        Evaluated by the exact affine matmul over the programmed-state
+        kernel (see :meth:`_hamming_kernel`) or by the boolean mismatch
+        masks; both recover the integer distances exactly, so results are
+        independent of the kernel choice and of batching.  ``kernel``
+        overrides the choice for this call; otherwise the array's knob
+        applies, with ``"auto"`` consulting the shape-adaptive table of
+        :mod:`repro.circuits.autotune` (the matmul wins essentially
+        everywhere except sub-cache shapes, but the table proves it per
+        host instead of assuming).
         """
         queries = self._check_query_batch(queries)
+        choice = (
+            check_kernel(kernel, self._KERNEL_CHOICES, "TCAM")
+            if kernel is not None
+            else self.kernel
+        )
+        if choice == "matmul":
+            return self._matmul_hamming(queries)
+        if choice == "mask":
+            return self._mask_hamming(queries)
+        return self._autotuned_hamming(queries)
+
+    def _autotuned_hamming(self, queries: np.ndarray) -> np.ndarray:
+        """Dispatch through the micro-calibrated kernel table.
+
+        Steady state is key + table lookup + direct dispatch; candidate
+        closures are built only on the one calibration miss per shape class
+        (see :meth:`MCAMArray._autotuned_conductances` for the rationale).
+        """
+        num_queries = queries.shape[0]
+        if num_queries == 0 or self.num_rows == 0:
+            return self._matmul_hamming(queries)
+        mask_eligible = (
+            num_queries * self.num_rows * self.num_cells
+            <= self._MASK_CANDIDATE_MAX_ELEMENTS
+        )
+        # Eligibility is part of the key — see MCAMArray._autotuned_conductances.
+        key = (
+            "tcam",
+            self.num_cells,
+            shape_bucket(self.num_rows),
+            shape_bucket(num_queries),
+            mask_eligible,
+        )
+        name = lookup_kernel(key)
+        if name == "matmul":
+            return self._matmul_hamming(queries)
+        if name == "mask":
+            return self._mask_hamming(queries)
+        candidates = {"matmul": lambda: self._matmul_hamming(queries)}
+        if mask_eligible:
+            candidates["mask"] = lambda: self._mask_hamming(queries)
+        name, result = select_kernel(key, candidates)
+        if result is not None:
+            return result
+        return candidates[name]()
+
+    def _matmul_hamming(self, queries: np.ndarray) -> np.ndarray:
+        """The exact affine matmul form (one BLAS product, no temporaries)."""
         base, weights = self._hamming_kernel()
         mismatches = queries.astype(np.float64) @ weights
         mismatches += base[np.newaxis, :]
         return np.rint(mismatches).astype(np.int64)
+
+    def _mask_hamming(self, queries: np.ndarray) -> np.ndarray:
+        """Boolean mismatch-mask evaluation (sub-cache shape candidate).
+
+        Counts caring mismatching cells directly; exact integers, bitwise
+        identical to the matmul form, but materializes the
+        ``(num_queries, num_rows, num_cells)`` mismatch temporary — which is
+        only competitive while that fits in cache.
+        """
+        care = self.care_mask()
+        mismatches = (
+            self._stored_bits[np.newaxis, :, :] != queries[:, np.newaxis, :]
+        ) & care[np.newaxis]
+        return mismatches.sum(axis=2, dtype=np.int64)
 
     def _conductances_from_distances(self, distances) -> np.ndarray:
         matches = self.num_cells - distances
@@ -304,9 +389,11 @@ class TCAMArray(FixedGeometryArray):
         """ML conductance of every row: mismatches conduct, matches leak."""
         return self._conductances_from_distances(self.hamming_distances(query))
 
-    def row_conductances_batch(self, queries) -> np.ndarray:
+    def row_conductances_batch(self, queries, kernel: Optional[str] = None) -> np.ndarray:
         """ML conductance matrix ``(num_queries, num_rows)`` for a query batch."""
-        return self._conductances_from_distances(self.hamming_distances_batch(queries))
+        return self._conductances_from_distances(
+            self.hamming_distances_batch(queries, kernel=kernel)
+        )
 
     def search(self, query, rng: SeedLike = None) -> TCAMSearchResult:
         """Nearest-neighbor (minimum Hamming distance) search for one query."""

@@ -387,7 +387,7 @@ class CAMTileSet:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def row_conductances_batch(self, queries) -> np.ndarray:
+    def row_conductances_batch(self, queries, kernel: Optional[str] = None) -> np.ndarray:
         """ML conductances of every stored row, ``(num_queries, num_rows)``.
 
         Tiles are evaluated left to right and concatenated in global row
@@ -397,10 +397,21 @@ class CAMTileSet:
         on how the writes were chunked across tiles, so tiled and
         monolithic programming differ — as two physically distinct layouts
         would.
+
+        ``kernel`` forwards a per-call kernel override to every tile (the
+        arrays' shape-adaptive autotuner otherwise picks per tile — note a
+        tile's row count, not the store's, is what sizes its workload);
+        kernel choice never changes a result bit, so tiled evaluations stay
+        exact under any override.
         """
         if not self._tiles:
             raise CircuitError("cannot search an empty tile set")
-        blocks = [tile.array.row_conductances_batch(queries) for tile in self._tiles]
+        # Forward the override only when asked: tile sets accept any array
+        # type, and third-party arrays need not grow a kernel parameter.
+        kwargs = {} if kernel is None else {"kernel": kernel}
+        blocks = [
+            tile.array.row_conductances_batch(queries, **kwargs) for tile in self._tiles
+        ]
         return np.concatenate(blocks, axis=1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -391,6 +391,12 @@ class MCAMSearcher(NearestNeighborSearcher):
         process-parallel experiment runtime relies on).  Ignored when no
         ``variation`` model is attached (LUT-mode programming is
         deterministic already).
+    kernel:
+        Batched-conductance kernel override forwarded to the array
+        (``"fused"``, ``"blocked"`` or ``"dense"``); the default
+        ``None``/``"auto"`` lets the shape-adaptive autotuner of
+        :mod:`repro.circuits.autotune` pick per workload shape.  Kernel
+        choice never changes a result bit.
     """
 
     def __init__(
@@ -402,6 +408,7 @@ class MCAMSearcher(NearestNeighborSearcher):
         seed: SeedLike = None,
         max_rows: Optional[int] = None,
         program_seed: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         super().__init__()
         self.bits = check_bits(bits)
@@ -410,6 +417,7 @@ class MCAMSearcher(NearestNeighborSearcher):
         self.sense_amplifier = sense_amplifier
         self.max_rows = max_rows
         self.program_seed = None if program_seed is None else int(program_seed)
+        self.kernel = kernel
         self._rng = ensure_rng(seed)
         self.quantizer = UniformQuantizer(bits=self.bits)
         self._calibrated = False
@@ -453,6 +461,7 @@ class MCAMSearcher(NearestNeighborSearcher):
                 variation=self.variation,
                 sense_amplifier=self.sense_amplifier,
                 max_rows=self.max_rows,
+                kernel=self.kernel,
             )
         label_list = None if labels is None else list(labels)
         if self.variation is None and reuse:
@@ -512,14 +521,23 @@ class TCAMLSHSearcher(NearestNeighborSearcher):
     max_rows:
         Optional physical row count of the TCAM; stores larger than this
         raise a :class:`~repro.exceptions.CapacityError`.
+    kernel:
+        Batched Hamming kernel override forwarded to the TCAM (``"matmul"``
+        or ``"mask"``); ``None``/``"auto"`` picks per workload shape through
+        the autotuner.  Kernel choice never changes a result.
     """
 
     def __init__(
-        self, num_bits: int, seed: SeedLike = None, max_rows: Optional[int] = None
+        self,
+        num_bits: int,
+        seed: SeedLike = None,
+        max_rows: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         super().__init__()
         self.num_bits = check_int_in_range(num_bits, "num_bits", minimum=1)
         self.max_rows = max_rows
+        self.kernel = kernel
         self._rng = ensure_rng(seed)
         self.encoder = RandomHyperplaneLSH(num_bits=self.num_bits, seed=self._rng)
         self._calibrated = False
@@ -559,7 +577,9 @@ class TCAMLSHSearcher(NearestNeighborSearcher):
             # rows keep their cached Hamming kernel slices.
             self._tcam.reprogram(signatures, labels=label_list)
         else:
-            self._tcam = TCAMArray(num_cells=self.num_bits, max_rows=self.max_rows)
+            self._tcam = TCAMArray(
+                num_cells=self.num_bits, max_rows=self.max_rows, kernel=self.kernel
+            )
             self._tcam.write(signatures, labels=label_list)
 
     def _rank(self, query: np.ndarray, rng: np.random.Generator):
@@ -693,6 +713,7 @@ def _make_mcam(
     seed: SeedLike = None,
     max_rows_per_array: Optional[int] = None,
     program_seed: Optional[int] = None,
+    kernel: Optional[str] = None,
     **config,
 ) -> MCAMSearcher:
     return MCAMSearcher(
@@ -702,6 +723,7 @@ def _make_mcam(
         seed=seed,
         max_rows=max_rows_per_array,
         program_seed=program_seed,
+        kernel=kernel,
     )
 
 
@@ -720,10 +742,13 @@ def _make_tcam_lsh(
     lsh_bits: Optional[int] = None,
     seed: SeedLike = None,
     max_rows_per_array: Optional[int] = None,
+    kernel: Optional[str] = None,
     **config,
 ) -> TCAMLSHSearcher:
     signature_bits = lsh_bits if lsh_bits is not None else num_features
-    return TCAMLSHSearcher(num_bits=signature_bits, seed=seed, max_rows=max_rows_per_array)
+    return TCAMLSHSearcher(
+        num_bits=signature_bits, seed=seed, max_rows=max_rows_per_array, kernel=kernel
+    )
 
 
 register_backend("tcam-lsh", _make_tcam_lsh)
@@ -800,6 +825,7 @@ def make_searcher(
     num_workers: Optional[int] = None,
     program_seed: Optional[int] = None,
     appendable: bool = False,
+    kernel: Optional[str] = None,
 ) -> NearestNeighborSearcher:
     """Factory for the engines compared in the paper's figures.
 
@@ -824,6 +850,13 @@ def make_searcher(
     live: new rows route to the least-full shard, tiles grow through the
     delta-reprogramming path, and the served results stay bitwise identical
     to a from-scratch refit of the combined store.
+
+    ``kernel`` overrides the engine's batched-search kernel (the MCAM's
+    ``"fused"``/``"blocked"``/``"dense"`` conductance kernels, the TCAM's
+    ``"matmul"``/``"mask"`` Hamming kernels); the default lets the
+    shape-adaptive autotuner pick per workload shape.  Kernel choice never
+    changes a result, only its speed; values are validated by the engine
+    they reach.
     """
     factory = get_backend(name)
     if (shards is not None or max_rows_per_array is not None) and not getattr(
@@ -850,4 +883,5 @@ def make_searcher(
         num_workers=num_workers,
         program_seed=program_seed,
         appendable=appendable,
+        kernel=kernel,
     )

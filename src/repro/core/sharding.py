@@ -20,7 +20,8 @@ Per-shard ranking is dispatched through a pluggable executor strategy:
   threads scale on multi-core hosts without any pickling cost,
 * ``"processes"`` — shards are ranked in a persistent worker-process pool
   (:class:`~repro.runtime.process_pool.ProcessShardExecutor`), sidestepping
-  the GIL entirely at the cost of pickling the per-shard jobs.
+  the GIL entirely; on hosts with POSIX shared memory the query/result
+  payloads travel through a zero-copy shared-memory ring instead of pickle.
 
 Additional strategies (e.g. an async gateway) can be plugged in through
 :func:`register_shard_executor`.  Shard jobs are self-contained module-level
@@ -289,9 +290,16 @@ class ShardedSearcher(NearestNeighborSearcher):
     executor:
         Per-shard execution strategy: ``"serial"``, ``"threads"`` or
         ``"processes"`` (or any name added via
-        :func:`register_shard_executor`).
+        :func:`register_shard_executor`).  Alternatively an already
+        constructed executor *instance* (anything exposing ``map`` and
+        ``close``), which the searcher then **shares** rather than owns:
+        several searchers can serve from one long-running worker pool, and
+        :meth:`close` evicts this searcher's worker-cached shards without
+        shutting the shared pool down.
     num_workers:
         Worker bound for pooled executors; defaults to the host CPU count.
+        Applies only when ``executor`` is given by name — a shared instance
+        is configured by whoever built it.
     appendable:
         When True the searcher retains its fitted store so :meth:`append`
         can grow it live: new rows route to the least-full shard (opening a
@@ -330,14 +338,34 @@ class ShardedSearcher(NearestNeighborSearcher):
             )
         if num_shards is None and max_rows_per_array is None:
             num_shards = 2
-        executor_factory = resolve_shard_executor(executor)
         self.searcher_factory = searcher_factory
         self._factory_takes_index = bool(getattr(searcher_factory, "shard_aware", False))
         self.requested_shards = num_shards
         self.max_rows_per_array = max_rows_per_array
-        self.executor_name = executor.lower()
         self.appendable = bool(appendable)
-        self._executor = executor_factory(num_workers=num_workers)
+        if isinstance(executor, str):
+            executor_factory = resolve_shard_executor(executor)
+            self.executor_name = executor.lower()
+            self._executor = executor_factory(num_workers=num_workers)
+            self._owns_executor = True
+        else:
+            # A shared executor instance: several searchers serve from one
+            # long-running pool; close() must not shut it down.
+            if num_workers is not None:
+                raise SearchError(
+                    "num_workers applies only when the executor is given by "
+                    "name; configure the shared executor instance directly"
+                )
+            if not callable(getattr(executor, "map", None)) or not callable(
+                getattr(executor, "close", None)
+            ):
+                raise SearchError(
+                    "executor must be a registered strategy name or an object "
+                    "with map(fn, jobs) and close()"
+                )
+            self.executor_name = str(getattr(executor, "name", type(executor).__name__))
+            self._executor = executor
+            self._owns_executor = False
         self._shards: List[NearestNeighborSearcher] = []
         #: Per-shard global row indices (``index_map[local] -> global``).
         self._index_maps: List[np.ndarray] = []
@@ -375,13 +403,23 @@ class ShardedSearcher(NearestNeighborSearcher):
     def close(self) -> None:
         """Release executor resources (idempotent).
 
-        Worker pools shut down (they restart lazily on the next search) and
-        published worker-cache entries are forgotten, so a post-close search
-        republishes into a fresh spool.
+        Owned worker pools shut down (they restart lazily on the next
+        search); a **shared** executor instance stays up, but an eviction
+        message drops this searcher's worker-resident shards so long-running
+        pools do not accumulate dead state (see
+        :meth:`~repro.runtime.process_pool.ProcessShardExecutor.evict`).
+        Published worker-cache entries are forgotten either way, so a
+        post-close search republishes into a fresh spool.
         """
         self._published_epochs.clear()
         self._published_paths.clear()
-        self._executor.close()
+        evict = getattr(self._executor, "evict", None)
+        if evict is not None:
+            # Owned pools are about to shut down, so only the in-process
+            # entries need purging; shared pools get the broadcast.
+            evict(self._searcher_id, broadcast=not self._owns_executor)
+        if self._owns_executor:
+            self._executor.close()
 
     def __enter__(self) -> "ShardedSearcher":
         return self
@@ -576,10 +614,13 @@ class ShardedSearcher(NearestNeighborSearcher):
         """Jobs for a worker-caching executor: payloads ship once per epoch.
 
         Shards whose program epoch moved since the last publication are
-        re-published through the executor (one pickle per epoch, not per
-        batch); every job then carries only the cache key — ``(searcher_id,
-        shard_index, epoch)`` — the published payload's location and the
-        query batch, so warm workers serve from their resident copies.
+        re-published through the executor (one spool write per epoch, not
+        per batch); every job then carries only the cache key —
+        ``(searcher_id, shard_index, epoch)`` — the published payload's
+        location, the query batch and the shard's candidate count
+        ``shard_k = min(k, shard rows)``, so warm workers serve from their
+        resident copies and a zero-copy transport can pre-size the result
+        blocks.
         """
         jobs = []
         for index, shard_rng in enumerate(shard_rngs):
@@ -589,6 +630,7 @@ class ShardedSearcher(NearestNeighborSearcher):
                     self._searcher_id,
                     index,
                     (self._shards[index], self._index_maps[index]),
+                    epoch=epoch,
                 )
                 self._published_epochs[index] = epoch
             jobs.append(
@@ -599,7 +641,7 @@ class ShardedSearcher(NearestNeighborSearcher):
                     self._published_paths[index],
                     shard_rng,
                     queries,
-                    k,
+                    min(k, self._shards[index].num_entries),
                 )
             )
         return jobs

@@ -20,6 +20,7 @@ def run(
     seed: SeedLike = DEFAULT_EXPERIMENT_SEED,
     executor: str = "serial",
     num_workers: int = None,
+    kernel: str = None,
 ) -> ExperimentResult:
     """Sweep the Gaussian Vth sigma from 0 mV to 300 mV and re-evaluate accuracy.
 
@@ -29,7 +30,9 @@ def run(
     ``executor`` dispatches the sweep's Monte-Carlo trials through the
     parallel experiment runtime (``"serial"``, ``"threads"`` or
     ``"processes"``); every trial carries a pre-spawned RNG stream, so the
-    figure is bitwise identical at any worker count.
+    figure is bitwise identical at any worker count.  ``kernel`` pins the
+    MCAM conductance kernel instead of the shape-adaptive autotuner; the
+    figure is identical either way.
     """
     generator = ensure_rng(seed)
     space = SyntheticEmbeddingSpace(seed=generator.integers(2**31 - 1))
@@ -54,6 +57,7 @@ def run(
         luts_per_sigma=luts_per_sigma,
         executor=executor,
         num_workers=num_workers,
+        kernel=kernel,
     ) as sweep:
         result = sweep.run(rng=generator)
 
@@ -84,5 +88,6 @@ def run(
             "sigmas_v": list(sigmas),
             "tasks": list(tasks),
             "executor": executor,
+            "kernel": kernel,
         },
     )

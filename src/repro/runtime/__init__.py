@@ -6,6 +6,9 @@ The execution layer behind the statistical sweeps:
   the ``"processes"`` shard-executor strategy (registered on import), with
   a worker-resident shard cache so programmed arrays ship to each worker
   once per program epoch instead of once per query batch,
+* :mod:`repro.runtime.transport` — the zero-copy transport layer under the
+  shard executor: a shared-memory ring for query/result batches and
+  memory-mapped ``.npy`` spool bundles, with a transparent pickle fallback,
 * :mod:`repro.runtime.trials` — the trial/episode dispatcher the Fig. 7/8
   harnesses fan out on, with a strict determinism contract (self-contained
   units, bitwise-identical results at any worker count).
@@ -16,6 +19,12 @@ from .process_pool import (
     ProcessShardExecutor,
     default_worker_count,
     worker_shard_cache_epochs,
+)
+from .transport import (
+    SharedMemoryRing,
+    load_spool_payload,
+    shared_memory_available,
+    write_spool_bundle,
 )
 from .trials import (
     ParallelTrialRunner,
@@ -30,8 +39,12 @@ from .trials import (
 __all__ = [
     "PersistentProcessPool",
     "ProcessShardExecutor",
+    "SharedMemoryRing",
     "default_worker_count",
+    "load_spool_payload",
+    "shared_memory_available",
     "worker_shard_cache_epochs",
+    "write_spool_bundle",
     "ParallelTrialRunner",
     "SerialTrialRunner",
     "ThreadTrialRunner",

@@ -26,16 +26,29 @@ results bitwise identical to in-process execution.
 every query batch throws away the amortization that makes in-memory CAM
 search fast (arrays are programmed once and queried many times).  The
 ``"processes"`` shard executor therefore publishes each programmed shard to
-a spool file **once per program epoch**; workers keep a process-global cache
+a spool **once per program epoch**; workers keep a process-global cache
 keyed by ``(searcher_id, shard_index, program_epoch)`` and load a shard from
 the spool only when the key misses — i.e. on first contact or after a
 reprogram/append bumped the shard's epoch.  Steady-state query batches ship
 only query payloads.  A worker can never serve stale state: every job
-carries the current epoch, and an epoch mismatch forces a reload.
+carries the current epoch, and an epoch mismatch forces a reload.  Closing
+a :class:`~repro.core.sharding.ShardedSearcher` sends an eviction message
+(:meth:`ProcessShardExecutor.evict`) so long-running shared pools do not
+accumulate shards of dead searchers.
+
+**Zero-copy transport.**  On hosts with POSIX shared memory (the default,
+``transport="auto"``) steady-state batches do not pickle ndarray payloads
+at all: queries are written once into a :class:`~.transport.SharedMemoryRing`
+segment that every worker maps, workers write their top-k indices/scores
+back into the same segment in place, and published shards are memory-mapped
+``.npy`` bundles whose pages all workers share.  When shared memory is
+unavailable (or fails at runtime) the executor falls back transparently to
+the PR 4 pickle path — results are bitwise identical either way.
 
 All pools support the context-manager protocol, ``close()`` is idempotent,
-and a :func:`weakref.finalize`-based safety net shuts workers down at
-garbage collection or interpreter exit when a caller forgets to close.
+and a :func:`weakref.finalize`-based safety net shuts workers down (and
+unlinks shared-memory segments) at garbage collection or interpreter exit
+when a caller forgets to close.
 """
 
 from __future__ import annotations
@@ -45,13 +58,16 @@ import pickle
 import shutil
 import tempfile
 import weakref
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.sharding import register_shard_executor
+from ..exceptions import ConfigurationError
 from ..utils.validation import check_int_in_range
+from . import transport as _transport
 
 
 def default_worker_count() -> int:
@@ -84,6 +100,11 @@ class PersistentProcessPool:
         """Workers the pool runs with (requested count or the CPU count)."""
         return self.num_workers if self.num_workers is not None else default_worker_count()
 
+    @property
+    def is_live(self) -> bool:
+        """Whether worker processes are currently running."""
+        return self._pool is not None
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             pool = ProcessPoolExecutor(max_workers=self.effective_workers)
@@ -105,6 +126,36 @@ class PersistentProcessPool:
         if len(jobs) <= 1:
             return [fn(job) for job in jobs]
         return list(self._ensure_pool().map(fn, jobs, chunksize=max(1, chunksize)))
+
+    def broadcast(self, fn: Callable, arg) -> int:
+        """Best-effort: submit ``fn(arg)`` once per worker slot, then wait.
+
+        Intended for idempotent housekeeping messages (cache eviction).
+        Coverage is *not* guaranteed — a fast worker may pick up several of
+        the submitted jobs while a busy one sees none — and neither is
+        delivery: a broken pool (e.g. an OOM-killed worker) is swallowed,
+        never raised, because correctness must not depend on the message
+        being observed (stale cache entries are inert; eviction is memory
+        hygiene) and broadcasts run on cleanup paths like ``close()``.
+        Returns the number of deliveries that completed (0 when the pool is
+        not running: dead workers have no caches to clean).
+        """
+        if self._pool is None:
+            return 0
+        try:
+            futures = [
+                self._pool.submit(fn, arg) for _ in range(self.effective_workers)
+            ]
+        except Exception:  # pool already shut down or broken
+            return 0
+        delivered = 0
+        for future in futures:
+            try:
+                future.result()
+                delivered += 1
+            except Exception:  # a worker died; hygiene stays best-effort
+                continue
+        return delivered
 
     def close(self) -> None:
         """Shut the workers down (idempotent; the pool restarts on next use)."""
@@ -128,8 +179,20 @@ class PersistentProcessPool:
 #: ``(searcher_id, shard_index) -> (program_epoch, shard_engine, index_map)``.
 #: A worker serves a cached shard only when the job's epoch matches the
 #: cached epoch, so reprogramming (which bumps the epoch) can never be
-#: answered from stale state.
-_WORKER_SHARD_CACHE: Dict[Tuple[str, int], Tuple[int, object, np.ndarray]] = {}
+#: answered from stale state.  The store is LRU-bounded: eviction messages
+#: from :meth:`ShardedSearcher.close` are best-effort (a busy worker can
+#: miss a broadcast), so the bound is what *deterministically* keeps a
+#: long-running pool from accumulating dead searchers' shards — a missed
+#: eviction ages out as soon as live searchers touch enough other shards.
+_WORKER_SHARD_CACHE: "OrderedDict[Tuple[str, int], Tuple[int, object, np.ndarray]]" = (
+    OrderedDict()
+)
+
+#: Resident-shard bound per worker process: generous next to realistic
+#: shards-per-searcher counts (a worker rarely serves more than a few
+#: searchers x a few shards each), tight enough that a leaked entry cannot
+#: outlive 64 distinct live-shard touches.
+_MAX_RESIDENT_SHARDS = 64
 
 
 def worker_shard_cache_epochs() -> Dict[Tuple[str, int], int]:
@@ -137,26 +200,86 @@ def worker_shard_cache_epochs() -> Dict[Tuple[str, int], int]:
     return {key: entry[0] for key, entry in _WORKER_SHARD_CACHE.items()}
 
 
-def _rank_cached_shard_job(job) -> Tuple[np.ndarray, np.ndarray]:
-    """Rank one query batch on a worker-resident (or freshly loaded) shard.
+def _evict_searcher_entries(searcher_id: str) -> int:
+    """Drop the calling process's cached shards of one searcher."""
+    stale = [key for key in _WORKER_SHARD_CACHE if key[0] == searcher_id]
+    for key in stale:
+        del _WORKER_SHARD_CACHE[key]
+    return len(stale)
 
-    The job carries ``(searcher_id, shard_index, epoch, spool_path,
-    shard_rng, queries, k)``.  On an epoch match the resident engine serves
-    the batch without any deserialization; on a miss the published payload is
-    loaded from the spool and replaces the cached entry in place.
+
+def _resident_shard(
+    searcher_id: str, shard_index: int, epoch: int, path: str
+) -> Tuple[object, np.ndarray]:
+    """The worker-resident ``(shard, index_map)`` for one cache key.
+
+    On an epoch match the resident entry serves without touching the spool;
+    on a miss the published payload (pickle file or memory-mapped bundle)
+    is loaded and replaces the cached entry in place.
     """
-    searcher_id, shard_index, epoch, path, shard_rng, queries, k = job
     key = (searcher_id, shard_index)
     entry = _WORKER_SHARD_CACHE.get(key)
     if entry is None or entry[0] != epoch:
-        with open(path, "rb") as fh:
-            shard, index_map = pickle.load(fh)
+        shard, index_map = _transport.load_spool_payload(path)
         entry = (epoch, shard, index_map)
         _WORKER_SHARD_CACHE[key] = entry
-    _, shard, index_map = entry
-    shard_k = min(k, shard.num_entries)
+    _WORKER_SHARD_CACHE.move_to_end(key)
+    while len(_WORKER_SHARD_CACHE) > _MAX_RESIDENT_SHARDS:
+        _WORKER_SHARD_CACHE.popitem(last=False)
+    return entry[1], entry[2]
+
+
+def _rank_cached_shard_job(job) -> Tuple[np.ndarray, np.ndarray]:
+    """Rank one query batch on a worker-resident shard (pickle transport).
+
+    The job carries ``(searcher_id, shard_index, epoch, spool_path,
+    shard_rng, queries, shard_k)``; queries and results travel pickled
+    through the worker pipes (the PR 4 path, kept as the shared-memory
+    fallback).
+    """
+    searcher_id, shard_index, epoch, path, shard_rng, queries, shard_k = job
+    shard, index_map = _resident_shard(searcher_id, shard_index, epoch, path)
     indices, scores = shard._rank_batch(queries, rng=shard_rng, k=shard_k)
     return index_map[indices.astype(np.int64, copy=False)], scores
+
+
+def _rank_cached_shard_job_shm(job) -> int:
+    """Rank one query batch on a worker-resident shard (shared memory).
+
+    The job carries only plain metadata — cache key, spool path, RNG and
+    the segment descriptor ``(name, query shape/dtype, result offsets,
+    shard_k)``.  Queries are read directly from the mapped segment and the
+    globally indexed top-k results are written back in place; nothing but
+    this small tuple and the returned shard index crosses the pipes.
+    """
+    (
+        searcher_id,
+        shard_index,
+        epoch,
+        path,
+        shard_rng,
+        segment_name,
+        query_shape,
+        query_dtype,
+        index_offset,
+        score_offset,
+        shard_k,
+    ) = job
+    segment = _transport.attach_segment(segment_name)
+    queries = np.ndarray(query_shape, dtype=np.dtype(query_dtype), buffer=segment.buf)
+    queries.flags.writeable = False
+    shard, index_map = _resident_shard(searcher_id, shard_index, epoch, path)
+    indices, scores = shard._rank_batch(queries, rng=shard_rng, k=shard_k)
+    shape = (query_shape[0], shard_k)
+    out_indices = np.ndarray(
+        shape, dtype=np.int64, buffer=segment.buf, offset=index_offset
+    )
+    out_scores = np.ndarray(
+        shape, dtype=np.float64, buffer=segment.buf, offset=score_offset
+    )
+    out_indices[...] = index_map[indices.astype(np.int64, copy=False)]
+    out_scores[...] = scores
+    return shard_index
 
 
 class ProcessShardExecutor:
@@ -170,25 +293,75 @@ class ProcessShardExecutor:
     count because per-shard RNG streams are spawned before dispatch and the
     ranked payloads are self-contained.
 
-    Set ``shard_cache=False`` to fall back to shipping every programmed
-    shard with every batch (the pre-caching behavior, kept as a measurable
-    baseline).  The pool itself persists across searches — the worker
-    start-up cost is paid once per searcher, not per query batch.
+    Parameters
+    ----------
+    num_workers:
+        Worker-process bound; defaults to the host CPU count.
+    shard_cache:
+        Set False to fall back to shipping every programmed shard with
+        every batch (the pre-caching behavior, kept as a measurable
+        baseline).
+    transport:
+        ``"auto"`` (the default) uses the zero-copy shared-memory transport
+        — query/result batches in a :class:`~.transport.SharedMemoryRing`,
+        shards published as memory-mapped ``.npy`` bundles — when the host
+        supports it and falls back to ``"pickle"`` otherwise; ``"shm"``
+        requires shared memory (raising on hosts without it) and
+        ``"pickle"`` forces the PR 4 pickle path.  A runtime shared-memory
+        failure (e.g. an exhausted ``/dev/shm``) downgrades ``"auto"`` to
+        the pickle path transparently; both transports produce bitwise
+        identical results.
+
+    The pool itself persists across searches — the worker start-up cost is
+    paid once per searcher, not per query batch.
     """
 
     name = "processes"
 
-    def __init__(self, num_workers: Optional[int] = None, shard_cache: bool = True) -> None:
+    #: Recognized transport modes.
+    _TRANSPORTS = ("auto", "shm", "pickle")
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        shard_cache: bool = True,
+        transport: str = "auto",
+    ) -> None:
+        if transport not in self._TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {self._TRANSPORTS}, got {transport!r}"
+            )
+        if transport == "shm" and not _transport.shared_memory_available():
+            raise ConfigurationError(
+                "transport='shm' requires multiprocessing.shared_memory, "
+                "which is unavailable on this host; use 'auto' or 'pickle'"
+            )
         self._pool = PersistentProcessPool(num_workers=num_workers)
         self.num_workers = self._pool.num_workers
         self.shard_cache = bool(shard_cache)
+        self.transport = transport
+        self._shm_failed = False
+        self._ring: Optional[_transport.SharedMemoryRing] = None
         self._spool_dir: Optional[str] = None
         self._spool_finalizer: Optional[weakref.finalize] = None
+        #: Current spool path per published ``(searcher_id, shard_index)``;
+        #: epoch-named bundle publications replace (and delete) the previous
+        #: epoch's entry.
+        self._published: Dict[Tuple[str, int], str] = {}
 
     @property
     def supports_shard_cache(self) -> bool:
         """Whether the sharded searcher should dispatch cache-keyed jobs."""
         return self.shard_cache
+
+    @property
+    def active_transport(self) -> str:
+        """Transport actually in use right now: ``"shm"`` or ``"pickle"``."""
+        if self.transport == "pickle" or self._shm_failed:
+            return "pickle"
+        if self.transport == "shm":
+            return "shm"
+        return "shm" if _transport.shared_memory_available() else "pickle"
 
     def _ensure_spool(self) -> str:
         if self._spool_dir is None:
@@ -199,20 +372,37 @@ class ProcessShardExecutor:
             )
         return self._spool_dir
 
-    def publish_shard(self, searcher_id: str, shard_index: int, payload) -> str:
-        """Write one shard's payload to the spool (atomically), return its path.
+    def _ensure_ring(self) -> _transport.SharedMemoryRing:
+        if self._ring is None:
+            self._ring = _transport.SharedMemoryRing()
+        return self._ring
+
+    def publish_shard(
+        self, searcher_id: str, shard_index: int, payload, epoch: int = 0
+    ) -> str:
+        """Write one shard's payload to the spool, return its path.
 
         Called by the sharded searcher once per ``(shard, program epoch)`` —
-        not per batch.  The file is replaced atomically so a later epoch's
-        publication can never be observed half-written.
+        not per batch.  The shared-memory transport publishes an epoch-named
+        memory-mapped bundle (readers can never observe a half-written
+        epoch because the directory is renamed into place, and the previous
+        epoch's bundle is deleted after the swap); the pickle transport
+        keeps the PR 4 atomically replaced pickle file.
         """
-        path = os.path.join(
-            self._ensure_spool(), f"{searcher_id}-shard{shard_index}.pkl"
-        )
-        tmp_path = f"{path}.tmp"
-        with open(tmp_path, "wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp_path, path)
+        stem = os.path.join(self._ensure_spool(), f"{searcher_id}-shard{shard_index}")
+        key = (searcher_id, shard_index)
+        previous = self._published.get(key)
+        if self.active_transport == "shm":
+            path = _transport.write_spool_bundle(f"{stem}-e{epoch}", payload)
+        else:
+            path = f"{stem}.pkl"
+            tmp_path = f"{path}.tmp"
+            with open(tmp_path, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        if previous is not None and previous != path:
+            _transport.remove_spool_entry(previous)
+        self._published[key] = path
         return path
 
     def map(self, fn, jobs) -> list:
@@ -220,12 +410,103 @@ class ProcessShardExecutor:
         return self._pool.map(fn, jobs)
 
     def map_cached(self, jobs) -> list:
-        """Rank cache-keyed shard jobs (built against published payloads)."""
+        """Rank cache-keyed shard jobs (built against published payloads).
+
+        Jobs carry ``(searcher_id, shard_index, epoch, spool_path,
+        shard_rng, queries, shard_k)``.  On the shared-memory transport the
+        query matrix is written into a ring segment once — which assumes
+        every job of one batch carries the *same* query matrix, as the
+        sharded searcher's fan-out does; batches with per-job query arrays
+        are detected and routed through the pickle path, which honors them.
+        Workers write their top-k results back in place; the returned
+        ``(indices, scores)`` pairs are then zero-copy views into that
+        segment, valid until the ring slot is reused (one subsequent
+        dispatch) — callers consume them immediately (the cross-shard merge
+        copies).  The pickle transport (and the single-job in-process short
+        cut, where no pipe is crossed) returns ordinary arrays.
+        """
+        jobs = list(jobs)
+        shared_queries = len(jobs) > 1 and all(
+            job[5] is jobs[0][5] for job in jobs[1:]
+        )
+        if shared_queries and self.active_transport == "shm":
+            try:
+                segment, layout = self._acquire_batch_segment(jobs)
+            except OSError:
+                # Segment allocation failed (exhausted /dev/shm,
+                # permissions): downgrade to the pickle path for good.
+                # Scoped to the segment operations on purpose — a worker
+                # raising OSError (e.g. a reaped spool) must propagate, not
+                # masquerade as a shared-memory failure.
+                self._shm_failed = True
+                if self._ring is not None:
+                    self._ring.close()
+                    self._ring = None
+            else:
+                return self._map_cached_shm(segment, layout, jobs)
         return self._pool.map(_rank_cached_shard_job, jobs)
 
+    def _acquire_batch_segment(self, jobs: list):
+        """A ring segment sized and loaded for one batch's queries/results."""
+        layout = _transport.ShardBatchLayout(jobs[0][5], [job[6] for job in jobs])
+        segment = self._ensure_ring().acquire(layout.total_bytes)
+        layout.write_queries(segment)
+        return segment, layout
+
+    def _map_cached_shm(self, segment, layout, jobs: list) -> list:
+        """Dispatch one batch through the shared-memory ring."""
+        shm_jobs = [
+            (
+                searcher_id,
+                shard_index,
+                epoch,
+                path,
+                shard_rng,
+                segment.name,
+                layout.queries.shape,
+                layout.queries.dtype.str,
+                layout.index_offsets[position],
+                layout.score_offsets[position],
+                shard_k,
+            )
+            for position, (
+                searcher_id,
+                shard_index,
+                epoch,
+                path,
+                shard_rng,
+                _queries,
+                shard_k,
+            ) in enumerate(jobs)
+        ]
+        self._pool.map(_rank_cached_shard_job_shm, shm_jobs)
+        return [layout.result_views(segment, position) for position in range(len(jobs))]
+
+    def evict(self, searcher_id: str, broadcast: bool = True) -> None:
+        """Drop cached shards of one (closed) searcher from worker caches.
+
+        The calling process's entries — populated when the <=1-job short
+        cut ranked in-process — are dropped synchronously; with
+        ``broadcast=True`` an eviction message is additionally submitted
+        once per worker slot of the live pool (best effort, see
+        :meth:`PersistentProcessPool.broadcast`).  Correctness never
+        depends on eviction — epoch-keyed lookups already ignore stale
+        entries — it keeps long-running shared pools from accumulating
+        dead searchers' shards.
+        """
+        _evict_searcher_entries(searcher_id)
+        for key in [key for key in self._published if key[0] == searcher_id]:
+            _transport.remove_spool_entry(self._published.pop(key))
+        if broadcast:
+            self._pool.broadcast(_evict_searcher_entries, searcher_id)
+
     def close(self) -> None:
-        """Shut workers down and drop the spool (idempotent)."""
+        """Shut workers down, unlink segments and drop the spool (idempotent)."""
         self._pool.close()
+        if self._ring is not None:
+            self._ring.close()
+            self._ring = None
+        self._published.clear()
         finalizer, self._spool_finalizer = self._spool_finalizer, None
         self._spool_dir = None
         if finalizer is not None:

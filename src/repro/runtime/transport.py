@@ -1,0 +1,356 @@
+"""Zero-copy transports for the shard-serving runtime.
+
+The ``"processes"`` shard executor moves two kinds of bulk payload across
+the process boundary on the serving hot path:
+
+* **per-batch payloads** — the query matrix out to every worker and the
+  ranked top-k indices/scores back, and
+* **per-epoch payloads** — the programmed shard engines published to the
+  spool once per program epoch.
+
+PR 4 shipped both through pickle, which costs one serialize + one
+deserialize memcpy per array *and* pushes every byte through the worker
+pipes.  This module removes both copies on hosts that support POSIX shared
+memory:
+
+* :class:`SharedMemoryRing` manages a small ring of reusable
+  ``multiprocessing.shared_memory`` segments.  The parent writes a query
+  batch into a segment once; every worker maps the same physical pages and
+  writes its shard's top-k distances/indices back **in place**, so no
+  ndarray payload is pickled in either direction and only tiny job tuples
+  cross the pipes.  :class:`ShardBatchLayout` computes the byte layout of
+  one dispatched batch (the query block followed by per-shard result
+  blocks).
+* :func:`write_spool_bundle` / :func:`load_spool_payload` publish shard
+  payloads as memory-mapped ``.npy`` bundles: the pickle stream is written
+  with its ndarray buffers extracted out-of-band (pickle protocol 5) and
+  each buffer lands in its own ``.npy`` file that workers
+  ``np.load(mmap_mode="r")``.  N workers on one host then share one
+  physical copy of each shard's programmed profiles instead of N
+  deserialized clones — and a worker that never touches a shard never
+  faults its pages in at all.
+
+Everything degrades transparently: when ``multiprocessing.shared_memory``
+is unavailable (or segment allocation fails at runtime) the executor falls
+back to the PR 4 pickle path, and :func:`load_spool_payload` reads both
+spool formats, so mixed states during a fallback are safe.
+
+Lifecycle: segments are unlinked on ``close()``, on context-manager exit of
+the owning executor, and by a :func:`weakref.finalize` safety net when the
+owner is garbage collected without closing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import weakref
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - present on every platform CI runs on
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _shared_memory = None
+
+from ..exceptions import ConfigurationError
+from ..utils.validation import check_int_in_range
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory is usable in this interpreter."""
+    return _shared_memory is not None
+
+
+#: Byte alignment of every block inside a shared segment (cache-line sized,
+#: and a multiple of every dtype alignment NumPy will map onto the block).
+_BLOCK_ALIGNMENT = 64
+
+
+def _aligned(nbytes: int) -> int:
+    """Round ``nbytes`` up to the block alignment."""
+    return -(-nbytes // _BLOCK_ALIGNMENT) * _BLOCK_ALIGNMENT
+
+
+def _release_segments(segments: List) -> None:
+    """Close and unlink every segment in ``segments``, emptying it in place.
+
+    Module-level and fed a plain list so a :func:`weakref.finalize` can call
+    it without keeping the owning ring alive.  ``close()`` can raise
+    ``BufferError`` while NumPy views of the segment are still alive; the
+    unlink (which frees the name and, once the views die, the pages) must
+    still happen, so errors are swallowed per step.
+    """
+    while segments:
+        segment = segments.pop()
+        try:
+            segment.close()
+        except BufferError:  # a result view is still alive somewhere
+            pass
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # already gone
+            pass
+
+
+class SharedMemoryRing:
+    """A ring of reusable shared-memory segments for query/result batches.
+
+    ``acquire(nbytes)`` hands out segments round-robin across ``depth``
+    slots, creating (or growing) a slot's segment only when the requested
+    batch does not fit.  Steady-state serving therefore allocates nothing:
+    the same segments are rewritten batch after batch.  The ring depth keeps
+    the previous batch's result blocks mapped while the next batch is being
+    written, so callers may hold the returned result views across exactly
+    one subsequent dispatch.
+
+    Parameters
+    ----------
+    depth:
+        Number of independent slots (>= 1).
+    """
+
+    def __init__(self, depth: int = 2) -> None:
+        if not shared_memory_available():  # pragma: no cover - fallback hosts
+            raise ConfigurationError(
+                "shared memory is unavailable in this interpreter; "
+                "use the pickle transport instead"
+            )
+        self.depth = check_int_in_range(depth, "depth", minimum=1)
+        self._slots: List[Optional[object]] = [None] * self.depth
+        self._cursor = 0
+        #: Live segments, shared with the GC safety net: close() empties the
+        #: list in place, turning a later finalize into a no-op.
+        self._live: List[object] = []
+        self._finalizer = weakref.finalize(self, _release_segments, self._live)
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        """Names of the currently allocated segments (introspection/tests)."""
+        return tuple(segment.name for segment in self._live)
+
+    def acquire(self, nbytes: int):
+        """A segment of at least ``nbytes``, reusing the next ring slot."""
+        slot = self._cursor
+        self._cursor = (self._cursor + 1) % self.depth
+        segment = self._slots[slot]
+        if segment is not None and segment.size >= nbytes:
+            return segment
+        if segment is not None:
+            self._live.remove(segment)
+            _release_segments([segment])
+        segment = _shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+        self._slots[slot] = segment
+        self._live.append(segment)
+        return segment
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent; the ring is reusable after)."""
+        _release_segments(self._live)
+        self._slots = [None] * self.depth
+        self._cursor = 0
+
+    def __enter__(self) -> "SharedMemoryRing":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class ShardBatchLayout:
+    """Byte layout of one dispatched batch inside a shared segment.
+
+    The query block sits at offset 0; per-shard top-k index and score
+    blocks follow, one pair per shard, every block aligned to
+    ``_BLOCK_ALIGNMENT``.
+
+    Parameters
+    ----------
+    queries:
+        The batch's query matrix (made C-contiguous; exposed as
+        :attr:`queries`).
+    shard_ks:
+        Per-shard candidate counts (``min(k, shard rows)``), which size the
+        result blocks.
+    """
+
+    def __init__(self, queries: np.ndarray, shard_ks: Sequence[int]) -> None:
+        self.queries = np.ascontiguousarray(queries)
+        self.num_queries = int(self.queries.shape[0])
+        self.shard_ks = tuple(int(k) for k in shard_ks)
+        self.query_offset = 0
+        cursor = _aligned(self.queries.nbytes)
+        self.index_offsets: List[int] = []
+        self.score_offsets: List[int] = []
+        for shard_k in self.shard_ks:
+            block = self.num_queries * shard_k * np.dtype(np.int64).itemsize
+            self.index_offsets.append(cursor)
+            cursor = _aligned(cursor + block)
+            self.score_offsets.append(cursor)
+            cursor = _aligned(cursor + block)
+        self.total_bytes = max(cursor, 1)
+
+    def write_queries(self, segment) -> None:
+        """Copy the query block into ``segment`` (the transport's one copy)."""
+        view = np.ndarray(
+            self.queries.shape, dtype=self.queries.dtype, buffer=segment.buf
+        )
+        view[...] = self.queries
+
+    def result_views(self, segment, shard: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(indices, scores)`` views of one shard's result blocks."""
+        shape = (self.num_queries, self.shard_ks[shard])
+        indices = np.ndarray(
+            shape, dtype=np.int64, buffer=segment.buf, offset=self.index_offsets[shard]
+        )
+        scores = np.ndarray(
+            shape, dtype=np.float64, buffer=segment.buf, offset=self.score_offsets[shard]
+        )
+        return indices, scores
+
+
+# ----------------------------------------------------------------------
+# Worker-side segment attachments
+# ----------------------------------------------------------------------
+#: Process-global cache of attached segments by name.  Ring segments are
+#: reused across batches, so each worker attaches a handful of names once
+#: and serves every subsequent batch from the mapping; the cache is bounded
+#: because a ring replaces (rather than accumulates) segment names, and
+#: attachments whose segment the parent has unlinked are pruned eagerly so
+#: dead pages are not pinned for the worker's lifetime.
+_ATTACHED_SEGMENTS: "OrderedDict[str, object]" = OrderedDict()
+_MAX_ATTACHED_SEGMENTS = 8
+
+#: Where the kernel exposes POSIX shared memory as files (Linux).  When the
+#: directory exists, a cached attachment whose backing file is gone has
+#: been unlinked by its owner and only our mapping keeps its pages alive.
+_SHM_DIR = "/dev/shm"
+
+
+def _close_attachment(segment) -> None:
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - a view outlived its job
+        pass
+
+
+def _prune_unlinked_attachments() -> None:
+    """Drop cached attachments whose segments the owner has unlinked.
+
+    A ring that grows a slot unlinks the old segment in the parent, but the
+    steady state only ever re-attaches the live ring names, so the dead
+    mapping would otherwise survive below the LRU bound forever — N workers
+    each pinning the replaced segment's pages.  Only effective where shared
+    memory is file-backed (Linux); elsewhere the LRU bound still applies.
+    """
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux hosts
+        return
+    for name in [
+        name
+        for name in _ATTACHED_SEGMENTS
+        if not os.path.exists(os.path.join(_SHM_DIR, name))
+    ]:
+        _close_attachment(_ATTACHED_SEGMENTS.pop(name))
+
+
+def attach_segment(name: str):
+    """Attach (or return the cached attachment of) a shared segment."""
+    segment = _ATTACHED_SEGMENTS.get(name)
+    if segment is not None:
+        _ATTACHED_SEGMENTS.move_to_end(name)
+        return segment
+    # A new name means the ring moved (first contact, or a slot was
+    # replaced by a bigger batch): prune what the owner unlinked.
+    _prune_unlinked_attachments()
+    segment = _shared_memory.SharedMemory(name=name)
+    _ATTACHED_SEGMENTS[name] = segment
+    while len(_ATTACHED_SEGMENTS) > _MAX_ATTACHED_SEGMENTS:
+        _, stale = _ATTACHED_SEGMENTS.popitem(last=False)
+        _close_attachment(stale)
+    return segment
+
+
+# ----------------------------------------------------------------------
+# Memory-mapped spool bundles
+# ----------------------------------------------------------------------
+_BUNDLE_PAYLOAD = "payload.pkl"
+
+
+def write_spool_bundle(path: str, payload) -> str:
+    """Publish ``payload`` as a memory-mappable bundle directory at ``path``.
+
+    The pickle stream is written with every contiguous ndarray buffer
+    extracted out-of-band (protocol 5); each buffer lands in its own
+    ``buf<i>.npy`` so :func:`load_spool_payload` can hand ``np.load``
+    memory maps back to the unpickler.  The bundle is assembled in a
+    sibling temp directory and renamed into place, so a reader can never
+    observe a half-written bundle; callers encode the program epoch in
+    ``path``, which is why a plain rename (no replace-over-existing) is
+    enough.
+    """
+    buffers: List = []
+    data = pickle.dumps(payload, protocol=5, buffer_callback=buffers.append)
+    staging = f"{path}.tmp"
+    shutil.rmtree(staging, ignore_errors=True)
+    os.makedirs(staging)
+    for index, buffer in enumerate(buffers):
+        np.save(
+            os.path.join(staging, f"buf{index}.npy"),
+            np.frombuffer(buffer, dtype=np.uint8),
+        )
+    with open(os.path.join(staging, _BUNDLE_PAYLOAD), "wb") as fh:
+        fh.write(data)
+    os.rename(staging, path)
+    return path
+
+
+def load_spool_payload(path: str):
+    """Load a published shard payload from either spool format.
+
+    Bundle directories reconstruct their pickled object around
+    ``np.load(mmap_mode="r")`` buffer views, so every ndarray in the
+    payload is backed by the page cache and shared physically across the
+    workers of one host (the arrays come back read-only, which the search
+    path never violates).  Plain files are the PR 4 pickle spool, kept as
+    the transparent fallback.
+    """
+    if os.path.isdir(path):
+        with open(os.path.join(path, _BUNDLE_PAYLOAD), "rb") as fh:
+            data = fh.read()
+        buffers: List[np.ndarray] = []
+        index = 0
+        while True:
+            buffer_path = os.path.join(path, f"buf{index}.npy")
+            if not os.path.exists(buffer_path):
+                break
+            buffers.append(np.load(buffer_path, mmap_mode="r"))
+            index += 1
+        return pickle.loads(data, buffers=buffers)
+    with open(path, "rb") as fh:
+        return pickle.load(fh)
+
+
+def remove_spool_entry(path: str) -> None:
+    """Delete a published spool entry of either format (best effort)."""
+    if os.path.isdir(path):
+        shutil.rmtree(path, ignore_errors=True)
+        return
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+__all__ = [
+    "SharedMemoryRing",
+    "ShardBatchLayout",
+    "attach_segment",
+    "load_spool_payload",
+    "remove_spool_entry",
+    "shared_memory_available",
+    "write_spool_bundle",
+]

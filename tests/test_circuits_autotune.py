@@ -1,0 +1,275 @@
+"""Shape-adaptive kernel autotuning: parity, selection and the override knob.
+
+The autotuner's contract mirrors the executors': kernel selection changes
+*where the time goes*, never *what is computed*.  These tests pin the three
+MCAM conductance kernels (fused / blocked / dense) and the two TCAM Hamming
+kernels (matmul / mask) bitwise against each other at the gated workload
+shapes — the 5-way 1-shot episode, the 20-way 5-shot episode the old
+hardcoded threshold mis-classified, and a >64k-element store — and pin that
+explicit ``kernel=`` overrides win over whatever the tuned table says.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import MCAMArray, TCAMArray, clear_kernel_table, kernel_table
+from repro.circuits.autotune import select_kernel, shape_bucket
+from repro.core import make_searcher
+from repro.exceptions import ConfigurationError
+
+#: The gated workload shapes: (stored rows, queries), 64-cell words.
+#: 5-way 1-shot (5 support rows, 25 queries), 20-way 5-shot (100 rows,
+#: 100 queries — the shape the old 1<<16 threshold lost on), and a store
+#: past the fused kernel's candidate bound (4096 * 64 * 64 > 1<<22).
+SHAPES = {
+    "5way_1shot": (5, 25),
+    "20way_5shot": (100, 100),
+    "past_64k": (4096, 64),
+}
+WORD_LENGTH = 64
+
+RNG = np.random.default_rng(20260727)
+
+
+def _programmed_mcam(rows: int, kernel=None) -> MCAMArray:
+    array = MCAMArray(num_cells=WORD_LENGTH, bits=3, kernel=kernel)
+    array.write(RNG.integers(0, 8, size=(rows, WORD_LENGTH)))
+    return array
+
+
+class TestMCAMKernelParity:
+    @pytest.mark.parametrize("shape", sorted(SHAPES))
+    @pytest.mark.parametrize("kernel", ("fused", "blocked", "auto"))
+    def test_every_kernel_bitwise_identical_to_dense(self, shape, kernel):
+        rows, num_queries = SHAPES[shape]
+        array = _programmed_mcam(rows)
+        queries = RNG.integers(0, 8, size=(num_queries, WORD_LENGTH))
+        reference = array.row_conductances_batch(queries, kernel="dense")
+        result = array.row_conductances_batch(queries, kernel=kernel)
+        np.testing.assert_array_equal(reference, result)
+
+    def test_blocked_kernel_handles_partial_trailing_block(self):
+        # 20 cells with a 16-cell block: the second take gathers 4 cells.
+        array = MCAMArray(num_cells=20, bits=2)
+        array.write(RNG.integers(0, 4, size=(37, 20)))
+        queries = RNG.integers(0, 4, size=(11, 20))
+        np.testing.assert_array_equal(
+            array.row_conductances_batch(queries, kernel="dense"),
+            array.row_conductances_batch(queries, kernel="blocked"),
+        )
+
+    def test_single_query_row_conductances_match_batch(self):
+        array = _programmed_mcam(SHAPES["20way_5shot"][0])
+        query = RNG.integers(0, 8, size=WORD_LENGTH)
+        np.testing.assert_array_equal(
+            array.row_conductances(query),
+            array.row_conductances_batch(query.reshape(1, -1), kernel="blocked")[0],
+        )
+
+
+class TestTCAMKernelParity:
+    @pytest.mark.parametrize("shape", sorted(SHAPES))
+    def test_mask_and_auto_bitwise_identical_to_matmul(self, shape):
+        rows, num_queries = SHAPES[shape]
+        tcam = TCAMArray(num_cells=WORD_LENGTH)
+        bits = RNG.integers(0, 2, size=(rows, WORD_LENGTH))
+        bits[0, :3] = -1  # wildcards must match under both kernels
+        tcam.write(bits)
+        queries = RNG.integers(0, 2, size=(num_queries, WORD_LENGTH))
+        reference = tcam.hamming_distances_batch(queries, kernel="matmul")
+        assert reference.dtype == np.int64
+        for kernel in ("mask", "auto"):
+            result = tcam.hamming_distances_batch(queries, kernel=kernel)
+            assert result.dtype == np.int64
+            np.testing.assert_array_equal(reference, result)
+
+
+class TestAutotunedSelection:
+    def setup_method(self):
+        clear_kernel_table()
+
+    def teardown_method(self):
+        clear_kernel_table()
+
+    def _mcam_key(self, rows: int, num_queries: int) -> tuple:
+        fused_eligible = (
+            rows * num_queries * WORD_LENGTH <= MCAMArray._FUSED_CANDIDATE_MAX_ELEMENTS
+        )
+        return (
+            "mcam",
+            8,
+            WORD_LENGTH,
+            shape_bucket(rows),
+            shape_bucket(num_queries),
+            fused_eligible,
+        )
+
+    def test_tiny_episode_shape_selects_the_fused_kernel(self):
+        # At 5 support rows the fused gather beats the 64-iteration dense
+        # loop by several times; the margin is far wider than scheduling
+        # noise, so the calibrated winner is stable.
+        rows, num_queries = SHAPES["5way_1shot"]
+        array = _programmed_mcam(rows)
+        queries = RNG.integers(0, 8, size=(num_queries, WORD_LENGTH))
+        array.row_conductances_batch(queries)
+        assert kernel_table()[self._mcam_key(rows, num_queries)] == "fused"
+
+    def test_huge_shapes_never_calibrate_the_fused_kernel(self):
+        # Past _FUSED_CANDIDATE_MAX_ELEMENTS the fused gather is not even a
+        # candidate: calibration must not allocate the full contribution
+        # stack just to prove it loses.
+        rows, num_queries = SHAPES["past_64k"]
+        assert rows * num_queries * WORD_LENGTH > MCAMArray._FUSED_CANDIDATE_MAX_ELEMENTS
+        array = _programmed_mcam(rows)
+        queries = RNG.integers(0, 8, size=(num_queries, WORD_LENGTH))
+        array.row_conductances_batch(queries)
+        assert kernel_table()[self._mcam_key(rows, num_queries)] in ("blocked", "dense")
+
+    def test_mid_size_shape_calibrates_all_three_kernels(self):
+        rows, num_queries = SHAPES["20way_5shot"]
+        array = _programmed_mcam(rows)
+        queries = RNG.integers(0, 8, size=(num_queries, WORD_LENGTH))
+        expected = array.row_conductances_batch(queries, kernel="dense")
+        np.testing.assert_array_equal(expected, array.row_conductances_batch(queries))
+        # The winner is host-dependent (that is the point of measuring) but
+        # it must be recorded, valid, and served from the table afterwards.
+        key = self._mcam_key(rows, num_queries)
+        winner = kernel_table()[key]
+        assert winner in ("fused", "blocked", "dense")
+        np.testing.assert_array_equal(expected, array.row_conductances_batch(queries))
+        assert kernel_table()[key] == winner
+
+    def test_straddling_bucket_keeps_separate_entries_per_eligibility(self):
+        # rows 300 and 500 share bucket 9, queries 200 and 250 share bucket
+        # 8, but only the smaller shape sits under the fused size guard: the
+        # restricted calibration must not overwrite the full-candidate
+        # winner (or vice versa) — eligibility is part of the key.
+        eligible = (300, 200)
+        ineligible = (500, 250)
+        assert shape_bucket(eligible[0]) == shape_bucket(ineligible[0])
+        assert shape_bucket(eligible[1]) == shape_bucket(ineligible[1])
+        assert eligible[0] * eligible[1] * WORD_LENGTH <= MCAMArray._FUSED_CANDIDATE_MAX_ELEMENTS
+        assert ineligible[0] * ineligible[1] * WORD_LENGTH > MCAMArray._FUSED_CANDIDATE_MAX_ELEMENTS
+
+        for rows, num_queries in (eligible, ineligible):
+            array = _programmed_mcam(rows)
+            queries = RNG.integers(0, 8, size=(num_queries, WORD_LENGTH))
+            np.testing.assert_array_equal(
+                array.row_conductances_batch(queries, kernel="dense"),
+                array.row_conductances_batch(queries),
+            )
+        table = kernel_table()
+        assert self._mcam_key(*eligible) in table
+        assert self._mcam_key(*ineligible) in table
+        assert self._mcam_key(*eligible) != self._mcam_key(*ineligible)
+        assert table[self._mcam_key(*ineligible)] in ("blocked", "dense")
+
+    def test_empty_batch_does_not_pollute_the_table(self):
+        array = _programmed_mcam(8)
+        empty = array.row_conductances_batch(np.empty((0, WORD_LENGTH), dtype=np.int64))
+        assert empty.shape == (0, 8)
+        assert kernel_table() == {}
+
+    def test_calibration_returns_the_winning_result(self):
+        calls = []
+        key = ("test-family", 1)
+        name, result = select_kernel(
+            key, {"a": lambda: calls.append("a") or "ra", "b": lambda: calls.append("b") or "rb"}
+        )
+        assert name in ("a", "b")
+        assert result == {"a": "ra", "b": "rb"}[name]
+        assert "a" in calls and "b" in calls
+        # Table hit: nothing re-runs, the caller dispatches itself.
+        name_again, cached = select_kernel(key, {"a": lambda: "ra", "b": lambda: "rb"})
+        assert name_again == name and cached is None
+
+
+class TestKernelOverrides:
+    def setup_method(self):
+        clear_kernel_table()
+
+    def teardown_method(self):
+        clear_kernel_table()
+
+    @pytest.mark.parametrize("kernel", ("fused", "blocked", "dense"))
+    def test_explicit_kernel_wins_over_the_tuned_table(self, kernel, monkeypatch):
+        """Regression: a ``kernel=`` override must bypass the table entirely."""
+        from repro.circuits import autotune
+
+        rows, num_queries = SHAPES["20way_5shot"]
+        queries = RNG.integers(0, 8, size=(num_queries, WORD_LENGTH))
+
+        # Poison the table with a contradictory winner; an override that
+        # consulted it would dispatch there instead.
+        contradictory = {"fused": "dense", "blocked": "dense", "dense": "fused"}[kernel]
+        key = ("mcam", 8, WORD_LENGTH, shape_bucket(rows), shape_bucket(num_queries), True)
+        monkeypatch.setitem(autotune._KERNEL_TABLE, key, contradictory)
+
+        array = _programmed_mcam(rows, kernel=kernel)
+        ran = []
+        implementations = {
+            "fused": MCAMArray._fused_conductances,
+            "blocked": MCAMArray._blocked_conductances,
+            "dense": MCAMArray._dense_conductances,
+        }
+        for name, implementation in implementations.items():
+            def spy(self, by_cell, q, _name=name, _impl=implementation):
+                ran.append(_name)
+                return _impl(self, by_cell, q)
+
+            monkeypatch.setattr(MCAMArray, implementation.__name__, spy)
+        array.row_conductances_batch(queries)  # constructor knob
+        assert ran == [kernel]
+        ran.clear()
+        array.row_conductances_batch(queries, kernel=kernel)  # per-call knob
+        assert ran == [kernel]
+
+    def test_invalid_kernel_rejected_everywhere(self):
+        with pytest.raises(ConfigurationError):
+            MCAMArray(num_cells=8, bits=3, kernel="simd")
+        with pytest.raises(ConfigurationError):
+            TCAMArray(num_cells=8, kernel="fused")
+        array = _programmed_mcam(4)
+        with pytest.raises(ConfigurationError):
+            array.row_conductances_batch(
+                RNG.integers(0, 8, size=(2, WORD_LENGTH)), kernel="matmul"
+            )
+
+    def test_make_searcher_forwards_the_kernel_knob(self):
+        features = RNG.normal(size=(60, 16))
+        labels = RNG.integers(0, 4, size=60)
+        queries = RNG.normal(size=(9, 16))
+        reference = (
+            make_searcher("mcam-3bit", num_features=16, seed=5)
+            .fit(features, labels)
+            .kneighbors_batch(queries, k=3)
+        )
+        for kernel in ("fused", "blocked", "dense"):
+            searcher = make_searcher("mcam-3bit", num_features=16, seed=5, kernel=kernel)
+            searcher.fit(features, labels)
+            assert searcher.array.kernel == kernel
+            result = searcher.kneighbors_batch(queries, k=3)
+            np.testing.assert_array_equal(reference.indices, result.indices)
+            np.testing.assert_array_equal(reference.scores, result.scores)
+        tcam = make_searcher("tcam-lsh", num_features=16, seed=5, kernel="mask")
+        tcam.fit(features, labels)
+        assert tcam.tcam.kernel == "mask"
+        np.testing.assert_array_equal(
+            reference.indices.shape, tcam.kneighbors_batch(queries, k=3).indices.shape
+        )
+
+
+class TestShapeBucket:
+    def test_buckets_are_ceil_log2(self):
+        assert [shape_bucket(n) for n in (0, 1, 2, 3, 4, 5, 64, 65)] == [
+            0,
+            0,
+            1,
+            2,
+            2,
+            3,
+            6,
+            7,
+        ]

@@ -1,0 +1,494 @@
+"""Zero-copy shard transport: lifecycle, fallback and cache eviction.
+
+The transport's contract extends the runtime's: moving payloads through
+shared memory (or memory-mapped spool bundles) changes *how bytes travel*,
+never *what is computed* — and it must never leak segments.  These tests
+pin segment lifecycle (unlinked on ``close()``, on context-manager exit and
+via the ``weakref.finalize`` safety net), the transparent pickle fallback
+when shared memory is missing or fails at runtime, bundle-spool round
+trips, and the eviction message that keeps long-running shared pools from
+accumulating dead searchers' shards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_searcher
+from repro.core.search import MCAMSearcher
+from repro.core.sharding import ShardedSearcher
+from repro.exceptions import ConfigurationError, SearchError
+from repro.runtime import ProcessShardExecutor, SharedMemoryRing
+from repro.runtime import transport as transport_module
+from repro.runtime.process_pool import (
+    _WORKER_SHARD_CACHE,
+    _rank_cached_shard_job,
+    worker_shard_cache_epochs,
+)
+from repro.runtime.transport import (
+    ShardBatchLayout,
+    load_spool_payload,
+    remove_spool_entry,
+    shared_memory_available,
+    write_spool_bundle,
+)
+
+WORKERS = 2
+
+RNG = np.random.default_rng(20260727)
+
+
+def _workload(rows=120, features=10, queries=6):
+    return (
+        RNG.normal(size=(rows, features)),
+        RNG.integers(0, 5, size=rows),
+        RNG.normal(size=(queries, features)),
+    )
+
+
+def _segment_exists(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+def _probe_worker_cache(_=None):
+    """Module-level so the pool can ship it to a worker."""
+    return worker_shard_cache_epochs()
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared memory on host")
+class TestSharedMemoryRing:
+    def test_slots_are_reused_and_grow_on_demand(self):
+        with SharedMemoryRing(depth=2) as ring:
+            first = ring.acquire(128)
+            second = ring.acquire(128)
+            assert first.name != second.name
+            assert ring.acquire(64) is first  # round-robin reuse, no realloc
+            assert ring.acquire(64) is second
+            grown = ring.acquire(first.size + 1)  # slot replaced, old unlinked
+            assert grown.name != first.name
+            assert not _segment_exists(first.name)
+            assert len(ring.segment_names) == 2
+
+    def test_close_unlinks_every_segment_and_is_idempotent(self):
+        ring = SharedMemoryRing(depth=3)
+        names = [ring.acquire(256).name for _ in range(3)]
+        assert all(_segment_exists(name) for name in names)
+        ring.close()
+        assert all(not _segment_exists(name) for name in names)
+        ring.close()  # idempotent
+        # The ring is reusable after close.
+        replacement = ring.acquire(64)
+        assert _segment_exists(replacement.name)
+        ring.close()
+
+    def test_finalize_safety_net_unlinks_on_gc(self):
+        ring = SharedMemoryRing(depth=1)
+        name = ring.acquire(512).name
+        finalizer = ring._finalizer
+        assert finalizer.alive
+        del ring  # forgotten ring: the finalizer must unlink at GC
+        assert not finalizer.alive
+        assert not _segment_exists(name)
+
+    def test_batch_layout_round_trips_queries_and_results(self):
+        queries = RNG.normal(size=(7, 5))
+        layout = ShardBatchLayout(queries, shard_ks=(3, 1))
+        with SharedMemoryRing(depth=1) as ring:
+            segment = ring.acquire(layout.total_bytes)
+            layout.write_queries(segment)
+            view = np.ndarray(queries.shape, dtype=queries.dtype, buffer=segment.buf)
+            np.testing.assert_array_equal(view, queries)
+            indices, scores = layout.result_views(segment, 0)
+            indices[...] = 7
+            scores[...] = 0.5
+            check_indices, check_scores = layout.result_views(segment, 0)
+            assert check_indices.shape == (7, 3) and np.all(check_indices == 7)
+            assert check_scores.shape == (7, 3) and np.all(check_scores == 0.5)
+            # Blocks never overlap: shard 1's views are untouched zeros or
+            # writable independently of shard 0's.
+            other_indices, _ = layout.result_views(segment, 1)
+            other_indices[...] = 3
+            np.testing.assert_array_equal(layout.result_views(segment, 0)[0], 7)
+
+
+class TestSpoolBundles:
+    def test_bundle_round_trip_is_memory_mapped_and_equal(self, tmp_path):
+        searcher = MCAMSearcher(bits=3, seed=1)
+        features = RNG.normal(size=(40, 6))
+        searcher.fit(features, RNG.integers(0, 3, size=40))
+        index_map = np.arange(40, dtype=np.int64)
+        path = write_spool_bundle(str(tmp_path / "shard-e1"), (searcher, index_map))
+
+        loaded, loaded_map = load_spool_payload(path)
+        np.testing.assert_array_equal(index_map, loaded_map)
+        # The reconstructed arrays are read-only views over the mapped
+        # bundle (that is the N-workers-one-copy property)...
+        assert not loaded_map.flags.writeable
+        # ...and searching them is bitwise identical to the original.
+        queries = RNG.normal(size=(5, 6))
+        expected_indices, expected_scores = searcher._rank_batch(
+            queries, rng=np.random.default_rng(0), k=3
+        )
+        indices, scores = loaded._rank_batch(queries, rng=np.random.default_rng(0), k=3)
+        np.testing.assert_array_equal(expected_indices, indices)
+        np.testing.assert_array_equal(expected_scores, scores)
+
+    def test_load_reads_the_pickle_fallback_format(self, tmp_path):
+        import pickle
+
+        payload = {"answer": np.arange(5)}
+        path = tmp_path / "shard.pkl"
+        path.write_bytes(pickle.dumps(payload))
+        loaded = load_spool_payload(str(path))
+        np.testing.assert_array_equal(loaded["answer"], np.arange(5))
+
+    def test_remove_spool_entry_handles_both_formats(self, tmp_path):
+        bundle = write_spool_bundle(str(tmp_path / "bundle-e1"), np.arange(3))
+        plain = tmp_path / "shard.pkl"
+        plain.write_bytes(b"x")
+        remove_spool_entry(bundle)
+        remove_spool_entry(str(plain))
+        remove_spool_entry(str(tmp_path / "never-existed"))  # best effort
+        assert not (tmp_path / "bundle-e1").exists()
+        assert not plain.exists()
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared memory on host")
+class TestExecutorTransportLifecycle:
+    @staticmethod
+    def _searcher(**kwargs):
+        return make_searcher(
+            "mcam-3bit",
+            num_features=10,
+            seed=8,
+            shards=4,
+            executor="processes",
+            num_workers=WORKERS,
+            **kwargs,
+        )
+
+    def test_serving_batches_ride_shared_memory_bitwise_identically(self):
+        features, labels, queries = _workload()
+        reference = make_searcher("mcam-3bit", num_features=10, seed=8, shards=4)
+        reference.fit(features, labels)
+        expected = reference.kneighbors_batch(queries, k=4)
+        with self._searcher() as sharded:
+            assert sharded._executor.active_transport == "shm"
+            sharded.fit(features, labels)
+            for _ in range(3):  # cold publish, then warm ring reuse
+                result = sharded.kneighbors_batch(queries, k=4)
+                np.testing.assert_array_equal(expected.indices, result.indices)
+                np.testing.assert_array_equal(expected.scores, result.scores)
+                assert expected.labels == result.labels
+            import os
+
+            assert all(os.path.isdir(p) for p in sharded._published_paths.values())
+            names = sharded._executor._ring.segment_names
+            assert names
+        assert all(not _segment_exists(name) for name in names)
+
+    def test_close_unlinks_segments_and_is_idempotent(self):
+        features, labels, queries = _workload()
+        searcher = self._searcher()
+        searcher.fit(features, labels)
+        searcher.kneighbors_batch(queries, k=2)
+        names = searcher._executor._ring.segment_names
+        assert names and all(_segment_exists(name) for name in names)
+        searcher.close()
+        assert all(not _segment_exists(name) for name in names)
+        searcher.close()  # idempotent
+
+    def test_forgotten_executor_segments_unlink_at_gc(self):
+        features, labels, queries = _workload()
+        executor = ProcessShardExecutor(num_workers=WORKERS)
+        searcher = ShardedSearcher(
+            lambda: MCAMSearcher(bits=3, seed=8), num_shards=4, executor=executor
+        )
+        searcher.fit(features, labels)
+        searcher.kneighbors_batch(queries, k=2)
+        names = executor._ring.segment_names
+        finalizer = executor._ring._finalizer
+        assert names and finalizer.alive
+        executor._pool.close()  # stop workers so only the ring holds segments
+        del searcher, executor  # never closed: the safety net must unlink
+        assert not finalizer.alive
+        assert all(not _segment_exists(name) for name in names)
+
+
+class TestTransportFallback:
+    def test_auto_transport_falls_back_when_shared_memory_is_missing(self, monkeypatch):
+        monkeypatch.setattr(transport_module, "_shared_memory", None)
+        features, labels, queries = _workload()
+        reference = make_searcher("mcam-3bit", num_features=10, seed=8, shards=4)
+        reference.fit(features, labels)
+        expected = reference.kneighbors_batch(queries, k=3)
+        with make_searcher(
+            "mcam-3bit",
+            num_features=10,
+            seed=8,
+            shards=4,
+            executor="processes",
+            num_workers=WORKERS,
+        ) as sharded:
+            assert sharded._executor.active_transport == "pickle"
+            sharded.fit(features, labels)
+            result = sharded.kneighbors_batch(queries, k=3)
+            np.testing.assert_array_equal(expected.indices, result.indices)
+            np.testing.assert_array_equal(expected.scores, result.scores)
+            assert all(
+                path.endswith(".pkl") for path in sharded._published_paths.values()
+            )
+
+    def test_forced_shm_transport_refuses_hosts_without_it(self, monkeypatch):
+        monkeypatch.setattr(transport_module, "_shared_memory", None)
+        with pytest.raises(ConfigurationError, match="shared_memory"):
+            ProcessShardExecutor(num_workers=WORKERS, transport="shm")
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            ProcessShardExecutor(num_workers=WORKERS, transport="rdma")
+
+    @pytest.mark.skipif(not shared_memory_available(), reason="no shared memory on host")
+    def test_runtime_shared_memory_failure_downgrades_to_pickle(self, monkeypatch):
+        features, labels, queries = _workload()
+        with make_searcher(
+            "mcam-3bit",
+            num_features=10,
+            seed=8,
+            shards=4,
+            executor="processes",
+            num_workers=WORKERS,
+        ) as sharded:
+            sharded.fit(features, labels)
+
+            def exhausted(self, nbytes):
+                raise OSError(28, "No space left on device")
+
+            monkeypatch.setattr(SharedMemoryRing, "acquire", exhausted)
+            result = sharded.kneighbors_batch(queries, k=3)  # falls back live
+            assert sharded._executor._shm_failed
+            assert sharded._executor.active_transport == "pickle"
+            monkeypatch.undo()
+            reference = make_searcher("mcam-3bit", num_features=10, seed=8, shards=4)
+            reference.fit(features, labels)
+            expected = reference.kneighbors_batch(queries, k=3)
+            np.testing.assert_array_equal(expected.indices, result.indices)
+            np.testing.assert_array_equal(expected.scores, result.scores)
+            # The downgrade sticks: the next publish epoch writes pickles.
+            sharded.fit(features + 0.5, labels)
+            sharded.kneighbors_batch(queries, k=3)
+            assert all(
+                path.endswith(".pkl") for path in sharded._published_paths.values()
+            )
+
+
+class TestMapCachedContract:
+    def test_per_job_query_batches_route_through_the_pickle_path(self):
+        """The shm fast path assumes one shared query matrix per batch;
+        jobs carrying different arrays must be honored, not silently ranked
+        against job 0's queries."""
+        from repro.core import SoftwareSearcher
+
+        features = RNG.normal(size=(12, 4))
+        first = SoftwareSearcher("euclidean").fit(features[:6])
+        second = SoftwareSearcher("euclidean").fit(features[6:])
+        queries_a = RNG.normal(size=(3, 4))
+        queries_b = RNG.normal(size=(3, 4))
+        with ProcessShardExecutor(num_workers=1) as executor:
+            paths = [
+                executor.publish_shard("per-job", 0, (first, np.arange(6)), epoch=1),
+                executor.publish_shard(
+                    "per-job", 1, (second, np.arange(6, 12)), epoch=1
+                ),
+            ]
+            jobs = [
+                ("per-job", 0, 1, paths[0], np.random.default_rng(0), queries_a, 2),
+                ("per-job", 1, 1, paths[1], np.random.default_rng(0), queries_b, 2),
+            ]
+            results = executor.map_cached(jobs)
+        expected_first = first._rank_batch(queries_a, rng=np.random.default_rng(0), k=2)
+        expected_second = second._rank_batch(queries_b, rng=np.random.default_rng(0), k=2)
+        np.testing.assert_array_equal(results[0][0], expected_first[0])
+        np.testing.assert_array_equal(results[0][1], expected_first[1])
+        np.testing.assert_array_equal(results[1][0], expected_second[0] + 6)
+        np.testing.assert_array_equal(results[1][1], expected_second[1])
+
+
+class TestBroadcastResilience:
+    def test_broadcast_swallows_a_shut_down_pool(self):
+        """Eviction runs on cleanup paths: a broken/shut-down pool must
+        yield 0 deliveries, never an exception out of close()."""
+        from repro.runtime import PersistentProcessPool
+
+        pool = PersistentProcessPool(num_workers=1)
+        try:
+            pool.map(_probe_worker_cache, [None, None])  # start workers
+            pool._pool.shutdown(wait=True)  # break it behind the wrapper
+            assert pool.broadcast(_probe_worker_cache, None) == 0
+        finally:
+            pool.close()
+
+
+class TestWorkerShardCacheEviction:
+    """close() must not strand dead searchers' shards in long-running pools."""
+
+    def test_close_evicts_this_searchers_shards_from_a_shared_pool(self):
+        features, labels, queries = _workload()
+        with ProcessShardExecutor(num_workers=1) as executor:
+            first = ShardedSearcher(
+                lambda: MCAMSearcher(bits=3, seed=1), num_shards=2, executor=executor
+            )
+            second = ShardedSearcher(
+                lambda: MCAMSearcher(bits=3, seed=1), num_shards=2, executor=executor
+            )
+            first.fit(features, labels)
+            second.fit(features, labels)
+            expected = first.kneighbors_batch(queries, k=3)
+            second.kneighbors_batch(queries, k=3)
+            # One worker => every job (and the eviction broadcast) lands on
+            # the same process, so the probe is deterministic.
+            pool = executor._pool._ensure_pool()
+            resident = {key[0] for key in pool.submit(_probe_worker_cache).result()}
+            assert {first._searcher_id, second._searcher_id} <= resident
+
+            first.close()  # shared executor: evict, do NOT shut the pool down
+            resident = {key[0] for key in pool.submit(_probe_worker_cache).result()}
+            assert first._searcher_id not in resident
+            assert second._searcher_id in resident
+            # The surviving searcher still serves, and the pool never cycled.
+            np.testing.assert_array_equal(
+                expected.indices, second.kneighbors_batch(queries, k=3).indices
+            )
+            assert executor._pool._ensure_pool() is pool
+
+    def test_evict_purges_the_calling_process_cache(self, tmp_path):
+        import pickle
+
+        from repro.core import SoftwareSearcher
+
+        features = RNG.normal(size=(10, 4))
+        path = tmp_path / "shard.pkl"
+        path.write_bytes(
+            pickle.dumps(
+                (SoftwareSearcher("euclidean").fit(features), np.arange(10, dtype=np.int64))
+            )
+        )
+        job = (
+            "evict-me",
+            0,
+            1,
+            str(path),
+            np.random.default_rng(1),
+            RNG.normal(size=(3, 4)),
+            2,
+        )
+        _rank_cached_shard_job(job)  # populates THIS process's cache
+        assert ("evict-me", 0) in _WORKER_SHARD_CACHE
+        with ProcessShardExecutor(num_workers=1) as executor:
+            executor.evict("evict-me")
+        assert ("evict-me", 0) not in _WORKER_SHARD_CACHE
+
+    def test_owned_executor_close_still_purges_in_process_entries(self):
+        features, labels, queries = _workload()
+        searcher = make_searcher(
+            "mcam-3bit",
+            num_features=10,
+            seed=8,
+            shards=2,
+            executor="processes",
+            num_workers=1,
+        )
+        searcher.fit(features, labels)
+        searcher.kneighbors_batch(queries, k=2)
+        # Simulate an in-process entry (the <=1-job short cut's residue).
+        _WORKER_SHARD_CACHE[(searcher._searcher_id, 99)] = (1, object(), np.arange(1))
+        searcher.close()
+        assert not any(
+            key[0] == searcher._searcher_id for key in _WORKER_SHARD_CACHE
+        )
+
+
+class TestResidentShardBound:
+    def test_cache_is_lru_bounded_so_missed_evictions_age_out(self, tmp_path, monkeypatch):
+        import pickle
+
+        from repro.core import SoftwareSearcher
+        from repro.runtime import process_pool
+
+        monkeypatch.setattr(process_pool, "_MAX_RESIDENT_SHARDS", 3)
+        features = RNG.normal(size=(6, 3))
+        payload = pickle.dumps(
+            (SoftwareSearcher("euclidean").fit(features), np.arange(6, dtype=np.int64))
+        )
+        paths = []
+        for index in range(4):
+            path = tmp_path / f"shard{index}.pkl"
+            path.write_bytes(payload)
+            paths.append(str(path))
+        try:
+            for index in range(3):
+                process_pool._resident_shard("bounded", index, 1, paths[index])
+            # Touch shard 0 so it is most-recent; loading a 4th must evict
+            # shard 1 (the least recently used), not shard 0.
+            process_pool._resident_shard("bounded", 0, 1, paths[0])
+            process_pool._resident_shard("bounded", 3, 1, paths[3])
+            resident = {key[1] for key in worker_shard_cache_epochs() if key[0] == "bounded"}
+            assert resident == {0, 2, 3}
+        finally:
+            process_pool._evict_searcher_entries("bounded")
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared memory on host")
+class TestAttachmentPruning:
+    def test_attaching_a_new_name_prunes_unlinked_attachments(self):
+        from repro.runtime.transport import _ATTACHED_SEGMENTS, attach_segment
+
+        ring = SharedMemoryRing(depth=1)
+        try:
+            first = ring.acquire(128)
+            attach_segment(first.name)
+            assert first.name in _ATTACHED_SEGMENTS
+            # Growing the slot unlinks the old segment in the owner; the
+            # next attachment of the replacement must drop the dead mapping
+            # instead of pinning its pages until LRU pressure.
+            grown = ring.acquire(first.size + 1)
+            attach_segment(grown.name)
+            assert first.name not in _ATTACHED_SEGMENTS
+            assert grown.name in _ATTACHED_SEGMENTS
+        finally:
+            ring.close()
+            for name in list(_ATTACHED_SEGMENTS):
+                _ATTACHED_SEGMENTS.pop(name).close()
+
+
+class TestSharedExecutorConfiguration:
+    def test_num_workers_with_instance_rejected(self):
+        with ProcessShardExecutor(num_workers=1) as executor:
+            with pytest.raises(SearchError, match="num_workers"):
+                ShardedSearcher(
+                    lambda: MCAMSearcher(bits=3),
+                    num_shards=2,
+                    executor=executor,
+                    num_workers=2,
+                )
+
+    def test_instance_without_executor_interface_rejected(self):
+        with pytest.raises(SearchError, match="map"):
+            ShardedSearcher(lambda: MCAMSearcher(bits=3), num_shards=2, executor=object())
+
+    def test_executor_name_reflects_the_shared_instance(self):
+        with ProcessShardExecutor(num_workers=1) as executor:
+            searcher = ShardedSearcher(
+                lambda: MCAMSearcher(bits=3), num_shards=2, executor=executor
+            )
+            assert searcher.executor_name == "processes"
+            assert not searcher._owns_executor
+            searcher.close()
