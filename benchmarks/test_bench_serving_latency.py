@@ -1,0 +1,148 @@
+"""Serving QPS and tail latency: the micro-batching scheduler's CI gates.
+
+Real serving traffic is many concurrent clients issuing *single* queries —
+the worst case for the sharded ``"processes"`` executor, whose per-dispatch
+overhead (fan-out, worker pipes, ring bookkeeping) is amortized only across
+a batch.  The ``repro.serving`` scheduler coalesces that traffic into
+micro-batches and keeps several of them in flight on the shared-memory
+ring.  This benchmark gates it:
+
+1. **Sustained QPS** — 64 concurrent single-query clients through the
+   scheduler must sustain >= 2x the QPS of the naive one-query-per-dispatch
+   baseline (clients serialized on the searcher, exactly what callers had
+   before the scheduler existed).  Skipped below 4 cores like the other
+   multi-core gates.
+2. **Tail latency** — an open-loop run at half the measured capacity
+   (arrivals paced independently of completions, so queueing shows up in
+   the tail instead of throttling the load) must keep p99 under a
+   generous ceiling; p50/p99 are recorded for trend tracking.
+3. **Bitwise parity** — demultiplexed per-query results are bitwise
+   identical to direct ``kneighbors_batch`` calls (runs everywhere, no
+   core gate: coalescing must never change results).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import make_searcher
+from repro.serving import MicroBatchScheduler, direct_submitter, run_closed_loop, run_open_loop
+
+pytestmark = pytest.mark.serving
+
+NUM_SHARDS = 4
+STORED = 4096
+FEATURES = 64
+NUM_QUERIES = 128
+CLIENTS = 64
+REQUESTS_PER_CLIENT = 8
+TOP_K = 3
+REQUIRED_QPS_SPEEDUP = 2.0
+OPEN_LOOP_P99_CEILING_MS = 500.0
+MIN_CORES = 4
+
+RNG = np.random.default_rng(20260807)
+
+
+def _workload():
+    features = RNG.normal(size=(STORED, FEATURES))
+    labels = RNG.integers(0, 32, size=STORED)
+    queries = RNG.normal(size=(NUM_QUERIES, FEATURES))
+    return features, labels, queries
+
+
+def _serving_searcher():
+    return make_searcher(
+        "mcam-3bit",
+        num_features=FEATURES,
+        seed=9,
+        shards=NUM_SHARDS,
+        executor="processes",
+        num_workers=MIN_CORES,
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < MIN_CORES,
+    reason=f"the {REQUIRED_QPS_SPEEDUP}x QPS gate needs >= {MIN_CORES} cores",
+)
+def test_scheduler_sustains_2x_qps_and_bounded_tail(record_result):
+    features, labels, queries = _workload()
+    with _serving_searcher() as searcher:
+        searcher.fit(features, labels)
+        searcher.kneighbors_batch(queries, k=TOP_K)  # warm caches + calibrate
+
+        naive = run_closed_loop(
+            direct_submitter(searcher),
+            queries,
+            clients=CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            k=TOP_K,
+        )
+        with MicroBatchScheduler(searcher, max_batch=32, max_delay_us=2000.0) as scheduler:
+            served = run_closed_loop(
+                scheduler,
+                queries,
+                clients=CLIENTS,
+                requests_per_client=REQUESTS_PER_CLIENT,
+                k=TOP_K,
+            )
+            # Open loop at half the measured capacity: arrivals keep coming
+            # while earlier requests queue, so the tail is honest.
+            rate = max(50.0, served.qps * 0.5)
+            tail = run_open_loop(scheduler, queries, rate_qps=rate, duration_s=1.0, k=TOP_K)
+            stats = scheduler.stats.snapshot()
+
+    speedup = served.qps / naive.qps if naive.qps else float("inf")
+    record_result(
+        "serving_latency",
+        f"stored={STORED} shards={NUM_SHARDS} workers={MIN_CORES} "
+        f"clients={CLIENTS} k={TOP_K}\n"
+        f"gates: scheduler >= {REQUIRED_QPS_SPEEDUP}x naive QPS at {CLIENTS} "
+        "single-query clients, open-loop p99 "
+        f"<= {OPEN_LOOP_P99_CEILING_MS:.0f} ms at half capacity, "
+        "demuxed results bitwise identical",
+        timing=f"cores={os.cpu_count()}\n"
+        f"naive one-per-dispatch: {naive.summary()}\n"
+        f"micro-batched:          {served.summary()}\n"
+        f"qps speedup:            {speedup:.2f}x\n"
+        f"open loop @{rate:.0f} qps: {tail.summary()}\n"
+        f"batch shapes: {stats['batch_shapes']}",
+    )
+    assert served.completed == CLIENTS * REQUESTS_PER_CLIENT
+    assert served.errors == 0 and tail.errors == 0
+    assert speedup >= REQUIRED_QPS_SPEEDUP, (
+        f"the scheduler sustains only {speedup:.2f}x the naive baseline's QPS "
+        f"({served.qps:.0f} vs {naive.qps:.0f}; required: {REQUIRED_QPS_SPEEDUP}x)"
+    )
+    assert tail.p99_ms <= OPEN_LOOP_P99_CEILING_MS, (
+        f"open-loop p99 is {tail.p99_ms:.1f} ms at {rate:.0f} qps "
+        f"(ceiling: {OPEN_LOOP_P99_CEILING_MS:.0f} ms)"
+    )
+
+
+def test_demuxed_results_bitwise_identical_to_direct_batches(record_result):
+    features, labels, queries = _workload()
+    reference = make_searcher(
+        "mcam-3bit", num_features=FEATURES, seed=9, shards=NUM_SHARDS
+    )
+    reference.fit(features, labels)
+    expected = reference.kneighbors_batch(queries, k=TOP_K)
+    with _serving_searcher() as searcher:
+        searcher.fit(features, labels)
+        with MicroBatchScheduler(searcher, max_batch=16, max_delay_us=2000.0) as scheduler:
+            futures = [scheduler.submit(query, k=TOP_K) for query in queries]
+            for index, future in enumerate(futures):
+                result = future.result(timeout=60)
+                np.testing.assert_array_equal(result.indices, expected[index].indices)
+                np.testing.assert_array_equal(result.scores, expected[index].scores)
+                assert result.labels == expected[index].labels
+    record_result(
+        "serving_demux_parity",
+        f"stored={STORED} shards={NUM_SHARDS} queries={NUM_QUERIES} k={TOP_K}\n"
+        "scheduler-demultiplexed per-query results bitwise identical to "
+        "direct kneighbors_batch: ok",
+    )

@@ -12,6 +12,8 @@ Multi-Bit Content-Addressable Memories" end to end:
 * :mod:`repro.datasets`, :mod:`repro.mann` — UCI-style datasets, the
   Omniglot-like embedding space and the few-shot evaluation harness,
 * :mod:`repro.energy` — CAM, GPU and end-to-end energy/latency models,
+* :mod:`repro.serving` — the async micro-batching scheduler coalescing
+  concurrent single-query clients into batched dispatches,
 * :mod:`repro.analysis`, :mod:`repro.experiments` — analysis harnesses and
   one driver per paper figure.
 
@@ -36,6 +38,8 @@ from .exceptions import (
     QuantizationError,
     ReproError,
     SearchError,
+    ServingError,
+    ServingOverloadError,
 )
 from .core import (
     BatchQueryResult,
@@ -57,6 +61,7 @@ from .runtime import (
     ProcessShardExecutor,
     resolve_trial_runner,
 )
+from .serving import MicroBatchScheduler, ServingStats
 
 __all__ = [
     "ARXIV_ID",
@@ -73,6 +78,8 @@ __all__ = [
     "QuantizationError",
     "ReproError",
     "SearchError",
+    "ServingError",
+    "ServingOverloadError",
     "BatchQueryResult",
     "MCAMDistance",
     "MCAMSearcher",
@@ -89,4 +96,6 @@ __all__ = [
     "PersistentProcessPool",
     "ProcessShardExecutor",
     "resolve_trial_runner",
+    "MicroBatchScheduler",
+    "ServingStats",
 ]

@@ -116,6 +116,39 @@ def select_kernel(key: tuple, candidates: Dict[str, Callable[[], object]]):
     return best_name, best_result
 
 
+def floor_bucket_size(n: int) -> int:
+    """The largest size ``<= n`` that sits exactly on a shape-bucket boundary.
+
+    Bucket boundaries are the powers of two (:func:`shape_bucket` buckets
+    cover ``(2**(b-1), 2**b]``), so flushing a serving micro-batch at
+    ``floor_bucket_size`` of its pending count keeps coalesced traffic inside
+    at most ``log2(max_batch)`` distinct shape classes — each one reusable
+    from the kernel table after its first calibration — instead of
+    calibrating a long tail of odd batch sizes.  Always at least half of
+    ``n`` (and never less than 1), so a shape-biased flush can never starve
+    more than half of a pending run.
+    """
+    if n <= 1:
+        return 1
+    return 1 << (int(n).bit_length() - 1)
+
+
+def calibrated_query_buckets() -> frozenset:
+    """Bucketed query-batch sizes that already have a calibrated winner.
+
+    By convention every circuit autotune key ends with
+    ``(..., shape_bucket(num_queries), eligibility_flag)`` — see
+    ``MCAMArray._autotuned_conductances`` and
+    ``TCAMArray._autotuned_hamming`` — so the second-to-last key element is
+    the query-count bucket.  The micro-batching scheduler consults this set
+    when shaping a flush: dispatching a batch whose bucket is already
+    calibrated can never stall on a one-shot micro-calibration, so such
+    shapes are "cheap" from the scheduler's point of view.  Aggregated over
+    every kernel family (a serving searcher typically exercises one).
+    """
+    return frozenset(key[-2] for key in _KERNEL_TABLE if len(key) >= 2)
+
+
 def kernel_table() -> Dict[tuple, str]:
     """Copy of the calibrated kernel table (introspection/tests)."""
     return dict(_KERNEL_TABLE)
@@ -127,8 +160,10 @@ def clear_kernel_table() -> None:
 
 
 __all__ = [
+    "calibrated_query_buckets",
     "check_kernel",
     "clear_kernel_table",
+    "floor_bucket_size",
     "kernel_table",
     "lookup_kernel",
     "select_kernel",

@@ -249,6 +249,53 @@ class NearestNeighborSearcher(abc.ABC):
         )
         return BatchQueryResult(indices=indices, scores=scores, labels=labels)
 
+    def kneighbors_arrays(
+        self, queries, k: int = 1, rng: SeedLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rank a (possibly coalesced) query batch into raw top-k arrays.
+
+        The per-query demultiplexing entry point of the serving layer: the
+        ranking is identical to :meth:`kneighbors_batch` — row ``i`` is
+        bitwise identical to the single-query call for the deterministic
+        engines, because every batched kernel evaluates query rows
+        independently — but the result is the plain ``(indices, scores)``
+        pair of ``(num_queries, k)`` arrays, skipping the per-query
+        label-tuple construction so a scheduler can slice rows straight back
+        to the awaiting clients (see :func:`labels_for` for on-demand
+        labels).
+        """
+        self._require_fitted()
+        k = check_int_in_range(k, "k", minimum=1, maximum=self._num_entries)
+        queries = self._check_query_batch(queries)
+        if queries.shape[0] == 0:
+            return np.empty((0, k), dtype=np.int64), np.empty((0, k))
+        return self._rank_batch(queries, rng=ensure_rng(rng), k=k)
+
+    def labels_for(self, indices) -> tuple:
+        """Stored labels for global row indices (``None`` when unlabeled).
+
+        Serving demultiplexers call this per delivered query instead of
+        paying :meth:`kneighbors_batch`'s eager label construction for the
+        whole coalesced batch.
+        """
+        if self._labels is None:
+            return tuple(None for _ in indices)
+        return tuple(self._labels[int(i)] for i in indices)
+
+    def submit_serving(self, queries, k: int = 1, rng: SeedLike = None):
+        """Dispatch one serving batch, returning a zero-argument ``collect``.
+
+        ``collect()`` yields the ``(indices, scores)`` arrays of
+        :meth:`kneighbors_arrays`.  The default implementation computes
+        eagerly and hands back a completed collector; searchers whose
+        executor can keep several batches in flight (the sharded
+        ``"processes"`` executor dispatching through the shared-memory ring)
+        override this so the micro-batching scheduler can overlap the next
+        batch's dispatch with the previous batch's worker-side compute.
+        """
+        result = self.kneighbors_arrays(queries, k=k, rng=rng)
+        return lambda: result
+
     def nearest(self, query, rng: SeedLike = None) -> int:
         """Index of the nearest stored entry."""
         return int(self.kneighbors(query, k=1, rng=rng).indices[0])

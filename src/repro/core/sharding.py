@@ -52,7 +52,7 @@ import numpy as np
 
 from ..circuits.tiles import partition_rows, split_rows_evenly
 from ..exceptions import SearchError
-from ..utils.rng import spawn_rngs
+from ..utils.rng import SeedLike, ensure_rng, spawn_rngs
 from ..utils.validation import check_feature_matrix, check_int_in_range
 from .search import NearestNeighborSearcher, _stable_smallest_k
 
@@ -646,19 +646,49 @@ class ShardedSearcher(NearestNeighborSearcher):
             )
         return jobs
 
+    def _merge_shard_results(self, results, k: int):
+        """Pool per-shard candidates and merge them into exact global top-k.
+
+        ``np.concatenate`` copies, so shared-memory result views are
+        consumed here — the merged arrays never alias a ring segment.
+        """
+        candidate_indices = np.concatenate([indices for indices, _ in results], axis=1)
+        candidate_scores = np.concatenate([scores for _, scores in results], axis=1)
+        return merge_shard_topk(candidate_scores, candidate_indices, k)
+
     def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+        return self._submit_rank_batch(queries, rng, k)()
+
+    def _submit_rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+        """Dispatch one batch, returning a zero-argument ``collect`` callable.
+
+        Executors exposing ``submit_cached`` (the ``"processes"`` strategy)
+        keep the dispatched batch **in flight**: workers rank it while the
+        caller is free to demultiplex the previous batch or write the next
+        one, and ``collect()`` blocks only until this batch's shards are
+        merged.  Every other path computes eagerly and hands back a
+        completed collector, so :meth:`_rank_batch` behaves identically
+        either way.
+        """
         if not self._shards:
             raise SearchError("sharded searcher must be fitted before searching")
         if len(self._shards) == 1:
             indices, scores = self._shards[0]._rank_batch(queries, rng=rng, k=k)
-            return self._index_maps[0][indices.astype(np.int64, copy=False)], scores
+            result = (
+                self._index_maps[0][indices.astype(np.int64, copy=False)],
+                scores,
+            )
+            return lambda: result
         # Independent per-shard streams: stochastic engines stay deterministic
         # under any executor because no generator is shared across workers.
         shard_rngs = spawn_rngs(rng, len(self._shards))
         if getattr(self._executor, "supports_shard_cache", False):
-            results = self._executor.map_cached(
-                self._cached_shard_jobs(shard_rngs, queries, k)
-            )
+            jobs = self._cached_shard_jobs(shard_rngs, queries, k)
+            submit = getattr(self._executor, "submit_cached", None)
+            if submit is not None:
+                pending = submit(jobs)
+                return lambda: self._merge_shard_results(pending(), k)
+            results = self._executor.map_cached(jobs)
         else:
             jobs = [
                 (shard, index_map, shard_rng, queries, k)
@@ -667,9 +697,42 @@ class ShardedSearcher(NearestNeighborSearcher):
                 )
             ]
             results = self._executor.map(_rank_shard_job, jobs)
-        candidate_indices = np.concatenate([indices for indices, _ in results], axis=1)
-        candidate_scores = np.concatenate([scores for _, scores in results], axis=1)
-        return merge_shard_topk(candidate_scores, candidate_indices, k)
+        merged = self._merge_shard_results(results, k)
+        return lambda: merged
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    @property
+    def serving_depth(self) -> Optional[int]:
+        """Batches the executor can keep in flight at once (None: unbounded).
+
+        Mirrors the executor's ``dispatch_depth`` — for the shared-memory
+        transport that is the ring depth, since a ring slot may only be
+        rewritten after the batch occupying it has been collected.  The
+        micro-batching scheduler caps its ``max_in_flight`` at this value.
+        """
+        return getattr(self._executor, "dispatch_depth", None)
+
+    def submit_serving(self, queries, k: int = 1, rng: SeedLike = None):
+        """Dispatch one coalesced batch and keep it in flight until collected.
+
+        The sharded serving entry point: returns a zero-argument ``collect``
+        whose result is the ``(indices, scores)`` pair of
+        :meth:`kneighbors_arrays`.  On the ``"processes"`` executor the
+        batch travels through the shared-memory ring and stays in flight —
+        worker processes rank it while the caller demultiplexes earlier
+        batches — bounded by :attr:`serving_depth`.  Collect order must
+        follow submit order (FIFO), which is what keeps ring-slot reuse
+        safe; the micro-batching scheduler enforces exactly that.
+        """
+        self._require_fitted()
+        k = check_int_in_range(k, "k", minimum=1, maximum=self._num_entries)
+        queries = self._check_query_batch(queries)
+        if queries.shape[0] == 0:
+            empty = (np.empty((0, k), dtype=np.int64), np.empty((0, k)))
+            return lambda: empty
+        return self._submit_rank_batch(queries, ensure_rng(rng), k)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

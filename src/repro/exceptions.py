@@ -37,6 +37,20 @@ class SearchError(ReproError):
     """Raised when a nearest-neighbor search cannot be performed."""
 
 
+class ServingError(ReproError):
+    """Raised when the serving layer is used inconsistently (e.g. after close)."""
+
+
+class ServingOverloadError(ServingError):
+    """Raised when admission control fast-fails a query under overload.
+
+    The micro-batching scheduler bounds its pending queue; once the bound is
+    reached new submissions are rejected immediately rather than queued into
+    unbounded latency.  Clients are expected to treat this as a retryable
+    load-shedding signal.
+    """
+
+
 class QuantizationError(ReproError):
     """Raised when features cannot be quantized to the requested precision."""
 

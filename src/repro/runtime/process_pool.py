@@ -57,6 +57,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -126,6 +127,17 @@ class PersistentProcessPool:
         if len(jobs) <= 1:
             return [fn(job) for job in jobs]
         return list(self._ensure_pool().map(fn, jobs, chunksize=max(1, chunksize)))
+
+    def submit_all(self, fn: Callable, jobs: Iterable) -> List:
+        """Submit ``fn(job)`` for every job, returning the futures in order.
+
+        The non-blocking counterpart of :meth:`map`: the caller collects the
+        futures when it needs the results, which is what lets a dispatcher
+        keep several batches in flight on the workers at once.  ``fn`` and
+        every job must be picklable.
+        """
+        pool = self._ensure_pool()
+        return [pool.submit(fn, job) for job in jobs]
 
     def broadcast(self, fn: Callable, arg) -> int:
         """Best-effort: submit ``fn(arg)`` once per worker slot, then wait.
@@ -311,9 +323,19 @@ class ProcessShardExecutor:
         failure (e.g. an exhausted ``/dev/shm``) downgrades ``"auto"`` to
         the pickle path transparently; both transports produce bitwise
         identical results.
+    ring_depth:
+        Slots in the shared-memory ring, i.e. how many dispatched batches
+        may be **in flight** at once on the shm transport (a slot may only
+        be rewritten after its batch has been collected).  The default of 2
+        lets a serving scheduler overlap one batch's worker-side compute
+        with the next batch's dispatch; raise it for deeper pipelines.
 
     The pool itself persists across searches — the worker start-up cost is
-    paid once per searcher, not per query batch.
+    paid once per searcher, not per query batch.  Spool/eviction
+    bookkeeping is thread-safe, so a serving scheduler's pump thread and
+    foreground lifecycle calls (``close``/``evict``) can overlap; the
+    shared-memory ring itself is single-dispatcher (route all of one
+    executor's batch traffic through one thread, e.g. one scheduler).
     """
 
     name = "processes"
@@ -326,6 +348,7 @@ class ProcessShardExecutor:
         num_workers: Optional[int] = None,
         shard_cache: bool = True,
         transport: str = "auto",
+        ring_depth: int = 2,
     ) -> None:
         if transport not in self._TRANSPORTS:
             raise ConfigurationError(
@@ -340,6 +363,7 @@ class ProcessShardExecutor:
         self.num_workers = self._pool.num_workers
         self.shard_cache = bool(shard_cache)
         self.transport = transport
+        self.ring_depth = check_int_in_range(ring_depth, "ring_depth", minimum=1)
         self._shm_failed = False
         self._ring: Optional[_transport.SharedMemoryRing] = None
         self._spool_dir: Optional[str] = None
@@ -348,11 +372,29 @@ class ProcessShardExecutor:
         #: epoch-named bundle publications replace (and delete) the previous
         #: epoch's entry.
         self._published: Dict[Tuple[str, int], str] = {}
+        #: Serializes publish/evict/close bookkeeping: a scheduler pump
+        #: thread publishing epochs must not race a foreground ``close()``
+        #: (or two searchers' ``close()`` calls racing each other) over the
+        #: published-path table and the spool directory.
+        self._lock = threading.Lock()
 
     @property
     def supports_shard_cache(self) -> bool:
         """Whether the sharded searcher should dispatch cache-keyed jobs."""
         return self.shard_cache
+
+    @property
+    def dispatch_depth(self) -> Optional[int]:
+        """Batches that may be in flight at once (``None``: unbounded).
+
+        On the shared-memory transport this is the ring depth — batch
+        ``N + ring_depth`` reuses batch ``N``'s slot, so ``N`` must be
+        collected first.  The pickle transport pipes self-contained result
+        payloads, so nothing aliases and the bound disappears.
+        """
+        if self.active_transport == "shm":
+            return self.ring_depth
+        return None
 
     @property
     def active_transport(self) -> str:
@@ -374,7 +416,7 @@ class ProcessShardExecutor:
 
     def _ensure_ring(self) -> _transport.SharedMemoryRing:
         if self._ring is None:
-            self._ring = _transport.SharedMemoryRing()
+            self._ring = _transport.SharedMemoryRing(depth=self.ring_depth)
         return self._ring
 
     def publish_shard(
@@ -389,21 +431,24 @@ class ProcessShardExecutor:
         epoch's bundle is deleted after the swap); the pickle transport
         keeps the PR 4 atomically replaced pickle file.
         """
-        stem = os.path.join(self._ensure_spool(), f"{searcher_id}-shard{shard_index}")
-        key = (searcher_id, shard_index)
-        previous = self._published.get(key)
-        if self.active_transport == "shm":
-            path = _transport.write_spool_bundle(f"{stem}-e{epoch}", payload)
-        else:
-            path = f"{stem}.pkl"
-            tmp_path = f"{path}.tmp"
-            with open(tmp_path, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_path, path)
-        if previous is not None and previous != path:
-            _transport.remove_spool_entry(previous)
-        self._published[key] = path
-        return path
+        with self._lock:
+            stem = os.path.join(
+                self._ensure_spool(), f"{searcher_id}-shard{shard_index}"
+            )
+            key = (searcher_id, shard_index)
+            previous = self._published.get(key)
+            if self.active_transport == "shm":
+                path = _transport.write_spool_bundle(f"{stem}-e{epoch}", payload)
+            else:
+                path = f"{stem}.pkl"
+                tmp_path = f"{path}.tmp"
+                with open(tmp_path, "wb") as fh:
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, path)
+            if previous is not None and previous != path:
+                _transport.remove_spool_entry(previous)
+            self._published[key] = path
+            return path
 
     def map(self, fn, jobs) -> list:
         """Apply ``fn`` to every job in worker processes, preserving order."""
@@ -420,15 +465,34 @@ class ProcessShardExecutor:
         are detected and routed through the pickle path, which honors them.
         Workers write their top-k results back in place; the returned
         ``(indices, scores)`` pairs are then zero-copy views into that
-        segment, valid until the ring slot is reused (one subsequent
-        dispatch) — callers consume them immediately (the cross-shard merge
-        copies).  The pickle transport (and the single-job in-process short
-        cut, where no pipe is crossed) returns ordinary arrays.
+        segment, valid until the ring slot is reused (``ring_depth``
+        subsequent dispatches) — callers consume them immediately (the
+        cross-shard merge copies).  The pickle transport (and the
+        single-job in-process short cut, where no pipe is crossed) returns
+        ordinary arrays.
+        """
+        return self.submit_cached(jobs)()
+
+    def submit_cached(self, jobs):
+        """Dispatch cache-keyed shard jobs, keeping the batch in flight.
+
+        The non-blocking counterpart of :meth:`map_cached` and the primitive
+        under the serving scheduler's multi-batch pipeline: the batch's
+        queries are written (shm) and the per-shard jobs submitted to the
+        workers, then a zero-argument ``collect`` callable is returned whose
+        call blocks until every shard finished and yields the per-shard
+        result list.  Up to :attr:`dispatch_depth` batches may be in flight
+        at once, and collects must follow submit order (FIFO) — batch
+        ``N + ring_depth`` rewrites batch ``N``'s ring slot, so ``N`` must
+        be collected (and its views consumed) first.
         """
         jobs = list(jobs)
-        shared_queries = len(jobs) > 1 and all(
-            job[5] is jobs[0][5] for job in jobs[1:]
-        )
+        if len(jobs) <= 1:
+            # No pipe is crossed for a single job; ranking in process also
+            # populates the parent-resident cache (see evict()).
+            results = [_rank_cached_shard_job(job) for job in jobs]
+            return lambda: results
+        shared_queries = all(job[5] is jobs[0][5] for job in jobs[1:])
         if shared_queries and self.active_transport == "shm":
             try:
                 segment, layout = self._acquire_batch_segment(jobs)
@@ -438,13 +502,15 @@ class ProcessShardExecutor:
                 # Scoped to the segment operations on purpose — a worker
                 # raising OSError (e.g. a reaped spool) must propagate, not
                 # masquerade as a shared-memory failure.
-                self._shm_failed = True
-                if self._ring is not None:
-                    self._ring.close()
-                    self._ring = None
+                with self._lock:
+                    self._shm_failed = True
+                    ring, self._ring = self._ring, None
+                if ring is not None:
+                    ring.close()
             else:
-                return self._map_cached_shm(segment, layout, jobs)
-        return self._pool.map(_rank_cached_shard_job, jobs)
+                return self._submit_cached_shm(segment, layout, jobs)
+        futures = self._pool.submit_all(_rank_cached_shard_job, jobs)
+        return lambda: [future.result() for future in futures]
 
     def _acquire_batch_segment(self, jobs: list):
         """A ring segment sized and loaded for one batch's queries/results."""
@@ -453,8 +519,8 @@ class ProcessShardExecutor:
         layout.write_queries(segment)
         return segment, layout
 
-    def _map_cached_shm(self, segment, layout, jobs: list) -> list:
-        """Dispatch one batch through the shared-memory ring."""
+    def _submit_cached_shm(self, segment, layout, jobs: list):
+        """Dispatch one batch through the shared-memory ring (in flight)."""
         shm_jobs = [
             (
                 searcher_id,
@@ -479,8 +545,16 @@ class ProcessShardExecutor:
                 shard_k,
             ) in enumerate(jobs)
         ]
-        self._pool.map(_rank_cached_shard_job_shm, shm_jobs)
-        return [layout.result_views(segment, position) for position in range(len(jobs))]
+        futures = self._pool.submit_all(_rank_cached_shard_job_shm, shm_jobs)
+
+        def collect() -> list:
+            for future in futures:
+                future.result()
+            return [
+                layout.result_views(segment, position) for position in range(len(jobs))
+            ]
+
+        return collect
 
     def evict(self, searcher_id: str, broadcast: bool = True) -> None:
         """Drop cached shards of one (closed) searcher from worker caches.
@@ -495,20 +569,38 @@ class ProcessShardExecutor:
         dead searchers' shards.
         """
         _evict_searcher_entries(searcher_id)
-        for key in [key for key in self._published if key[0] == searcher_id]:
-            _transport.remove_spool_entry(self._published.pop(key))
+        with self._lock:
+            # Snapshot-and-pop under the lock: a scheduler and a searcher
+            # closing the same serving stack from different threads may both
+            # reach here, and concurrent ``close()`` clears the table — a
+            # key snapshotted by one caller can legitimately be gone by the
+            # time it pops it.
+            stale = [
+                self._published.pop(key)
+                for key in list(self._published)
+                if key[0] == searcher_id
+            ]
+        for path in stale:
+            _transport.remove_spool_entry(path)
         if broadcast:
             self._pool.broadcast(_evict_searcher_entries, searcher_id)
 
     def close(self) -> None:
-        """Shut workers down, unlink segments and drop the spool (idempotent)."""
+        """Shut workers down, unlink segments and drop the spool (idempotent).
+
+        Safe to call more than once and from more than one owner — a
+        serving scheduler tearing down its stack and a ``with`` block (or
+        finalizer) closing the searcher both reach the shared executor, in
+        either order.
+        """
         self._pool.close()
-        if self._ring is not None:
-            self._ring.close()
-            self._ring = None
-        self._published.clear()
-        finalizer, self._spool_finalizer = self._spool_finalizer, None
-        self._spool_dir = None
+        with self._lock:
+            ring, self._ring = self._ring, None
+            self._published.clear()
+            finalizer, self._spool_finalizer = self._spool_finalizer, None
+            self._spool_dir = None
+        if ring is not None:
+            ring.close()
         if finalizer is not None:
             finalizer()
 

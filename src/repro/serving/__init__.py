@@ -1,0 +1,29 @@
+"""Serving layer: async micro-batching over a fitted searcher.
+
+:class:`MicroBatchScheduler` coalesces single queries from many concurrent
+clients into micro-batches, dispatches them through the executor/transport
+seam with several batches in flight, and demultiplexes per-query top-k
+results back to awaiting futures — bitwise identical to direct
+``kneighbors_batch`` calls.  :mod:`repro.serving.loadgen` provides the
+open- and closed-loop load generators behind the CI QPS/tail-latency
+gates.
+"""
+
+from .loadgen import (
+    LoadReport,
+    direct_submitter,
+    percentile,
+    run_closed_loop,
+    run_open_loop,
+)
+from .scheduler import MicroBatchScheduler, ServingStats
+
+__all__ = [
+    "LoadReport",
+    "MicroBatchScheduler",
+    "ServingStats",
+    "direct_submitter",
+    "percentile",
+    "run_closed_loop",
+    "run_open_loop",
+]

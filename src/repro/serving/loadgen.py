@@ -1,0 +1,240 @@
+"""Load generation and latency measurement for the serving scheduler.
+
+Two complementary traffic models:
+
+* :func:`run_closed_loop` — ``clients`` concurrent threads, each holding at
+  most one request in flight (submit, wait, repeat).  Throughput-oriented:
+  sustained QPS under a fixed concurrency level, the shape of the CI gate
+  (64 concurrent single-query clients through the scheduler vs. the naive
+  one-query-per-dispatch baseline of :func:`direct_submitter`).
+* :func:`run_open_loop` — a single generator issuing queries on a fixed
+  arrival schedule regardless of completions, the standard methodology for
+  *tail* latency: unlike a closed loop, slow responses cannot throttle the
+  arrival rate, so queueing delay shows up in p99 instead of hiding in a
+  reduced request count (coordinated omission).
+
+Both return a :class:`LoadReport` with sustained QPS and p50/p99 latency.
+The generators target anything with a ``submit(query, k) -> Future``
+method — the :class:`~repro.serving.scheduler.MicroBatchScheduler`, or the
+baseline wrapper — and never interpret results beyond completion, so they
+add no per-request overhead that would flatter either side.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..exceptions import ServingOverloadError
+
+
+def percentile(latencies: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation, or NaN."""
+    if not len(latencies):
+        return float("nan")
+    return float(np.percentile(np.asarray(latencies, dtype=np.float64), q))
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run.
+
+    Latencies are **milliseconds**, measured per request from submission to
+    delivered result.  ``qps`` counts completed requests over the
+    measurement window; rejected (overload fast-fail) and errored requests
+    are tallied separately and excluded from the latency distribution.
+    """
+
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    duration_s: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    @property
+    def p50_ms(self) -> float:
+        return percentile(self.latencies_ms, 50.0)
+
+    @property
+    def p99_ms(self) -> float:
+        return percentile(self.latencies_ms, 99.0)
+
+    @property
+    def mean_ms(self) -> float:
+        if not self.latencies_ms:
+            return float("nan")
+        return float(np.mean(self.latencies_ms))
+
+    def summary(self) -> str:
+        """One-line human-readable digest (benchmark records)."""
+        return (
+            f"qps={self.qps:.1f} p50={self.p50_ms:.3f}ms p99={self.p99_ms:.3f}ms "
+            f"completed={self.completed} rejected={self.rejected} errors={self.errors}"
+        )
+
+
+class _SerialDirect:
+    """The pre-scheduler baseline: one query per dispatch, serialized.
+
+    Wraps a searcher behind the same ``submit(query, k) -> Future``
+    surface the load generators drive, but each call performs one
+    single-query dispatch under a lock — exactly what concurrent clients
+    sharing a searcher had before the scheduler existed (the executor
+    transport is single-dispatcher, so callers must serialize).
+    """
+
+    def __init__(self, searcher):
+        self._searcher = searcher
+        self._lock = threading.Lock()
+
+    def submit(self, query, k: int = 1) -> Future:
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            with self._lock:
+                indices, scores = self._searcher.kneighbors_arrays(query, k=k)
+        except Exception as exc:
+            future.set_exception(exc)
+        else:
+            future.set_result((indices[0], scores[0]))
+        return future
+
+
+def direct_submitter(searcher) -> _SerialDirect:
+    """A naive one-query-per-dispatch submitter over ``searcher``.
+
+    The honest baseline for scheduler speedups: concurrent clients
+    serialize on a lock because the underlying executor transport admits a
+    single dispatcher.  Returns an object with the same
+    ``submit(query, k) -> Future`` surface as the scheduler.
+    """
+    return _SerialDirect(searcher)
+
+
+def run_closed_loop(
+    target,
+    queries: np.ndarray,
+    clients: int = 8,
+    requests_per_client: int = 32,
+    k: int = 1,
+) -> LoadReport:
+    """Drive ``target.submit`` from ``clients`` threads, one request each in flight.
+
+    Client ``c`` walks the query set starting at offset ``c`` (stride
+    ``clients``), so all clients exercise the full set without coordinating.
+    The measurement window spans first submission to last completion.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    report = LoadReport()
+    lock = threading.Lock()
+
+    def client(offset: int) -> None:
+        for i in range(requests_per_client):
+            row = queries[(offset + i * clients) % queries.shape[0]]
+            start = time.perf_counter()
+            try:
+                target.submit(row, k=k).result()
+            except ServingOverloadError:
+                with lock:
+                    report.rejected += 1
+                continue
+            except Exception:
+                with lock:
+                    report.errors += 1
+                continue
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            with lock:
+                report.completed += 1
+                report.latencies_ms.append(elapsed_ms)
+
+    threads = [
+        threading.Thread(target=client, args=(c,), name=f"loadgen-{c}", daemon=True)
+        for c in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration_s = time.perf_counter() - start
+    return report
+
+
+def run_open_loop(
+    target,
+    queries: np.ndarray,
+    rate_qps: float,
+    duration_s: float,
+    k: int = 1,
+) -> LoadReport:
+    """Issue queries on a fixed arrival schedule for ``duration_s`` seconds.
+
+    Arrivals are paced at ``rate_qps`` regardless of completions (the
+    generator never waits on results), so queueing delay accumulates into
+    the recorded tail instead of throttling the offered load.  Completions
+    are recorded from future callbacks; the run waits for every in-flight
+    request before reporting.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    interval = 1.0 / float(rate_qps)
+    report = LoadReport()
+    lock = threading.Lock()
+    outstanding: List[Future] = []
+
+    def on_done(start: float, future: Future) -> None:
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        with lock:
+            if future.exception() is not None:
+                report.errors += 1
+            else:
+                report.completed += 1
+                report.latencies_ms.append(elapsed_ms)
+
+    begin = time.perf_counter()
+    issued = 0
+    while True:
+        now = time.perf_counter()
+        if now - begin >= duration_s:
+            break
+        scheduled = begin + issued * interval
+        if now < scheduled:
+            time.sleep(min(scheduled - now, interval))
+            continue
+        row = queries[issued % queries.shape[0]]
+        start = time.perf_counter()
+        try:
+            future = target.submit(row, k=k)
+        except ServingOverloadError:
+            with lock:
+                report.rejected += 1
+        else:
+            future.add_done_callback(lambda f, s=start: on_done(s, f))
+            outstanding.append(future)
+        issued += 1
+    for future in outstanding:
+        try:
+            future.result()
+        except Exception:
+            pass  # tallied by the callback
+    report.duration_s = time.perf_counter() - begin
+    return report
+
+
+__all__ = [
+    "LoadReport",
+    "direct_submitter",
+    "percentile",
+    "run_closed_loop",
+    "run_open_loop",
+]

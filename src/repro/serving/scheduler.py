@@ -1,0 +1,530 @@
+"""Async micro-batching scheduler: many concurrent clients, one hot engine.
+
+A fitted searcher ranks a coalesced query matrix far cheaper than the same
+queries dispatched one at a time — per-dispatch overhead (executor fan-out,
+worker pipes, kernel dispatch) amortizes across the batch while every
+batched kernel evaluates query rows independently.  The serving problem is
+that real traffic arrives as *single* queries from many concurrent clients,
+not as ready-made batches.  :class:`MicroBatchScheduler` closes that gap:
+
+* **Ingestion** — clients submit single queries (or small batches) from any
+  thread via :meth:`~MicroBatchScheduler.submit`, or from asyncio code via
+  ``await scheduler.search(query, k)``.  Both return per-query results.
+* **Coalescing** — a dedicated pump thread gathers pending requests into
+  micro-batches under a ``max_batch`` / ``max_delay_us`` policy: a batch is
+  flushed as soon as it is full, or when the oldest pending query has
+  waited ``max_delay_us``.  Flush sizes are biased toward
+  **autotuner-cheap shapes**: the shape-adaptive kernel table of
+  :mod:`repro.circuits.autotune` is bucketed by powers of two, so partial
+  flushes are trimmed to bucket boundaries (never below half the pending
+  run) unless the pending count's bucket is already calibrated — serving
+  traffic therefore exercises a handful of reusable shape classes instead
+  of calibrating a long tail of odd batch sizes.
+* **Dispatch** — coalesced batches go through the searcher's
+  ``submit_serving`` seam.  On the sharded ``"processes"`` executor that
+  path keeps several batches **in flight** on the shared-memory ring
+  (bounded by ``max_in_flight`` and the searcher's ``serving_depth``):
+  worker processes rank batch *N+1* while the pump demultiplexes batch
+  *N*.
+* **Demultiplexing** — per-query top-k rows are sliced out of the batch
+  result and delivered to each awaiting future as a
+  :class:`~repro.core.search.QueryResult`.  Coalescing is a transport
+  concern, never a semantic one: every delivered row is **bitwise
+  identical** to calling ``kneighbors_batch`` with that query alone (the
+  deterministic engines' batched kernels are row-independent).
+* **Backpressure** — the pending queue is bounded; once full, new
+  submissions fast-fail with
+  :class:`~repro.exceptions.ServingOverloadError` instead of queueing into
+  unbounded latency.  :class:`ServingStats` counts everything.
+
+Lifecycle follows the PR 4 idioms: ``with`` support, an idempotent
+:meth:`~MicroBatchScheduler.close` that **drains** — pending and in-flight
+queries are served, not dropped — and a :func:`weakref.finalize` safety net
+(the pump thread references only the internal engine, so an abandoned
+scheduler is collectable and its finalizer drains the pump).
+
+The scheduler does not own the searcher: close the searcher (and its
+executor) after the scheduler, the usual nesting of ``with`` blocks.  While
+a scheduler is serving, route all of that searcher's traffic through it —
+the shared-memory ring is single-dispatcher.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import weakref
+from collections import deque
+from concurrent.futures import Future
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..circuits.autotune import (
+    calibrated_query_buckets,
+    floor_bucket_size,
+    shape_bucket,
+)
+from ..core.search import QueryResult
+from ..exceptions import (
+    ConfigurationError,
+    SearchError,
+    ServingError,
+    ServingOverloadError,
+)
+from ..utils.validation import check_int_in_range
+
+
+class ServingStats:
+    """Thread-safe counters of one scheduler's serving activity.
+
+    Attributes (all monotonic since construction):
+
+    * ``enqueued`` — requests admitted to the pending queue,
+    * ``rejected`` — requests fast-failed by admission control,
+    * ``cancelled`` — requests whose future was cancelled before dispatch,
+    * ``completed`` — requests delivered a result,
+    * ``failed`` — requests delivered an exception,
+    * ``batches`` — micro-batches dispatched,
+    * ``coalesced`` — queries that shared their dispatch with at least one
+      other query (i.e. rode in a batch of size >= 2),
+    * ``trimmed`` — flushes shrunk to an autotuner bucket boundary,
+    * ``batch_shapes`` — histogram ``{batch_size: count}`` of dispatched
+      batch shapes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.enqueued = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.completed = 0
+        self.failed = 0
+        self.batches = 0
+        self.coalesced = 0
+        self.trimmed = 0
+        self.batch_shapes: Dict[int, int] = {}
+
+    def bump(self, **deltas: int) -> None:
+        """Add ``deltas`` to the named counters (thread-safe)."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def record_batch(self, size: int, trimmed: bool) -> None:
+        """Account one dispatched micro-batch of ``size`` queries."""
+        with self._lock:
+            self.batches += 1
+            if size > 1:
+                self.coalesced += size
+            if trimmed:
+                self.trimmed += 1
+            self.batch_shapes[size] = self.batch_shapes.get(size, 0) + 1
+
+    def snapshot(self) -> dict:
+        """A consistent copy of every counter."""
+        with self._lock:
+            return {
+                "enqueued": self.enqueued,
+                "rejected": self.rejected,
+                "cancelled": self.cancelled,
+                "completed": self.completed,
+                "failed": self.failed,
+                "batches": self.batches,
+                "coalesced": self.coalesced,
+                "trimmed": self.trimmed,
+                "batch_shapes": dict(self.batch_shapes),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ServingStats({self.snapshot()!r})"
+
+
+class _Request:
+    """One admitted query waiting for (or riding in) a micro-batch."""
+
+    __slots__ = ("query", "k", "future", "arrival")
+
+    def __init__(self, query: np.ndarray, k: int, future: Future, arrival: float):
+        self.query = query
+        self.k = k
+        self.future = future
+        self.arrival = arrival
+
+
+class _SchedulerEngine:
+    """The scheduler's internals: queue, pump loop, dispatch, demux.
+
+    Split from the :class:`MicroBatchScheduler` facade so the pump thread
+    references only this object — dropping the last reference to the facade
+    therefore leaves it collectable, and its finalizer calls :meth:`close`
+    here, which drains the queue and stops the pump.
+    """
+
+    def __init__(
+        self,
+        searcher,
+        max_batch: int,
+        max_delay_s: float,
+        max_queue: int,
+        max_in_flight: int,
+        prefer_calibrated_shapes: bool,
+    ) -> None:
+        self.searcher = searcher
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.max_queue = max_queue
+        self.max_in_flight = max_in_flight
+        self.prefer_calibrated_shapes = prefer_calibrated_shapes
+        self.stats = ServingStats()
+        self._cond = threading.Condition()
+        self._pending: "deque[_Request]" = deque()
+        self._inflight: "deque[tuple]" = deque()
+        self._thread: Optional[threading.Thread] = None
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, query, k: int) -> Future:
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if not self.searcher.is_fitted:
+            raise SearchError("the served searcher must be fitted before serving")
+        if query.shape[0] != self.searcher.num_features:
+            raise SearchError(
+                f"query has {query.shape[0]} features, "
+                f"expected {self.searcher.num_features}"
+            )
+        if query.size and not np.all(np.isfinite(query)):
+            raise SearchError("queries must contain only finite values")
+        k = check_int_in_range(
+            k, "k", minimum=1, maximum=self.searcher.num_entries
+        )
+        future: Future = Future()
+        request = _Request(query, k, future, time.monotonic())
+        with self._cond:
+            if self._closing:
+                raise ServingError("scheduler is closed")
+            if len(self._pending) >= self.max_queue:
+                self.stats.bump(rejected=1)
+                raise ServingOverloadError(
+                    f"serving queue is full ({self.max_queue} pending queries); "
+                    "retry later or raise max_queue"
+                )
+            self._pending.append(request)
+            self._ensure_pump()
+            self._cond.notify_all()
+        self.stats.bump(enqueued=1)
+        return future
+
+    # ------------------------------------------------------------------
+    # Pump
+    # ------------------------------------------------------------------
+    def _ensure_pump(self) -> None:
+        # Called under the condition lock.
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._run, name="repro-serving-pump", daemon=True
+            )
+            self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                break
+            if batch:
+                self._dispatch(batch)
+            self._collect_ready()
+        while self._inflight:
+            self._collect_oldest()
+
+    def _head_run_length(self) -> int:
+        """Pending requests coalescible with the head (same ``k``)."""
+        run = 0
+        head_k = self._pending[0].k
+        for request in self._pending:
+            if request.k != head_k:
+                break
+            run += 1
+        return run
+
+    def _flush_size(self, run: int) -> int:
+        """How many of a pending run to flush when the delay window expires.
+
+        Full batches flush whole.  Partial flushes are biased toward
+        autotuner-cheap shapes: a run whose power-of-two shape bucket is
+        already calibrated dispatches as-is (its kernels are table hits);
+        otherwise the run is trimmed to the bucket boundary below — a
+        reusable shape class, never less than half the run.  The remainder
+        keeps its own arrival deadlines and rides the next flush.
+        """
+        size = min(run, self.max_batch)
+        if (
+            not self.prefer_calibrated_shapes
+            or self._closing
+            or size <= 1
+            or size >= self.max_batch
+        ):
+            return size
+        if shape_bucket(size) in calibrated_query_buckets():
+            return size
+        return floor_bucket_size(size)
+
+    def _next_batch(self) -> Optional[List[_Request]]:
+        """Gather the next micro-batch (None once closed and drained)."""
+        with self._cond:
+            while not self._pending and not self._closing:
+                self._cond.wait()
+            if not self._pending:
+                return None
+            deadline = self._pending[0].arrival + self.max_delay_s
+            while not self._closing:
+                if self._head_run_length() >= self.max_batch:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            run = self._head_run_length()
+            size = self._flush_size(run)
+            trimmed = size < min(run, self.max_batch)
+            requests = []
+            for _ in range(size):
+                request = self._pending.popleft()
+                # Claim the future; a client that cancelled while queueing
+                # is dropped here, before its query costs any compute.
+                if request.future.set_running_or_notify_cancel():
+                    requests.append(request)
+                else:
+                    self.stats.bump(cancelled=1)
+        if requests:
+            self.stats.record_batch(len(requests), trimmed)
+        return requests
+
+    def _dispatch(self, requests: List[_Request]) -> None:
+        queries = np.stack([request.query for request in requests])
+        try:
+            collect = self.searcher.submit_serving(queries, k=requests[0].k)
+        except Exception as exc:  # deliver, never kill the pump
+            self._deliver_failure(requests, exc)
+            return
+        self._inflight.append((collect, requests))
+
+    def _collect_ready(self) -> None:
+        """Demultiplex finished batches without stalling the pipeline.
+
+        Collects while the in-flight window is full (a slot must free up
+        before the next dispatch) and whenever no queries are pending (so
+        results never sit undelivered while the pump would otherwise sleep).
+        """
+        while self._inflight:
+            with self._cond:
+                backlog = bool(self._pending) or self._closing
+            if backlog and len(self._inflight) < self.max_in_flight:
+                return
+            self._collect_oldest()
+
+    def _collect_oldest(self) -> None:
+        collect, requests = self._inflight.popleft()
+        try:
+            indices, scores = collect()
+        except Exception as exc:  # a worker died, the spool was reaped, ...
+            self._deliver_failure(requests, exc)
+            return
+        searcher = self.searcher
+        for position, request in enumerate(requests):
+            result_indices = indices[position]
+            result = QueryResult(
+                indices=result_indices,
+                scores=scores[position],
+                labels=searcher.labels_for(result_indices),
+            )
+            if not request.future.cancelled():
+                request.future.set_result(result)
+        self.stats.bump(completed=len(requests))
+
+    def _deliver_failure(self, requests: List[_Request], exc: BaseException) -> None:
+        for request in requests:
+            if not request.future.cancelled():
+                request.future.set_exception(exc)
+        self.stats.bump(failed=len(requests))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop intake, drain pending and in-flight queries, stop the pump."""
+        with self._cond:
+            self._closing = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join()
+
+
+class MicroBatchScheduler:
+    """Coalesce many concurrent single-query clients into micro-batches.
+
+    Parameters
+    ----------
+    searcher:
+        A **fitted** searcher exposing the serving seam
+        (``submit_serving`` / ``kneighbors_arrays`` / ``labels_for`` — every
+        :class:`~repro.core.search.NearestNeighborSearcher` does).  The
+        scheduler does not own it; close the searcher after the scheduler.
+    max_batch:
+        Largest coalesced batch; a batch flushes immediately once full.
+    max_delay_us:
+        Longest a pending query may wait for batch-mates, in microseconds.
+        The latency the scheduler may *add* is bounded by roughly twice
+        this (one window queueing, one more if a shape-biased flush leaves
+        the query for the next batch).
+    max_queue:
+        Pending-queue bound: admission control fast-fails submissions with
+        :class:`~repro.exceptions.ServingOverloadError` beyond it.
+    max_in_flight:
+        Dispatched batches that may be outstanding at once, capped at the
+        searcher's ``serving_depth`` (the shared-memory ring depth on the
+        ``"processes"`` executor).  Depth > 1 overlaps worker-side compute
+        of one batch with demultiplexing and dispatch of the next.
+    prefer_calibrated_shapes:
+        Bias partial flushes toward the autotuner's power-of-two shape
+        buckets (see :func:`repro.circuits.autotune.floor_bucket_size`).
+        Never affects results, only batch shapes.
+
+    Results delivered through the scheduler are bitwise identical to
+    calling ``kneighbors_batch`` on the searcher directly with the same
+    query — coalescing is a transport concern, never a semantic one.  The
+    serving path targets the deterministic (ideal-sensing) engines; engines
+    with stochastic sensing draw from a dispatch-dependent stream and are
+    not reproducible under coalescing by construction.
+    """
+
+    def __init__(
+        self,
+        searcher,
+        max_batch: int = 64,
+        max_delay_us: float = 2000.0,
+        max_queue: int = 1024,
+        max_in_flight: int = 2,
+        prefer_calibrated_shapes: bool = True,
+    ) -> None:
+        if not callable(getattr(searcher, "submit_serving", None)):
+            raise ServingError(
+                "searcher must expose the serving seam (submit_serving); "
+                "every NearestNeighborSearcher does"
+            )
+        max_batch = check_int_in_range(max_batch, "max_batch", minimum=1)
+        max_queue = check_int_in_range(max_queue, "max_queue", minimum=1)
+        max_in_flight = check_int_in_range(max_in_flight, "max_in_flight", minimum=1)
+        if not max_delay_us >= 0:
+            raise ConfigurationError(f"max_delay_us must be >= 0, got {max_delay_us!r}")
+        depth = getattr(searcher, "serving_depth", None)
+        if depth is not None:
+            max_in_flight = min(max_in_flight, int(depth))
+        self._engine = _SchedulerEngine(
+            searcher,
+            max_batch=max_batch,
+            max_delay_s=float(max_delay_us) * 1e-6,
+            max_queue=max_queue,
+            max_in_flight=max_in_flight,
+            prefer_calibrated_shapes=bool(prefer_calibrated_shapes),
+        )
+        # Safety net: an abandoned scheduler drains and stops its pump at
+        # garbage collection (the pump references the engine, not us).
+        self._finalizer = weakref.finalize(self, self._engine.close)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def searcher(self):
+        """The searcher being served."""
+        return self._engine.searcher
+
+    @property
+    def stats(self) -> ServingStats:
+        """Live serving counters."""
+        return self._engine.stats
+
+    @property
+    def max_batch(self) -> int:
+        return self._engine.max_batch
+
+    @property
+    def max_in_flight(self) -> int:
+        """Effective in-flight bound (after the ``serving_depth`` cap)."""
+        return self._engine.max_in_flight
+
+    @property
+    def max_queue(self) -> int:
+        return self._engine.max_queue
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def submit(self, query, k: int = 1) -> Future:
+        """Enqueue one query; the future resolves to its per-query result.
+
+        Thread-safe and non-blocking: raises
+        :class:`~repro.exceptions.ServingOverloadError` immediately when the
+        pending queue is full, :class:`~repro.exceptions.ServingError` after
+        :meth:`close`.  Cancelling the returned future before dispatch drops
+        the query without costing any compute.
+        """
+        return self._engine.submit(query, k)
+
+    def submit_many(self, queries, k: int = 1) -> List[Future]:
+        """Enqueue a small client-side batch, one future per row.
+
+        The rows coalesce like any other pending queries (with each other
+        and with concurrent clients').  On overload, rows admitted before
+        the bound was hit keep their futures; the raising row and the rest
+        are not enqueued.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        return [self._engine.submit(row, k) for row in queries]
+
+    async def search(self, query, k: int = 1):
+        """Asyncio front-end: awaitable per-query result.
+
+        Submission errors (overload, closed) raise in the caller;
+        cancelling the awaiting task cancels the queued request.
+        """
+        return await asyncio.wrap_future(self._engine.submit(query, k))
+
+    async def search_many(self, queries, k: int = 1) -> list:
+        """Awaitable client-side batch: one result per row, in row order."""
+        futures = self.submit_many(queries, k=k)
+        return list(await asyncio.gather(*map(asyncio.wrap_future, futures)))
+
+    def kneighbors(self, query, k: int = 1):
+        """Blocking convenience wrapper: submit and wait for the result."""
+        return self.submit(query, k=k).result()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and stop serving (idempotent).
+
+        Intake stops immediately (submissions raise
+        :class:`~repro.exceptions.ServingError`); queries already admitted
+        — pending or in flight — are dispatched, demultiplexed and
+        delivered before the pump exits.
+        """
+        self._finalizer()
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+__all__ = ["MicroBatchScheduler", "ServingStats"]

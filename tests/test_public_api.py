@@ -18,6 +18,8 @@ SUBPACKAGES = [
     "repro.energy",
     "repro.analysis",
     "repro.experiments",
+    "repro.runtime",
+    "repro.serving",
     "repro.utils",
 ]
 
@@ -85,6 +87,9 @@ class TestDocumentedPublicClasses:
             "repro.energy.EndToEndComparison",
             "repro.analysis.NNClassificationBenchmark",
             "repro.analysis.VariationSweep",
+            "repro.runtime.ProcessShardExecutor",
+            "repro.serving.MicroBatchScheduler",
+            "repro.serving.ServingStats",
         ],
     )
     def test_public_classes_have_docstrings(self, qualified_name):

@@ -469,6 +469,180 @@ class TestAttachmentPruning:
                 _ATTACHED_SEGMENTS.pop(name).close()
 
 
+class TestInFlightDispatch:
+    """submit_cached: several batches in flight, FIFO collects, depth cap."""
+
+    @staticmethod
+    def _two_shard_jobs(executor, queries, k=2, searcher_id="in-flight", epoch=1):
+        from repro.core import SoftwareSearcher
+
+        features = RNG.normal(size=(16, 4))
+        shards = [
+            SoftwareSearcher("euclidean").fit(features[:8]),
+            SoftwareSearcher("euclidean").fit(features[8:]),
+        ]
+        paths = [
+            executor.publish_shard(
+                searcher_id, index, (shard, np.arange(8) + 8 * index), epoch=epoch
+            )
+            for index, shard in enumerate(shards)
+        ]
+        jobs = [
+            (searcher_id, index, epoch, paths[index], np.random.default_rng(0), queries, k)
+            for index in range(2)
+        ]
+        expected = []
+        for index, shard in enumerate(shards):
+            local_indices, scores = shard._rank_batch(
+                queries, rng=np.random.default_rng(0), k=k
+            )
+            expected.append((local_indices + 8 * index, scores))
+        return jobs, expected
+
+    @pytest.mark.skipif(not shared_memory_available(), reason="no shared memory on host")
+    def test_two_batches_ride_the_ring_concurrently_fifo(self):
+        queries_a = RNG.normal(size=(3, 4))
+        queries_b = RNG.normal(size=(5, 4))
+        with ProcessShardExecutor(num_workers=WORKERS, ring_depth=2) as executor:
+            assert executor.dispatch_depth == 2
+            jobs_a, expected_a = self._two_shard_jobs(executor, queries_a)
+            jobs_b, expected_b = self._two_shard_jobs(
+                executor, queries_b, searcher_id="in-flight-b"
+            )
+            # Both batches dispatched before either is collected: batch B's
+            # workers run while batch A's results are still in its ring slot.
+            collect_a = executor.submit_cached(jobs_a)
+            collect_b = executor.submit_cached(jobs_b)
+            results_a = collect_a()
+            results_b = collect_b()
+            # Depth 2 and only 2 dispatches: batch A's views are still
+            # valid after B's collect — the slot-reuse horizon the serving
+            # scheduler's max_in_flight cap relies on.
+            for (indices, scores), (want_indices, want_scores) in zip(
+                results_a, expected_a
+            ):
+                np.testing.assert_array_equal(indices, want_indices)
+                np.testing.assert_array_equal(scores, want_scores)
+            for (indices, scores), (want_indices, want_scores) in zip(
+                results_b, expected_b
+            ):
+                np.testing.assert_array_equal(indices, want_indices)
+                np.testing.assert_array_equal(scores, want_scores)
+
+    def test_pickle_transport_reports_unbounded_depth(self, monkeypatch):
+        monkeypatch.setattr(transport_module, "_shared_memory", None)
+        with ProcessShardExecutor(num_workers=1) as executor:
+            assert executor.active_transport == "pickle"
+            assert executor.dispatch_depth is None
+            queries = RNG.normal(size=(3, 4))
+            jobs, expected = self._two_shard_jobs(executor, queries)
+            collect_a = executor.submit_cached(jobs)
+            collect_b = executor.submit_cached(jobs)
+            for collect in (collect_a, collect_b):
+                for (indices, scores), (want_indices, want_scores) in zip(
+                    collect(), expected
+                ):
+                    np.testing.assert_array_equal(indices, want_indices)
+                    np.testing.assert_array_equal(scores, want_scores)
+
+    def test_ring_depth_validated(self):
+        with pytest.raises(ConfigurationError, match="ring_depth"):
+            ProcessShardExecutor(num_workers=1, ring_depth=0)
+
+
+class TestServingStackTeardown:
+    """A scheduler, a searcher and a shared executor may each reach close()
+    and evict() — in any order, from more than one thread — without a
+    double-free, a KeyError on the published table, or a hang."""
+
+    def _serving_stack(self, executor):
+        features, labels, _ = _workload()
+        searcher = ShardedSearcher(
+            lambda: MCAMSearcher(bits=3, seed=8), num_shards=2, executor=executor
+        )
+        searcher.fit(features, labels)
+        return searcher
+
+    def test_searcher_then_executor_close(self):
+        executor = ProcessShardExecutor(num_workers=1)
+        searcher = self._serving_stack(executor)
+        searcher.kneighbors_batch(RNG.normal(size=(4, 10)), k=2)
+        searcher.close()
+        executor.close()
+        executor.close()
+
+    def test_executor_then_searcher_close(self):
+        executor = ProcessShardExecutor(num_workers=1)
+        searcher = self._serving_stack(executor)
+        searcher.kneighbors_batch(RNG.normal(size=(4, 10)), k=2)
+        executor.close()
+        # The searcher's close evicts through the already-closed executor:
+        # the broadcast lands on a shut-down pool (0 deliveries) and the
+        # published table is already empty — both must be tolerated.
+        searcher.close()
+        searcher.close()
+
+    def test_evict_after_close_is_a_noop(self):
+        executor = ProcessShardExecutor(num_workers=1)
+        searcher = self._serving_stack(executor)
+        searcher.kneighbors_batch(RNG.normal(size=(4, 10)), k=2)
+        executor.close()
+        executor.evict(searcher._searcher_id)
+        executor.evict("never-published")
+
+    def test_concurrent_evicts_and_close_never_race(self):
+        import threading
+
+        executor = ProcessShardExecutor(num_workers=1)
+        searcher = self._serving_stack(executor)
+        searcher.kneighbors_batch(RNG.normal(size=(4, 10)), k=2)
+        errors = []
+
+        def run(fn):
+            try:
+                fn()
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(arg,))
+            for arg in [
+                lambda: executor.evict(searcher._searcher_id, broadcast=False),
+                lambda: executor.evict(searcher._searcher_id, broadcast=False),
+                executor.close,
+                executor.close,
+            ]
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_scheduler_and_searcher_close_in_either_order(self):
+        from repro.serving import MicroBatchScheduler
+
+        features, labels, queries = _workload()
+        for searcher_first in (False, True):
+            with ProcessShardExecutor(num_workers=WORKERS) as executor:
+                searcher = ShardedSearcher(
+                    lambda: MCAMSearcher(bits=3, seed=8),
+                    num_shards=2,
+                    executor=executor,
+                )
+                searcher.fit(features, labels)
+                scheduler = MicroBatchScheduler(searcher, max_delay_us=1_000)
+                scheduler.submit(queries[0], k=2).result(timeout=30)
+                if searcher_first:
+                    searcher.close()
+                    scheduler.close()
+                else:
+                    scheduler.close()
+                    searcher.close()
+                scheduler.close()
+                searcher.close()
+
+
 class TestSharedExecutorConfiguration:
     def test_num_workers_with_instance_rejected(self):
         with ProcessShardExecutor(num_workers=1) as executor:

@@ -1,0 +1,445 @@
+"""Micro-batching scheduler: coalescing, backpressure, lifecycle, parity.
+
+The scheduler's contract mirrors the runtime's: coalescing single queries
+into micro-batches changes *when and how* dispatches happen, never *what*
+they compute.  These tests pin the coalescing policy boundaries (a full
+batch flushes immediately; a partial run flushes when the head's delay
+window expires; shape-biased flushes trim to autotuner bucket boundaries),
+bounded-queue admission control, cancellation before dispatch, drain on
+``close()``, the finalizer safety net, the asyncio front-end, and —
+most importantly — bitwise parity of demultiplexed per-query results
+against direct ``kneighbors_batch`` calls at 1, 2 and 4 workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits import autotune
+from repro.core import SoftwareSearcher, make_searcher
+from repro.exceptions import (
+    ConfigurationError,
+    ReproError,
+    SearchError,
+    ServingError,
+    ServingOverloadError,
+)
+from repro.serving import MicroBatchScheduler, ServingStats
+
+RNG = np.random.default_rng(20260807)
+
+FEATURES = 12
+WAIT_S = 15.0  # generous future timeouts: never the expected path
+
+
+def _fitted_searcher(rows=64, seed=3):
+    searcher = SoftwareSearcher("euclidean")
+    searcher.fit(
+        np.random.default_rng(seed).normal(size=(rows, FEATURES)),
+        np.arange(rows),
+    )
+    return searcher
+
+
+def _queries(count, seed=7):
+    return np.random.default_rng(seed).normal(size=(count, FEATURES))
+
+
+class _GatedSearcher(SoftwareSearcher):
+    """Records dispatched batch sizes; collection blocks until released.
+
+    Ranking happens eagerly at dispatch (so results are ready), but the
+    collect closure waits on :attr:`release` — letting a test hold the
+    scheduler's pump inside a collect while it stages pending queries,
+    which makes queue-boundary scenarios deterministic.
+    """
+
+    def __init__(self):
+        super().__init__("euclidean")
+        self.release = threading.Event()
+        self.dispatched = []
+
+    def submit_serving(self, queries, k=1, rng=None):
+        self.dispatched.append(int(queries.shape[0]))
+        result = self.kneighbors_arrays(queries, k=k, rng=rng)
+
+        def collect():
+            assert self.release.wait(timeout=WAIT_S), "test never released the gate"
+            return result
+
+        return collect
+
+
+def _wait_until(predicate, timeout=WAIT_S):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.001)
+    return False
+
+
+class TestCoalescingPolicy:
+    def test_full_batch_flushes_without_waiting_for_the_delay_window(self):
+        searcher = _fitted_searcher()
+        with MicroBatchScheduler(
+            searcher, max_batch=4, max_delay_us=10e6, prefer_calibrated_shapes=False
+        ) as scheduler:
+            start = time.monotonic()
+            futures = [scheduler.submit(q) for q in _queries(4)]
+            for future in futures:
+                future.result(timeout=WAIT_S)
+            elapsed = time.monotonic() - start
+        # The 10-second window never expired: the flush was max_batch-driven.
+        assert elapsed < 5.0
+        assert scheduler.stats.snapshot()["batch_shapes"] == {4: 1}
+
+    def test_partial_run_flushes_when_the_head_deadline_expires(self):
+        searcher = _fitted_searcher()
+        with MicroBatchScheduler(
+            searcher, max_batch=64, max_delay_us=100_000, prefer_calibrated_shapes=False
+        ) as scheduler:
+            futures = [scheduler.submit(q) for q in _queries(3)]
+            for future in futures:
+                future.result(timeout=WAIT_S)
+            shapes = scheduler.stats.snapshot()["batch_shapes"]
+        # Far below max_batch, so only the 100 ms delay window flushed it.
+        assert sum(size * count for size, count in shapes.items()) == 3
+
+    def test_uncalibrated_partial_flush_trims_to_the_bucket_boundary(self, monkeypatch):
+        monkeypatch.setattr(autotune, "_KERNEL_TABLE", {})
+        searcher = _fitted_searcher()
+        with MicroBatchScheduler(
+            searcher, max_batch=16, max_delay_us=100_000, max_in_flight=1
+        ) as scheduler:
+            futures = [scheduler.submit(q) for q in _queries(6)]
+            for future in futures:
+                future.result(timeout=WAIT_S)
+            stats = scheduler.stats.snapshot()
+        # 6 pending, bucket uncalibrated: flush 4 (the boundary below), then
+        # the 2 left behind on their own deadline — never an odd shape.
+        assert stats["batch_shapes"] == {4: 1, 2: 1}
+        assert stats["trimmed"] == 1
+
+    def test_calibrated_bucket_flushes_whole(self, monkeypatch):
+        monkeypatch.setattr(
+            autotune,
+            "_KERNEL_TABLE",
+            {("fake-family", autotune.shape_bucket(6), True): "dense"},
+        )
+        searcher = _fitted_searcher()
+        with MicroBatchScheduler(
+            searcher, max_batch=16, max_delay_us=100_000, max_in_flight=1
+        ) as scheduler:
+            futures = [scheduler.submit(q) for q in _queries(6)]
+            for future in futures:
+                future.result(timeout=WAIT_S)
+            stats = scheduler.stats.snapshot()
+        # Bucket 3 has a calibrated winner: dispatching 6 is a table hit,
+        # so the flush is not trimmed.
+        assert stats["batch_shapes"] == {6: 1}
+        assert stats["trimmed"] == 0
+
+    def test_mixed_k_requests_never_share_a_batch(self):
+        searcher = _fitted_searcher()
+        reference = searcher.kneighbors_batch(_queries(6), k=2)
+        reference5 = searcher.kneighbors_batch(_queries(6), k=5)
+        with MicroBatchScheduler(
+            searcher, max_batch=16, max_delay_us=50_000, prefer_calibrated_shapes=False
+        ) as scheduler:
+            futures = []
+            for index, query in enumerate(_queries(6)):
+                futures.append(scheduler.submit(query, k=2 if index % 2 == 0 else 5))
+            results = [future.result(timeout=WAIT_S) for future in futures]
+        for index, result in enumerate(results):
+            expected = reference[index] if index % 2 == 0 else reference5[index]
+            np.testing.assert_array_equal(result.indices, expected.indices)
+            np.testing.assert_array_equal(result.scores, expected.scores)
+
+
+class TestBackpressure:
+    def test_overload_fast_fails_and_recovers(self):
+        searcher = _GatedSearcher()
+        searcher.fit(np.random.default_rng(3).normal(size=(32, FEATURES)))
+        queries = _queries(8)
+        with MicroBatchScheduler(
+            searcher, max_batch=1, max_delay_us=0, max_queue=2, max_in_flight=1
+        ) as scheduler:
+            first = scheduler.submit(queries[0])
+            # The pump dispatches the head immediately (max_batch=1) and
+            # blocks inside its collect; everything after now queues.
+            assert _wait_until(lambda: len(searcher.dispatched) == 1)
+            queued = [scheduler.submit(q) for q in queries[1:3]]
+            with pytest.raises(ServingOverloadError):
+                scheduler.submit(queries[3])
+            assert scheduler.stats.snapshot()["rejected"] == 1
+            searcher.release.set()
+            for future in [first] + queued:
+                assert future.result(timeout=WAIT_S).indices.shape == (1,)
+            # Admission recovers once the queue drains.
+            scheduler.submit(queries[4]).result(timeout=WAIT_S)
+
+    def test_overload_error_is_a_serving_and_repro_error(self):
+        assert issubclass(ServingOverloadError, ServingError)
+        assert issubclass(ServingError, ReproError)
+
+
+class TestCancellation:
+    def test_cancelled_requests_are_dropped_before_dispatch(self):
+        searcher = _GatedSearcher()
+        searcher.fit(np.random.default_rng(3).normal(size=(32, FEATURES)))
+        queries = _queries(4)
+        with MicroBatchScheduler(
+            searcher, max_batch=1, max_delay_us=0, max_in_flight=1
+        ) as scheduler:
+            first = scheduler.submit(queries[0])
+            assert _wait_until(lambda: len(searcher.dispatched) == 1)
+            doomed = scheduler.submit(queries[1])
+            survivor = scheduler.submit(queries[2])
+            assert doomed.cancel()
+            searcher.release.set()
+            first.result(timeout=WAIT_S)
+            survivor.result(timeout=WAIT_S)
+            assert doomed.cancelled()
+            assert _wait_until(
+                lambda: scheduler.stats.snapshot()["cancelled"] == 1
+            )
+        # The cancelled query never reached the searcher: 3 submissions,
+        # 2 dispatched batches of one query each.
+        assert searcher.dispatched == [1, 1]
+
+
+class TestLifecycle:
+    def test_close_drains_pending_queries_without_deadline_waits(self):
+        searcher = _fitted_searcher()
+        queries = _queries(10)
+        expected = searcher.kneighbors_batch(queries, k=2)
+        scheduler = MicroBatchScheduler(searcher, max_batch=64, max_delay_us=10e6)
+        futures = [scheduler.submit(q, k=2) for q in queries]
+        start = time.monotonic()
+        scheduler.close()
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0  # drained immediately, not after the 10 s window
+        for index, future in enumerate(futures):
+            result = future.result(timeout=0)  # already delivered by close()
+            np.testing.assert_array_equal(result.indices, expected[index].indices)
+
+    def test_close_is_idempotent_and_stops_intake(self):
+        searcher = _fitted_searcher()
+        scheduler = MicroBatchScheduler(searcher)
+        scheduler.submit(_queries(1)[0]).result(timeout=WAIT_S)
+        scheduler.close()
+        scheduler.close()
+        with pytest.raises(ServingError, match="closed"):
+            scheduler.submit(_queries(1)[0])
+
+    def test_context_manager_closes_on_exit(self):
+        searcher = _fitted_searcher()
+        with MicroBatchScheduler(searcher) as scheduler:
+            scheduler.submit(_queries(1)[0]).result(timeout=WAIT_S)
+        with pytest.raises(ServingError):
+            scheduler.submit(_queries(1)[0])
+
+    def test_forgotten_scheduler_is_finalized_at_gc(self):
+        searcher = _fitted_searcher()
+        scheduler = MicroBatchScheduler(searcher)
+        scheduler.submit(_queries(1)[0]).result(timeout=WAIT_S)
+        pump = scheduler._engine._thread
+        assert pump is not None and pump.is_alive()
+        del scheduler  # never closed: the weakref.finalize net must drain
+        gc.collect()
+        pump.join(timeout=WAIT_S)
+        assert not pump.is_alive()
+
+    def test_searcher_remains_usable_after_scheduler_close(self):
+        searcher = _fitted_searcher()
+        queries = _queries(4)
+        expected = searcher.kneighbors_batch(queries, k=2)
+        with MicroBatchScheduler(searcher) as scheduler:
+            scheduler.submit(queries[0], k=2).result(timeout=WAIT_S)
+        after = searcher.kneighbors_batch(queries, k=2)
+        np.testing.assert_array_equal(expected.indices, after.indices)
+
+
+class TestValidation:
+    def test_searcher_without_serving_seam_rejected(self):
+        with pytest.raises(ServingError, match="submit_serving"):
+            MicroBatchScheduler(object())
+
+    def test_unfitted_searcher_rejected_at_submit(self):
+        with MicroBatchScheduler(SoftwareSearcher("euclidean")) as scheduler:
+            with pytest.raises(SearchError, match="fitted"):
+                scheduler.submit(np.zeros(FEATURES))
+
+    def test_bad_queries_and_k_rejected_at_submit_not_in_batch(self):
+        searcher = _fitted_searcher(rows=16)
+        with MicroBatchScheduler(searcher) as scheduler:
+            with pytest.raises(SearchError, match="features"):
+                scheduler.submit(np.zeros(FEATURES + 1))
+            with pytest.raises(SearchError, match="finite"):
+                scheduler.submit(np.full(FEATURES, np.nan))
+            with pytest.raises(ConfigurationError, match="k"):
+                scheduler.submit(np.zeros(FEATURES), k=17)
+            # A bad submission never poisons later good ones.
+            scheduler.submit(np.zeros(FEATURES)).result(timeout=WAIT_S)
+
+    def test_bad_knobs_rejected(self):
+        searcher = _fitted_searcher()
+        with pytest.raises(ConfigurationError, match="max_batch"):
+            MicroBatchScheduler(searcher, max_batch=0)
+        with pytest.raises(ConfigurationError, match="max_delay_us"):
+            MicroBatchScheduler(searcher, max_delay_us=-1.0)
+        with pytest.raises(ConfigurationError, match="max_queue"):
+            MicroBatchScheduler(searcher, max_queue=0)
+        with pytest.raises(ConfigurationError, match="max_in_flight"):
+            MicroBatchScheduler(searcher, max_in_flight=0)
+
+
+class TestAsyncFrontEnd:
+    def test_await_search_matches_direct_batch(self):
+        searcher = _fitted_searcher()
+        queries = _queries(12)
+        expected = searcher.kneighbors_batch(queries, k=3)
+
+        async def main(scheduler):
+            return await asyncio.gather(
+                *(scheduler.search(query, k=3) for query in queries)
+            )
+
+        with MicroBatchScheduler(searcher, max_delay_us=20_000) as scheduler:
+            results = asyncio.run(main(scheduler))
+        for index, result in enumerate(results):
+            np.testing.assert_array_equal(result.indices, expected[index].indices)
+            np.testing.assert_array_equal(result.scores, expected[index].scores)
+            assert result.labels == expected[index].labels
+
+    def test_search_many_preserves_row_order(self):
+        searcher = _fitted_searcher()
+        queries = _queries(5)
+        expected = searcher.kneighbors_batch(queries, k=2)
+
+        async def main(scheduler):
+            return await scheduler.search_many(queries, k=2)
+
+        with MicroBatchScheduler(searcher) as scheduler:
+            results = asyncio.run(main(scheduler))
+        for index, result in enumerate(results):
+            np.testing.assert_array_equal(result.indices, expected[index].indices)
+
+
+class TestSubmitMany:
+    def test_rows_coalesce_and_results_demux_in_order(self):
+        searcher = _fitted_searcher()
+        queries = _queries(9)
+        expected = searcher.kneighbors_batch(queries, k=2)
+        with MicroBatchScheduler(
+            searcher, max_delay_us=20_000, prefer_calibrated_shapes=False
+        ) as scheduler:
+            futures = scheduler.submit_many(queries, k=2)
+            assert len(futures) == 9
+            for index, future in enumerate(futures):
+                result = future.result(timeout=WAIT_S)
+                np.testing.assert_array_equal(result.indices, expected[index].indices)
+                np.testing.assert_array_equal(result.scores, expected[index].scores)
+        assert scheduler.stats.snapshot()["coalesced"] >= 2
+
+    def test_kneighbors_blocking_convenience(self):
+        searcher = _fitted_searcher()
+        query = _queries(1)[0]
+        expected = searcher.kneighbors(query, k=3)
+        with MicroBatchScheduler(searcher) as scheduler:
+            result = scheduler.kneighbors(query, k=3)
+        np.testing.assert_array_equal(result.indices, expected.indices)
+        np.testing.assert_array_equal(result.scores, expected.scores)
+        assert result.labels == expected.labels
+
+
+class TestServingStats:
+    def test_counters_and_snapshot_consistency(self):
+        stats = ServingStats()
+        stats.bump(enqueued=3, rejected=1)
+        stats.record_batch(4, trimmed=True)
+        stats.record_batch(1, trimmed=False)
+        snapshot = stats.snapshot()
+        assert snapshot["enqueued"] == 3
+        assert snapshot["rejected"] == 1
+        assert snapshot["batches"] == 2
+        assert snapshot["coalesced"] == 4  # only the size-4 batch coalesced
+        assert snapshot["trimmed"] == 1
+        assert snapshot["batch_shapes"] == {4: 1, 1: 1}
+        # The snapshot is a copy, not a live view.
+        snapshot["batch_shapes"][4] = 99
+        assert stats.snapshot()["batch_shapes"][4] == 1
+
+
+class TestBitwiseParity:
+    """Coalescing is transport, never semantics: demuxed rows are bitwise
+    identical to direct ``kneighbors_batch`` calls, per worker count."""
+
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    def test_concurrent_clients_match_direct_batches(self, num_workers):
+        rows, queries_n = 96, 24
+        features = RNG.normal(size=(rows, FEATURES))
+        labels = np.arange(rows)
+        queries = RNG.normal(size=(queries_n, FEATURES))
+
+        reference = make_searcher("mcam-3bit", num_features=FEATURES, seed=5, shards=2)
+        reference.fit(features, labels)
+        expected = reference.kneighbors_batch(queries, k=3)
+
+        with make_searcher(
+            "mcam-3bit",
+            num_features=FEATURES,
+            seed=5,
+            shards=2,
+            executor="processes",
+            num_workers=num_workers,
+        ) as sharded:
+            sharded.fit(features, labels)
+            with MicroBatchScheduler(
+                sharded, max_batch=8, max_delay_us=5_000
+            ) as scheduler:
+                results = [None] * queries_n
+                errors = []
+
+                def client(offset):
+                    try:
+                        for i in range(offset, queries_n, 4):
+                            results[i] = scheduler.submit(queries[i], k=3).result(
+                                timeout=WAIT_S
+                            )
+                    except Exception as exc:  # pragma: no cover - surfaced below
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=client, args=(c,)) for c in range(4)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                assert not errors
+                stats = scheduler.stats.snapshot()
+        assert stats["completed"] == queries_n
+        for index, result in enumerate(results):
+            np.testing.assert_array_equal(result.indices, expected[index].indices)
+            np.testing.assert_array_equal(result.scores, expected[index].scores)
+            assert result.labels == expected[index].labels
+
+    def test_single_process_scheduler_matches_direct_batches(self):
+        searcher = _fitted_searcher(rows=80)
+        queries = _queries(16)
+        expected = searcher.kneighbors_batch(queries, k=4)
+        with MicroBatchScheduler(searcher, max_batch=5) as scheduler:
+            futures = [scheduler.submit(q, k=4) for q in queries]
+            for index, future in enumerate(futures):
+                result = future.result(timeout=WAIT_S)
+                np.testing.assert_array_equal(result.indices, expected[index].indices)
+                np.testing.assert_array_equal(result.scores, expected[index].scores)
+                assert result.labels == expected[index].labels
