@@ -149,6 +149,20 @@ def calibrated_query_buckets() -> frozenset:
     return frozenset(key[-2] for key in _KERNEL_TABLE if len(key) >= 2)
 
 
+def bucket_calibrated(num_queries: int) -> bool:
+    """Whether a query count's shape bucket already has a calibrated winner.
+
+    The serving scheduler consults this before shaping a flush: a batch
+    whose bucket is calibrated dispatches as a kernel-table hit and can
+    never stall on a one-shot micro-calibration.  Cross-``k`` coalescing
+    does not change the answer — the autotune keys bucket the *query count*
+    (and the store geometry), not ``k``, so a mixed-``k`` batch ranked once
+    at ``max(k)`` lands in the same bucket as its same-``k`` siblings and
+    the ``max(k)``-sliced shapes reuse the same calibrated winners.
+    """
+    return shape_bucket(num_queries) in calibrated_query_buckets()
+
+
 def kernel_table() -> Dict[tuple, str]:
     """Copy of the calibrated kernel table (introspection/tests)."""
     return dict(_KERNEL_TABLE)
@@ -160,6 +174,7 @@ def clear_kernel_table() -> None:
 
 
 __all__ = [
+    "bucket_calibrated",
     "calibrated_query_buckets",
     "check_kernel",
     "clear_kernel_table",

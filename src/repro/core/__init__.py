@@ -38,6 +38,7 @@ from .search import (
     get_backend,
     make_searcher,
     register_backend,
+    slice_topk,
 )
 
 __all__ = [
@@ -62,4 +63,5 @@ __all__ = [
     "get_backend",
     "make_searcher",
     "register_backend",
+    "slice_topk",
 ]

@@ -78,6 +78,25 @@ def _stable_smallest_k(scores: np.ndarray, k: int) -> np.ndarray:
     return top
 
 
+def slice_topk(
+    indices: np.ndarray, scores: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The top-``k`` prefix of a deeper top-``k_max`` ranking — exact.
+
+    Every engine (and the sharded cross-shard merge) ranks by the
+    lexicographically smallest ``(score, global index)`` pairs with stable
+    tie-breaking, so column ``j`` of a ranking at depth ``k_max`` is
+    identical to column ``j`` of a ranking at any depth ``k <= k_max`` —
+    per query, per shard count, per executor.  Slicing the first ``k``
+    columns of a deeper ranking is therefore **bitwise identical** to
+    ranking at ``k`` directly.  The serving scheduler's cross-``k``
+    coalescing leans on exactly this: a mixed-``k`` micro-batch is ranked
+    once at ``max(k)`` and each client's rows are sliced here at
+    demultiplex time.
+    """
+    return indices[..., :k], scores[..., :k]
+
+
 @dataclass(frozen=True)
 class QueryResult:
     """Result of a k-nearest-neighbor query.

@@ -714,6 +714,19 @@ class ShardedSearcher(NearestNeighborSearcher):
         """
         return getattr(self._executor, "dispatch_depth", None)
 
+    @property
+    def serving_channel(self):
+        """The dispatch channel this searcher's serving batches travel on.
+
+        Searchers sharing one executor *instance* (several tenants on one
+        long-running worker pool) share its shared-memory ring, so their
+        in-flight batches compete for the same ring slots.  A multi-lane
+        scheduler uses this identity to recognize lanes that share a
+        channel: the total in-flight bound and the FIFO collect order are
+        per channel, not per searcher.
+        """
+        return self._executor
+
     def submit_serving(self, queries, k: int = 1, rng: SeedLike = None):
         """Dispatch one coalesced batch and keep it in flight until collected.
 

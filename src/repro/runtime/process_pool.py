@@ -66,7 +66,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..core.sharding import register_shard_executor
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, ServingError
 from ..utils.validation import check_int_in_range
 from . import transport as _transport
 
@@ -366,6 +366,11 @@ class ProcessShardExecutor:
         self.ring_depth = check_int_in_range(ring_depth, "ring_depth", minimum=1)
         self._shm_failed = False
         self._ring: Optional[_transport.SharedMemoryRing] = None
+        #: Dispatched-but-uncollected batches on the shared-memory ring.
+        #: Guards slot reuse: batch ``N + ring_depth`` rewrites batch
+        #: ``N``'s segment, so overcommitting the ring must fast-fail
+        #: instead of silently corrupting an in-flight batch.
+        self._ring_inflight = 0
         self._spool_dir: Optional[str] = None
         self._spool_finalizer: Optional[weakref.finalize] = None
         #: Current spool path per published ``(searcher_id, shard_index)``;
@@ -395,6 +400,12 @@ class ProcessShardExecutor:
         if self.active_transport == "shm":
             return self.ring_depth
         return None
+
+    @property
+    def ring_in_flight(self) -> int:
+        """Dispatched-but-uncollected batches currently on the ring."""
+        with self._lock:
+            return self._ring_inflight
 
     @property
     def active_transport(self) -> str:
@@ -494,6 +505,14 @@ class ProcessShardExecutor:
             return lambda: results
         shared_queries = all(job[5] is jobs[0][5] for job in jobs[1:])
         if shared_queries and self.active_transport == "shm":
+            with self._lock:
+                if self._ring_inflight >= self.ring_depth:
+                    raise ServingError(
+                        f"shared-memory ring overcommitted: {self._ring_inflight} "
+                        f"batches already in flight on {self.ring_depth} ring "
+                        "slots; collect dispatched batches in FIFO order before "
+                        "dispatching deeper, or raise ring_depth"
+                    )
             try:
                 segment, layout = self._acquire_batch_segment(jobs)
             except OSError:
@@ -546,10 +565,21 @@ class ProcessShardExecutor:
             ) in enumerate(jobs)
         ]
         futures = self._pool.submit_all(_rank_cached_shard_job_shm, shm_jobs)
+        with self._lock:
+            self._ring_inflight += 1
+        released = threading.Event()
 
         def collect() -> list:
-            for future in futures:
-                future.result()
+            try:
+                for future in futures:
+                    future.result()
+            finally:
+                # The slot is charged once per dispatch; release exactly
+                # once even if a worker raised or collect is retried.
+                if not released.is_set():
+                    released.set()
+                    with self._lock:
+                        self._ring_inflight = max(0, self._ring_inflight - 1)
             return [
                 layout.result_views(segment, position) for position in range(len(jobs))
             ]
@@ -596,6 +626,7 @@ class ProcessShardExecutor:
         self._pool.close()
         with self._lock:
             ring, self._ring = self._ring, None
+            self._ring_inflight = 0
             self._published.clear()
             finalizer, self._spool_finalizer = self._spool_finalizer, None
             self._spool_dir = None

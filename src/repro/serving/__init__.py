@@ -1,27 +1,32 @@
-"""Serving layer: async micro-batching over a fitted searcher.
+"""Serving layer: async micro-batching over fitted searchers.
 
 :class:`MicroBatchScheduler` coalesces single queries from many concurrent
-clients into micro-batches, dispatches them through the executor/transport
-seam with several batches in flight, and demultiplexes per-query top-k
-results back to awaiting futures — bitwise identical to direct
-``kneighbors_batch`` calls.  :mod:`repro.serving.loadgen` provides the
-open- and closed-loop load generators behind the CI QPS/tail-latency
-gates.
+clients into micro-batches under an arrival-rate-adaptive flush window,
+ranks mixed-``k`` batches once at ``max(k)`` (bitwise identical per-query
+results), arbitrates multiple tenant lanes (:class:`ServingLane`) by
+deficit round robin, dispatches through the executor/transport seam with
+several batches in flight, and demultiplexes per-query top-k results back
+to awaiting futures.  :mod:`repro.serving.loadgen` provides the open- and
+closed-loop load generators (with shared warmup exclusion via
+:class:`WarmupClock`) behind the CI QPS/tail-latency gates.
 """
 
 from .loadgen import (
     LoadReport,
+    WarmupClock,
     direct_submitter,
     percentile,
     run_closed_loop,
     run_open_loop,
 )
-from .scheduler import MicroBatchScheduler, ServingStats
+from .scheduler import MicroBatchScheduler, ServingLane, ServingStats
 
 __all__ = [
     "LoadReport",
     "MicroBatchScheduler",
+    "ServingLane",
     "ServingStats",
+    "WarmupClock",
     "direct_submitter",
     "percentile",
     "run_closed_loop",

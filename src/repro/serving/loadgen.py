@@ -13,11 +13,27 @@ Two complementary traffic models:
   arrival rate, so queueing delay shows up in p99 instead of hiding in a
   reduced request count (coordinated omission).
 
-Both return a :class:`LoadReport` with sustained QPS and p50/p99 latency.
-The generators target anything with a ``submit(query, k) -> Future``
-method — the :class:`~repro.serving.scheduler.MicroBatchScheduler`, or the
-baseline wrapper — and never interpret results beyond completion, so they
-add no per-request overhead that would flatter either side.
+Both return a :class:`LoadReport` with sustained QPS and p50/p95/p99
+latency, and both support a **warmup phase** excluded from the measured
+distribution: the first requests through a cold stack pay one-time costs
+(pump start, executor spin-up, kernel autotuning, allocator warm-up) that
+belong to none of the steady-state numbers the CI gates compare.  Warmup
+exclusion and request timing share one helper, :class:`WarmupClock`, so
+the two generators (and anything else that times requests, like the
+benchmarks' direct-submitter baselines) cannot drift apart in *how* they
+exclude — a request counts toward the measured distribution iff it was
+*submitted* at or after the measurement cutoff.
+
+The generators accept ``k`` as a single value or a sequence — a sequence
+is cycled across requests (client ``c``'s ``i``-th request uses the same
+schedule position as its query row), producing the deterministic mixed-
+``k`` traffic the cross-``k`` coalescing gates replay against both
+scheduler configurations.  They target anything with a
+``submit(query, k) -> Future`` method — the
+:class:`~repro.serving.scheduler.MicroBatchScheduler`, one of its
+:class:`~repro.serving.scheduler.ServingLane` handles, or the baseline
+wrapper — and never interpret results beyond completion, so they add no
+per-request overhead that would flatter either side.
 """
 
 from __future__ import annotations
@@ -26,7 +42,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -40,6 +56,51 @@ def percentile(latencies: Sequence[float], q: float) -> float:
     return float(np.percentile(np.asarray(latencies, dtype=np.float64), q))
 
 
+class WarmupClock:
+    """Shared monotonic clock with a warmup cutoff.
+
+    Every request is timed with :meth:`now` (one monotonic source for both
+    load generators and the baselines they compare, so no generator can
+    mix clock domains), and the measured window opens only when
+    :meth:`start_measurement` is called: :meth:`in_measurement` is the
+    single definition of warmup exclusion — a request belongs to the
+    measured distribution iff it was *submitted* at or after the cutoff.
+    Keying on submission time (not completion) keeps the rule stable for
+    requests that straddle the cutoff: a query submitted during warmup but
+    completing after it still carries warmup costs and stays excluded.
+
+    Before :meth:`start_measurement`, nothing is in measurement.
+    """
+
+    __slots__ = ("_cutoff",)
+
+    def __init__(self) -> None:
+        self._cutoff = float("inf")
+
+    @staticmethod
+    def now() -> float:
+        """Monotonic timestamp in seconds (``time.perf_counter``)."""
+        return time.perf_counter()
+
+    @property
+    def cutoff(self) -> float:
+        """The measurement cutoff (``inf`` until measurement starts)."""
+        return self._cutoff
+
+    def start_measurement(self, at: Optional[float] = None) -> float:
+        """Open the measured window (now, or at a known future instant).
+
+        Returns the cutoff, which doubles as the measured window's origin
+        for duration accounting.
+        """
+        self._cutoff = self.now() if at is None else float(at)
+        return self._cutoff
+
+    def in_measurement(self, start: float) -> bool:
+        """Whether a request submitted at ``start`` counts as measured."""
+        return start >= self._cutoff
+
+
 @dataclass
 class LoadReport:
     """Outcome of one load-generation run.
@@ -47,12 +108,15 @@ class LoadReport:
     Latencies are **milliseconds**, measured per request from submission to
     delivered result.  ``qps`` counts completed requests over the
     measurement window; rejected (overload fast-fail) and errored requests
-    are tallied separately and excluded from the latency distribution.
+    are tallied separately and excluded from the latency distribution, and
+    ``warmup`` counts requests excluded by the warmup cutoff (whatever
+    their outcome).
     """
 
     completed: int = 0
     rejected: int = 0
     errors: int = 0
+    warmup: int = 0
     duration_s: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
 
@@ -65,6 +129,10 @@ class LoadReport:
     @property
     def p50_ms(self) -> float:
         return percentile(self.latencies_ms, 50.0)
+
+    @property
+    def p95_ms(self) -> float:
+        return percentile(self.latencies_ms, 95.0)
 
     @property
     def p99_ms(self) -> float:
@@ -122,52 +190,87 @@ def direct_submitter(searcher) -> _SerialDirect:
     return _SerialDirect(searcher)
 
 
+def _k_schedule(k: Union[int, Sequence[int]]) -> List[int]:
+    """Normalize a ``k`` spec to the non-empty list the generators cycle."""
+    if np.isscalar(k):
+        return [int(k)]
+    ks = [int(value) for value in k]
+    if not ks:
+        raise ValueError("k sequence must be non-empty")
+    return ks
+
+
 def run_closed_loop(
     target,
     queries: np.ndarray,
     clients: int = 8,
     requests_per_client: int = 32,
-    k: int = 1,
+    k: Union[int, Sequence[int]] = 1,
+    warmup_per_client: int = 0,
 ) -> LoadReport:
     """Drive ``target.submit`` from ``clients`` threads, one request each in flight.
 
     Client ``c`` walks the query set starting at offset ``c`` (stride
-    ``clients``), so all clients exercise the full set without coordinating.
-    The measurement window spans first submission to last completion.
+    ``clients``), so all clients exercise the full set without coordinating;
+    a ``k`` sequence is cycled on the same schedule, giving deterministic
+    mixed-``k`` traffic.  With ``warmup_per_client`` > 0, each client first
+    issues that many requests in a separate phase that completes (all
+    threads joined) before the measurement window opens — those requests
+    are tallied only in ``LoadReport.warmup``.  The measured window spans
+    the post-warmup cutoff to the last completion.
     """
     queries = np.asarray(queries, dtype=np.float64)
+    ks = _k_schedule(k)
     report = LoadReport()
     lock = threading.Lock()
+    clock = WarmupClock()
 
-    def client(offset: int) -> None:
-        for i in range(requests_per_client):
-            row = queries[(offset + i * clients) % queries.shape[0]]
-            start = time.perf_counter()
+    def client(offset: int, requests: int) -> None:
+        for i in range(requests):
+            position = offset + i * clients
+            row = queries[position % queries.shape[0]]
+            start = clock.now()
             try:
-                target.submit(row, k=k).result()
+                target.submit(row, k=ks[position % len(ks)]).result()
             except ServingOverloadError:
                 with lock:
-                    report.rejected += 1
+                    if clock.in_measurement(start):
+                        report.rejected += 1
+                    else:
+                        report.warmup += 1
                 continue
             except Exception:
                 with lock:
-                    report.errors += 1
+                    if clock.in_measurement(start):
+                        report.errors += 1
+                    else:
+                        report.warmup += 1
                 continue
-            elapsed_ms = (time.perf_counter() - start) * 1e3
+            elapsed_ms = (clock.now() - start) * 1e3
             with lock:
-                report.completed += 1
-                report.latencies_ms.append(elapsed_ms)
+                if clock.in_measurement(start):
+                    report.completed += 1
+                    report.latencies_ms.append(elapsed_ms)
+                else:
+                    report.warmup += 1
 
-    threads = [
-        threading.Thread(target=client, args=(c,), name=f"loadgen-{c}", daemon=True)
-        for c in range(clients)
-    ]
-    start = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    report.duration_s = time.perf_counter() - start
+    def phase(requests: int) -> None:
+        threads = [
+            threading.Thread(
+                target=client, args=(c, requests), name=f"loadgen-{c}", daemon=True
+            )
+            for c in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    if warmup_per_client > 0:
+        phase(warmup_per_client)
+    begin = clock.start_measurement()
+    phase(requests_per_client)
+    report.duration_s = clock.now() - begin
     return report
 
 
@@ -176,48 +279,64 @@ def run_open_loop(
     queries: np.ndarray,
     rate_qps: float,
     duration_s: float,
-    k: int = 1,
+    k: Union[int, Sequence[int]] = 1,
+    warmup_s: float = 0.0,
 ) -> LoadReport:
     """Issue queries on a fixed arrival schedule for ``duration_s`` seconds.
 
     Arrivals are paced at ``rate_qps`` regardless of completions (the
     generator never waits on results), so queueing delay accumulates into
-    the recorded tail instead of throttling the offered load.  Completions
+    the recorded tail instead of throttling the offered load.  With
+    ``warmup_s`` > 0, arrivals start that much earlier at the same rate and
+    requests submitted before the cutoff are tallied only in
+    ``LoadReport.warmup`` — the schedule never pauses, so the stack sees an
+    uninterrupted arrival process while the measured window stays honest.
+    A ``k`` sequence is cycled across arrivals in issue order.  Completions
     are recorded from future callbacks; the run waits for every in-flight
     request before reporting.
     """
     queries = np.asarray(queries, dtype=np.float64)
     interval = 1.0 / float(rate_qps)
+    ks = _k_schedule(k)
     report = LoadReport()
     lock = threading.Lock()
     outstanding: List[Future] = []
+    clock = WarmupClock()
+
+    begin = clock.now()
+    cutoff = clock.start_measurement(at=begin + float(warmup_s))
+    total_s = float(warmup_s) + duration_s
 
     def on_done(start: float, future: Future) -> None:
-        elapsed_ms = (time.perf_counter() - start) * 1e3
+        elapsed_ms = (clock.now() - start) * 1e3
         with lock:
-            if future.exception() is not None:
+            if not clock.in_measurement(start):
+                report.warmup += 1
+            elif future.exception() is not None:
                 report.errors += 1
             else:
                 report.completed += 1
                 report.latencies_ms.append(elapsed_ms)
 
-    begin = time.perf_counter()
     issued = 0
     while True:
-        now = time.perf_counter()
-        if now - begin >= duration_s:
+        now = clock.now()
+        if now - begin >= total_s:
             break
         scheduled = begin + issued * interval
         if now < scheduled:
             time.sleep(min(scheduled - now, interval))
             continue
         row = queries[issued % queries.shape[0]]
-        start = time.perf_counter()
+        start = clock.now()
         try:
-            future = target.submit(row, k=k)
+            future = target.submit(row, k=ks[issued % len(ks)])
         except ServingOverloadError:
             with lock:
-                report.rejected += 1
+                if clock.in_measurement(start):
+                    report.rejected += 1
+                else:
+                    report.warmup += 1
         else:
             future.add_done_callback(lambda f, s=start: on_done(s, f))
             outstanding.append(future)
@@ -227,12 +346,13 @@ def run_open_loop(
             future.result()
         except Exception:
             pass  # tallied by the callback
-    report.duration_s = time.perf_counter() - begin
+    report.duration_s = clock.now() - cutoff
     return report
 
 
 __all__ = [
     "LoadReport",
+    "WarmupClock",
     "direct_submitter",
     "percentile",
     "run_closed_loop",

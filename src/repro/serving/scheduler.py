@@ -11,31 +11,63 @@ not as ready-made batches.  :class:`MicroBatchScheduler` closes that gap:
   thread via :meth:`~MicroBatchScheduler.submit`, or from asyncio code via
   ``await scheduler.search(query, k)``.  Both return per-query results.
 * **Coalescing** — a dedicated pump thread gathers pending requests into
-  micro-batches under a ``max_batch`` / ``max_delay_us`` policy: a batch is
+  micro-batches under a ``max_batch`` / delay-window policy: a batch is
   flushed as soon as it is full, or when the oldest pending query has
-  waited ``max_delay_us``.  Flush sizes are biased toward
-  **autotuner-cheap shapes**: the shape-adaptive kernel table of
-  :mod:`repro.circuits.autotune` is bucketed by powers of two, so partial
-  flushes are trimmed to bucket boundaries (never below half the pending
-  run) unless the pending count's bucket is already calibrated — serving
-  traffic therefore exercises a handful of reusable shape classes instead
-  of calibrating a long tail of odd batch sizes.
+  waited out the flush window.  The window is **arrival-rate adaptive**
+  (see below), and queries with different ``k`` coalesce into one batch:
+  the batch is ranked once at ``max(k)`` and each client's rows are sliced
+  at demultiplex time — **bitwise identical** to per-``k`` dispatch,
+  because every engine's stable ranking makes the top-``k`` prefix of a
+  deeper ranking exact (:func:`repro.core.search.slice_topk`).  Flush
+  sizes are biased toward **autotuner-cheap shapes**: the shape-adaptive
+  kernel table of :mod:`repro.circuits.autotune` is bucketed by powers of
+  two, so partial flushes are trimmed to bucket boundaries (never below
+  half the pending run) unless the pending count's bucket is already
+  calibrated.
+* **Adaptive flush windows** — a fixed ``max_delay_us`` wastes latency at
+  low arrival rates (a lone query waits the whole window for batch-mates
+  that never come) and is irrelevant at high rates (batches fill first).
+  Each lane therefore tracks an EWMA of inter-arrival times and of
+  batch-fill fraction and adapts its effective window inside
+  ``[min_delay_us, max_delay_us]``: the window shrinks multiplicatively
+  when batches fill before it expires or when the observed inter-arrival
+  time says no batch-mate will arrive inside it, grows back toward the
+  ``max_delay_us`` cap while deadline flushes are still attracting
+  batch-mates, and is additionally clamped to the predicted time to fill a
+  batch (``inter_arrival_ewma * (max_batch - 1)``).  ``adaptive_delay=
+  False`` restores the fixed-window policy.
+* **Per-tenant fair lanes** — one scheduler can serve several named lanes
+  (:meth:`~MicroBatchScheduler.add_lane`), each with its own searcher
+  (tenants sharing one executor/worker pool), weight, bounded queue and
+  adaptive window.  The pump dispatches across lanes by **deficit round
+  robin** over the in-flight ring slots: each visit tops a backlogged
+  lane's deficit up by ``weight * max_batch`` query credits and the lane
+  dispatches while its credits last, so under saturation the measured
+  dispatch share converges to the configured weights.  Admission control
+  is per lane — one tenant's overload fast-fails *that lane's* clients
+  with :class:`~repro.exceptions.ServingOverloadError` and cannot evict
+  another lane's latency budget.
 * **Dispatch** — coalesced batches go through the searcher's
   ``submit_serving`` seam.  On the sharded ``"processes"`` executor that
   path keeps several batches **in flight** on the shared-memory ring
-  (bounded by ``max_in_flight`` and the searcher's ``serving_depth``):
-  worker processes rank batch *N+1* while the pump demultiplexes batch
-  *N*.
+  (bounded by ``max_in_flight`` and the smallest ``serving_depth`` across
+  the lanes' searchers — lanes sharing one executor share its ring, see
+  :attr:`~repro.core.sharding.ShardedSearcher.serving_channel`): worker
+  processes rank batch *N+1* while the pump demultiplexes batch *N*.
+  Collects follow dispatch order (FIFO) across all lanes, which is what
+  keeps ring-slot reuse safe on a shared channel.
 * **Demultiplexing** — per-query top-k rows are sliced out of the batch
   result and delivered to each awaiting future as a
   :class:`~repro.core.search.QueryResult`.  Coalescing is a transport
   concern, never a semantic one: every delivered row is **bitwise
   identical** to calling ``kneighbors_batch`` with that query alone (the
   deterministic engines' batched kernels are row-independent).
-* **Backpressure** — the pending queue is bounded; once full, new
-  submissions fast-fail with
+* **Backpressure** — every lane's pending queue is bounded; once full, new
+  submissions to that lane fast-fail with
   :class:`~repro.exceptions.ServingOverloadError` instead of queueing into
-  unbounded latency.  :class:`ServingStats` counts everything.
+  unbounded latency.  :class:`ServingStats` counts everything and keeps a
+  ring buffer of recent request latencies, so operators observe the same
+  p50/p95/p99 the load generators report.
 
 Lifecycle follows the PR 4 idioms: ``with`` support, an idempotent
 :meth:`~MicroBatchScheduler.close` that **drains** — pending and in-flight
@@ -43,9 +75,9 @@ queries are served, not dropped — and a :func:`weakref.finalize` safety net
 (the pump thread references only the internal engine, so an abandoned
 scheduler is collectable and its finalizer drains the pump).
 
-The scheduler does not own the searcher: close the searcher (and its
+The scheduler does not own its searchers: close the searchers (and their
 executor) after the scheduler, the usual nesting of ``with`` blocks.  While
-a scheduler is serving, route all of that searcher's traffic through it —
+a scheduler is serving, route all of its searchers' traffic through it —
 the shared-memory ring is single-dispatcher.
 """
 
@@ -57,16 +89,12 @@ import time
 import weakref
 from collections import deque
 from concurrent.futures import Future
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..circuits.autotune import (
-    calibrated_query_buckets,
-    floor_bucket_size,
-    shape_bucket,
-)
-from ..core.search import QueryResult
+from ..circuits.autotune import bucket_calibrated, floor_bucket_size
+from ..core.search import QueryResult, slice_topk
 from ..exceptions import (
     ConfigurationError,
     SearchError,
@@ -75,26 +103,48 @@ from ..exceptions import (
 )
 from ..utils.validation import check_int_in_range
 
+#: EWMA smoothing of the per-lane inter-arrival and batch-fill estimates.
+_EWMA_ALPHA = 0.2
+#: Multiplicative window controller steps: halve on evidence the window is
+#: wasted (batches fill early, or no batch-mate arrives inside it), grow by
+#: half while deadline flushes still attract batch-mates.
+_WINDOW_SHRINK = 0.5
+_WINDOW_GROW = 1.5
+#: DRR safety valve: the quantum top-up loop provably terminates (every
+#: full rotation raises every ready lane's deficit), this merely bounds it.
+_DRR_MAX_VISITS = 100_000
+
 
 class ServingStats:
     """Thread-safe counters of one scheduler's serving activity.
 
     Attributes (all monotonic since construction):
 
-    * ``enqueued`` — requests admitted to the pending queue,
-    * ``rejected`` — requests fast-failed by admission control,
+    * ``enqueued`` — requests admitted to a pending queue,
+    * ``rejected`` — requests fast-failed by per-lane admission control,
     * ``cancelled`` — requests whose future was cancelled before dispatch,
     * ``completed`` — requests delivered a result,
     * ``failed`` — requests delivered an exception,
     * ``batches`` — micro-batches dispatched,
     * ``coalesced`` — queries that shared their dispatch with at least one
       other query (i.e. rode in a batch of size >= 2),
+    * ``mixed_k`` — dispatched batches that coalesced queries with more
+      than one distinct ``k`` (ranked once at ``max(k)``),
     * ``trimmed`` — flushes shrunk to an autotuner bucket boundary,
     * ``batch_shapes`` — histogram ``{batch_size: count}`` of dispatched
       batch shapes.
+
+    A bounded ring buffer additionally holds the last ``latency_window``
+    delivered-request latencies (submission to delivered result,
+    milliseconds); :meth:`latency_percentiles` and :meth:`snapshot` expose
+    p50/p95/p99 over it, so the adaptive controller, operators and the
+    load generators all observe the same numbers.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, latency_window: int = 2048) -> None:
+        latency_window = check_int_in_range(
+            latency_window, "latency_window", minimum=1
+        )
         self._lock = threading.Lock()
         self.enqueued = 0
         self.rejected = 0
@@ -103,8 +153,10 @@ class ServingStats:
         self.failed = 0
         self.batches = 0
         self.coalesced = 0
+        self.mixed_k = 0
         self.trimmed = 0
         self.batch_shapes: Dict[int, int] = {}
+        self._latencies_ms: "deque[float]" = deque(maxlen=latency_window)
 
     def bump(self, **deltas: int) -> None:
         """Add ``deltas`` to the named counters (thread-safe)."""
@@ -112,15 +164,41 @@ class ServingStats:
             for name, delta in deltas.items():
                 setattr(self, name, getattr(self, name) + delta)
 
-    def record_batch(self, size: int, trimmed: bool) -> None:
+    def record_batch(self, size: int, trimmed: bool, mixed: bool = False) -> None:
         """Account one dispatched micro-batch of ``size`` queries."""
         with self._lock:
             self.batches += 1
             if size > 1:
                 self.coalesced += size
+            if mixed:
+                self.mixed_k += 1
             if trimmed:
                 self.trimmed += 1
             self.batch_shapes[size] = self.batch_shapes.get(size, 0) + 1
+
+    def record_latency(self, latency_ms: float) -> None:
+        """Append one delivered request's latency to the ring buffer."""
+        with self._lock:
+            self._latencies_ms.append(float(latency_ms))
+
+    def _percentiles_locked(self) -> Dict[str, float]:
+        window = len(self._latencies_ms)
+        if not window:
+            nan = float("nan")
+            return {"p50": nan, "p95": nan, "p99": nan, "window": 0}
+        latencies = np.asarray(self._latencies_ms, dtype=np.float64)
+        p50, p95, p99 = np.percentile(latencies, (50.0, 95.0, 99.0))
+        return {
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+            "window": window,
+        }
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 (ms) over the latency ring buffer, plus its fill."""
+        with self._lock:
+            return self._percentiles_locked()
 
     def snapshot(self) -> dict:
         """A consistent copy of every counter."""
@@ -133,8 +211,10 @@ class ServingStats:
                 "failed": self.failed,
                 "batches": self.batches,
                 "coalesced": self.coalesced,
+                "mixed_k": self.mixed_k,
                 "trimmed": self.trimmed,
                 "batch_shapes": dict(self.batch_shapes),
+                "latency_ms": self._percentiles_locked(),
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -153,66 +233,268 @@ class _Request:
         self.arrival = arrival
 
 
+class _Lane:
+    """One tenant lane: bounded queue, DRR credits, adaptive flush window.
+
+    All state is guarded by the engine's condition lock; the lane itself
+    holds no synchronization.  The adaptive controller is fed explicit
+    monotonic timestamps (``note_arrival``) and flush outcomes
+    (``note_flush``) so tests can drive it deterministically.
+    """
+
+    __slots__ = (
+        "name",
+        "searcher",
+        "weight",
+        "max_queue",
+        "pending",
+        "adaptive",
+        "min_delay_s",
+        "max_delay_s",
+        "delay_s",
+        "inter_ewma",
+        "last_arrival",
+        "fill_ewma",
+        "fill_horizon",
+        "deficit",
+        "enqueued",
+        "rejected",
+        "dispatched_queries",
+        "dispatched_batches",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        searcher,
+        weight: float,
+        max_queue: int,
+        adaptive: bool,
+        min_delay_s: float,
+        max_delay_s: float,
+        max_batch: int,
+    ) -> None:
+        self.name = name
+        self.searcher = searcher
+        self.weight = weight
+        self.max_queue = max_queue
+        self.pending: "deque[_Request]" = deque()
+        self.adaptive = adaptive
+        self.min_delay_s = min(min_delay_s, max_delay_s)
+        self.max_delay_s = max_delay_s
+        #: Current adapted window; starts at the cap (the fixed-window
+        #: behavior) and earns its way down on evidence.
+        self.delay_s = max_delay_s
+        self.inter_ewma: Optional[float] = None
+        self.last_arrival: Optional[float] = None
+        self.fill_ewma: Optional[float] = None
+        #: Queries beyond the head needed to fill a batch — the horizon the
+        #: inter-arrival estimate is extrapolated over.
+        self.fill_horizon = max(1, max_batch - 1)
+        self.deficit = 0.0
+        self.enqueued = 0
+        self.rejected = 0
+        self.dispatched_queries = 0
+        self.dispatched_batches = 0
+
+    def note_arrival(self, now: float) -> None:
+        """Fold one arrival timestamp into the inter-arrival EWMA."""
+        if self.last_arrival is not None:
+            delta = now - self.last_arrival
+            if self.inter_ewma is None:
+                self.inter_ewma = delta
+            else:
+                self.inter_ewma += _EWMA_ALPHA * (delta - self.inter_ewma)
+        self.last_arrival = now
+
+    def note_flush(self, size: int, max_batch: int, filled: bool) -> None:
+        """Adapt the window from one flush outcome.
+
+        ``filled`` means the flush was batch-size-driven (the run hit
+        ``max_batch`` before the window expired): the window held slack, so
+        it shrinks toward the observed fill time.  A deadline-driven flush
+        grows the window back toward the cap — more waiting would have
+        coalesced more — *unless* the inter-arrival EWMA says the window is
+        not attracting batch-mates at all (low arrival rate), in which case
+        paying it only inflates p99 and it shrinks instead.
+        """
+        fill = min(1.0, size / max_batch)
+        if self.fill_ewma is None:
+            self.fill_ewma = fill
+        else:
+            self.fill_ewma += _EWMA_ALPHA * (fill - self.fill_ewma)
+        if not self.adaptive:
+            return
+        if filled:
+            self.delay_s = max(self.min_delay_s, self.delay_s * _WINDOW_SHRINK)
+        elif self.inter_ewma is not None and self.inter_ewma > self.delay_s:
+            self.delay_s = max(self.min_delay_s, self.delay_s * _WINDOW_SHRINK)
+        else:
+            self.delay_s = min(self.max_delay_s, self.delay_s * _WINDOW_GROW)
+
+    def effective_delay(self) -> float:
+        """The flush window currently in force for this lane's head."""
+        if not self.adaptive:
+            return self.max_delay_s
+        delay = self.delay_s
+        if self.inter_ewma is not None:
+            # Never wait longer than it plausibly takes to fill the batch.
+            delay = min(delay, self.inter_ewma * self.fill_horizon)
+        return min(self.max_delay_s, max(self.min_delay_s, delay))
+
+    def stats(self) -> dict:
+        """A plain-dict snapshot (caller holds the engine lock)."""
+        scale = 1e6
+        return {
+            "weight": self.weight,
+            "pending": len(self.pending),
+            "enqueued": self.enqueued,
+            "rejected": self.rejected,
+            "dispatched_queries": self.dispatched_queries,
+            "dispatched_batches": self.dispatched_batches,
+            "delay_us": self.effective_delay() * scale,
+            "inter_arrival_us": (
+                None if self.inter_ewma is None else self.inter_ewma * scale
+            ),
+            "fill_ewma": self.fill_ewma,
+        }
+
+
 class _SchedulerEngine:
-    """The scheduler's internals: queue, pump loop, dispatch, demux.
+    """The scheduler's internals: lanes, pump loop, dispatch, demux.
 
     Split from the :class:`MicroBatchScheduler` facade so the pump thread
     references only this object — dropping the last reference to the facade
     therefore leaves it collectable, and its finalizer calls :meth:`close`
-    here, which drains the queue and stops the pump.
+    here, which drains the queues and stops the pump.
     """
 
     def __init__(
         self,
-        searcher,
         max_batch: int,
         max_delay_s: float,
         max_queue: int,
         max_in_flight: int,
         prefer_calibrated_shapes: bool,
+        adaptive_delay: bool,
+        min_delay_s: float,
+        coalesce_across_k: bool,
+        latency_window: int,
     ) -> None:
-        self.searcher = searcher
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.max_queue = max_queue
         self.max_in_flight = max_in_flight
         self.prefer_calibrated_shapes = prefer_calibrated_shapes
-        self.stats = ServingStats()
+        self.adaptive_delay = adaptive_delay
+        self.min_delay_s = min_delay_s
+        self.coalesce_across_k = coalesce_across_k
+        self.stats = ServingStats(latency_window=latency_window)
         self._cond = threading.Condition()
-        self._pending: "deque[_Request]" = deque()
+        self._lanes: Dict[str, _Lane] = {}
+        self._rotation: List[_Lane] = []
+        self._default_lane: Optional[str] = None
+        self._cursor = 0
+        self._fresh_visit = True
+        self._in_flight_cap = max_in_flight
         self._inflight: "deque[tuple]" = deque()
         self._thread: Optional[threading.Thread] = None
         self._closing = False
 
     # ------------------------------------------------------------------
-    # Client side
+    # Lanes
     # ------------------------------------------------------------------
-    def submit(self, query, k: int) -> Future:
-        query = np.asarray(query, dtype=np.float64).reshape(-1)
-        if not self.searcher.is_fitted:
-            raise SearchError("the served searcher must be fitted before serving")
-        if query.shape[0] != self.searcher.num_features:
-            raise SearchError(
-                f"query has {query.shape[0]} features, "
-                f"expected {self.searcher.num_features}"
+    def add_lane(
+        self,
+        name: str,
+        searcher,
+        weight: float,
+        max_queue: Optional[int],
+    ) -> None:
+        if not callable(getattr(searcher, "submit_serving", None)):
+            raise ServingError(
+                "lane searcher must expose the serving seam (submit_serving); "
+                "every NearestNeighborSearcher does"
             )
-        if query.size and not np.all(np.isfinite(query)):
-            raise SearchError("queries must contain only finite values")
-        k = check_int_in_range(
-            k, "k", minimum=1, maximum=self.searcher.num_entries
-        )
-        future: Future = Future()
-        request = _Request(query, k, future, time.monotonic())
+        if not weight > 0:
+            raise ConfigurationError(f"lane weight must be > 0, got {weight!r}")
+        if max_queue is None:
+            max_queue = self.max_queue
+        max_queue = check_int_in_range(max_queue, "max_queue", minimum=1)
         with self._cond:
             if self._closing:
                 raise ServingError("scheduler is closed")
-            if len(self._pending) >= self.max_queue:
+            if name in self._lanes:
+                raise ServingError(f"lane {name!r} already exists")
+            lane = _Lane(
+                name=name,
+                searcher=searcher,
+                weight=float(weight),
+                max_queue=max_queue,
+                adaptive=self.adaptive_delay,
+                min_delay_s=self.min_delay_s,
+                max_delay_s=self.max_delay_s,
+                max_batch=self.max_batch,
+            )
+            self._lanes[name] = lane
+            self._rotation.append(lane)
+            if self._default_lane is None:
+                self._default_lane = name
+            depth = getattr(searcher, "serving_depth", None)
+            if depth is not None:
+                # Lanes sharing one executor instance share its ring, so
+                # the total in-flight bound is the channel's, not a sum.
+                self._in_flight_cap = max(1, min(self._in_flight_cap, int(depth)))
+
+    def _resolve_lane(self, name: Optional[str]) -> _Lane:
+        key = self._default_lane if name is None else name
+        lane = self._lanes.get(key)
+        if lane is None:
+            raise ServingError(
+                f"unknown lane {key!r}; lanes: {', '.join(sorted(self._lanes))}"
+            )
+        return lane
+
+    def lane_stats(self) -> Dict[str, dict]:
+        """Per-lane counters and adaptive state (consistent snapshot)."""
+        with self._cond:
+            return {lane.name: lane.stats() for lane in self._rotation}
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, query, k: int, lane_name: Optional[str] = None) -> Future:
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        with self._cond:
+            lane = self._resolve_lane(lane_name)
+        searcher = lane.searcher
+        if not searcher.is_fitted:
+            raise SearchError("the served searcher must be fitted before serving")
+        if query.shape[0] != searcher.num_features:
+            raise SearchError(
+                f"query has {query.shape[0]} features, "
+                f"expected {searcher.num_features}"
+            )
+        if query.size and not np.all(np.isfinite(query)):
+            raise SearchError("queries must contain only finite values")
+        k = check_int_in_range(k, "k", minimum=1, maximum=searcher.num_entries)
+        future: Future = Future()
+        now = time.monotonic()
+        request = _Request(query, k, future, now)
+        with self._cond:
+            if self._closing:
+                raise ServingError("scheduler is closed")
+            if len(lane.pending) >= lane.max_queue:
+                lane.rejected += 1
                 self.stats.bump(rejected=1)
                 raise ServingOverloadError(
-                    f"serving queue is full ({self.max_queue} pending queries); "
-                    "retry later or raise max_queue"
+                    f"serving queue of lane {lane.name!r} is full "
+                    f"({lane.max_queue} pending queries); retry later or "
+                    "raise max_queue"
                 )
-            self._pending.append(request)
+            lane.note_arrival(now)
+            lane.pending.append(request)
+            lane.enqueued += 1
             self._ensure_pump()
             self._cond.notify_all()
         self.stats.bump(enqueued=1)
@@ -234,17 +516,25 @@ class _SchedulerEngine:
             batch = self._next_batch()
             if batch is None:
                 break
-            if batch:
-                self._dispatch(batch)
+            lane, requests = batch
+            if requests:
+                self._dispatch(lane, requests)
             self._collect_ready()
         while self._inflight:
             self._collect_oldest()
 
-    def _head_run_length(self) -> int:
-        """Pending requests coalescible with the head (same ``k``)."""
+    def _run_length(self, lane: _Lane) -> int:
+        """Pending requests coalescible into this lane's next batch.
+
+        With cross-``k`` coalescing every pending request qualifies (the
+        batch ranks once at ``max(k)``); the compat policy coalesces only
+        the same-``k`` head run.
+        """
+        if self.coalesce_across_k:
+            return len(lane.pending)
         run = 0
-        head_k = self._pending[0].k
-        for request in self._pending:
+        head_k = lane.pending[0].k
+        for request in lane.pending:
             if request.k != head_k:
                 break
             run += 1
@@ -268,49 +558,112 @@ class _SchedulerEngine:
             or size >= self.max_batch
         ):
             return size
-        if shape_bucket(size) in calibrated_query_buckets():
+        if bucket_calibrated(size):
             return size
         return floor_bucket_size(size)
 
-    def _next_batch(self) -> Optional[List[_Request]]:
+    def _pick_lane(self, ready: List[_Lane]) -> _Lane:
+        """Deficit round robin over the ready lanes (caller holds the lock).
+
+        The cursor walks the lane rotation; arriving freshly at a lane tops
+        its deficit up by ``weight * max_batch`` query credits, and a lane
+        keeps the cursor (dispatching batch after batch) while its credits
+        cover the next batch's cost.  Weighted shares therefore emerge in
+        *query* units: a 3:1 weighting dispatches three full batches from
+        the heavy lane per one from the light lane under saturation.  The
+        caller charges the actual gathered size via :meth:`_charge_lane`.
+        """
+        if len(ready) == 1 and len(self._rotation) == 1:
+            return ready[0]
+        ready_set = set(map(id, ready))
+        quantum = float(self.max_batch)
+        for _ in range(_DRR_MAX_VISITS):
+            lane = self._rotation[self._cursor]
+            if id(lane) in ready_set:
+                if self._fresh_visit:
+                    lane.deficit += lane.weight * quantum
+                    self._fresh_visit = False
+                cost = min(self._run_length(lane), self.max_batch)
+                if lane.deficit >= cost:
+                    return lane
+            self._cursor = (self._cursor + 1) % len(self._rotation)
+            self._fresh_visit = True
+        return max(ready, key=lambda lane: lane.deficit)  # pragma: no cover
+
+    def _charge_lane(self, lane: _Lane, dispatched: int) -> None:
+        """Debit one dispatch's query count (caller holds the lock)."""
+        lane.deficit = max(0.0, lane.deficit - dispatched)
+        lane.dispatched_queries += dispatched
+        lane.dispatched_batches += 1
+        if not lane.pending:
+            # DRR: an emptied queue forfeits leftover credit, so an idle
+            # lane cannot bank service time against future competition.
+            lane.deficit = 0.0
+
+    def _next_batch(self) -> Optional[Tuple[_Lane, List[_Request]]]:
         """Gather the next micro-batch (None once closed and drained)."""
         with self._cond:
-            while not self._pending and not self._closing:
-                self._cond.wait()
-            if not self._pending:
-                return None
-            deadline = self._pending[0].arrival + self.max_delay_s
-            while not self._closing:
-                if self._head_run_length() >= self.max_batch:
+            while True:
+                active = [lane for lane in self._rotation if lane.pending]
+                if not active:
+                    if self._closing:
+                        return None
+                    self._cond.wait()
+                    continue
+                if self._closing:
+                    ready = active
                     break
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
+                now = time.monotonic()
+                ready = [
+                    lane
+                    for lane in active
+                    if self._run_length(lane) >= self.max_batch
+                    or now >= lane.pending[0].arrival + lane.effective_delay()
+                ]
+                if ready:
                     break
-                self._cond.wait(timeout=remaining)
-            run = self._head_run_length()
+                next_deadline = min(
+                    lane.pending[0].arrival + lane.effective_delay()
+                    for lane in active
+                )
+                self._cond.wait(timeout=max(0.0, next_deadline - now))
+            lane = self._pick_lane(ready)
+            run = self._run_length(lane)
+            filled = run >= self.max_batch
             size = self._flush_size(run)
             trimmed = size < min(run, self.max_batch)
             requests = []
+            distinct_k = set()
             for _ in range(size):
-                request = self._pending.popleft()
+                request = lane.pending.popleft()
                 # Claim the future; a client that cancelled while queueing
                 # is dropped here, before its query costs any compute.
                 if request.future.set_running_or_notify_cancel():
                     requests.append(request)
+                    distinct_k.add(request.k)
                 else:
                     self.stats.bump(cancelled=1)
+            self._charge_lane(lane, len(requests))
+            if not self._closing:
+                lane.note_flush(len(requests), self.max_batch, filled=filled)
         if requests:
-            self.stats.record_batch(len(requests), trimmed)
-        return requests
+            self.stats.record_batch(
+                len(requests), trimmed, mixed=len(distinct_k) > 1
+            )
+        return lane, requests
 
-    def _dispatch(self, requests: List[_Request]) -> None:
+    def _dispatch(self, lane: _Lane, requests: List[_Request]) -> None:
         queries = np.stack([request.query for request in requests])
+        # Rank the whole coalesced batch once at the deepest requested k;
+        # each client's rows are sliced back out at demultiplex time
+        # (exact: see slice_topk).
+        k_max = max(request.k for request in requests)
         try:
-            collect = self.searcher.submit_serving(queries, k=requests[0].k)
+            collect = lane.searcher.submit_serving(queries, k=k_max)
         except Exception as exc:  # deliver, never kill the pump
             self._deliver_failure(requests, exc)
             return
-        self._inflight.append((collect, requests))
+        self._inflight.append((collect, lane, requests))
 
     def _collect_ready(self) -> None:
         """Demultiplex finished batches without stalling the pipeline.
@@ -321,28 +674,35 @@ class _SchedulerEngine:
         """
         while self._inflight:
             with self._cond:
-                backlog = bool(self._pending) or self._closing
-            if backlog and len(self._inflight) < self.max_in_flight:
+                backlog = (
+                    any(lane.pending for lane in self._rotation) or self._closing
+                )
+                cap = self._in_flight_cap
+            if backlog and len(self._inflight) < cap:
                 return
             self._collect_oldest()
 
     def _collect_oldest(self) -> None:
-        collect, requests = self._inflight.popleft()
+        collect, lane, requests = self._inflight.popleft()
         try:
             indices, scores = collect()
         except Exception as exc:  # a worker died, the spool was reaped, ...
             self._deliver_failure(requests, exc)
             return
-        searcher = self.searcher
+        searcher = lane.searcher
+        now = time.monotonic()
         for position, request in enumerate(requests):
-            result_indices = indices[position]
+            row_indices, row_scores = slice_topk(
+                indices[position], scores[position], request.k
+            )
             result = QueryResult(
-                indices=result_indices,
-                scores=scores[position],
-                labels=searcher.labels_for(result_indices),
+                indices=row_indices,
+                scores=row_scores,
+                labels=searcher.labels_for(row_indices),
             )
             if not request.future.cancelled():
                 request.future.set_result(result)
+            self.stats.record_latency((now - request.arrival) * 1e3)
         self.stats.bump(completed=len(requests))
 
     def _deliver_failure(self, requests: List[_Request], exc: BaseException) -> None:
@@ -364,6 +724,41 @@ class _SchedulerEngine:
             thread.join()
 
 
+class ServingLane:
+    """One named lane's client surface, bound to a scheduler.
+
+    Hands a tenant an object with the same ``submit(query, k) -> Future``
+    shape as the scheduler itself (so load generators and client code need
+    no lane awareness), routing every request into that lane's bounded
+    queue and weighted dispatch share.
+    """
+
+    __slots__ = ("_scheduler", "name")
+
+    def __init__(self, scheduler: "MicroBatchScheduler", name: str) -> None:
+        self._scheduler = scheduler
+        self.name = name
+
+    def submit(self, query, k: int = 1) -> Future:
+        """Enqueue one query into this lane (see :meth:`MicroBatchScheduler.submit`)."""
+        return self._scheduler.submit(query, k=k, lane=self.name)
+
+    def submit_many(self, queries, k: int = 1) -> List[Future]:
+        """Enqueue a client-side batch into this lane, one future per row."""
+        return self._scheduler.submit_many(queries, k=k, lane=self.name)
+
+    def kneighbors(self, query, k: int = 1):
+        """Blocking convenience wrapper on this lane."""
+        return self.submit(query, k=k).result()
+
+    async def search(self, query, k: int = 1):
+        """Asyncio front-end on this lane."""
+        return await asyncio.wrap_future(self.submit(query, k=k))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ServingLane({self.name!r})"
+
+
 class MicroBatchScheduler:
     """Coalesce many concurrent single-query clients into micro-batches.
 
@@ -372,34 +767,61 @@ class MicroBatchScheduler:
     searcher:
         A **fitted** searcher exposing the serving seam
         (``submit_serving`` / ``kneighbors_arrays`` / ``labels_for`` — every
-        :class:`~repro.core.search.NearestNeighborSearcher` does).  The
-        scheduler does not own it; close the searcher after the scheduler.
+        :class:`~repro.core.search.NearestNeighborSearcher` does).  It backs
+        the scheduler's default lane; further tenants join via
+        :meth:`add_lane`.  The scheduler does not own its searchers; close
+        them after the scheduler.
     max_batch:
         Largest coalesced batch; a batch flushes immediately once full.
     max_delay_us:
         Longest a pending query may wait for batch-mates, in microseconds.
-        The latency the scheduler may *add* is bounded by roughly twice
-        this (one window queueing, one more if a shape-biased flush leaves
-        the query for the next batch).
+        With ``adaptive_delay`` this is the *cap* of the adaptive window;
+        without it, the fixed window.  The latency the scheduler may *add*
+        is bounded by roughly twice the effective window (one window
+        queueing, one more if a shape-biased flush leaves the query for the
+        next batch).
     max_queue:
-        Pending-queue bound: admission control fast-fails submissions with
-        :class:`~repro.exceptions.ServingOverloadError` beyond it.
+        Per-lane pending-queue bound: admission control fast-fails
+        submissions to a full lane with
+        :class:`~repro.exceptions.ServingOverloadError`.  ``add_lane`` may
+        override it per lane.
     max_in_flight:
         Dispatched batches that may be outstanding at once, capped at the
-        searcher's ``serving_depth`` (the shared-memory ring depth on the
-        ``"processes"`` executor).  Depth > 1 overlaps worker-side compute
-        of one batch with demultiplexing and dispatch of the next.
+        smallest ``serving_depth`` across the lanes' searchers (the
+        shared-memory ring depth on the ``"processes"`` executor — lanes
+        sharing one executor instance share its ring).  Depth > 1 overlaps
+        worker-side compute of one batch with demultiplexing and dispatch
+        of the next.
     prefer_calibrated_shapes:
         Bias partial flushes toward the autotuner's power-of-two shape
         buckets (see :func:`repro.circuits.autotune.floor_bucket_size`).
         Never affects results, only batch shapes.
+    adaptive_delay:
+        Adapt each lane's flush window inside ``[min_delay_us,
+        max_delay_us]`` from its observed arrival rate and batch fill (the
+        module docstring describes the controller).  ``False`` restores the
+        fixed ``max_delay_us`` window.
+    min_delay_us:
+        Floor of the adaptive window (clamped to ``max_delay_us`` when the
+        cap is smaller).
+    coalesce_across_k:
+        Coalesce queries with different ``k`` into one batch, ranked once
+        at ``max(k)`` and sliced per client at demultiplex time — bitwise
+        identical to per-``k`` dispatch
+        (:func:`repro.core.search.slice_topk`).  ``False`` restores
+        same-``k``-run coalescing.
+    lane / weight:
+        Name and fair-share weight of the default lane backed by
+        ``searcher``.
+    latency_window:
+        Ring-buffer size of the :class:`ServingStats` latency percentiles.
 
     Results delivered through the scheduler are bitwise identical to
-    calling ``kneighbors_batch`` on the searcher directly with the same
-    query — coalescing is a transport concern, never a semantic one.  The
-    serving path targets the deterministic (ideal-sensing) engines; engines
-    with stochastic sensing draw from a dispatch-dependent stream and are
-    not reproducible under coalescing by construction.
+    calling ``kneighbors_batch`` on the lane's searcher directly with the
+    same query — coalescing is a transport concern, never a semantic one.
+    The serving path targets the deterministic (ideal-sensing) engines;
+    engines with stochastic sensing draw from a dispatch-dependent stream
+    and are not reproducible under coalescing by construction.
     """
 
     def __init__(
@@ -410,28 +832,32 @@ class MicroBatchScheduler:
         max_queue: int = 1024,
         max_in_flight: int = 2,
         prefer_calibrated_shapes: bool = True,
+        adaptive_delay: bool = True,
+        min_delay_us: float = 50.0,
+        coalesce_across_k: bool = True,
+        lane: str = "default",
+        weight: float = 1.0,
+        latency_window: int = 2048,
     ) -> None:
-        if not callable(getattr(searcher, "submit_serving", None)):
-            raise ServingError(
-                "searcher must expose the serving seam (submit_serving); "
-                "every NearestNeighborSearcher does"
-            )
         max_batch = check_int_in_range(max_batch, "max_batch", minimum=1)
         max_queue = check_int_in_range(max_queue, "max_queue", minimum=1)
         max_in_flight = check_int_in_range(max_in_flight, "max_in_flight", minimum=1)
         if not max_delay_us >= 0:
             raise ConfigurationError(f"max_delay_us must be >= 0, got {max_delay_us!r}")
-        depth = getattr(searcher, "serving_depth", None)
-        if depth is not None:
-            max_in_flight = min(max_in_flight, int(depth))
+        if not min_delay_us >= 0:
+            raise ConfigurationError(f"min_delay_us must be >= 0, got {min_delay_us!r}")
         self._engine = _SchedulerEngine(
-            searcher,
             max_batch=max_batch,
             max_delay_s=float(max_delay_us) * 1e-6,
             max_queue=max_queue,
             max_in_flight=max_in_flight,
             prefer_calibrated_shapes=bool(prefer_calibrated_shapes),
+            adaptive_delay=bool(adaptive_delay),
+            min_delay_s=float(min_delay_us) * 1e-6,
+            coalesce_across_k=bool(coalesce_across_k),
+            latency_window=latency_window,
         )
+        self._engine.add_lane(lane, searcher, weight=weight, max_queue=max_queue)
         # Safety net: an abandoned scheduler drains and stops its pump at
         # garbage collection (the pump references the engine, not us).
         self._finalizer = weakref.finalize(self, self._engine.close)
@@ -441,8 +867,8 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     @property
     def searcher(self):
-        """The searcher being served."""
-        return self._engine.searcher
+        """The default lane's searcher."""
+        return self._engine._resolve_lane(None).searcher
 
     @property
     def stats(self) -> ServingStats:
@@ -455,28 +881,75 @@ class MicroBatchScheduler:
 
     @property
     def max_in_flight(self) -> int:
-        """Effective in-flight bound (after the ``serving_depth`` cap)."""
-        return self._engine.max_in_flight
+        """Effective in-flight bound (after the ``serving_depth`` caps)."""
+        return self._engine._in_flight_cap
 
     @property
     def max_queue(self) -> int:
         return self._engine.max_queue
 
+    @property
+    def lanes(self) -> Tuple[str, ...]:
+        """Names of the configured lanes, in registration order."""
+        with self._engine._cond:
+            return tuple(lane.name for lane in self._engine._rotation)
+
+    def lane_stats(self) -> Dict[str, dict]:
+        """Per-lane counters and adaptive-window state (consistent snapshot).
+
+        Each entry reports the lane's weight, queue depth, admitted and
+        rejected requests, dispatched batch/query totals (the numbers the
+        fairness gates measure shares from), the effective flush window in
+        microseconds and the inter-arrival/fill EWMAs feeding it.
+        """
+        return self._engine.lane_stats()
+
+    # ------------------------------------------------------------------
+    # Lanes
+    # ------------------------------------------------------------------
+    def add_lane(
+        self,
+        name: str,
+        searcher=None,
+        weight: float = 1.0,
+        max_queue: Optional[int] = None,
+    ) -> ServingLane:
+        """Register a tenant lane and return its client surface.
+
+        ``searcher`` defaults to the scheduler's default searcher (several
+        priority classes over one store); passing another fitted searcher
+        serves a different tenant's store — typically sharing the same
+        executor instance, in which case the lanes also share its
+        in-flight ring slots and the DRR dispatcher arbitrates them.
+        ``weight`` sets the lane's dispatch share under contention;
+        ``max_queue`` overrides the scheduler-wide bound for this lane.
+        """
+        if searcher is None:
+            searcher = self.searcher
+        self._engine.add_lane(name, searcher, weight=weight, max_queue=max_queue)
+        return ServingLane(self, name)
+
+    def lane(self, name: str) -> ServingLane:
+        """The client surface of an existing lane."""
+        with self._engine._cond:
+            self._engine._resolve_lane(name)  # raises on unknown lanes
+        return ServingLane(self, name)
+
     # ------------------------------------------------------------------
     # Clients
     # ------------------------------------------------------------------
-    def submit(self, query, k: int = 1) -> Future:
+    def submit(self, query, k: int = 1, lane: Optional[str] = None) -> Future:
         """Enqueue one query; the future resolves to its per-query result.
 
         Thread-safe and non-blocking: raises
         :class:`~repro.exceptions.ServingOverloadError` immediately when the
-        pending queue is full, :class:`~repro.exceptions.ServingError` after
-        :meth:`close`.  Cancelling the returned future before dispatch drops
-        the query without costing any compute.
+        lane's pending queue is full, :class:`~repro.exceptions.ServingError`
+        after :meth:`close` or for unknown lanes.  Cancelling the returned
+        future before dispatch drops the query without costing any compute.
         """
-        return self._engine.submit(query, k)
+        return self._engine.submit(query, k, lane_name=lane)
 
-    def submit_many(self, queries, k: int = 1) -> List[Future]:
+    def submit_many(self, queries, k: int = 1, lane: Optional[str] = None) -> List[Future]:
         """Enqueue a small client-side batch, one future per row.
 
         The rows coalesce like any other pending queries (with each other
@@ -487,24 +960,24 @@ class MicroBatchScheduler:
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim == 1:
             queries = queries.reshape(1, -1)
-        return [self._engine.submit(row, k) for row in queries]
+        return [self._engine.submit(row, k, lane_name=lane) for row in queries]
 
-    async def search(self, query, k: int = 1):
+    async def search(self, query, k: int = 1, lane: Optional[str] = None):
         """Asyncio front-end: awaitable per-query result.
 
         Submission errors (overload, closed) raise in the caller;
         cancelling the awaiting task cancels the queued request.
         """
-        return await asyncio.wrap_future(self._engine.submit(query, k))
+        return await asyncio.wrap_future(self._engine.submit(query, k, lane_name=lane))
 
-    async def search_many(self, queries, k: int = 1) -> list:
+    async def search_many(self, queries, k: int = 1, lane: Optional[str] = None) -> list:
         """Awaitable client-side batch: one result per row, in row order."""
-        futures = self.submit_many(queries, k=k)
+        futures = self.submit_many(queries, k=k, lane=lane)
         return list(await asyncio.gather(*map(asyncio.wrap_future, futures)))
 
-    def kneighbors(self, query, k: int = 1):
+    def kneighbors(self, query, k: int = 1, lane: Optional[str] = None):
         """Blocking convenience wrapper: submit and wait for the result."""
-        return self.submit(query, k=k).result()
+        return self.submit(query, k=k, lane=lane).result()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -514,8 +987,8 @@ class MicroBatchScheduler:
 
         Intake stops immediately (submissions raise
         :class:`~repro.exceptions.ServingError`); queries already admitted
-        — pending or in flight — are dispatched, demultiplexed and
-        delivered before the pump exits.
+        — pending or in flight, on every lane — are dispatched,
+        demultiplexed and delivered before the pump exits.
         """
         self._finalizer()
 
@@ -527,4 +1000,4 @@ class MicroBatchScheduler:
         return False
 
 
-__all__ = ["MicroBatchScheduler", "ServingStats"]
+__all__ = ["MicroBatchScheduler", "ServingLane", "ServingStats"]

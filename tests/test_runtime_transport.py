@@ -18,7 +18,7 @@ import pytest
 from repro.core import make_searcher
 from repro.core.search import MCAMSearcher
 from repro.core.sharding import ShardedSearcher
-from repro.exceptions import ConfigurationError, SearchError
+from repro.exceptions import ConfigurationError, SearchError, ServingError
 from repro.runtime import ProcessShardExecutor, SharedMemoryRing
 from repro.runtime import transport as transport_module
 from repro.runtime.process_pool import (
@@ -548,6 +548,33 @@ class TestInFlightDispatch:
     def test_ring_depth_validated(self):
         with pytest.raises(ConfigurationError, match="ring_depth"):
             ProcessShardExecutor(num_workers=1, ring_depth=0)
+
+    @pytest.mark.skipif(not shared_memory_available(), reason="no shared memory on host")
+    def test_overcommitting_the_ring_fails_fast_instead_of_corrupting(self):
+        # Dispatching past ring_depth without collecting would hand batch
+        # N+depth the slot whose views batch N still holds — silent result
+        # corruption.  The executor refuses instead, and the counter that
+        # enforces it is observable for dispatchers sharing the channel.
+        queries = RNG.normal(size=(3, 4))
+        with ProcessShardExecutor(num_workers=WORKERS, ring_depth=2) as executor:
+            jobs, expected = self._two_shard_jobs(executor, queries)
+            assert executor.ring_in_flight == 0
+            collect_a = executor.submit_cached(jobs)
+            collect_b = executor.submit_cached(jobs)
+            assert executor.ring_in_flight == 2
+            with pytest.raises(ServingError, match="ring"):
+                executor.submit_cached(jobs)
+            collect_a()
+            assert executor.ring_in_flight == 1
+            # A freed slot re-admits dispatches.
+            collect_c = executor.submit_cached(jobs)
+            for collect in (collect_b, collect_c):
+                for (indices, scores), (want_indices, want_scores) in zip(
+                    collect(), expected
+                ):
+                    np.testing.assert_array_equal(indices, want_indices)
+                    np.testing.assert_array_equal(scores, want_scores)
+            assert executor.ring_in_flight == 0
 
 
 class TestServingStackTeardown:

@@ -30,7 +30,8 @@ from repro.exceptions import (
     ServingError,
     ServingOverloadError,
 )
-from repro.serving import MicroBatchScheduler, ServingStats
+from repro.serving import MicroBatchScheduler, ServingLane, ServingStats
+from repro.serving.scheduler import _Lane, _Request, _SchedulerEngine
 
 RNG = np.random.default_rng(20260807)
 
@@ -64,9 +65,11 @@ class _GatedSearcher(SoftwareSearcher):
         super().__init__("euclidean")
         self.release = threading.Event()
         self.dispatched = []
+        self.dispatched_k = []
 
     def submit_serving(self, queries, k=1, rng=None):
         self.dispatched.append(int(queries.shape[0]))
+        self.dispatched_k.append(int(k))
         result = self.kneighbors_arrays(queries, k=k, rng=rng)
 
         def collect():
@@ -146,7 +149,7 @@ class TestCoalescingPolicy:
         assert stats["batch_shapes"] == {6: 1}
         assert stats["trimmed"] == 0
 
-    def test_mixed_k_requests_never_share_a_batch(self):
+    def test_mixed_k_requests_coalesce_with_bitwise_identical_results(self):
         searcher = _fitted_searcher()
         reference = searcher.kneighbors_batch(_queries(6), k=2)
         reference5 = searcher.kneighbors_batch(_queries(6), k=5)
@@ -376,6 +379,367 @@ class TestServingStats:
         # The snapshot is a copy, not a live view.
         snapshot["batch_shapes"][4] = 99
         assert stats.snapshot()["batch_shapes"][4] == 1
+
+    def test_latency_ring_buffer_percentiles(self):
+        stats = ServingStats(latency_window=4)
+        empty = stats.latency_percentiles()
+        assert empty["window"] == 0 and np.isnan(empty["p99"])
+        for latency in (1.0, 2.0, 3.0, 4.0, 100.0):
+            stats.record_latency(latency)
+        window = stats.latency_percentiles()
+        # Ring semantics: the 1.0 ms sample fell off the window of 4.
+        assert window["window"] == 4
+        assert window["p50"] == pytest.approx(3.5)
+        assert window["p99"] > window["p95"] > window["p50"]
+        assert stats.snapshot()["latency_ms"]["window"] == 4
+
+    def test_mixed_k_batches_are_counted(self):
+        stats = ServingStats()
+        stats.record_batch(4, trimmed=False, mixed=True)
+        stats.record_batch(4, trimmed=False)
+        assert stats.snapshot()["mixed_k"] == 1
+
+
+class TestCrossKCoalescing:
+    """Mixed-``k`` batches rank once at ``max(k)``; demuxed rows stay
+    bitwise identical to per-``k`` dispatch, including past shard edges
+    (``k`` > rows-per-shard) and through tie-heavy stores."""
+
+    def test_mixed_k_shares_one_batch_and_matches_per_k_dispatch(self):
+        searcher = _fitted_searcher(rows=64)
+        queries = _queries(12)
+        ks = [1, 5, 32] * 4
+        references = {k: searcher.kneighbors_batch(queries, k=k) for k in (1, 5, 32)}
+        with MicroBatchScheduler(
+            searcher, max_batch=12, max_delay_us=10e6, prefer_calibrated_shapes=False
+        ) as scheduler:
+            futures = [
+                scheduler.submit(query, k=k) for query, k in zip(queries, ks)
+            ]
+            results = [future.result(timeout=WAIT_S) for future in futures]
+            stats = scheduler.stats.snapshot()
+        # One full batch despite three distinct k values.
+        assert stats["batch_shapes"] == {12: 1}
+        assert stats["mixed_k"] == 1
+        for index, (result, k) in enumerate(zip(results, ks)):
+            expected = references[k][index]
+            assert result.indices.shape == (k,)
+            np.testing.assert_array_equal(result.indices, expected.indices)
+            np.testing.assert_array_equal(result.scores, expected.scores)
+            assert result.labels == expected.labels
+
+    def test_mixed_k_parity_when_k_exceeds_rows_per_shard(self):
+        # 48 rows over 4 shards: 12 rows per shard, so k=32 forces every
+        # shard to contribute its whole store to the exact merge.
+        rows = 48
+        features = RNG.normal(size=(rows, FEATURES))
+        labels = np.arange(rows)
+        queries = RNG.normal(size=(9, FEATURES))
+        ks = [1, 5, 32] * 3
+        searcher = make_searcher(
+            "mcam-3bit", num_features=FEATURES, seed=11, shards=4
+        )
+        searcher.fit(features, labels)
+        references = {k: searcher.kneighbors_batch(queries, k=k) for k in (1, 5, 32)}
+        with MicroBatchScheduler(
+            searcher, max_batch=9, max_delay_us=10e6, prefer_calibrated_shapes=False
+        ) as scheduler:
+            futures = [
+                scheduler.submit(query, k=k) for query, k in zip(queries, ks)
+            ]
+            for index, future in enumerate(futures):
+                result = future.result(timeout=WAIT_S)
+                expected = references[ks[index]][index]
+                np.testing.assert_array_equal(result.indices, expected.indices)
+                np.testing.assert_array_equal(result.scores, expected.scores)
+
+    def test_mixed_k_parity_on_tie_heavy_store(self):
+        # Quantized duplicated rows: massive score ties, where only stable
+        # tie-breaking keeps the top-k prefix of a deeper ranking exact.
+        base = np.round(RNG.normal(size=(8, FEATURES)))
+        features = np.tile(base, (6, 1))  # 48 rows, each repeated 6 times
+        labels = np.arange(features.shape[0])
+        searcher = SoftwareSearcher("euclidean")
+        searcher.fit(features, labels)
+        queries = np.round(RNG.normal(size=(10, FEATURES)))
+        ks = [1, 5, 32, 5, 1] * 2
+        references = {k: searcher.kneighbors_batch(queries, k=k) for k in (1, 5, 32)}
+        with MicroBatchScheduler(
+            searcher, max_batch=10, max_delay_us=10e6, prefer_calibrated_shapes=False
+        ) as scheduler:
+            futures = [
+                scheduler.submit(query, k=k) for query, k in zip(queries, ks)
+            ]
+            for index, future in enumerate(futures):
+                result = future.result(timeout=WAIT_S)
+                expected = references[ks[index]][index]
+                np.testing.assert_array_equal(result.indices, expected.indices)
+                np.testing.assert_array_equal(result.scores, expected.scores)
+
+    def test_compat_mode_coalesces_only_same_k_head_runs(self):
+        engine = _make_engine(coalesce_across_k=False)
+        lane = engine._lanes["a"]
+        _stage(lane, [2, 2, 5, 5, 2])
+        assert engine._run_length(lane) == 2  # the same-k head run only
+        engine.coalesce_across_k = True
+        assert engine._run_length(lane) == 5  # cross-k takes the whole queue
+
+    def test_compat_mode_dispatches_mixed_k_separately_end_to_end(self):
+        searcher = _GatedSearcher()
+        searcher.fit(np.random.default_rng(3).normal(size=(32, FEATURES)))
+        searcher.release.set()  # no gating: collects return immediately
+        queries = _queries(4)
+        with MicroBatchScheduler(
+            searcher,
+            max_batch=8,
+            max_delay_us=10e6,
+            coalesce_across_k=False,
+            prefer_calibrated_shapes=False,
+        ) as scheduler:
+            futures = [
+                scheduler.submit(query, k=2 if index < 2 else 5)
+                for index, query in enumerate(queries)
+            ]
+            for future in futures:
+                future.result(timeout=WAIT_S)
+        # Two same-k runs, never one mixed batch.
+        assert searcher.dispatched == [2, 2]
+        assert searcher.dispatched_k == [2, 5]
+        assert scheduler.stats.snapshot()["mixed_k"] == 0
+
+
+def _make_engine(
+    max_batch=4,
+    weights=(("a", 3.0),),
+    coalesce_across_k=True,
+    adaptive_delay=False,
+    searcher=None,
+):
+    """A pump-less engine with staged lanes, for deterministic policy tests."""
+    if searcher is None:
+        searcher = _fitted_searcher()
+    engine = _SchedulerEngine(
+        max_batch=max_batch,
+        max_delay_s=0.0,
+        max_queue=1024,
+        max_in_flight=2,
+        prefer_calibrated_shapes=False,
+        adaptive_delay=adaptive_delay,
+        min_delay_s=0.0,
+        coalesce_across_k=coalesce_across_k,
+        latency_window=64,
+    )
+    for name, weight in weights:
+        engine.add_lane(name, searcher, weight=weight, max_queue=None)
+    return engine
+
+
+def _stage(lane, ks):
+    """Append one pending request per ``k`` (bypassing submit: no pump)."""
+    from concurrent.futures import Future
+
+    for k in ks:
+        lane.pending.append(_Request(np.zeros(FEATURES), k, Future(), 0.0))
+
+
+class TestAdaptiveWindow:
+    """The per-lane window controller, driven with synthetic timestamps."""
+
+    def _lane(self, adaptive=True, min_delay_s=0.0001, max_delay_s=0.01):
+        return _Lane(
+            name="lane",
+            searcher=None,
+            weight=1.0,
+            max_queue=8,
+            adaptive=adaptive,
+            min_delay_s=min_delay_s,
+            max_delay_s=max_delay_s,
+            max_batch=9,
+        )
+
+    def test_inter_arrival_ewma_tracks_the_gap(self):
+        lane = self._lane()
+        lane.note_arrival(0.0)
+        assert lane.inter_ewma is None  # one arrival has no gap yet
+        lane.note_arrival(0.010)
+        assert lane.inter_ewma == pytest.approx(0.010)
+        lane.note_arrival(0.030)  # gap 0.020, EWMA alpha 0.2
+        assert lane.inter_ewma == pytest.approx(0.012)
+
+    def test_filled_batches_shrink_the_window(self):
+        lane = self._lane()
+        assert lane.delay_s == pytest.approx(0.01)  # starts at the cap
+        lane.note_flush(9, max_batch=9, filled=True)
+        assert lane.delay_s == pytest.approx(0.005)
+        lane.note_flush(9, max_batch=9, filled=True)
+        assert lane.delay_s == pytest.approx(0.0025)
+
+    def test_sparse_arrivals_shrink_an_unproductive_window(self):
+        lane = self._lane()
+        # Observed inter-arrival (1 s) dwarfs the window: waiting attracts
+        # no batch-mates, so a deadline flush shrinks rather than grows.
+        lane.note_arrival(0.0)
+        lane.note_arrival(1.0)
+        lane.note_flush(1, max_batch=9, filled=False)
+        assert lane.delay_s == pytest.approx(0.005)
+
+    def test_productive_deadline_flushes_grow_back_to_the_cap(self):
+        lane = self._lane()
+        lane.delay_s = 0.002
+        # Fast arrivals (0.5 ms apart): the window is attracting mates but
+        # not filling, so it grows — and saturates at the cap.
+        lane.note_arrival(0.0)
+        lane.note_arrival(0.0005)
+        for _ in range(10):
+            lane.note_flush(5, max_batch=9, filled=False)
+        assert lane.delay_s == pytest.approx(0.01)
+
+    def test_effective_delay_clamps_to_the_fill_horizon(self):
+        lane = self._lane()
+        lane.note_arrival(0.0)
+        lane.note_arrival(0.0002)  # 0.2 ms inter-arrival, horizon 8
+        # delay_s is still the 10 ms cap, but filling a batch should only
+        # take ~1.6 ms — never wait longer than that.
+        assert lane.effective_delay() == pytest.approx(0.0016)
+
+    def test_effective_delay_respects_the_floor_and_cap(self):
+        lane = self._lane(min_delay_s=0.001, max_delay_s=0.01)
+        lane.note_arrival(0.0)
+        lane.note_arrival(1e-6)  # would clamp below the floor
+        assert lane.effective_delay() == pytest.approx(0.001)
+        lane.inter_ewma = 10.0  # would extrapolate above the cap
+        assert lane.effective_delay() == pytest.approx(0.01)
+
+    def test_fixed_window_mode_ignores_the_controller(self):
+        lane = self._lane(adaptive=False)
+        lane.note_arrival(0.0)
+        lane.note_arrival(1.0)
+        lane.note_flush(9, max_batch=9, filled=True)
+        assert lane.effective_delay() == pytest.approx(0.01)
+
+    def test_scheduler_converges_to_the_floor_under_saturation(self):
+        searcher = _fitted_searcher()
+        queries = _queries(32)
+        with MicroBatchScheduler(
+            searcher,
+            max_batch=4,
+            max_delay_us=50_000,
+            min_delay_us=100.0,
+            prefer_calibrated_shapes=False,
+        ) as scheduler:
+            # Full batches over and over: every flush is batch-driven, so
+            # the window halves its way down to the floor.
+            for _ in range(8):
+                futures = scheduler.submit_many(queries[:4])
+                for future in futures:
+                    future.result(timeout=WAIT_S)
+            delay_us = scheduler.lane_stats()["default"]["delay_us"]
+        assert delay_us <= 200.0
+
+
+class TestFairLanes:
+    def test_deficit_round_robin_follows_the_configured_weights(self):
+        engine = _make_engine(max_batch=4, weights=(("a", 3.0), ("b", 1.0)))
+        _stage(engine._lanes["a"], [1] * 16)
+        _stage(engine._lanes["b"], [1] * 16)
+        engine._closing = True  # drain mode: every lane is always ready
+        order = []
+        while any(lane.pending for lane in engine._rotation):
+            lane, requests = engine._next_batch()
+            assert len(requests) == 4
+            order.append(lane.name)
+        # Saturated 3:1 weights: three heavy-lane batches per light one
+        # while both are backlogged, then the leftovers drain.
+        assert order[:4] == ["a", "a", "a", "b"]
+        assert order.count("a") == order.count("b") == 4
+        stats = engine.lane_stats()
+        assert stats["a"]["dispatched_queries"] == 16
+        assert stats["b"]["dispatched_queries"] == 16
+
+    def test_equal_weights_alternate(self):
+        engine = _make_engine(max_batch=2, weights=(("a", 1.0), ("b", 1.0)))
+        _stage(engine._lanes["a"], [1] * 6)
+        _stage(engine._lanes["b"], [1] * 6)
+        engine._closing = True
+        order = []
+        while any(lane.pending for lane in engine._rotation):
+            lane, _ = engine._next_batch()
+            order.append(lane.name)
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_idle_lane_forfeits_banked_credit(self):
+        engine = _make_engine(max_batch=4, weights=(("a", 3.0), ("b", 1.0)))
+        _stage(engine._lanes["a"], [1] * 4)
+        engine._closing = True
+        engine._next_batch()  # lane a drains its only batch
+        assert engine._lanes["a"].deficit == 0.0  # 8 leftover credits gone
+
+    def test_lane_handles_route_and_isolate_overload(self):
+        searcher = _GatedSearcher()
+        searcher.fit(np.random.default_rng(3).normal(size=(32, FEATURES)))
+        queries = _queries(8)
+        with MicroBatchScheduler(
+            searcher, max_batch=1, max_delay_us=0, max_in_flight=1
+        ) as scheduler:
+            narrow = scheduler.add_lane("narrow", weight=1.0, max_queue=1)
+            assert isinstance(narrow, ServingLane)
+            # Block the pump inside a default-lane collect, then fill the
+            # narrow lane's one-slot queue.
+            first = scheduler.submit(queries[0])
+            assert _wait_until(lambda: len(searcher.dispatched) == 1)
+            queued = narrow.submit(queries[1])
+            with pytest.raises(ServingOverloadError, match="narrow"):
+                narrow.submit(queries[2])
+            # The default lane admits queries regardless of the narrow
+            # lane's overload: admission control is per lane.
+            wide = scheduler.submit(queries[3])
+            searcher.release.set()
+            for future in (first, queued, wide):
+                assert future.result(timeout=WAIT_S).indices.shape == (1,)
+            stats = scheduler.lane_stats()
+        assert stats["narrow"]["rejected"] == 1
+        assert stats["default"]["rejected"] == 0
+        assert stats["narrow"]["dispatched_queries"] == 1
+        assert stats["default"]["dispatched_queries"] == 2
+
+    def test_lane_api_validation(self):
+        searcher = _fitted_searcher()
+        with MicroBatchScheduler(searcher) as scheduler:
+            scheduler.add_lane("tenant")
+            with pytest.raises(ServingError, match="already exists"):
+                scheduler.add_lane("tenant")
+            with pytest.raises(ConfigurationError, match="weight"):
+                scheduler.add_lane("bad", weight=0.0)
+            with pytest.raises(ServingError, match="submit_serving"):
+                scheduler.add_lane("worse", searcher=object())
+            with pytest.raises(ServingError, match="unknown lane"):
+                scheduler.lane("ghost")
+            with pytest.raises(ServingError, match="unknown lane"):
+                scheduler.submit(_queries(1)[0], lane="ghost")
+            assert scheduler.lanes == ("default", "tenant")
+        with pytest.raises(ServingError, match="closed"):
+            scheduler.add_lane("late")
+
+    def test_lane_results_match_direct_dispatch_per_searcher(self):
+        store_a = _fitted_searcher(rows=40, seed=5)
+        store_b = _fitted_searcher(rows=24, seed=9)
+        queries = _queries(6)
+        expected_a = store_a.kneighbors_batch(queries, k=2)
+        expected_b = store_b.kneighbors_batch(queries, k=3)
+        with MicroBatchScheduler(store_a, max_delay_us=20_000) as scheduler:
+            lane_b = scheduler.add_lane("b", searcher=store_b)
+            futures_a = [scheduler.submit(q, k=2) for q in queries]
+            futures_b = [lane_b.submit(q, k=3) for q in queries]
+            for index in range(len(queries)):
+                result_a = futures_a[index].result(timeout=WAIT_S)
+                result_b = futures_b[index].result(timeout=WAIT_S)
+                np.testing.assert_array_equal(
+                    result_a.indices, expected_a[index].indices
+                )
+                np.testing.assert_array_equal(
+                    result_b.indices, expected_b[index].indices
+                )
+                assert result_b.labels == expected_b[index].labels
 
 
 class TestBitwiseParity:
