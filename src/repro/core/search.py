@@ -302,18 +302,21 @@ class NearestNeighborSearcher(abc.ABC):
         return tuple(self._labels[int(i)] for i in indices)
 
     def submit_serving(self, queries, k: int = 1, rng: SeedLike = None):
-        """Dispatch one serving batch, returning a zero-argument ``collect``.
+        """Dispatch one serving batch, returning a ``collect(timeout=None)``.
 
         ``collect()`` yields the ``(indices, scores)`` arrays of
-        :meth:`kneighbors_arrays`.  The default implementation computes
-        eagerly and hands back a completed collector; searchers whose
-        executor can keep several batches in flight (the sharded
-        ``"processes"`` executor dispatching through the shared-memory ring)
-        override this so the micro-batching scheduler can overlap the next
-        batch's dispatch with the previous batch's worker-side compute.
+        :meth:`kneighbors_arrays`; its optional ``timeout`` is vacuous here
+        (the result is already computed) but part of the serving contract —
+        schedulers pass their requests' remaining deadline budget through
+        it.  The default implementation computes eagerly and hands back a
+        completed collector; searchers whose executor can keep several
+        batches in flight (the sharded ``"processes"`` executor dispatching
+        through the shared-memory ring) override this so the micro-batching
+        scheduler can overlap the next batch's dispatch with the previous
+        batch's worker-side compute.
         """
         result = self.kneighbors_arrays(queries, k=k, rng=rng)
-        return lambda: result
+        return lambda timeout=None: result
 
     def nearest(self, query, rng: SeedLike = None) -> int:
         """Index of the nearest stored entry."""

@@ -660,14 +660,17 @@ class ShardedSearcher(NearestNeighborSearcher):
         return self._submit_rank_batch(queries, rng, k)()
 
     def _submit_rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
-        """Dispatch one batch, returning a zero-argument ``collect`` callable.
+        """Dispatch one batch, returning a ``collect(timeout=None)`` callable.
 
         Executors exposing ``submit_cached`` (the ``"processes"`` strategy)
         keep the dispatched batch **in flight**: workers rank it while the
         caller is free to demultiplex the previous batch or write the next
         one, and ``collect()`` blocks only until this batch's shards are
-        merged.  Every other path computes eagerly and hands back a
-        completed collector, so :meth:`_rank_batch` behaves identically
+        merged — or, with a ``timeout`` (seconds), until the executor's
+        supervised collect resolves, retries, or fails the batch with a
+        typed serving error.  Every other path computes eagerly and hands
+        back a completed collector (whose ``timeout`` is vacuous — the
+        result already exists), so :meth:`_rank_batch` behaves identically
         either way.
         """
         if not self._shards:
@@ -678,7 +681,7 @@ class ShardedSearcher(NearestNeighborSearcher):
                 self._index_maps[0][indices.astype(np.int64, copy=False)],
                 scores,
             )
-            return lambda: result
+            return lambda timeout=None: result
         # Independent per-shard streams: stochastic engines stay deterministic
         # under any executor because no generator is shared across workers.
         shard_rngs = spawn_rngs(rng, len(self._shards))
@@ -687,7 +690,17 @@ class ShardedSearcher(NearestNeighborSearcher):
             submit = getattr(self._executor, "submit_cached", None)
             if submit is not None:
                 pending = submit(jobs)
-                return lambda: self._merge_shard_results(pending(), k)
+
+                def collect(timeout=None):
+                    try:
+                        results = pending(timeout=timeout)
+                    except TypeError:
+                        # Third-party executors may expose a zero-argument
+                        # collect; deadlines then bound only admission.
+                        results = pending()
+                    return self._merge_shard_results(results, k)
+
+                return collect
             results = self._executor.map_cached(jobs)
         else:
             jobs = [
@@ -698,7 +711,7 @@ class ShardedSearcher(NearestNeighborSearcher):
             ]
             results = self._executor.map(_rank_shard_job, jobs)
         merged = self._merge_shard_results(results, k)
-        return lambda: merged
+        return lambda timeout=None: merged
 
     # ------------------------------------------------------------------
     # Serving
@@ -730,21 +743,24 @@ class ShardedSearcher(NearestNeighborSearcher):
     def submit_serving(self, queries, k: int = 1, rng: SeedLike = None):
         """Dispatch one coalesced batch and keep it in flight until collected.
 
-        The sharded serving entry point: returns a zero-argument ``collect``
+        The sharded serving entry point: returns a ``collect(timeout=None)``
         whose result is the ``(indices, scores)`` pair of
         :meth:`kneighbors_arrays`.  On the ``"processes"`` executor the
         batch travels through the shared-memory ring and stays in flight —
         worker processes rank it while the caller demultiplexes earlier
-        batches — bounded by :attr:`serving_depth`.  Collect order must
-        follow submit order (FIFO), which is what keeps ring-slot reuse
-        safe; the micro-batching scheduler enforces exactly that.
+        batches — bounded by :attr:`serving_depth`; a ``timeout`` passed to
+        the collect bounds the batch in wall-clock seconds, failing it with
+        a typed serving error (after the executor's supervised heal/retry)
+        instead of blocking forever.  Collect order must follow submit
+        order (FIFO), which is what keeps ring-slot reuse safe; the
+        micro-batching scheduler enforces exactly that.
         """
         self._require_fitted()
         k = check_int_in_range(k, "k", minimum=1, maximum=self._num_entries)
         queries = self._check_query_batch(queries)
         if queries.shape[0] == 0:
             empty = (np.empty((0, k), dtype=np.int64), np.empty((0, k)))
-            return lambda: empty
+            return lambda timeout=None: empty
         return self._submit_rank_batch(queries, ensure_rng(rng), k)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

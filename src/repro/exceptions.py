@@ -51,6 +51,36 @@ class ServingOverloadError(ServingError):
     """
 
 
+class ServingTimeoutError(ServingError):
+    """Raised when a request (or a dispatched batch) misses its deadline.
+
+    Deadlines turn a hung worker or a stalled dispatch into a clean, typed
+    failure instead of a future that never resolves.  The supervised
+    executor restarts the worker pool after raising this, so a hung batch
+    costs its own deadline — never the pool.
+    """
+
+
+class WorkerCrashError(ServingError):
+    """Raised when a batch fails because its worker process died.
+
+    The supervised executor retries a crashed batch once on the healed pool
+    before raising this; catching it therefore means the crash persisted
+    across a pool restart.  The original executor failure is chained as
+    ``__cause__``.
+    """
+
+
+class SpoolIntegrityError(ServingError):
+    """Raised when a published shard spool entry is corrupt or missing.
+
+    Spool bundles carry a checksum in their header; a worker that reads a
+    truncated, scribbled or deleted bundle raises this instead of crashing
+    on garbage.  The executor reacts by evicting the bad entry and
+    republishing the shard from the parent-resident payload.
+    """
+
+
 class QuantizationError(ReproError):
     """Raised when features cannot be quantized to the requested precision."""
 

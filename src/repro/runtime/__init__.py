@@ -11,20 +11,32 @@ The execution layer behind the statistical sweeps:
   memory-mapped ``.npy`` spool bundles, with a transparent pickle fallback,
 * :mod:`repro.runtime.trials` — the trial/episode dispatcher the Fig. 7/8
   harnesses fan out on, with a strict determinism contract (self-contained
-  units, bitwise-identical results at any worker count).
+  units, bitwise-identical results at any worker count),
+* :mod:`repro.runtime.supervision` — the fault-tolerance policy objects:
+  a circuit breaker for transport degradation (``shm → pickle → serial``)
+  and a pool supervisor that heals a dead/hung worker pool in place at a
+  bounded restart rate,
+* :mod:`repro.runtime.faults` — a deterministic, seeded fault-injection
+  harness (kill-worker-mid-batch, corrupt/drop-spool, corrupt-segment,
+  delay-collect) behind the chaos test suite and the fault-recovery
+  benchmark.
 """
 
+from .faults import FaultInjector
 from .process_pool import (
     PersistentProcessPool,
     ProcessShardExecutor,
     default_worker_count,
     worker_shard_cache_epochs,
 )
+from .supervision import CircuitBreaker, PoolSupervisor
 from .transport import (
     SharedMemoryRing,
     load_spool_payload,
     shared_memory_available,
+    verify_spool_entry,
     write_spool_bundle,
+    write_spool_pickle,
 )
 from .trials import (
     ParallelTrialRunner,
@@ -37,14 +49,19 @@ from .trials import (
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "FaultInjector",
     "PersistentProcessPool",
+    "PoolSupervisor",
     "ProcessShardExecutor",
     "SharedMemoryRing",
     "default_worker_count",
     "load_spool_payload",
     "shared_memory_available",
+    "verify_spool_entry",
     "worker_shard_cache_epochs",
     "write_spool_bundle",
+    "write_spool_pickle",
     "ParallelTrialRunner",
     "SerialTrialRunner",
     "ThreadTrialRunner",

@@ -45,6 +45,22 @@ back into the same segment in place, and published shards are memory-mapped
 unavailable (or fails at runtime) the executor falls back transparently to
 the PR 4 pickle path — results are bitwise identical either way.
 
+**Supervision and recovery.**  Cached-rank dispatches are supervised: a
+batch whose worker crashes (``BrokenProcessPool``), hangs past
+``dispatch_timeout_s``, reads a corrupt spool entry, or loses its
+shared-memory segment is not fatal.  The executor *heals in place* —
+terminate the dead pool, re-arm the ring, verify and republish spool
+entries from the parent-resident payloads (see
+:class:`~.supervision.PoolSupervisor`) — and retries the idempotent batch
+once on the healed pool before failing it with a typed error
+(:class:`~repro.exceptions.WorkerCrashError` /
+:class:`~repro.exceptions.ServingTimeoutError`).  Transport degradation is
+a ladder: a :class:`~.supervision.CircuitBreaker` demotes ``shm → pickle``
+on segment failures (re-probing shm after a cool-down), and a pool that
+dies faster than it heals is demoted to in-process serial execution —
+bitwise identical, just slow — until its own cool-down passes.  All
+injection points for the chaos suite live in :mod:`~.faults`.
+
 All pools support the context-manager protocol, ``close()`` is idempotent,
 and a :func:`weakref.finalize`-based safety net shuts workers down (and
 unlinks shared-memory segments) at garbage collection or interpreter exit
@@ -54,26 +70,73 @@ when a caller forgets to close.
 from __future__ import annotations
 
 import os
-import pickle
 import shutil
+import signal
 import tempfile
 import threading
+import time
 import weakref
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.sharding import register_shard_executor
-from ..exceptions import ConfigurationError, ServingError
+from ..exceptions import (
+    ConfigurationError,
+    ServingError,
+    ServingTimeoutError,
+    SpoolIntegrityError,
+    WorkerCrashError,
+)
 from ..utils.validation import check_int_in_range
 from . import transport as _transport
+from .supervision import CircuitBreaker, PoolSupervisor
 
 
 def default_worker_count() -> int:
     """Worker count used when none is requested: the host CPU count."""
     return os.cpu_count() or 1
+
+
+def _probe_echo(value):
+    """Trivial round-trip job used by :meth:`PersistentProcessPool.probe`."""
+    return value
+
+
+def _await_futures(futures: List, timeout: Optional[float] = None, what: str = "batch") -> List:
+    """Gather future results in order, translating failures to typed errors.
+
+    The single choke point that turns the two untyped ways a dispatched
+    batch can die into the library's typed serving errors: a future that
+    does not resolve within the (shared, wall-clock) ``timeout`` raises
+    :class:`~repro.exceptions.ServingTimeoutError`, and a broken pool (a
+    worker killed mid-batch) raises
+    :class:`~repro.exceptions.WorkerCrashError` with the executor failure
+    chained.  Job-raised exceptions (e.g. a worker surfacing
+    :class:`~repro.exceptions.SpoolIntegrityError`) propagate untouched.
+    On timeout, still-pending futures are cancelled best-effort; futures
+    already running on a hung worker cannot be cancelled — reclaiming
+    that worker is the supervisor's job, not this helper's.
+    """
+    deadline = None if timeout is None else time.monotonic() + float(timeout)
+    results = []
+    for future in futures:
+        remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+        try:
+            results.append(future.result(remaining))
+        except _FuturesTimeout as exc:
+            for pending in futures:
+                pending.cancel()
+            raise ServingTimeoutError(
+                f"{what} missed its {float(timeout):.3f}s deadline; a worker is "
+                "hung or the pool is overloaded"
+            ) from exc
+        except BrokenExecutor as exc:
+            raise WorkerCrashError(f"{what} failed: a worker process died mid-batch") from exc
+    return results
 
 
 class PersistentProcessPool:
@@ -116,17 +179,67 @@ class PersistentProcessPool:
             self._finalizer = weakref.finalize(self, pool.shutdown, wait=True)
         return self._pool
 
-    def map(self, fn: Callable, jobs: Iterable, chunksize: int = 1) -> List:
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live worker processes (empty when not running)."""
+        if self._pool is None:
+            return []
+        return sorted(getattr(self._pool, "_processes", {}).keys())
+
+    def kill_one_worker(self) -> Optional[int]:
+        """SIGKILL one live worker (lowest PID); returns the PID or None.
+
+        The crash primitive behind the fault-injection harness and the
+        chaos tests: a SIGKILL mid-batch is exactly what an OOM kill looks
+        like to the pool.
+        """
+        pids = self.worker_pids()
+        if not pids:
+            return None
+        pid = pids[0]
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except OSError:  # already reaped
+            return None
+        return pid
+
+    def probe(self, timeout: float = 5.0) -> bool:
+        """Whether a trivial round-trip through the pool completes in time.
+
+        Starts the pool if needed; False means the pool is broken or every
+        worker is wedged — the caller should heal before dispatching.
+        """
+        try:
+            future = self._ensure_pool().submit(_probe_echo, 42)
+            return future.result(timeout) == 42
+        except Exception:
+            return False
+
+    def map(
+        self,
+        fn: Callable,
+        jobs: Iterable,
+        chunksize: int = 1,
+        timeout: Optional[float] = None,
+    ) -> List:
         """Apply ``fn`` to every job in worker processes, preserving order.
 
         ``fn`` and every job must be picklable.  Zero or one job short-cuts
         to an in-process call — the results are identical either way because
-        jobs are self-contained.
+        jobs are self-contained.  With a ``timeout`` (seconds, covering the
+        whole map) a hung worker raises
+        :class:`~repro.exceptions.ServingTimeoutError` and a crashed one
+        :class:`~repro.exceptions.WorkerCrashError` instead of deadlocking
+        the caller; the timed path submits futures individually, so
+        ``chunksize`` applies only to the untimed path.
         """
         jobs = list(jobs)
         if len(jobs) <= 1:
             return [fn(job) for job in jobs]
-        return list(self._ensure_pool().map(fn, jobs, chunksize=max(1, chunksize)))
+        pool = self._ensure_pool()
+        if timeout is None:
+            return list(pool.map(fn, jobs, chunksize=max(1, chunksize)))
+        futures = [pool.submit(fn, job) for job in jobs]
+        return _await_futures(futures, timeout, what=f"map of {len(jobs)} jobs")
 
     def submit_all(self, fn: Callable, jobs: Iterable) -> List:
         """Submit ``fn(job)`` for every job, returning the futures in order.
@@ -134,7 +247,9 @@ class PersistentProcessPool:
         The non-blocking counterpart of :meth:`map`: the caller collects the
         futures when it needs the results, which is what lets a dispatcher
         keep several batches in flight on the workers at once.  ``fn`` and
-        every job must be picklable.
+        every job must be picklable.  Collect with :func:`_await_futures`
+        (or ``future.result(timeout)``) when a hung worker must become a
+        typed error instead of a deadlock.
         """
         pool = self._ensure_pool()
         return [pool.submit(fn, job) for job in jobs]
@@ -168,6 +283,41 @@ class PersistentProcessPool:
             except Exception:  # a worker died; hygiene stays best-effort
                 continue
         return delivered
+
+    def terminate(self) -> None:
+        """Hard-stop the workers now (idempotent; the pool restarts lazily).
+
+        The heal-path counterpart of :meth:`close`: ``close()`` waits for
+        workers to finish, which deadlocks on a hung worker — this SIGTERMs
+        every worker process after cancelling queued work, then reaps them.
+        Pending futures fail with ``BrokenProcessPool``/cancellation; the
+        supervisor retries their batches on the respawned pool.
+        """
+        pool, self._pool = self._pool, None
+        finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is None:
+            return
+        processes = list(getattr(pool, "_processes", {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pool already broken mid-shutdown
+            pass
+        for process in processes:
+            try:
+                if process.is_alive():
+                    process.terminate()
+            except Exception:
+                continue
+        for process in processes:
+            try:
+                process.join(timeout=2.0)
+                if process.is_alive():  # ignored SIGTERM: escalate
+                    process.kill()
+                    process.join(timeout=5.0)
+            except Exception:
+                continue
 
     def close(self) -> None:
         """Shut the workers down (idempotent; the pool restarts on next use)."""
@@ -227,7 +377,10 @@ def _resident_shard(
 
     On an epoch match the resident entry serves without touching the spool;
     on a miss the published payload (pickle file or memory-mapped bundle)
-    is loaded and replaces the cached entry in place.
+    is loaded and replaces the cached entry in place.  A corrupt or missing
+    spool entry raises :class:`~repro.exceptions.SpoolIntegrityError` —
+    typed and recoverable (the parent repairs the spool and retries) —
+    instead of crashing the worker on garbage bytes.
     """
     key = (searcher_id, shard_index)
     entry = _WORKER_SHARD_CACHE.get(key)
@@ -295,7 +448,7 @@ def _rank_cached_shard_job_shm(job) -> int:
 
 
 class ProcessShardExecutor:
-    """Rank shards in a persistent worker-process pool.
+    """Rank shards in a persistent, supervised worker-process pool.
 
     The ``"processes"`` strategy of the shard-executor seam.  Programmed
     shards are published to a spool once per program epoch and cached
@@ -303,7 +456,9 @@ class ProcessShardExecutor:
     batches ship only query payloads; jobs and results stay bitwise
     identical to the ``"serial"`` and ``"threads"`` strategies at any worker
     count because per-shard RNG streams are spawned before dispatch and the
-    ranked payloads are self-contained.
+    ranked payloads are self-contained.  That self-containment is also what
+    makes recovery safe: a crashed or hung batch can be replayed on a
+    healed pool and produce the same bytes.
 
     Parameters
     ----------
@@ -320,15 +475,31 @@ class ProcessShardExecutor:
         supports it and falls back to ``"pickle"`` otherwise; ``"shm"``
         requires shared memory (raising on hosts without it) and
         ``"pickle"`` forces the PR 4 pickle path.  A runtime shared-memory
-        failure (e.g. an exhausted ``/dev/shm``) downgrades ``"auto"`` to
-        the pickle path transparently; both transports produce bitwise
-        identical results.
+        failure (e.g. an exhausted ``/dev/shm``) trips a circuit breaker
+        that downgrades ``"auto"`` to the pickle path transparently and
+        re-probes shm after ``shm_cooldown_s``; both transports produce
+        bitwise identical results.
     ring_depth:
         Slots in the shared-memory ring, i.e. how many dispatched batches
         may be **in flight** at once on the shm transport (a slot may only
         be rewritten after its batch has been collected).  The default of 2
         lets a serving scheduler overlap one batch's worker-side compute
         with the next batch's dispatch; raise it for deeper pipelines.
+    dispatch_timeout_s:
+        Per-attempt hang detector for supervised cached-rank collects: an
+        attempt that has not resolved after this many seconds is treated
+        as a hung worker — the pool is healed and the batch retried within
+        whatever remains of its overall deadline.  ``None`` (the default)
+        disables the detector; a ``timeout`` passed to
+        :meth:`submit_cached` (or its collect) still bounds the batch.
+    max_restarts / restart_window_s / serial_cooldown_s:
+        Restart budget of the :class:`~.supervision.PoolSupervisor`:
+        ``max_restarts`` heals inside ``restart_window_s`` demote the
+        executor to in-process serial execution, re-probing the pool after
+        ``serial_cooldown_s``.
+    shm_cooldown_s:
+        Cool-down of the shared-memory circuit breaker before a demoted
+        transport is probed again.
 
     The pool itself persists across searches — the worker start-up cost is
     paid once per searcher, not per query batch.  Spool/eviction
@@ -336,6 +507,9 @@ class ProcessShardExecutor:
     foreground lifecycle calls (``close``/``evict``) can overlap; the
     shared-memory ring itself is single-dispatcher (route all of one
     executor's batch traffic through one thread, e.g. one scheduler).
+
+    Chaos tests hand the executor a :class:`~.faults.FaultInjector` via the
+    :attr:`fault_injector` attribute; production leaves it ``None``.
     """
 
     name = "processes"
@@ -349,6 +523,11 @@ class ProcessShardExecutor:
         shard_cache: bool = True,
         transport: str = "auto",
         ring_depth: int = 2,
+        dispatch_timeout_s: Optional[float] = None,
+        max_restarts: int = 5,
+        restart_window_s: float = 30.0,
+        serial_cooldown_s: float = 5.0,
+        shm_cooldown_s: float = 30.0,
     ) -> None:
         if transport not in self._TRANSPORTS:
             raise ConfigurationError(
@@ -359,12 +538,40 @@ class ProcessShardExecutor:
                 "transport='shm' requires multiprocessing.shared_memory, "
                 "which is unavailable on this host; use 'auto' or 'pickle'"
             )
+        if dispatch_timeout_s is not None and not float(dispatch_timeout_s) > 0:
+            raise ConfigurationError(
+                f"dispatch_timeout_s must be > 0 or None, got {dispatch_timeout_s!r}"
+            )
         self._pool = PersistentProcessPool(num_workers=num_workers)
         self.num_workers = self._pool.num_workers
         self.shard_cache = bool(shard_cache)
         self.transport = transport
         self.ring_depth = check_int_in_range(ring_depth, "ring_depth", minimum=1)
-        self._shm_failed = False
+        self.dispatch_timeout_s = (
+            None if dispatch_timeout_s is None else float(dispatch_timeout_s)
+        )
+        #: One runtime shm failure demotes to pickle (the attempt is never
+        #: worth repaying while /dev/shm is broken); shm is probed again
+        #: after the cool-down.
+        self._shm_breaker = CircuitBreaker(failure_threshold=1, cooldown_s=shm_cooldown_s)
+        # The supervisor must not keep the executor alive (the GC safety
+        # nets rely on refcount death of abandoned executors), so it gets
+        # the heal callback through a weak method, never a bound one.
+        heal_ref = weakref.WeakMethod(self._heal_pool)
+
+        def _heal_weak() -> None:
+            heal = heal_ref()
+            if heal is not None:
+                heal()
+
+        self._supervisor = PoolSupervisor(
+            _heal_weak,
+            max_restarts=max_restarts,
+            restart_window_s=restart_window_s,
+            cooldown_s=serial_cooldown_s,
+        )
+        #: Chaos-test hook: a :class:`~.faults.FaultInjector` or ``None``.
+        self.fault_injector = None
         self._ring: Optional[_transport.SharedMemoryRing] = None
         #: Dispatched-but-uncollected batches on the shared-memory ring.
         #: Guards slot reuse: batch ``N + ring_depth`` rewrites batch
@@ -377,6 +584,13 @@ class ProcessShardExecutor:
         #: epoch-named bundle publications replace (and delete) the previous
         #: epoch's entry.
         self._published: Dict[Tuple[str, int], str] = {}
+        #: Parent-resident payload per published key (payload, epoch) —
+        #: the recovery source of truth.  Spool files live in the parent's
+        #: tempdir and survive worker death, but a *corrupt or deleted*
+        #: entry can only be republished because the parent still holds the
+        #: payload object; the shard objects are alive in the owning
+        #: searcher anyway, so these references cost no copies.
+        self._payloads: Dict[Tuple[str, int], Tuple[object, int]] = {}
         #: Serializes publish/evict/close bookkeeping: a scheduler pump
         #: thread publishing epochs must not race a foreground ``close()``
         #: (or two searchers' ``close()`` calls racing each other) over the
@@ -408,13 +622,28 @@ class ProcessShardExecutor:
             return self._ring_inflight
 
     @property
+    def _shm_failed(self) -> bool:
+        """Whether the shm breaker is tripped (compat alias; read-only)."""
+        return self._shm_breaker.tripped
+
+    @property
+    def supervisor(self) -> PoolSupervisor:
+        """The restart/demotion policy object (monitoring, chaos tests)."""
+        return self._supervisor
+
+    @property
     def active_transport(self) -> str:
         """Transport actually in use right now: ``"shm"`` or ``"pickle"``."""
-        if self.transport == "pickle" or self._shm_failed:
+        if self.transport == "pickle" or not self._shm_breaker.allows():
             return "pickle"
         if self.transport == "shm":
             return "shm"
         return "shm" if _transport.shared_memory_available() else "pickle"
+
+    def _fire_fault(self, site: str, segment=None) -> None:
+        injector = self.fault_injector
+        if injector is not None:
+            injector.fire(site, self, segment=segment)
 
     def _ensure_spool(self) -> str:
         if self._spool_dir is None:
@@ -440,7 +669,10 @@ class ProcessShardExecutor:
         memory-mapped bundle (readers can never observe a half-written
         epoch because the directory is renamed into place, and the previous
         epoch's bundle is deleted after the swap); the pickle transport
-        keeps the PR 4 atomically replaced pickle file.
+        writes an atomically replaced, checksum-headered pickle file.  Both
+        formats carry integrity headers, and the payload reference is
+        retained parent-side so the supervisor can republish a corrupted
+        entry during recovery.
         """
         with self._lock:
             stem = os.path.join(
@@ -451,21 +683,76 @@ class ProcessShardExecutor:
             if self.active_transport == "shm":
                 path = _transport.write_spool_bundle(f"{stem}-e{epoch}", payload)
             else:
-                path = f"{stem}.pkl"
-                tmp_path = f"{path}.tmp"
-                with open(tmp_path, "wb") as fh:
-                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp_path, path)
+                path = _transport.write_spool_pickle(f"{stem}.pkl", payload)
             if previous is not None and previous != path:
                 _transport.remove_spool_entry(previous)
             self._published[key] = path
+            self._payloads[key] = (payload, epoch)
             return path
+
+    def _republish_entry(self, path: str, payload) -> None:
+        """Rewrite one spool entry in place, preserving its path and format.
+
+        Recovery must not move entries: dispatched job tuples carry the
+        spool path, and retried batches replay those same tuples.
+        """
+        if path.endswith(".pkl"):
+            _transport.write_spool_pickle(path, payload)
+        else:
+            _transport.remove_spool_entry(path)
+            _transport.write_spool_bundle(path, payload)
+
+    def _repair_spool(self) -> int:
+        """Verify every published entry; republish the broken ones.
+
+        Returns how many entries were republished.  Entries whose payload
+        reference is gone (evicted concurrently) are skipped — their jobs
+        are gone with them.
+        """
+        with self._lock:
+            entries = [
+                (key, path, self._payloads.get(key))
+                for key, path in self._published.items()
+            ]
+        repaired = 0
+        for _key, path, payload_entry in entries:
+            if payload_entry is None or _transport.verify_spool_entry(path):
+                continue
+            self._republish_entry(path, payload_entry[0])
+            repaired += 1
+        return repaired
+
+    def _heal_pool(self) -> None:
+        """Replace the dead pool and replay recovery (supervisor callback).
+
+        Terminates the workers (hard: a hung worker cannot be waited on),
+        drops the shared-memory ring so in-flight slots cannot alias the
+        next generation's batches, and verifies/republishes the spool.
+        The pool itself respawns lazily on the next dispatch; workers
+        rebuild their shard caches from the (verified) spool on first
+        contact, which is the same cold path as any first batch.
+        """
+        self._pool.terminate()
+        with self._lock:
+            ring, self._ring = self._ring, None
+            self._ring_inflight = 0
+        if ring is not None:
+            ring.close()
+        self._repair_spool()
+
+    def _record_shm_failure(self) -> None:
+        """Trip the shm breaker and drop the ring (demote to pickle)."""
+        self._shm_breaker.record_failure()
+        with self._lock:
+            ring, self._ring = self._ring, None
+        if ring is not None:
+            ring.close()
 
     def map(self, fn, jobs) -> list:
         """Apply ``fn`` to every job in worker processes, preserving order."""
         return self._pool.map(fn, jobs)
 
-    def map_cached(self, jobs) -> list:
+    def map_cached(self, jobs, timeout: Optional[float] = None) -> list:
         """Rank cache-keyed shard jobs (built against published payloads).
 
         Jobs carry ``(searcher_id, shard_index, epoch, spool_path,
@@ -482,27 +769,93 @@ class ProcessShardExecutor:
         single-job in-process short cut, where no pipe is crossed) returns
         ordinary arrays.
         """
-        return self.submit_cached(jobs)()
+        return self.submit_cached(jobs, timeout=timeout)()
 
-    def submit_cached(self, jobs):
+    def submit_cached(self, jobs, timeout: Optional[float] = None):
         """Dispatch cache-keyed shard jobs, keeping the batch in flight.
 
         The non-blocking counterpart of :meth:`map_cached` and the primitive
         under the serving scheduler's multi-batch pipeline: the batch's
         queries are written (shm) and the per-shard jobs submitted to the
-        workers, then a zero-argument ``collect`` callable is returned whose
-        call blocks until every shard finished and yields the per-shard
-        result list.  Up to :attr:`dispatch_depth` batches may be in flight
-        at once, and collects must follow submit order (FIFO) — batch
-        ``N + ring_depth`` rewrites batch ``N``'s ring slot, so ``N`` must
-        be collected (and its views consumed) first.
+        workers, then a ``collect(timeout=None)`` callable is returned
+        whose call blocks until every shard finished and yields the
+        per-shard result list.  Up to :attr:`dispatch_depth` batches may be
+        in flight at once, and collects must follow submit order (FIFO) —
+        batch ``N + ring_depth`` rewrites batch ``N``'s ring slot, so ``N``
+        must be collected (and its views consumed) first.
+
+        **Deadlines and recovery.**  ``timeout`` (here, or passed to the
+        collect, which wins) is the batch's total wall-clock budget.  The
+        collect supervises the dispatch: a crashed worker, a hang past
+        ``dispatch_timeout_s``, a corrupt spool entry or a lost shm segment
+        triggers an in-place heal (pool restart / spool repair / transport
+        demotion) and **one** replay of the idempotent jobs — bitwise
+        identical to an undisturbed run — within the remaining budget.  A
+        second failure (or an exhausted budget) raises
+        :class:`~repro.exceptions.WorkerCrashError` /
+        :class:`~repro.exceptions.ServingTimeoutError` /
+        :class:`~repro.exceptions.SpoolIntegrityError`; the pool is healed
+        behind the raise, so the *next* batch finds working workers.
         """
         jobs = list(jobs)
+        default_timeout = timeout
         if len(jobs) <= 1:
             # No pipe is crossed for a single job; ranking in process also
             # populates the parent-resident cache (see evict()).
             results = [_rank_cached_shard_job(job) for job in jobs]
-            return lambda: results
+
+            def collect_ready(timeout: Optional[float] = None) -> list:
+                return results
+
+            return collect_ready
+        if not self._supervisor.pool_allowed:
+            return self._submit_cached_serial(jobs)
+        self._fire_fault("dispatch")
+        observed = self._supervisor.generation
+        try:
+            inner = self._dispatch_cached(jobs)
+        except BrokenExecutor as exc:
+            # The pool was already broken at submit time (a worker died
+            # between batches).  Heal once and re-dispatch; a pool too
+            # broken to accept work twice is a crash, not a retry loop.
+            observed = self._supervisor.ensure_healed(observed)
+            if not self._supervisor.pool_allowed:
+                return self._submit_cached_serial(jobs)
+            try:
+                inner = self._dispatch_cached(jobs)
+            except BrokenExecutor as exc2:
+                raise WorkerCrashError(
+                    "worker pool broke dispatching a batch, then again after a restart"
+                ) from exc2
+
+        def collect(timeout: Optional[float] = default_timeout) -> list:
+            return self._collect_with_recovery(inner, jobs, observed, timeout)
+
+        return collect
+
+    def _submit_cached_serial(self, jobs: list):
+        """In-process serial execution: the last rung of the degradation ladder.
+
+        Used while the supervisor has demoted the pool (restarts exceeded
+        the budget).  Jobs run in the parent at collect time with the same
+        worker function, so results stay bitwise identical — the service
+        degrades in throughput, not in answers or availability.
+        """
+
+        def collect(timeout: Optional[float] = None) -> list:
+            return [_rank_cached_shard_job(job) for job in jobs]
+
+        return collect
+
+    def _dispatch_cached(self, jobs: list):
+        """Submit one multi-job batch; returns a raw ``collect(timeout)``.
+
+        The transport-selection core shared by first dispatches and
+        recovery replays: shm when the breaker allows and the batch
+        qualifies, pickle otherwise.  The returned collect translates pool
+        failures into typed errors (see :func:`_await_futures`) but does
+        not itself retry — recovery lives one layer up.
+        """
         shared_queries = all(job[5] is jobs[0][5] for job in jobs[1:])
         if shared_queries and self.active_transport == "shm":
             with self._lock:
@@ -517,19 +870,21 @@ class ProcessShardExecutor:
                 segment, layout = self._acquire_batch_segment(jobs)
             except OSError:
                 # Segment allocation failed (exhausted /dev/shm,
-                # permissions): downgrade to the pickle path for good.
-                # Scoped to the segment operations on purpose — a worker
-                # raising OSError (e.g. a reaped spool) must propagate, not
-                # masquerade as a shared-memory failure.
-                with self._lock:
-                    self._shm_failed = True
-                    ring, self._ring = self._ring, None
-                if ring is not None:
-                    ring.close()
+                # permissions): trip the breaker and fall through to the
+                # pickle path.  Scoped to the segment operations on
+                # purpose — a worker raising OSError (e.g. a reaped spool)
+                # must propagate, not masquerade as a shared-memory
+                # failure.
+                self._record_shm_failure()
             else:
+                self._fire_fault("segment", segment=segment)
                 return self._submit_cached_shm(segment, layout, jobs)
         futures = self._pool.submit_all(_rank_cached_shard_job, jobs)
-        return lambda: [future.result() for future in futures]
+
+        def collect(timeout: Optional[float] = None) -> list:
+            return _await_futures(futures, timeout, what="cached-rank batch")
+
+        return collect
 
     def _acquire_batch_segment(self, jobs: list):
         """A ring segment sized and loaded for one batch's queries/results."""
@@ -569,10 +924,9 @@ class ProcessShardExecutor:
             self._ring_inflight += 1
         released = threading.Event()
 
-        def collect() -> list:
+        def collect(timeout: Optional[float] = None) -> list:
             try:
-                for future in futures:
-                    future.result()
+                _await_futures(futures, timeout, what="shared-memory batch")
             finally:
                 # The slot is charged once per dispatch; release exactly
                 # once even if a worker raised or collect is retried.
@@ -580,11 +934,99 @@ class ProcessShardExecutor:
                     released.set()
                     with self._lock:
                         self._ring_inflight = max(0, self._ring_inflight - 1)
+            # A full shm round trip doubles as the breaker's health probe.
+            self._shm_breaker.record_success()
             return [
                 layout.result_views(segment, position) for position in range(len(jobs))
             ]
 
         return collect
+
+    def _attempt_budget(self, deadline: Optional[float]) -> Optional[float]:
+        """Per-attempt timeout: min(hang detector, remaining overall budget)."""
+        remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+        if self.dispatch_timeout_s is None:
+            return remaining
+        if remaining is None:
+            return self.dispatch_timeout_s
+        return min(self.dispatch_timeout_s, remaining)
+
+    def _classify_and_heal(self, exc: BaseException, observed_generation: int) -> None:
+        """Run the recovery matching one dispatch failure.
+
+        * corrupt/missing spool entry → verify + republish the spool (the
+          workers are alive; they raised cleanly),
+        * a worker-side ``OSError`` (a lost shm segment: failed attach) →
+          trip the shm breaker and drop the ring; the retry dispatches over
+          pickle,
+        * anything else (crash, hang, broken pool) → supervisor heal:
+          terminate + respawn the pool, re-arm the ring, verify the spool.
+        """
+        if isinstance(exc, SpoolIntegrityError):
+            self._repair_spool()
+            return
+        if isinstance(exc, OSError) and not isinstance(exc, ServingError):
+            self._record_shm_failure()
+            return
+        self._supervisor.ensure_healed(observed_generation)
+
+    def _collect_with_recovery(
+        self,
+        collect,
+        jobs: list,
+        observed_generation: int,
+        timeout: Optional[float],
+    ) -> list:
+        """Await one dispatched batch, healing and replaying once on failure."""
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
+        self._fire_fault("collect")
+        try:
+            results = collect(timeout=self._attempt_budget(deadline))
+        except (ServingTimeoutError, WorkerCrashError, SpoolIntegrityError, OSError) as exc:
+            return self._retry_once(jobs, observed_generation, deadline, exc)
+        self._supervisor.record_success()
+        return results
+
+    def _retry_once(
+        self,
+        jobs: list,
+        observed_generation: int,
+        deadline: Optional[float],
+        exc: BaseException,
+    ) -> list:
+        """Heal, then replay the idempotent batch once within its budget."""
+        self._classify_and_heal(exc, observed_generation)
+        remaining = None if deadline is None else deadline - time.monotonic()
+        if remaining is not None and remaining <= 0:
+            raise ServingTimeoutError(
+                "batch deadline exhausted before the retry on the healed "
+                f"pool could run (first failure: {exc})"
+            ) from exc
+        if not self._supervisor.pool_allowed:
+            # Serial fallback: bitwise identical, but NOT a pool success —
+            # recording one here would lift the demotion that was just
+            # imposed and send the next batch straight back to a pool that
+            # dies faster than it heals.
+            return [_rank_cached_shard_job(job) for job in jobs]
+        generation = self._supervisor.generation
+        try:
+            retry_collect = self._dispatch_cached(jobs)
+            results = retry_collect(timeout=remaining)
+        except (ServingError, OSError, BrokenExecutor) as retry_exc:
+            # Heal once more behind the raise so the NEXT batch finds a
+            # working pool, then fail this one cleanly and typed.
+            self._classify_and_heal(retry_exc, generation)
+            if isinstance(retry_exc, BrokenExecutor):
+                raise WorkerCrashError(
+                    "worker pool broke again replaying a batch after a restart"
+                ) from retry_exc
+            if isinstance(retry_exc, OSError) and not isinstance(retry_exc, ServingError):
+                raise WorkerCrashError(
+                    f"batch replay failed again after recovery: {retry_exc}"
+                ) from retry_exc
+            raise
+        self._supervisor.record_success()
+        return results
 
     def evict(self, searcher_id: str, broadcast: bool = True) -> None:
         """Drop cached shards of one (closed) searcher from worker caches.
@@ -610,6 +1052,8 @@ class ProcessShardExecutor:
                 for key in list(self._published)
                 if key[0] == searcher_id
             ]
+            for key in [key for key in self._payloads if key[0] == searcher_id]:
+                del self._payloads[key]
         for path in stale:
             _transport.remove_spool_entry(path)
         if broadcast:
@@ -628,6 +1072,7 @@ class ProcessShardExecutor:
             ring, self._ring = self._ring, None
             self._ring_inflight = 0
             self._published.clear()
+            self._payloads.clear()
             finalizer, self._spool_finalizer = self._spool_finalizer, None
             self._spool_dir = None
         if ring is not None:

@@ -42,10 +42,12 @@ owner is garbage collected without closing.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import shutil
 import weakref
+import zlib
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
@@ -56,7 +58,7 @@ try:  # pragma: no cover - present on every platform CI runs on
 except ImportError:  # pragma: no cover - exotic builds without _posixshmem
     _shared_memory = None
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, SpoolIntegrityError
 from ..utils.validation import check_int_in_range
 
 
@@ -278,6 +280,13 @@ def attach_segment(name: str):
 # Memory-mapped spool bundles
 # ----------------------------------------------------------------------
 _BUNDLE_PAYLOAD = "payload.pkl"
+_BUNDLE_MANIFEST = "manifest.json"
+
+#: Header of checksummed pickle-spool files: magic, 4-byte little-endian
+#: CRC-32 of the pickle stream, 8-byte little-endian stream length.
+#: Headerless files are the PR 4 format, still readable (unverified).
+_PICKLE_MAGIC = b"RSPL\x01"
+_PICKLE_HEADER_BYTES = len(_PICKLE_MAGIC) + 4 + 8
 
 
 def write_spool_bundle(path: str, payload) -> str:
@@ -286,52 +295,162 @@ def write_spool_bundle(path: str, payload) -> str:
     The pickle stream is written with every contiguous ndarray buffer
     extracted out-of-band (protocol 5); each buffer lands in its own
     ``buf<i>.npy`` so :func:`load_spool_payload` can hand ``np.load``
-    memory maps back to the unpickler.  The bundle is assembled in a
-    sibling temp directory and renamed into place, so a reader can never
-    observe a half-written bundle; callers encode the program epoch in
-    ``path``, which is why a plain rename (no replace-over-existing) is
-    enough.
+    memory maps back to the unpickler.  A ``manifest.json`` header records
+    the stream's CRC-32 and every file's byte size, so readers detect a
+    scribbled or truncated bundle (:class:`~repro.exceptions.SpoolIntegrityError`)
+    instead of unpickling garbage.  The bundle is assembled in a sibling
+    temp directory and renamed into place, so a reader can never observe a
+    half-written bundle; callers encode the program epoch in ``path``,
+    which is why a plain rename (no replace-over-existing) is enough.
     """
     buffers: List = []
     data = pickle.dumps(payload, protocol=5, buffer_callback=buffers.append)
     staging = f"{path}.tmp"
     shutil.rmtree(staging, ignore_errors=True)
     os.makedirs(staging)
+    buffer_bytes = []
     for index, buffer in enumerate(buffers):
-        np.save(
-            os.path.join(staging, f"buf{index}.npy"),
-            np.frombuffer(buffer, dtype=np.uint8),
-        )
+        buffer_path = os.path.join(staging, f"buf{index}.npy")
+        np.save(buffer_path, np.frombuffer(buffer, dtype=np.uint8))
+        buffer_bytes.append(os.path.getsize(buffer_path))
     with open(os.path.join(staging, _BUNDLE_PAYLOAD), "wb") as fh:
         fh.write(data)
+    manifest = {
+        "format": 1,
+        "payload_crc32": zlib.crc32(data) & 0xFFFFFFFF,
+        "payload_bytes": len(data),
+        "buffer_bytes": buffer_bytes,
+    }
+    with open(os.path.join(staging, _BUNDLE_MANIFEST), "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh)
     os.rename(staging, path)
     return path
 
 
+def write_spool_pickle(path: str, payload) -> str:
+    """Publish ``payload`` as a checksummed pickle-spool file at ``path``.
+
+    The pickle-transport counterpart of :func:`write_spool_bundle`: the
+    stream is prefixed with a magic/CRC-32/length header and atomically
+    replaced into place, so readers either see a verifiable complete file
+    or the previous epoch's.
+    """
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = (
+        _PICKLE_MAGIC
+        + (zlib.crc32(data) & 0xFFFFFFFF).to_bytes(4, "little")
+        + len(data).to_bytes(8, "little")
+    )
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "wb") as fh:
+        fh.write(header + data)
+    os.replace(tmp_path, path)
+    return path
+
+
+def _read_bundle_manifest(path: str) -> Optional[dict]:
+    manifest_path = os.path.join(path, _BUNDLE_MANIFEST)
+    if not os.path.exists(manifest_path):  # pre-checksum bundle: unverified
+        return None
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SpoolIntegrityError(f"spool bundle manifest unreadable at {path}: {exc}") from exc
+
+
+def _verify_bundle(path: str, manifest: dict, data: bytes) -> None:
+    if len(data) != manifest["payload_bytes"] or (
+        zlib.crc32(data) & 0xFFFFFFFF
+    ) != manifest["payload_crc32"]:
+        raise SpoolIntegrityError(f"spool bundle payload corrupt at {path} (checksum mismatch)")
+    for index, expected in enumerate(manifest["buffer_bytes"]):
+        buffer_path = os.path.join(path, f"buf{index}.npy")
+        try:
+            actual = os.path.getsize(buffer_path)
+        except OSError as exc:
+            raise SpoolIntegrityError(f"spool bundle buffer missing at {buffer_path}") from exc
+        if actual != expected:
+            raise SpoolIntegrityError(
+                f"spool bundle buffer truncated at {buffer_path} "
+                f"({actual} bytes, expected {expected})"
+            )
+
+
+def _read_pickle_spool(path: str) -> bytes:
+    """The verified pickle stream of a pickle-spool file (either format)."""
+    with open(path, "rb") as fh:
+        head = fh.read(_PICKLE_HEADER_BYTES)
+        if not head.startswith(_PICKLE_MAGIC):
+            return head + fh.read()  # PR 4 headerless format: unverified
+        data = fh.read()
+    crc = int.from_bytes(head[len(_PICKLE_MAGIC) : len(_PICKLE_MAGIC) + 4], "little")
+    length = int.from_bytes(head[len(_PICKLE_MAGIC) + 4 :], "little")
+    if len(data) != length or (zlib.crc32(data) & 0xFFFFFFFF) != crc:
+        raise SpoolIntegrityError(f"spool file corrupt at {path} (checksum mismatch)")
+    return data
+
+
 def load_spool_payload(path: str):
-    """Load a published shard payload from either spool format.
+    """Load a published shard payload from either spool format, verified.
 
     Bundle directories reconstruct their pickled object around
     ``np.load(mmap_mode="r")`` buffer views, so every ndarray in the
     payload is backed by the page cache and shared physically across the
     workers of one host (the arrays come back read-only, which the search
-    path never violates).  Plain files are the PR 4 pickle spool, kept as
-    the transparent fallback.
+    path never violates).  Plain files are the pickle spool.  Both formats
+    carry checksummed headers; a missing, truncated or scribbled entry
+    raises :class:`~repro.exceptions.SpoolIntegrityError` — a typed,
+    recoverable signal the executor answers by evicting and republishing
+    the entry — instead of crashing the worker on garbage bytes.
     """
-    if os.path.isdir(path):
-        with open(os.path.join(path, _BUNDLE_PAYLOAD), "rb") as fh:
-            data = fh.read()
-        buffers: List[np.ndarray] = []
-        index = 0
-        while True:
-            buffer_path = os.path.join(path, f"buf{index}.npy")
-            if not os.path.exists(buffer_path):
-                break
-            buffers.append(np.load(buffer_path, mmap_mode="r"))
-            index += 1
-        return pickle.loads(data, buffers=buffers)
-    with open(path, "rb") as fh:
-        return pickle.load(fh)
+    try:
+        if os.path.isdir(path):
+            manifest = _read_bundle_manifest(path)
+            with open(os.path.join(path, _BUNDLE_PAYLOAD), "rb") as fh:
+                data = fh.read()
+            if manifest is not None:
+                _verify_bundle(path, manifest, data)
+            buffers: List[np.ndarray] = []
+            index = 0
+            while True:
+                buffer_path = os.path.join(path, f"buf{index}.npy")
+                if not os.path.exists(buffer_path):
+                    break
+                buffers.append(np.load(buffer_path, mmap_mode="r"))
+                index += 1
+            return pickle.loads(data, buffers=buffers)
+        data = _read_pickle_spool(path)
+        return pickle.loads(data)
+    except SpoolIntegrityError:
+        raise
+    except FileNotFoundError as exc:
+        raise SpoolIntegrityError(f"spool entry missing at {path}") from exc
+    except (OSError, pickle.UnpicklingError, EOFError, ValueError) as exc:
+        raise SpoolIntegrityError(f"spool entry unreadable at {path}: {exc}") from exc
+
+
+def verify_spool_entry(path: str) -> bool:
+    """Whether a published spool entry passes its integrity header.
+
+    The parent-side recovery check: cheap (checksums the pickle stream,
+    stats the buffer files — never unpickles or maps the payload) and
+    tolerant of pre-checksum entries, which report healthy as long as the
+    file exists.  Used by the supervisor to decide which entries must be
+    republished after a fault.
+    """
+    try:
+        if os.path.isdir(path):
+            manifest = _read_bundle_manifest(path)
+            with open(os.path.join(path, _BUNDLE_PAYLOAD), "rb") as fh:
+                data = fh.read()
+            if manifest is not None:
+                _verify_bundle(path, manifest, data)
+            return True
+        _read_pickle_spool(path)
+        return True
+    except (SpoolIntegrityError, OSError):
+        return False
 
 
 def remove_spool_entry(path: str) -> None:
@@ -352,5 +471,7 @@ __all__ = [
     "load_spool_payload",
     "remove_spool_entry",
     "shared_memory_available",
+    "verify_spool_entry",
     "write_spool_bundle",
+    "write_spool_pickle",
 ]

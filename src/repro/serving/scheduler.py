@@ -100,6 +100,7 @@ from ..exceptions import (
     SearchError,
     ServingError,
     ServingOverloadError,
+    ServingTimeoutError,
 )
 from ..utils.validation import check_int_in_range
 
@@ -124,7 +125,9 @@ class ServingStats:
     * ``rejected`` — requests fast-failed by per-lane admission control,
     * ``cancelled`` — requests whose future was cancelled before dispatch,
     * ``completed`` — requests delivered a result,
-    * ``failed`` — requests delivered an exception,
+    * ``failed`` — requests delivered an exception (of any type),
+    * ``timeouts`` — the subset of ``failed`` delivered a
+      :class:`~repro.exceptions.ServingTimeoutError` (missed deadlines),
     * ``batches`` — micro-batches dispatched,
     * ``coalesced`` — queries that shared their dispatch with at least one
       other query (i.e. rode in a batch of size >= 2),
@@ -151,6 +154,7 @@ class ServingStats:
         self.cancelled = 0
         self.completed = 0
         self.failed = 0
+        self.timeouts = 0
         self.batches = 0
         self.coalesced = 0
         self.mixed_k = 0
@@ -209,6 +213,7 @@ class ServingStats:
                 "cancelled": self.cancelled,
                 "completed": self.completed,
                 "failed": self.failed,
+                "timeouts": self.timeouts,
                 "batches": self.batches,
                 "coalesced": self.coalesced,
                 "mixed_k": self.mixed_k,
@@ -224,13 +229,22 @@ class ServingStats:
 class _Request:
     """One admitted query waiting for (or riding in) a micro-batch."""
 
-    __slots__ = ("query", "k", "future", "arrival")
+    __slots__ = ("query", "k", "future", "arrival", "deadline")
 
-    def __init__(self, query: np.ndarray, k: int, future: Future, arrival: float):
+    def __init__(
+        self,
+        query: np.ndarray,
+        k: int,
+        future: Future,
+        arrival: float,
+        deadline: Optional[float] = None,
+    ):
         self.query = query
         self.k = k
         self.future = future
         self.arrival = arrival
+        #: Monotonic instant the request must resolve by (None: no deadline).
+        self.deadline = deadline
 
 
 class _Lane:
@@ -261,6 +275,8 @@ class _Lane:
         "rejected",
         "dispatched_queries",
         "dispatched_batches",
+        "failures",
+        "timeouts",
     )
 
     def __init__(
@@ -296,6 +312,8 @@ class _Lane:
         self.rejected = 0
         self.dispatched_queries = 0
         self.dispatched_batches = 0
+        self.failures = 0
+        self.timeouts = 0
 
     def note_arrival(self, now: float) -> None:
         """Fold one arrival timestamp into the inter-arrival EWMA."""
@@ -352,6 +370,8 @@ class _Lane:
             "rejected": self.rejected,
             "dispatched_queries": self.dispatched_queries,
             "dispatched_batches": self.dispatched_batches,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
             "delay_us": self.effective_delay() * scale,
             "inter_arrival_us": (
                 None if self.inter_ewma is None else self.inter_ewma * scale
@@ -380,6 +400,7 @@ class _SchedulerEngine:
         min_delay_s: float,
         coalesce_across_k: bool,
         latency_window: int,
+        request_timeout_s: Optional[float] = None,
     ) -> None:
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
@@ -389,6 +410,7 @@ class _SchedulerEngine:
         self.adaptive_delay = adaptive_delay
         self.min_delay_s = min_delay_s
         self.coalesce_across_k = coalesce_across_k
+        self.request_timeout_s = request_timeout_s
         self.stats = ServingStats(latency_window=latency_window)
         self._cond = threading.Condition()
         self._lanes: Dict[str, _Lane] = {}
@@ -480,7 +502,10 @@ class _SchedulerEngine:
         k = check_int_in_range(k, "k", minimum=1, maximum=searcher.num_entries)
         future: Future = Future()
         now = time.monotonic()
-        request = _Request(query, k, future, now)
+        deadline = (
+            None if self.request_timeout_s is None else now + self.request_timeout_s
+        )
+        request = _Request(query, k, future, now, deadline)
         with self._cond:
             if self._closing:
                 raise ServingError("scheduler is closed")
@@ -633,19 +658,34 @@ class _SchedulerEngine:
             size = self._flush_size(run)
             trimmed = size < min(run, self.max_batch)
             requests = []
+            expired = []
             distinct_k = set()
+            gather_now = time.monotonic()
             for _ in range(size):
                 request = lane.pending.popleft()
                 # Claim the future; a client that cancelled while queueing
                 # is dropped here, before its query costs any compute.
-                if request.future.set_running_or_notify_cancel():
+                if not request.future.set_running_or_notify_cancel():
+                    self.stats.bump(cancelled=1)
+                elif request.deadline is not None and gather_now > request.deadline:
+                    # Expired while queued (a stalled pump, a long heal):
+                    # fail it typed before it costs any compute.
+                    expired.append(request)
+                else:
                     requests.append(request)
                     distinct_k.add(request.k)
-                else:
-                    self.stats.bump(cancelled=1)
             self._charge_lane(lane, len(requests))
             if not self._closing:
                 lane.note_flush(len(requests), self.max_batch, filled=filled)
+        if expired:
+            self._deliver_failure(
+                expired,
+                ServingTimeoutError(
+                    "request missed its deadline while queued "
+                    f"(request_timeout_s={self.request_timeout_s})"
+                ),
+                lane,
+            )
         if requests:
             self.stats.record_batch(
                 len(requests), trimmed, mixed=len(distinct_k) > 1
@@ -661,7 +701,7 @@ class _SchedulerEngine:
         try:
             collect = lane.searcher.submit_serving(queries, k=k_max)
         except Exception as exc:  # deliver, never kill the pump
-            self._deliver_failure(requests, exc)
+            self._deliver_failure(requests, exc, lane)
             return
         self._inflight.append((collect, lane, requests))
 
@@ -684,10 +724,26 @@ class _SchedulerEngine:
 
     def _collect_oldest(self) -> None:
         collect, lane, requests = self._inflight.popleft()
+        deadlines = [
+            request.deadline for request in requests if request.deadline is not None
+        ]
         try:
-            indices, scores = collect()
+            if deadlines:
+                # The batch inherits its tightest rider's remaining budget;
+                # the supervised executor heals and retries inside it, then
+                # fails typed — the pump never blocks past the deadline on
+                # a hung worker.
+                remaining = max(0.0, min(deadlines) - time.monotonic())
+                try:
+                    indices, scores = collect(timeout=remaining)
+                except TypeError:
+                    # Third-party collects may be zero-argument; deadlines
+                    # then bound only queueing, not the dispatch itself.
+                    indices, scores = collect()
+            else:
+                indices, scores = collect()
         except Exception as exc:  # a worker died, the spool was reaped, ...
-            self._deliver_failure(requests, exc)
+            self._deliver_failure(requests, exc, lane)
             return
         searcher = lane.searcher
         now = time.monotonic()
@@ -705,11 +761,25 @@ class _SchedulerEngine:
             self.stats.record_latency((now - request.arrival) * 1e3)
         self.stats.bump(completed=len(requests))
 
-    def _deliver_failure(self, requests: List[_Request], exc: BaseException) -> None:
+    def _deliver_failure(
+        self,
+        requests: List[_Request],
+        exc: BaseException,
+        lane: Optional[_Lane] = None,
+    ) -> None:
         for request in requests:
             if not request.future.cancelled():
                 request.future.set_exception(exc)
-        self.stats.bump(failed=len(requests))
+        timed_out = isinstance(exc, ServingTimeoutError)
+        self.stats.bump(
+            failed=len(requests),
+            timeouts=len(requests) if timed_out else 0,
+        )
+        if lane is not None:
+            with self._cond:
+                lane.failures += len(requests)
+                if timed_out:
+                    lane.timeouts += len(requests)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -815,6 +885,18 @@ class MicroBatchScheduler:
         ``searcher``.
     latency_window:
         Ring-buffer size of the :class:`ServingStats` latency percentiles.
+    request_timeout_s:
+        Per-request deadline in seconds (``None``: no deadline).  A
+        request that expires while queued is failed with
+        :class:`~repro.exceptions.ServingTimeoutError` before costing any
+        compute, and a dispatched batch is collected with its tightest
+        rider's remaining budget — on the supervised ``"processes"``
+        executor a crashed or hung batch is healed and retried inside
+        that budget, then failed typed, so a client's future always
+        resolves (result or typed error) within roughly its deadline plus
+        one heal.  Failures are visible per lane (``lane_stats()``:
+        ``failures``/``timeouts``) and scheduler-wide
+        (``stats.snapshot()``).
 
     Results delivered through the scheduler are bitwise identical to
     calling ``kneighbors_batch`` on the lane's searcher directly with the
@@ -838,6 +920,7 @@ class MicroBatchScheduler:
         lane: str = "default",
         weight: float = 1.0,
         latency_window: int = 2048,
+        request_timeout_s: Optional[float] = None,
     ) -> None:
         max_batch = check_int_in_range(max_batch, "max_batch", minimum=1)
         max_queue = check_int_in_range(max_queue, "max_queue", minimum=1)
@@ -846,6 +929,10 @@ class MicroBatchScheduler:
             raise ConfigurationError(f"max_delay_us must be >= 0, got {max_delay_us!r}")
         if not min_delay_us >= 0:
             raise ConfigurationError(f"min_delay_us must be >= 0, got {min_delay_us!r}")
+        if request_timeout_s is not None and not float(request_timeout_s) > 0:
+            raise ConfigurationError(
+                f"request_timeout_s must be > 0 or None, got {request_timeout_s!r}"
+            )
         self._engine = _SchedulerEngine(
             max_batch=max_batch,
             max_delay_s=float(max_delay_us) * 1e-6,
@@ -856,6 +943,9 @@ class MicroBatchScheduler:
             min_delay_s=float(min_delay_us) * 1e-6,
             coalesce_across_k=bool(coalesce_across_k),
             latency_window=latency_window,
+            request_timeout_s=(
+                None if request_timeout_s is None else float(request_timeout_s)
+            ),
         )
         self._engine.add_lane(lane, searcher, weight=weight, max_queue=max_queue)
         # Safety net: an abandoned scheduler drains and stops its pump at
@@ -899,8 +989,10 @@ class MicroBatchScheduler:
 
         Each entry reports the lane's weight, queue depth, admitted and
         rejected requests, dispatched batch/query totals (the numbers the
-        fairness gates measure shares from), the effective flush window in
-        microseconds and the inter-arrival/fill EWMAs feeding it.
+        fairness gates measure shares from), failure accounting
+        (``failures`` and its ``timeouts`` subset — per-lane error rates),
+        the effective flush window in microseconds and the
+        inter-arrival/fill EWMAs feeding it.
         """
         return self._engine.lane_stats()
 

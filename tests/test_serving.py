@@ -29,6 +29,7 @@ from repro.exceptions import (
     SearchError,
     ServingError,
     ServingOverloadError,
+    ServingTimeoutError,
 )
 from repro.serving import MicroBatchScheduler, ServingLane, ServingStats
 from repro.serving.scheduler import _Lane, _Request, _SchedulerEngine
@@ -398,6 +399,105 @@ class TestServingStats:
         stats.record_batch(4, trimmed=False, mixed=True)
         stats.record_batch(4, trimmed=False)
         assert stats.snapshot()["mixed_k"] == 1
+
+
+class _BudgetEchoSearcher(SoftwareSearcher):
+    """Records the ``timeout`` each collect receives from the pump."""
+
+    def __init__(self):
+        super().__init__("euclidean")
+        self.budgets = []
+
+    def submit_serving(self, queries, k=1, rng=None):
+        result = self.kneighbors_arrays(queries, k=k, rng=rng)
+
+        def collect(timeout=None):
+            self.budgets.append(timeout)
+            return result
+
+        return collect
+
+
+class _ExplodingSearcher(SoftwareSearcher):
+    """Every dispatch fails at submit time (a dead backend)."""
+
+    def submit_serving(self, queries, k=1, rng=None):
+        raise RuntimeError("backend is down")
+
+
+class TestDeadlinesAndFailureAccounting:
+    def test_request_timeout_validation(self):
+        with pytest.raises(ConfigurationError, match="request_timeout_s"):
+            MicroBatchScheduler(_fitted_searcher(), request_timeout_s=0)
+
+    def test_expired_while_queued_fails_typed_before_any_compute(self):
+        searcher = _GatedSearcher()
+        searcher.fit(_queries(32, seed=5), np.arange(32))
+        with MicroBatchScheduler(
+            searcher,
+            max_batch=1,
+            max_in_flight=1,
+            max_delay_us=0,
+            adaptive_delay=False,
+            request_timeout_s=0.15,
+        ) as scheduler:
+            first = scheduler.submit(_queries(1)[0], k=2)
+            # The pump dispatches the first query, then blocks in its
+            # (gated) collect with the in-flight window full.
+            deadline = time.monotonic() + WAIT_S
+            while not searcher.dispatched and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert searcher.dispatched == [1]
+            second = scheduler.submit(_queries(1, seed=9)[0], k=2)
+            time.sleep(0.25)  # the queued request's deadline passes
+            searcher.release.set()
+            # The dispatched request resolves (deadlines bound queueing;
+            # this third-party collect takes no timeout argument, which
+            # exercises the zero-arg fallback).
+            assert first.result(timeout=WAIT_S).indices.shape == (2,)
+            with pytest.raises(ServingTimeoutError, match="while queued"):
+                second.result(timeout=WAIT_S)
+            # The query never cost a dispatch.
+            assert searcher.dispatched == [1]
+            snapshot = scheduler.stats.snapshot()
+            assert snapshot["completed"] == 1
+            assert snapshot["failed"] == 1
+            assert snapshot["timeouts"] == 1
+            lane = scheduler.lane_stats()["default"]
+            assert lane["failures"] == 1
+            assert lane["timeouts"] == 1
+
+    def test_dispatch_failures_count_per_lane_but_not_as_timeouts(self):
+        searcher = _ExplodingSearcher("euclidean")
+        searcher.fit(_queries(16, seed=5), np.arange(16))
+        with MicroBatchScheduler(searcher, max_batch=2, max_delay_us=0) as scheduler:
+            future = scheduler.submit(_queries(1)[0], k=1)
+            with pytest.raises(RuntimeError, match="backend is down"):
+                future.result(timeout=WAIT_S)
+            snapshot = scheduler.stats.snapshot()
+            assert snapshot["failed"] == 1
+            assert snapshot["timeouts"] == 0
+            lane = scheduler.lane_stats()["default"]
+            assert lane["failures"] == 1
+            assert lane["timeouts"] == 0
+
+    def test_collects_inherit_the_tightest_remaining_budget(self):
+        searcher = _BudgetEchoSearcher()
+        searcher.fit(_queries(32, seed=5), np.arange(32))
+        with MicroBatchScheduler(
+            searcher, max_batch=4, max_delay_us=0, request_timeout_s=5.0
+        ) as scheduler:
+            assert scheduler.submit(_queries(1)[0], k=2).result(timeout=WAIT_S)
+        assert len(searcher.budgets) == 1
+        assert searcher.budgets[0] is not None
+        assert 0.0 < searcher.budgets[0] <= 5.0
+
+    def test_without_deadlines_collects_see_no_budget(self):
+        searcher = _BudgetEchoSearcher()
+        searcher.fit(_queries(32, seed=5), np.arange(32))
+        with MicroBatchScheduler(searcher, max_batch=4, max_delay_us=0) as scheduler:
+            assert scheduler.submit(_queries(1)[0], k=2).result(timeout=WAIT_S)
+        assert searcher.budgets == [None]
 
 
 class TestCrossKCoalescing:
