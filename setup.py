@@ -25,6 +25,8 @@ setup(
     long_description_content_type="text/markdown",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    include_package_data=True,
     python_requires=">=3.9",
     install_requires=["numpy>=1.21"],
     classifiers=[

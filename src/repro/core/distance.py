@@ -19,7 +19,7 @@ studied independently of any CAM array:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -56,7 +56,7 @@ class MCAMDistance:
         """Number of states per cell."""
         return self.lut.num_states
 
-    def pairwise(self, query_states, stored_states) -> float:
+    def pairwise(self, query_states: Any, stored_states: Any) -> float:
         """Distance between one query vector and one stored vector."""
         query = np.asarray(query_states)
         stored = np.asarray(stored_states)
@@ -69,11 +69,12 @@ class MCAMDistance:
         query = check_state_matrix(query.reshape(1, -1), self.num_states, "query_states")[0]
         return float(self.lut.row_conductance(stored, query)[0])
 
-    def to_rows(self, stored_rows, query_states) -> np.ndarray:
+    def to_rows(self, stored_rows: Any, query_states: Any) -> np.ndarray:
         """Distance from one query to every stored row (vectorized)."""
-        return self.lut.row_conductance(stored_rows, query_states)
+        distances: np.ndarray = self.lut.row_conductance(stored_rows, query_states)
+        return distances
 
-    def matrix(self, stored_rows, query_rows) -> np.ndarray:
+    def matrix(self, stored_rows: Any, query_rows: Any) -> np.ndarray:
         """Full distance matrix of shape ``(num_queries, num_rows)``."""
         stored = check_state_matrix(stored_rows, self.num_states, "stored_rows")
         queries = check_state_matrix(query_rows, self.num_states, "query_rows")
@@ -86,7 +87,8 @@ class MCAMDistance:
 
     def profile(self) -> np.ndarray:
         """Mean cell distance as a function of the state separation ``|I - S|``."""
-        return self.lut.distance_by_separation()
+        profile: np.ndarray = self.lut.distance_by_separation()
+        return profile
 
 
 def exponential_distance_profile(

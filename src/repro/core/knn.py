@@ -13,7 +13,7 @@ stored entries; with ``k=1`` it reduces exactly to the paper's setup.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -54,7 +54,7 @@ class KNNClassifier:
         """Whether the underlying searcher has stored data."""
         return self.searcher.is_fitted
 
-    def fit(self, features, labels: Sequence[int]) -> "KNNClassifier":
+    def fit(self, features: Any, labels: Optional[Sequence[int]]) -> "KNNClassifier":
         """Store the labeled training data in the underlying searcher."""
         if labels is None:
             raise SearchError("KNNClassifier requires labels")
@@ -66,14 +66,14 @@ class KNNClassifier:
             )
         return self
 
-    def predict_one(self, query, rng: SeedLike = None) -> int:
+    def predict_one(self, query: Any, rng: SeedLike = None) -> int:
         """Predicted label of a single query vector."""
         if not self.is_fitted:
             raise SearchError("classifier must be fitted before predicting")
         result = self.searcher.kneighbors(query, k=self.k, rng=rng)
         return self._vote(result.labels, result.scores)
 
-    def _vote(self, labels, scores) -> int:
+    def _vote(self, labels: Any, scores: Any) -> int:
         """Majority (or distance-weighted) vote over one query's neighbors."""
         if any(label is None for label in labels):
             raise SearchError("stored entries must all be labeled for k-NN voting")
@@ -122,9 +122,10 @@ class KNNClassifier:
         best = tallies.max(axis=1)
         tied = tallies == best[:, np.newaxis]
         winner_codes = np.where(tied, first_pos, k).argmin(axis=1)
-        return classes[winner_codes]
+        winners: np.ndarray = classes[winner_codes]
+        return winners
 
-    def predict(self, queries, rng: SeedLike = None) -> np.ndarray:
+    def predict(self, queries: Any, rng: SeedLike = None) -> np.ndarray:
         """Predicted labels for every row of ``queries``.
 
         The whole batch is served by one vectorized neighbor search followed
@@ -147,7 +148,7 @@ class KNNClassifier:
             )
         return self._vote_batch(neighbor_labels, np.asarray(result.scores))
 
-    def score(self, queries, labels, rng: SeedLike = None) -> float:
+    def score(self, queries: Any, labels: Any, rng: SeedLike = None) -> float:
         """Classification accuracy on a labeled query set."""
         labels = np.asarray(labels)
         predictions = self.predict(queries, rng=rng)

@@ -16,7 +16,7 @@ do physically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -64,7 +64,7 @@ class UniformQuantizer:
         """Whether :meth:`fit` has been called."""
         return self._low is not None
 
-    def fit(self, features) -> "UniformQuantizer":
+    def fit(self, features: Any) -> "UniformQuantizer":
         """Learn the quantization range(s) from calibration ``features``.
 
         Returns ``self`` so calls can be chained
@@ -88,66 +88,70 @@ class UniformQuantizer:
         self._high = high.astype(np.float64)
         return self
 
-    def _require_fitted(self) -> None:
-        if not self.is_fitted:
+    def _require_fitted(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The fitted ``(low, high)`` arrays, or a typed error when unfitted."""
+        if self._low is None or self._high is None:
             raise QuantizationError("quantizer must be fitted before use")
+        return self._low, self._high
 
     # ------------------------------------------------------------------
     # Quantization
     # ------------------------------------------------------------------
-    def quantize(self, features) -> np.ndarray:
+    def quantize(self, features: Any) -> np.ndarray:
         """Map real-valued ``features`` to integer states in ``[0, 2^bits)``.
 
         Values outside the calibration range are clipped to the extreme
         states.
         """
-        self._require_fitted()
+        low, high = self._require_fitted()
         features = check_feature_matrix(features, "features")
-        if features.shape[1] != self._low.shape[0]:
+        if features.shape[1] != low.shape[0]:
             raise QuantizationError(
                 f"features have {features.shape[1]} dimensions but the quantizer "
-                f"was fitted with {self._low.shape[0]}"
+                f"was fitted with {low.shape[0]}"
             )
-        span = self._high - self._low
-        normalized = (features - self._low) / span
+        span = high - low
+        normalized = (features - low) / span
         states = np.floor(normalized * self.num_states).astype(np.int64)
-        return np.clip(states, 0, self.num_states - 1)
+        clipped: np.ndarray = np.clip(states, 0, self.num_states - 1)
+        return clipped
 
-    def fit_quantize(self, features) -> np.ndarray:
+    def fit_quantize(self, features: Any) -> np.ndarray:
         """Fit on ``features`` and immediately quantize them."""
         return self.fit(features).quantize(features)
 
-    def dequantize(self, states) -> np.ndarray:
+    def dequantize(self, states: Any) -> np.ndarray:
         """Map integer states back to the centers of their real-valued bins.
 
         This is the reconstruction used when comparing quantized data with
         software distance functions at matched precision.
         """
-        self._require_fitted()
+        low, high = self._require_fitted()
         states = np.asarray(states)
         if states.ndim == 1:
             states = states.reshape(1, -1)
-        if states.ndim != 2 or states.shape[1] != self._low.shape[0]:
+        if states.ndim != 2 or states.shape[1] != low.shape[0]:
             raise QuantizationError(
-                f"states must have shape (n, {self._low.shape[0]}), got {states.shape}"
+                f"states must have shape (n, {low.shape[0]}), got {states.shape}"
             )
         if states.min() < 0 or states.max() >= self.num_states:
             raise QuantizationError(
                 f"states must lie in [0, {self.num_states - 1}], "
                 f"got range [{states.min()}, {states.max()}]"
             )
-        span = self._high - self._low
+        span = high - low
         centers = (states.astype(np.float64) + 0.5) / self.num_states
-        return self._low + centers * span
+        values: np.ndarray = low + centers * span
+        return values
 
-    def quantization_error(self, features) -> float:
+    def quantization_error(self, features: Any) -> float:
         """RMS reconstruction error of quantizing then dequantizing ``features``."""
         features = check_feature_matrix(features, "features")
         reconstructed = self.dequantize(self.quantize(features))
         return float(np.sqrt(np.mean((features - reconstructed) ** 2)))
 
     @property
-    def ranges(self):
+    def ranges(self) -> Tuple[np.ndarray, np.ndarray]:
         """The fitted ``(low, high)`` calibration vectors."""
-        self._require_fitted()
-        return self._low.copy(), self._high.copy()
+        low, high = self._require_fitted()
+        return low.copy(), high.copy()

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -175,7 +175,7 @@ class NearestNeighborSearcher(abc.ABC):
         """Whether :meth:`fit` has been called."""
         return self._num_entries > 0
 
-    def calibrate(self, features) -> "NearestNeighborSearcher":
+    def calibrate(self, features: Any) -> "NearestNeighborSearcher":
         """Freeze data-dependent preprocessing on ``features`` (no-op by default).
 
         Engines with data-dependent preprocessing (the MCAM's quantizer
@@ -203,7 +203,7 @@ class NearestNeighborSearcher(abc.ABC):
         """
         return False
 
-    def calibration_token(self):
+    def calibration_token(self) -> Any:
         """Hashable fingerprint of the frozen data-dependent preprocessing.
 
         ``None`` means the engine has no data-dependent preprocessing (the
@@ -215,22 +215,25 @@ class NearestNeighborSearcher(abc.ABC):
         """
         return None
 
-    def fit(self, features, labels: Optional[Sequence[int]] = None) -> "NearestNeighborSearcher":
+    def fit(
+        self, features: Any, labels: Optional[Sequence[int]] = None
+    ) -> "NearestNeighborSearcher":
         """Store ``features`` (and optional ``labels``) as the search memory."""
         features = check_feature_matrix(features, "features")
+        label_array: Optional[np.ndarray] = None
         if labels is not None:
-            labels = np.asarray(labels)
-            if labels.shape[0] != features.shape[0]:
+            label_array = np.asarray(labels)
+            if label_array.shape[0] != features.shape[0]:
                 raise SearchError(
-                    f"got {labels.shape[0]} labels for {features.shape[0]} entries"
+                    f"got {label_array.shape[0]} labels for {features.shape[0]} entries"
                 )
-        self._labels = labels
+        self._labels = label_array
         self._num_entries = features.shape[0]
         self._num_features = features.shape[1]
-        self._fit(features, labels)
+        self._fit(features, label_array)
         return self
 
-    def kneighbors(self, query, k: int = 1, rng: SeedLike = None) -> QueryResult:
+    def kneighbors(self, query: Any, k: int = 1, rng: SeedLike = None) -> QueryResult:
         """Return the ``k`` nearest stored entries for one query vector."""
         self._require_fitted()
         k = check_int_in_range(k, "k", minimum=1, maximum=self._num_entries)
@@ -242,7 +245,9 @@ class NearestNeighborSearcher(abc.ABC):
         )
         return QueryResult(indices=top, scores=scores[:k], labels=labels)
 
-    def kneighbors_batch(self, queries, k: int = 1, rng: SeedLike = None) -> BatchQueryResult:
+    def kneighbors_batch(
+        self, queries: Any, k: int = 1, rng: SeedLike = None
+    ) -> BatchQueryResult:
         """The ``k`` nearest stored entries for every row of ``queries``.
 
         The whole query matrix is evaluated in one vectorized pass over the
@@ -269,7 +274,7 @@ class NearestNeighborSearcher(abc.ABC):
         return BatchQueryResult(indices=indices, scores=scores, labels=labels)
 
     def kneighbors_arrays(
-        self, queries, k: int = 1, rng: SeedLike = None
+        self, queries: Any, k: int = 1, rng: SeedLike = None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Rank a (possibly coalesced) query batch into raw top-k arrays.
 
@@ -290,7 +295,7 @@ class NearestNeighborSearcher(abc.ABC):
             return np.empty((0, k), dtype=np.int64), np.empty((0, k))
         return self._rank_batch(queries, rng=ensure_rng(rng), k=k)
 
-    def labels_for(self, indices) -> tuple:
+    def labels_for(self, indices: Any) -> tuple:
         """Stored labels for global row indices (``None`` when unlabeled).
 
         Serving demultiplexers call this per delivered query instead of
@@ -301,7 +306,9 @@ class NearestNeighborSearcher(abc.ABC):
             return tuple(None for _ in indices)
         return tuple(self._labels[int(i)] for i in indices)
 
-    def submit_serving(self, queries, k: int = 1, rng: SeedLike = None):
+    def submit_serving(
+        self, queries: Any, k: int = 1, rng: SeedLike = None
+    ) -> Callable[..., Tuple[np.ndarray, np.ndarray]]:
         """Dispatch one serving batch, returning a ``collect(timeout=None)``.
 
         ``collect()`` yields the ``(indices, scores)`` arrays of
@@ -318,15 +325,15 @@ class NearestNeighborSearcher(abc.ABC):
         result = self.kneighbors_arrays(queries, k=k, rng=rng)
         return lambda timeout=None: result
 
-    def nearest(self, query, rng: SeedLike = None) -> int:
+    def nearest(self, query: Any, rng: SeedLike = None) -> int:
         """Index of the nearest stored entry."""
         return int(self.kneighbors(query, k=1, rng=rng).indices[0])
 
-    def predict(self, queries, rng: SeedLike = None) -> np.ndarray:
+    def predict(self, queries: Any, rng: SeedLike = None) -> np.ndarray:
         """Label of the nearest neighbor for every row of ``queries``."""
         return self.predict_batch(queries, rng=rng)
 
-    def predict_batch(self, queries, rng: SeedLike = None) -> np.ndarray:
+    def predict_batch(self, queries: Any, rng: SeedLike = None) -> np.ndarray:
         """Label of the nearest neighbor for every row of ``queries``.
 
         The batch is evaluated in one vectorized search over the programmed
@@ -339,13 +346,14 @@ class NearestNeighborSearcher(abc.ABC):
         if queries.shape[0] == 0:
             return self._labels[:0].copy()
         result = self.kneighbors_batch(queries, k=1, rng=rng)
-        return self._labels[result.indices[:, 0]]
+        predictions: np.ndarray = self._labels[result.indices[:, 0]]
+        return predictions
 
     def _require_fitted(self) -> None:
         if not self.is_fitted:
             raise SearchError("searcher must be fitted before searching")
 
-    def _check_query_batch(self, queries) -> np.ndarray:
+    def _check_query_batch(self, queries: Any) -> np.ndarray:
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim == 1:
             queries = queries.reshape(1, -1)
@@ -367,10 +375,14 @@ class NearestNeighborSearcher(abc.ABC):
         """Engine-specific storage of the fitted data."""
 
     @abc.abstractmethod
-    def _rank(self, query: np.ndarray, rng: np.random.Generator):
+    def _rank(
+        self, query: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(indices_sorted_best_first, scores_sorted_best_first)``."""
 
-    def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+    def _rank_batch(
+        self, queries: np.ndarray, rng: np.random.Generator, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Batch counterpart of :meth:`_rank`: top-``k`` ``(num_queries, k)`` arrays.
 
         The default implementation loops over :meth:`_rank` so custom
@@ -402,20 +414,30 @@ class SoftwareSearcher(NearestNeighborSearcher):
     def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
         self._features = features.astype(np.float32)  # FP32, as in the paper
 
-    def _rank(self, query: np.ndarray, rng: np.random.Generator):
-        if query.shape[0] != self._features.shape[1]:
+    def _require_features(self) -> np.ndarray:
+        if self._features is None:
+            raise SearchError("searcher must be fitted before searching")
+        return self._features
+
+    def _rank(
+        self, query: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        features = self._require_features()
+        if query.shape[0] != features.shape[1]:
             raise SearchError(
-                f"query has {query.shape[0]} features, expected {self._features.shape[1]}"
+                f"query has {query.shape[0]} features, expected {features.shape[1]}"
             )
         distances = np.asarray(
-            self._distance(self._features, query.astype(np.float32)), dtype=np.float64
+            self._distance(features, query.astype(np.float32)), dtype=np.float64
         )
         order = np.argsort(distances, kind="stable")
         return order, distances[order]
 
-    def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+    def _rank_batch(
+        self, queries: np.ndarray, rng: np.random.Generator, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         distances = np.asarray(
-            self._distance_matrix(self._features, queries.astype(np.float32)),
+            self._distance_matrix(self._require_features(), queries.astype(np.float32)),
             dtype=np.float64,
         )
         indices = _stable_smallest_k(distances, k)
@@ -473,7 +495,7 @@ class MCAMSearcher(NearestNeighborSearcher):
         bits: int = 3,
         lut: Optional[ConductanceLUT] = None,
         variation: Optional[VariationModel] = None,
-        sense_amplifier=None,
+        sense_amplifier: Any = None,
         seed: SeedLike = None,
         max_rows: Optional[int] = None,
         program_seed: Optional[int] = None,
@@ -511,7 +533,7 @@ class MCAMSearcher(NearestNeighborSearcher):
             return True
         return False
 
-    def calibration_token(self):
+    def calibration_token(self) -> Any:
         if not self._calibrated or not self.quantizer.is_fitted:
             return None
         low, high = self.quantizer.ranges
@@ -521,9 +543,10 @@ class MCAMSearcher(NearestNeighborSearcher):
         if not self._calibrated:
             self.quantizer.fit(features)
         states = self.quantizer.quantize(features)
-        reuse = self._array is not None and self._array.num_cells == features.shape[1]
-        if not reuse:
-            self._array = MCAMArray(
+        array = self._array
+        if array is None or array.num_cells != features.shape[1]:
+            reuse = False
+            array = MCAMArray(
                 num_cells=features.shape[1],
                 bits=self.bits,
                 lut=self.lut,
@@ -532,32 +555,45 @@ class MCAMSearcher(NearestNeighborSearcher):
                 max_rows=self.max_rows,
                 kernel=self.kernel,
             )
+            self._array = array
+        else:
+            reuse = True
         label_list = None if labels is None else list(labels)
         if self.variation is None and reuse:
             # LUT-mode refit on the same geometry: delta-reprogram the
             # existing array — unchanged rows keep their cached search
             # profiles, bitwise identical to an erase + rewrite.
-            self._array.reprogram(states, labels=label_list)
+            array.reprogram(states, labels=label_list)
         elif self.variation is not None and self.program_seed is not None:
             # Row-keyed device programming: a delta refit samples variation
             # only for the rows whose stored states changed, and equals a
             # from-scratch program of the same contents under the same seed.
-            self._array.reprogram(states, labels=label_list, rng=self.program_seed)
+            array.reprogram(states, labels=label_list, rng=self.program_seed)
         else:
             if reuse:
-                self._array.clear()
-            self._array.write(states, labels=label_list, rng=self._rng)
+                array.clear()
+            array.write(states, labels=label_list, rng=self._rng)
 
-    def _rank(self, query: np.ndarray, rng: np.random.Generator):
+    def _require_array(self) -> MCAMArray:
+        if self._array is None:
+            raise SearchError("searcher must be fitted before searching")
+        return self._array
+
+    def _rank(
+        self, query: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
         query_states = self.quantizer.quantize(query.reshape(1, -1))[0]
-        result = self._array.search(query_states, rng=rng)
+        result = self._require_array().search(query_states, rng=rng)
         order = result.sensing.ranking
         return order, result.row_conductances_s[order]
 
-    def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+    def _rank_batch(
+        self, queries: np.ndarray, rng: np.random.Generator, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        array = self._require_array()
         query_states = self.quantizer.quantize(queries)
-        conductances = self._array.row_conductances_batch(query_states)
-        amplifier = self._array.sense_amplifier
+        conductances = array.row_conductances_batch(query_states)
+        amplifier = array.sense_amplifier
         if type(amplifier) is IdealWinnerTakeAll:
             # Ideal sensing ranks by conductance with stable tie-breaking,
             # which the top-k selector reproduces without a full sort.
@@ -570,7 +606,7 @@ class MCAMSearcher(NearestNeighborSearcher):
     def array(self) -> MCAMArray:
         """The underlying MCAM array (available after :meth:`fit`)."""
         self._require_fitted()
-        return self._array
+        return self._require_array()
 
 
 class TCAMLSHSearcher(NearestNeighborSearcher):
@@ -631,7 +667,7 @@ class TCAMLSHSearcher(NearestNeighborSearcher):
             return True
         return False
 
-    def calibration_token(self):
+    def calibration_token(self) -> Any:
         if not self._calibrated:
             return None
         return self.encoder.calibration_token()
@@ -651,22 +687,32 @@ class TCAMLSHSearcher(NearestNeighborSearcher):
             )
             self._tcam.write(signatures, labels=label_list)
 
-    def _rank(self, query: np.ndarray, rng: np.random.Generator):
+    def _require_tcam(self) -> TCAMArray:
+        if self._tcam is None:
+            raise SearchError("searcher must be fitted before searching")
+        return self._tcam
+
+    def _rank(
+        self, query: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
         signature = self.encoder.encode(query.reshape(1, -1))[0]
-        result = self._tcam.search(signature, rng=rng)
+        result = self._require_tcam().search(signature, rng=rng)
         order = result.sensing.ranking
         return order, result.hamming_distances[order].astype(np.float64)
 
-    def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+    def _rank_batch(
+        self, queries: np.ndarray, rng: np.random.Generator, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        tcam = self._require_tcam()
         signatures = self.encoder.encode(queries)
-        distances = self._tcam.hamming_distances_batch(signatures)
-        amplifier = self._tcam.sense_amplifier
+        distances = tcam.hamming_distances_batch(signatures)
+        amplifier = tcam.sense_amplifier
         if type(amplifier) is IdealWinnerTakeAll:
             # Row conductance is strictly increasing in Hamming distance, so
             # ranking the integer distances reproduces ideal ML sensing.
             indices = _stable_smallest_k(distances, k)
         else:
-            conductances = self._tcam._conductances_from_distances(distances)
+            conductances = tcam._conductances_from_distances(distances)
             indices = sense_all(amplifier, conductances, rng=rng).rankings[:, :k]
         scores = np.take_along_axis(distances, indices, axis=1).astype(np.float64)
         return indices, scores
@@ -675,7 +721,7 @@ class TCAMLSHSearcher(NearestNeighborSearcher):
     def tcam(self) -> TCAMArray:
         """The underlying TCAM array (available after :meth:`fit`)."""
         self._require_fitted()
-        return self._tcam
+        return self._require_tcam()
 
 
 # ----------------------------------------------------------------------
@@ -689,7 +735,7 @@ BackendFactory = Callable[..., NearestNeighborSearcher]
 _BACKENDS: Dict[str, BackendFactory] = {}
 
 
-def register_backend(name: str, factory: Optional[BackendFactory] = None):
+def register_backend(name: str, factory: Optional[BackendFactory] = None) -> Any:
     """Register a searcher factory under ``name`` (usable as a decorator).
 
     Parameters
@@ -754,22 +800,22 @@ def available_backends() -> Tuple[str, ...]:
 
 
 @register_backend("cosine")
-def _make_cosine(num_features: int, **config) -> SoftwareSearcher:
+def _make_cosine(num_features: int, **config: Any) -> SoftwareSearcher:
     return SoftwareSearcher(metric="cosine")
 
 
 @register_backend("euclidean")
-def _make_euclidean(num_features: int, **config) -> SoftwareSearcher:
+def _make_euclidean(num_features: int, **config: Any) -> SoftwareSearcher:
     return SoftwareSearcher(metric="euclidean")
 
 
 @register_backend("manhattan")
-def _make_manhattan(num_features: int, **config) -> SoftwareSearcher:
+def _make_manhattan(num_features: int, **config: Any) -> SoftwareSearcher:
     return SoftwareSearcher(metric="manhattan")
 
 
 @register_backend("linf")
-def _make_linf(num_features: int, **config) -> SoftwareSearcher:
+def _make_linf(num_features: int, **config: Any) -> SoftwareSearcher:
     return SoftwareSearcher(metric="linf")
 
 
@@ -783,7 +829,7 @@ def _make_mcam(
     max_rows_per_array: Optional[int] = None,
     program_seed: Optional[int] = None,
     kernel: Optional[str] = None,
-    **config,
+    **config: Any,
 ) -> MCAMSearcher:
     return MCAMSearcher(
         bits=bits,
@@ -797,12 +843,12 @@ def _make_mcam(
 
 
 @register_backend("mcam-3bit")
-def _make_mcam_3bit(num_features: int, **config) -> MCAMSearcher:
+def _make_mcam_3bit(num_features: int, **config: Any) -> MCAMSearcher:
     return _make_mcam(num_features, **{**config, "bits": 3})
 
 
 @register_backend("mcam-2bit")
-def _make_mcam_2bit(num_features: int, **config) -> MCAMSearcher:
+def _make_mcam_2bit(num_features: int, **config: Any) -> MCAMSearcher:
     return _make_mcam(num_features, **{**config, "bits": 2})
 
 
@@ -812,7 +858,7 @@ def _make_tcam_lsh(
     seed: SeedLike = None,
     max_rows_per_array: Optional[int] = None,
     kernel: Optional[str] = None,
-    **config,
+    **config: Any,
 ) -> TCAMLSHSearcher:
     signature_bits = lsh_bits if lsh_bits is not None else num_features
     return TCAMLSHSearcher(
@@ -843,7 +889,7 @@ def _sharded_backend_factory(inner_factory: BackendFactory) -> BackendFactory:
     """
     from .sharding import ShardedSearcher  # deferred: sharding imports this module
 
-    def factory(num_features: int, **config) -> NearestNeighborSearcher:
+    def factory(num_features: int, **config: Any) -> NearestNeighborSearcher:
         shards = config.pop("shards", None)
         executor = config.pop("executor", "serial")
         num_workers = config.pop("num_workers", None)
@@ -866,7 +912,7 @@ def _sharded_backend_factory(inner_factory: BackendFactory) -> BackendFactory:
                 )
             return inner_factory(num_features, **shard_config)
 
-        make_shard.shard_aware = True
+        make_shard.shard_aware = True  # type: ignore[attr-defined]
         return ShardedSearcher(
             make_shard,
             num_shards=shards,
@@ -876,7 +922,7 @@ def _sharded_backend_factory(inner_factory: BackendFactory) -> BackendFactory:
             appendable=appendable,
         )
 
-    factory._is_sharded_factory = True
+    factory._is_sharded_factory = True  # type: ignore[attr-defined]
     return factory
 
 

@@ -46,7 +46,7 @@ import itertools
 import os
 import weakref
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -71,7 +71,7 @@ class SerialShardExecutor:
         # Accepted for interface uniformity; serial execution has no pool.
         self.num_workers = num_workers
 
-    def map(self, fn, jobs) -> list:
+    def map(self, fn: Callable[..., Any], jobs: Iterable) -> list:
         """Apply ``fn`` to every job, in order."""
         return [fn(job) for job in jobs]
 
@@ -81,7 +81,7 @@ class SerialShardExecutor:
     def __enter__(self) -> "SerialShardExecutor":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         self.close()
         return False
 
@@ -123,12 +123,12 @@ class ThreadedShardExecutor:
             self._finalizer = weakref.finalize(self, pool.shutdown, wait=True)
         return self._pool
 
-    def map(self, fn, jobs) -> list:
+    def map(self, fn: Callable[..., Any], jobs: Iterable) -> list:
         """Apply ``fn`` to every job concurrently, preserving job order."""
-        jobs = list(jobs)
-        if len(jobs) <= 1:
-            return [fn(job) for job in jobs]
-        return list(self._ensure_pool().map(fn, jobs))
+        job_list = list(jobs)
+        if len(job_list) <= 1:
+            return [fn(job) for job in job_list]
+        return list(self._ensure_pool().map(fn, job_list))
 
     def close(self) -> None:
         """Shut the thread pool down (idempotent; re-created on next use)."""
@@ -140,7 +140,7 @@ class ThreadedShardExecutor:
     def __enter__(self) -> "ThreadedShardExecutor":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         self.close()
         return False
 
@@ -195,7 +195,7 @@ def available_shard_executors() -> Tuple[str, ...]:
     return tuple(sorted(SHARD_EXECUTORS))
 
 
-def _rank_shard_job(job) -> Tuple[np.ndarray, np.ndarray]:
+def _rank_shard_job(job: Any) -> Tuple[np.ndarray, np.ndarray]:
     """Rank one shard for one query batch (self-contained executor job).
 
     Module-level (rather than a closure) so process-pool executors can ship
@@ -318,7 +318,7 @@ class ShardedSearcher(NearestNeighborSearcher):
         searcher_factory: ShardFactory,
         num_shards: Optional[int] = None,
         max_rows_per_array: Optional[int] = None,
-        executor: str = "serial",
+        executor: Any = "serial",
         num_workers: Optional[int] = None,
         appendable: bool = False,
     ) -> None:
@@ -343,6 +343,7 @@ class ShardedSearcher(NearestNeighborSearcher):
         self.requested_shards = num_shards
         self.max_rows_per_array = max_rows_per_array
         self.appendable = bool(appendable)
+        self._executor: Any
         if isinstance(executor, str):
             executor_factory = resolve_shard_executor(executor)
             self.executor_name = executor.lower()
@@ -424,14 +425,14 @@ class ShardedSearcher(NearestNeighborSearcher):
     def __enter__(self) -> "ShardedSearcher":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         self.close()
         return False
 
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
-    def _partition(self, num_entries: int):
+    def _partition(self, num_entries: int) -> Any:
         if self.max_rows_per_array is not None:
             return partition_rows(num_entries, self.max_rows_per_array)
         return split_rows_evenly(num_entries, self.requested_shards)
@@ -524,7 +525,7 @@ class ShardedSearcher(NearestNeighborSearcher):
             )
         return list(routed)
 
-    def append(self, features, labels=None) -> "ShardedSearcher":
+    def append(self, features: Any, labels: Any = None) -> "ShardedSearcher":
         """Grow the fitted store in place (live ingestion).
 
         New rows receive the next global indices, route to the least-full
@@ -564,11 +565,15 @@ class ShardedSearcher(NearestNeighborSearcher):
             raise SearchError(
                 "appended rows must be labeled exactly like the fitted store"
             )
-        full_features = np.concatenate([self._store_features, features], axis=0)
+        store_features = self._store_features
+        store_labels = self._store_labels
+        if store_features is None:
+            raise SearchError("appendable searcher lost its retained store")
+        full_features = np.concatenate([store_features, features], axis=0)
         full_labels = (
             None
-            if labels is None
-            else np.concatenate([self._store_labels, labels], axis=0)
+            if labels is None or store_labels is None
+            else np.concatenate([store_labels, labels], axis=0)
         )
         # Re-freeze data-dependent preprocessing on the grown store.  The
         # token comparison below detects whether that moved the frozen state
@@ -606,11 +611,13 @@ class ShardedSearcher(NearestNeighborSearcher):
     # ------------------------------------------------------------------
     # Ranking
     # ------------------------------------------------------------------
-    def _rank(self, query: np.ndarray, rng: np.random.Generator):
+    def _rank(
+        self, query: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
         indices, scores = self._rank_batch(query.reshape(1, -1), rng=rng, k=self._num_entries)
         return indices[0], scores[0]
 
-    def _cached_shard_jobs(self, shard_rngs, queries: np.ndarray, k: int) -> list:
+    def _cached_shard_jobs(self, shard_rngs: Any, queries: np.ndarray, k: int) -> list:
         """Jobs for a worker-caching executor: payloads ship once per epoch.
 
         Shards whose program epoch moved since the last publication are
@@ -646,7 +653,7 @@ class ShardedSearcher(NearestNeighborSearcher):
             )
         return jobs
 
-    def _merge_shard_results(self, results, k: int):
+    def _merge_shard_results(self, results: Any, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Pool per-shard candidates and merge them into exact global top-k.
 
         ``np.concatenate`` copies, so shared-memory result views are
@@ -656,10 +663,14 @@ class ShardedSearcher(NearestNeighborSearcher):
         candidate_scores = np.concatenate([scores for _, scores in results], axis=1)
         return merge_shard_topk(candidate_scores, candidate_indices, k)
 
-    def _rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+    def _rank_batch(
+        self, queries: np.ndarray, rng: np.random.Generator, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         return self._submit_rank_batch(queries, rng, k)()
 
-    def _submit_rank_batch(self, queries: np.ndarray, rng: np.random.Generator, k: int):
+    def _submit_rank_batch(
+        self, queries: np.ndarray, rng: np.random.Generator, k: int
+    ) -> Callable[..., Tuple[np.ndarray, np.ndarray]]:
         """Dispatch one batch, returning a ``collect(timeout=None)`` callable.
 
         Executors exposing ``submit_cached`` (the ``"processes"`` strategy)
@@ -691,7 +702,7 @@ class ShardedSearcher(NearestNeighborSearcher):
             if submit is not None:
                 pending = submit(jobs)
 
-                def collect(timeout=None):
+                def collect(timeout: Optional[float] = None) -> Tuple[np.ndarray, np.ndarray]:
                     try:
                         results = pending(timeout=timeout)
                     except TypeError:
@@ -728,7 +739,7 @@ class ShardedSearcher(NearestNeighborSearcher):
         return getattr(self._executor, "dispatch_depth", None)
 
     @property
-    def serving_channel(self):
+    def serving_channel(self) -> Any:
         """The dispatch channel this searcher's serving batches travel on.
 
         Searchers sharing one executor *instance* (several tenants on one
@@ -740,7 +751,9 @@ class ShardedSearcher(NearestNeighborSearcher):
         """
         return self._executor
 
-    def submit_serving(self, queries, k: int = 1, rng: SeedLike = None):
+    def submit_serving(
+        self, queries: Any, k: int = 1, rng: SeedLike = None
+    ) -> Callable[..., Tuple[np.ndarray, np.ndarray]]:
         """Dispatch one coalesced batch and keep it in flight until collected.
 
         The sharded serving entry point: returns a ``collect(timeout=None)``

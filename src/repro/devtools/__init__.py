@@ -1,0 +1,13 @@
+"""Developer tooling for the reproduction: repo-specific static analysis.
+
+:mod:`repro.devtools.lint` ("reprolint") is an AST-walking checker suite
+that mechanically enforces the invariants the serving stack is built on —
+seeded-RNG determinism in library code, resource lifecycles, typed
+serving-path exceptions, pool-boundary picklability, and concurrency
+hygiene.  It runs locally as ``python -m repro.devtools.lint`` and gates
+every PR through the CI ``static-analysis`` job.
+"""
+
+from .lint import Finding, Rule, all_rules, lint_paths, lint_source
+
+__all__ = ["Finding", "Rule", "all_rules", "lint_paths", "lint_source"]

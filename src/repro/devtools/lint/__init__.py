@@ -1,0 +1,260 @@
+"""reprolint — repo-specific AST invariant checks.
+
+The serving stack's correctness rests on invariants that ordinary linters
+cannot see: bitwise determinism in the simulation library (RNG arrives as
+a parameter, never from global state), resource lifecycles (``close()``
+plus context-manager plus ``weakref.finalize`` on everything that owns a
+pool, thread or shared-memory segment), typed exceptions on the serving
+path, picklability of everything crossing the process-pool boundary, and
+lock/timeout hygiene in the scheduler and transport.  Each rule here
+encodes one of those invariants as an AST check with a stable ``RPLxxx``
+code, so violations surface at PR time instead of as flaky chaos-test
+failures.
+
+Usage::
+
+    python -m repro.devtools.lint [paths...] [--format human|json]
+
+Suppressions are explicit and line-scoped::
+
+    risky_call()  # reprolint: disable=RPL009 -- why this one is fine
+
+or file-scoped (conventionally right below the module docstring)::
+
+    # reprolint: disable-file=RPL002 -- this module measures wall-clock
+
+``disable=all`` silences every rule for the line or file.  Every
+suppression is a reviewed decision; blanket suppressions without a
+trailing justification are rejected in review, not by the tool.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "iter_python_files",
+]
+
+#: Marker introducing a suppression comment.
+_PRAGMA = "# reprolint:"
+
+#: Directories never descended into when expanding path arguments.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".mypy_cache", "results", ".pytest_cache"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def render(self) -> str:
+        """Human-readable one-liner (``path:line:col: CODE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable representation for the CI findings artifact."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set :attr:`code` (stable ``RPLxxx`` identifier),
+    :attr:`name` (short kebab-case slug), :attr:`description` (one line,
+    shown by ``--list-rules``) and :attr:`scope` (glob patterns matched
+    against the posix-normalized file path; empty means every file), and
+    implement :meth:`check` yielding :class:`Finding` objects.
+    """
+
+    code: str = "RPL000"
+    name: str = "abstract-rule"
+    description: str = ""
+    #: Glob patterns (posix) selecting the files this rule applies to.
+    scope: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` (posix-normalized)."""
+        if not self.scope:
+            return True
+        return any(fnmatch.fnmatch(path, pattern) for pattern in self.scope)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            code=self.code,
+            message=message,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def _parse_pragma(comment: str) -> Tuple[str, Set[str]]:
+    """Parse one ``# reprolint:`` comment into ``(kind, codes)``.
+
+    ``kind`` is ``"line"``, ``"file"`` or ``""`` (not a suppression);
+    ``codes`` may contain the sentinel ``"all"``.
+    """
+    body = comment.split(_PRAGMA, 1)[1].strip()
+    # A trailing "-- justification" is encouraged; strip it before parsing.
+    body = body.split("--", 1)[0].strip()
+    for kind, prefix in (("file", "disable-file="), ("line", "disable=")):
+        if body.startswith(prefix):
+            codes = {c.strip().upper() for c in body[len(prefix) :].split(",") if c.strip()}
+            codes = {"all" if c == "ALL" else c for c in codes}
+            return kind, codes
+    return "", set()
+
+
+def _collect_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Map suppression pragmas to ``(per-line codes, file-wide codes)``."""
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if _PRAGMA not in text:
+            continue
+        kind, codes = _parse_pragma(text)
+        if kind == "line":
+            per_line.setdefault(lineno, set()).update(codes)
+        elif kind == "file":
+            per_file.update(codes)
+    return per_line, per_file
+
+
+def _suppressed(finding: Finding, per_line: Dict[int, Set[str]], per_file: Set[str]) -> bool:
+    if "all" in per_file or finding.code in per_file:
+        return True
+    codes = per_line.get(finding.line, set())
+    return "all" in codes or finding.code in codes
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, ordered by code."""
+    from .rules import RULES
+
+    return [rule_cls() for rule_cls in RULES]
+
+
+def _normalize(path: str) -> str:
+    """Posix-normalize ``path`` for scope matching and stable output."""
+    return os.path.normpath(path).replace(os.sep, "/")
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory module.
+
+    ``path`` is used for rule scoping and finding locations; tests pass
+    virtual paths (e.g. ``src/repro/core/fixture.py``) to exercise scoped
+    rules on fixture snippets.
+    """
+    path = _normalize(path)
+    active = list(rules) if rules is not None else all_rules()
+    tree = ast.parse(source, filename=path)
+    per_line, per_file = _collect_suppressions(source)
+    findings: List[Finding] = []
+    for rule in active:
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check(tree, source, path):
+            if not _suppressed(finding, per_line, per_file):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_file(path: str, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path, rules=rules)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    seen: Set[str] = set()
+    for entry in paths:
+        if os.path.isfile(entry):
+            normalized = _normalize(entry)
+            if normalized not in seen:
+                seen.add(normalized)
+                yield normalized
+            continue
+        for dirpath, dirnames, filenames in os.walk(entry):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                normalized = _normalize(os.path.join(dirpath, filename))
+                if normalized not in seen:
+                    seen.add(normalized)
+                    yield normalized
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(findings, files_checked)``.  ``select`` restricts the run
+    to the given rule codes.
+    """
+    active: Sequence[Rule] = rules if rules is not None else all_rules()
+    if select is not None:
+        wanted = {code.upper() for code in select}
+        active = [rule for rule in active if rule.code in wanted]
+    findings: List[Finding] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(path, rules=active))
+    return findings, checked
+
+
+def render_json(findings: Sequence[Finding], checked: int) -> str:
+    """The machine-readable report uploaded as a CI artifact."""
+    payload = {
+        "tool": "reprolint",
+        "files_checked": checked,
+        "finding_count": len(findings),
+        "findings": [finding.to_json() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

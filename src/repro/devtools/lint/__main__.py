@@ -1,0 +1,86 @@
+"""Command-line entry point: ``python -m repro.devtools.lint [paths...]``.
+
+Exit status is 0 when the tree is clean, 1 when findings remain and 2 on
+usage errors — the contract the CI ``static-analysis`` job gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import all_rules, lint_paths, render_json
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="reprolint: repo-specific AST invariant checks",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (json is the CI artifact format)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the report to FILE (useful with --format json)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its description and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; returns the process exit status."""
+    options = _build_parser().parse_args(argv)
+
+    if options.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+
+    select: Optional[List[str]] = None
+    if options.select is not None:
+        select = [code.strip() for code in options.select.split(",") if code.strip()]
+
+    findings, checked = lint_paths(options.paths, select=select)
+
+    if options.format == "json":
+        report = render_json(findings, checked)
+    else:
+        lines = [finding.render() for finding in findings]
+        lines.append(
+            f"reprolint: {len(findings)} finding(s) in {checked} file(s)"
+            + ("" if findings else " — clean")
+        )
+        report = "\n".join(lines)
+
+    print(report)
+    if options.output is not None:
+        with open(options.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

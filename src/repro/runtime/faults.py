@@ -34,7 +34,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from random import Random
 
@@ -56,7 +56,14 @@ _FAULT_SITES = {
 class _ArmedFault:
     __slots__ = ("fault", "site", "at_occurrence", "probability", "remaining", "delay_s")
 
-    def __init__(self, fault, at_occurrence, probability, count, delay_s):
+    def __init__(
+        self,
+        fault: str,
+        at_occurrence: Optional[int],
+        probability: Optional[float],
+        count: int,
+        delay_s: float,
+    ) -> None:
         self.fault = fault
         self.site = _FAULT_SITES[fault]
         self.at_occurrence = at_occurrence
@@ -129,7 +136,7 @@ class FaultInjector:
             self._armed.append(_ArmedFault(fault, at_occurrence, probability, count, delay_s))
         return self
 
-    def fire(self, site: str, executor, segment=None) -> None:
+    def fire(self, site: str, executor: Any, segment: Any = None) -> None:
         """Run every armed fault scheduled for this visit to ``site``.
 
         Called by the executor at its injection points; a site with
@@ -157,7 +164,7 @@ class FaultInjector:
                     }
                 )
 
-    def _execute(self, armed: _ArmedFault, executor, segment):
+    def _execute(self, armed: _ArmedFault, executor: Any, segment: Any) -> Any:
         if armed.fault == "kill_worker":
             return executor._pool.kill_one_worker()
         if armed.fault == "corrupt_spool":
@@ -200,11 +207,13 @@ class FaultInjector:
         if armed.fault == "delay_collect":
             time.sleep(armed.delay_s)
             return armed.delay_s
-        raise AssertionError(f"unreachable fault {armed.fault!r}")
+        # Unreachable guard: arm() validated the name against _FAULT_SITES,
+        # so reaching this line is a programming error, not a serving failure.
+        raise AssertionError(f"unreachable fault {armed.fault!r}")  # reprolint: disable=RPL006
 
     @staticmethod
-    def _pick_spool_entry(executor) -> Optional[str]:
+    def _pick_spool_entry(executor: Any) -> Optional[str]:
         """The first published spool path, in deterministic key order."""
         with executor._lock:
-            items = sorted(executor._published.items())
-        return items[0][1] if items else None
+            entries: List[Tuple[str, str]] = sorted(executor._published.items())
+        return entries[0][1] if entries else None

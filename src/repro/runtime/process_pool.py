@@ -69,6 +69,7 @@ when a caller forgets to close.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import shutil
 import signal
@@ -79,7 +80,7 @@ import weakref
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -96,12 +97,18 @@ from . import transport as _transport
 from .supervision import CircuitBreaker, PoolSupervisor
 
 
+#: Bound on each best-effort broadcast delivery wait: generous next to any
+#: real hygiene job, but finite, so ``close()`` paths cannot hang on a
+#: wedged worker.
+_BROADCAST_TIMEOUT_S = 30.0
+
+
 def default_worker_count() -> int:
     """Worker count used when none is requested: the host CPU count."""
     return os.cpu_count() or 1
 
 
-def _probe_echo(value):
+def _probe_echo(value: Any) -> Any:
     """Trivial round-trip job used by :meth:`PersistentProcessPool.probe`."""
     return value
 
@@ -210,7 +217,7 @@ class PersistentProcessPool:
         """
         try:
             future = self._ensure_pool().submit(_probe_echo, 42)
-            return future.result(timeout) == 42
+            return bool(future.result(timeout) == 42)
         except Exception:
             return False
 
@@ -232,14 +239,14 @@ class PersistentProcessPool:
         the caller; the timed path submits futures individually, so
         ``chunksize`` applies only to the untimed path.
         """
-        jobs = list(jobs)
-        if len(jobs) <= 1:
-            return [fn(job) for job in jobs]
+        job_list = list(jobs)
+        if len(job_list) <= 1:
+            return [fn(job) for job in job_list]
         pool = self._ensure_pool()
         if timeout is None:
-            return list(pool.map(fn, jobs, chunksize=max(1, chunksize)))
-        futures = [pool.submit(fn, job) for job in jobs]
-        return _await_futures(futures, timeout, what=f"map of {len(jobs)} jobs")
+            return list(pool.map(fn, job_list, chunksize=max(1, chunksize)))
+        futures = [pool.submit(fn, job) for job in job_list]
+        return _await_futures(futures, timeout, what=f"map of {len(job_list)} jobs")
 
     def submit_all(self, fn: Callable, jobs: Iterable) -> List:
         """Submit ``fn(job)`` for every job, returning the futures in order.
@@ -254,7 +261,7 @@ class PersistentProcessPool:
         pool = self._ensure_pool()
         return [pool.submit(fn, job) for job in jobs]
 
-    def broadcast(self, fn: Callable, arg) -> int:
+    def broadcast(self, fn: Callable, arg: Any) -> int:
         """Best-effort: submit ``fn(arg)`` once per worker slot, then wait.
 
         Intended for idempotent housekeeping messages (cache eviction).
@@ -278,7 +285,9 @@ class PersistentProcessPool:
         delivered = 0
         for future in futures:
             try:
-                future.result()
+                # Bounded so a hung worker cannot wedge the cleanup paths
+                # broadcasts run on; an undelivered hygiene message is fine.
+                future.result(_BROADCAST_TIMEOUT_S)
                 delivered += 1
             except Exception:  # a worker died; hygiene stays best-effort
                 continue
@@ -300,10 +309,8 @@ class PersistentProcessPool:
         if pool is None:
             return
         processes = list(getattr(pool, "_processes", {}).values())
-        try:
+        with contextlib.suppress(Exception):  # pool already broken mid-shutdown
             pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:  # pool already broken mid-shutdown
-            pass
         for process in processes:
             try:
                 if process.is_alive():
@@ -329,7 +336,7 @@ class PersistentProcessPool:
     def __enter__(self) -> "PersistentProcessPool":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         self.close()
         return False
 
@@ -346,7 +353,7 @@ class PersistentProcessPool:
 #: miss a broadcast), so the bound is what *deterministically* keeps a
 #: long-running pool from accumulating dead searchers' shards — a missed
 #: eviction ages out as soon as live searchers touch enough other shards.
-_WORKER_SHARD_CACHE: "OrderedDict[Tuple[str, int], Tuple[int, object, np.ndarray]]" = (
+_WORKER_SHARD_CACHE: "OrderedDict[Tuple[str, int], Tuple[int, Any, np.ndarray]]" = (
     OrderedDict()
 )
 
@@ -372,7 +379,7 @@ def _evict_searcher_entries(searcher_id: str) -> int:
 
 def _resident_shard(
     searcher_id: str, shard_index: int, epoch: int, path: str
-) -> Tuple[object, np.ndarray]:
+) -> Tuple[Any, np.ndarray]:
     """The worker-resident ``(shard, index_map)`` for one cache key.
 
     On an epoch match the resident entry serves without touching the spool;
@@ -394,7 +401,7 @@ def _resident_shard(
     return entry[1], entry[2]
 
 
-def _rank_cached_shard_job(job) -> Tuple[np.ndarray, np.ndarray]:
+def _rank_cached_shard_job(job: Any) -> Tuple[np.ndarray, np.ndarray]:
     """Rank one query batch on a worker-resident shard (pickle transport).
 
     The job carries ``(searcher_id, shard_index, epoch, spool_path,
@@ -408,7 +415,7 @@ def _rank_cached_shard_job(job) -> Tuple[np.ndarray, np.ndarray]:
     return index_map[indices.astype(np.int64, copy=False)], scores
 
 
-def _rank_cached_shard_job_shm(job) -> int:
+def _rank_cached_shard_job_shm(job: Any) -> int:
     """Rank one query batch on a worker-resident shard (shared memory).
 
     The job carries only plain metadata — cache key, spool path, RNG and
@@ -444,7 +451,7 @@ def _rank_cached_shard_job_shm(job) -> int:
     )
     out_indices[...] = index_map[indices.astype(np.int64, copy=False)]
     out_scores[...] = scores
-    return shard_index
+    return int(shard_index)
 
 
 class ProcessShardExecutor:
@@ -571,7 +578,7 @@ class ProcessShardExecutor:
             cooldown_s=serial_cooldown_s,
         )
         #: Chaos-test hook: a :class:`~.faults.FaultInjector` or ``None``.
-        self.fault_injector = None
+        self.fault_injector: Any = None
         self._ring: Optional[_transport.SharedMemoryRing] = None
         #: Dispatched-but-uncollected batches on the shared-memory ring.
         #: Guards slot reuse: batch ``N + ring_depth`` rewrites batch
@@ -640,7 +647,7 @@ class ProcessShardExecutor:
             return "shm"
         return "shm" if _transport.shared_memory_available() else "pickle"
 
-    def _fire_fault(self, site: str, segment=None) -> None:
+    def _fire_fault(self, site: str, segment: Any = None) -> None:
         injector = self.fault_injector
         if injector is not None:
             injector.fire(site, self, segment=segment)
@@ -660,7 +667,7 @@ class ProcessShardExecutor:
         return self._ring
 
     def publish_shard(
-        self, searcher_id: str, shard_index: int, payload, epoch: int = 0
+        self, searcher_id: str, shard_index: int, payload: Any, epoch: int = 0
     ) -> str:
         """Write one shard's payload to the spool, return its path.
 
@@ -690,7 +697,7 @@ class ProcessShardExecutor:
             self._payloads[key] = (payload, epoch)
             return path
 
-    def _republish_entry(self, path: str, payload) -> None:
+    def _republish_entry(self, path: str, payload: Any) -> None:
         """Rewrite one spool entry in place, preserving its path and format.
 
         Recovery must not move entries: dispatched job tuples carry the
@@ -748,11 +755,11 @@ class ProcessShardExecutor:
         if ring is not None:
             ring.close()
 
-    def map(self, fn, jobs) -> list:
+    def map(self, fn: Callable, jobs: Iterable) -> list:
         """Apply ``fn`` to every job in worker processes, preserving order."""
         return self._pool.map(fn, jobs)
 
-    def map_cached(self, jobs, timeout: Optional[float] = None) -> list:
+    def map_cached(self, jobs: Iterable, timeout: Optional[float] = None) -> list:
         """Rank cache-keyed shard jobs (built against published payloads).
 
         Jobs carry ``(searcher_id, shard_index, epoch, spool_path,
@@ -771,7 +778,9 @@ class ProcessShardExecutor:
         """
         return self.submit_cached(jobs, timeout=timeout)()
 
-    def submit_cached(self, jobs, timeout: Optional[float] = None):
+    def submit_cached(
+        self, jobs: Iterable, timeout: Optional[float] = None
+    ) -> Callable[..., list]:
         """Dispatch cache-keyed shard jobs, keeping the batch in flight.
 
         The non-blocking counterpart of :meth:`map_cached` and the primitive
@@ -797,43 +806,43 @@ class ProcessShardExecutor:
         :class:`~repro.exceptions.SpoolIntegrityError`; the pool is healed
         behind the raise, so the *next* batch finds working workers.
         """
-        jobs = list(jobs)
+        job_list = list(jobs)
         default_timeout = timeout
-        if len(jobs) <= 1:
+        if len(job_list) <= 1:
             # No pipe is crossed for a single job; ranking in process also
             # populates the parent-resident cache (see evict()).
-            results = [_rank_cached_shard_job(job) for job in jobs]
+            results = [_rank_cached_shard_job(job) for job in job_list]
 
             def collect_ready(timeout: Optional[float] = None) -> list:
                 return results
 
             return collect_ready
         if not self._supervisor.pool_allowed:
-            return self._submit_cached_serial(jobs)
+            return self._submit_cached_serial(job_list)
         self._fire_fault("dispatch")
         observed = self._supervisor.generation
         try:
-            inner = self._dispatch_cached(jobs)
+            inner = self._dispatch_cached(job_list)
         except BrokenExecutor as exc:
             # The pool was already broken at submit time (a worker died
             # between batches).  Heal once and re-dispatch; a pool too
             # broken to accept work twice is a crash, not a retry loop.
             observed = self._supervisor.ensure_healed(observed)
             if not self._supervisor.pool_allowed:
-                return self._submit_cached_serial(jobs)
+                return self._submit_cached_serial(job_list)
             try:
-                inner = self._dispatch_cached(jobs)
+                inner = self._dispatch_cached(job_list)
             except BrokenExecutor as exc2:
                 raise WorkerCrashError(
                     "worker pool broke dispatching a batch, then again after a restart"
                 ) from exc2
 
         def collect(timeout: Optional[float] = default_timeout) -> list:
-            return self._collect_with_recovery(inner, jobs, observed, timeout)
+            return self._collect_with_recovery(inner, job_list, observed, timeout)
 
         return collect
 
-    def _submit_cached_serial(self, jobs: list):
+    def _submit_cached_serial(self, jobs: list) -> Callable[..., list]:
         """In-process serial execution: the last rung of the degradation ladder.
 
         Used while the supervisor has demoted the pool (restarts exceeded
@@ -847,7 +856,7 @@ class ProcessShardExecutor:
 
         return collect
 
-    def _dispatch_cached(self, jobs: list):
+    def _dispatch_cached(self, jobs: list) -> Callable[..., list]:
         """Submit one multi-job batch; returns a raw ``collect(timeout)``.
 
         The transport-selection core shared by first dispatches and
@@ -886,14 +895,16 @@ class ProcessShardExecutor:
 
         return collect
 
-    def _acquire_batch_segment(self, jobs: list):
+    def _acquire_batch_segment(self, jobs: list) -> Tuple[Any, _transport.ShardBatchLayout]:
         """A ring segment sized and loaded for one batch's queries/results."""
         layout = _transport.ShardBatchLayout(jobs[0][5], [job[6] for job in jobs])
         segment = self._ensure_ring().acquire(layout.total_bytes)
         layout.write_queries(segment)
         return segment, layout
 
-    def _submit_cached_shm(self, segment, layout, jobs: list):
+    def _submit_cached_shm(
+        self, segment: Any, layout: _transport.ShardBatchLayout, jobs: list
+    ) -> Callable[..., list]:
         """Dispatch one batch through the shared-memory ring (in flight)."""
         shm_jobs = [
             (
@@ -972,7 +983,7 @@ class ProcessShardExecutor:
 
     def _collect_with_recovery(
         self,
-        collect,
+        collect: Callable[..., list],
         jobs: list,
         observed_generation: int,
         timeout: Optional[float],
@@ -1083,7 +1094,7 @@ class ProcessShardExecutor:
     def __enter__(self) -> "ProcessShardExecutor":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         self.close()
         return False
 

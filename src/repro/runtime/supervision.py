@@ -36,6 +36,7 @@ import time
 from collections import deque
 from typing import Callable, Deque, Optional
 
+from ..exceptions import ConfigurationError
 from ..utils.validation import check_int_in_range
 
 __all__ = ["CircuitBreaker", "PoolSupervisor"]
@@ -44,7 +45,7 @@ __all__ = ["CircuitBreaker", "PoolSupervisor"]
 def _check_positive_float(value: float, name: str) -> float:
     value = float(value)
     if not value > 0.0:
-        raise ValueError(f"{name} must be > 0, got {value!r}")
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
     return value
 
 

@@ -49,14 +49,19 @@ import shutil
 import weakref
 import zlib
 from collections import OrderedDict
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 try:  # pragma: no cover - present on every platform CI runs on
-    from multiprocessing import shared_memory as _shared_memory
+    from multiprocessing import shared_memory as _shm_module
 except ImportError:  # pragma: no cover - exotic builds without _posixshmem
-    _shared_memory = None
+    _shm_module = None  # type: ignore[assignment]
+
+#: The shared-memory module, or None on builds without ``_posixshmem``.
+#: Typed ``Any`` because every call site is guarded by
+#: :func:`shared_memory_available`, which mypy cannot see through.
+_shared_memory: Any = _shm_module
 
 from ..exceptions import ConfigurationError, SpoolIntegrityError
 from ..utils.validation import check_int_in_range
@@ -94,7 +99,7 @@ def _release_segments(segments: List) -> None:
             pass
         try:
             segment.unlink()
-        except (FileNotFoundError, OSError):  # already gone
+        except OSError:  # already gone
             pass
 
 
@@ -122,11 +127,11 @@ class SharedMemoryRing:
                 "use the pickle transport instead"
             )
         self.depth = check_int_in_range(depth, "depth", minimum=1)
-        self._slots: List[Optional[object]] = [None] * self.depth
+        self._slots: List[Optional[Any]] = [None] * self.depth
         self._cursor = 0
         #: Live segments, shared with the GC safety net: close() empties the
         #: list in place, turning a later finalize into a no-op.
-        self._live: List[object] = []
+        self._live: List[Any] = []
         self._finalizer = weakref.finalize(self, _release_segments, self._live)
 
     @property
@@ -134,7 +139,7 @@ class SharedMemoryRing:
         """Names of the currently allocated segments (introspection/tests)."""
         return tuple(segment.name for segment in self._live)
 
-    def acquire(self, nbytes: int):
+    def acquire(self, nbytes: int) -> Any:
         """A segment of at least ``nbytes``, reusing the next ring slot."""
         slot = self._cursor
         self._cursor = (self._cursor + 1) % self.depth
@@ -158,7 +163,7 @@ class SharedMemoryRing:
     def __enter__(self) -> "SharedMemoryRing":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         self.close()
         return False
 
@@ -196,14 +201,14 @@ class ShardBatchLayout:
             cursor = _aligned(cursor + block)
         self.total_bytes = max(cursor, 1)
 
-    def write_queries(self, segment) -> None:
+    def write_queries(self, segment: Any) -> None:
         """Copy the query block into ``segment`` (the transport's one copy)."""
         view = np.ndarray(
             self.queries.shape, dtype=self.queries.dtype, buffer=segment.buf
         )
         view[...] = self.queries
 
-    def result_views(self, segment, shard: int) -> Tuple[np.ndarray, np.ndarray]:
+    def result_views(self, segment: Any, shard: int) -> Tuple[np.ndarray, np.ndarray]:
         """Zero-copy ``(indices, scores)`` views of one shard's result blocks."""
         shape = (self.num_queries, self.shard_ks[shard])
         indices = np.ndarray(
@@ -224,7 +229,7 @@ class ShardBatchLayout:
 #: because a ring replaces (rather than accumulates) segment names, and
 #: attachments whose segment the parent has unlinked are pruned eagerly so
 #: dead pages are not pinned for the worker's lifetime.
-_ATTACHED_SEGMENTS: "OrderedDict[str, object]" = OrderedDict()
+_ATTACHED_SEGMENTS: "OrderedDict[str, Any]" = OrderedDict()
 _MAX_ATTACHED_SEGMENTS = 8
 
 #: Where the kernel exposes POSIX shared memory as files (Linux).  When the
@@ -233,7 +238,7 @@ _MAX_ATTACHED_SEGMENTS = 8
 _SHM_DIR = "/dev/shm"
 
 
-def _close_attachment(segment) -> None:
+def _close_attachment(segment: Any) -> None:
     try:
         segment.close()
     except BufferError:  # pragma: no cover - a view outlived its job
@@ -259,7 +264,7 @@ def _prune_unlinked_attachments() -> None:
         _close_attachment(_ATTACHED_SEGMENTS.pop(name))
 
 
-def attach_segment(name: str):
+def attach_segment(name: str) -> Any:
     """Attach (or return the cached attachment of) a shared segment."""
     segment = _ATTACHED_SEGMENTS.get(name)
     if segment is not None:
@@ -289,7 +294,7 @@ _PICKLE_MAGIC = b"RSPL\x01"
 _PICKLE_HEADER_BYTES = len(_PICKLE_MAGIC) + 4 + 8
 
 
-def write_spool_bundle(path: str, payload) -> str:
+def write_spool_bundle(path: str, payload: Any) -> str:
     """Publish ``payload`` as a memory-mappable bundle directory at ``path``.
 
     The pickle stream is written with every contiguous ndarray buffer
@@ -327,7 +332,7 @@ def write_spool_bundle(path: str, payload) -> str:
     return path
 
 
-def write_spool_pickle(path: str, payload) -> str:
+def write_spool_pickle(path: str, payload: Any) -> str:
     """Publish ``payload`` as a checksummed pickle-spool file at ``path``.
 
     The pickle-transport counterpart of :func:`write_spool_bundle`: the
@@ -354,9 +359,12 @@ def _read_bundle_manifest(path: str) -> Optional[dict]:
         return None
     try:
         with open(manifest_path, "r", encoding="utf-8") as fh:
-            return json.load(fh)
+            manifest = json.load(fh)
     except (OSError, ValueError) as exc:
         raise SpoolIntegrityError(f"spool bundle manifest unreadable at {path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise SpoolIntegrityError(f"spool bundle manifest malformed at {path}")
+    return manifest
 
 
 def _verify_bundle(path: str, manifest: dict, data: bytes) -> None:
@@ -391,7 +399,7 @@ def _read_pickle_spool(path: str) -> bytes:
     return data
 
 
-def load_spool_payload(path: str):
+def load_spool_payload(path: str) -> Any:
     """Load a published shard payload from either spool format, verified.
 
     Bundle directories reconstruct their pickled object around

@@ -29,7 +29,7 @@ Trial functions dispatched to ``"processes"`` must be picklable
 from __future__ import annotations
 
 import pickle
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuits.tiles import split_rows_evenly
 from ..core.sharding import SerialShardExecutor, ThreadedShardExecutor
@@ -38,7 +38,7 @@ from ..utils.validation import check_int_in_range
 from .process_pool import PersistentProcessPool
 
 
-def chunk_units(units: Sequence, num_chunks: int) -> Tuple[Sequence, ...]:
+def chunk_units(units: Sequence[Any], num_chunks: int) -> Tuple[Sequence[Any], ...]:
     """Split ``units`` into at most ``num_chunks`` contiguous, ordered chunks.
 
     Chunk lengths differ by at most one and empty chunks are dropped, so the
@@ -49,7 +49,7 @@ def chunk_units(units: Sequence, num_chunks: int) -> Tuple[Sequence, ...]:
     return tuple(units[start:stop] for start, stop in split_rows_evenly(len(units), num_chunks))
 
 
-def _run_trial_chunk(job) -> list:
+def _run_trial_chunk(job: Tuple[Callable[[Any], Any], Sequence[Any]]) -> list:
     """Run one chunk of self-contained trial units (worker-side loop)."""
     fn, chunk = job
     return [fn(unit) for unit in chunk]
@@ -100,10 +100,10 @@ class ParallelTrialRunner:
 
     def map(self, fn: Callable, units: Iterable) -> List:
         """Apply ``fn`` to every unit in worker processes, preserving order."""
-        units = list(units)
-        if len(units) <= 1:
-            return [fn(unit) for unit in units]
-        chunks = chunk_units(units, self._pool.effective_workers * self.chunks_per_worker)
+        unit_list = list(units)
+        if len(unit_list) <= 1:
+            return [fn(unit) for unit in unit_list]
+        chunks = chunk_units(unit_list, self._pool.effective_workers * self.chunks_per_worker)
         jobs = [(fn, chunk) for chunk in chunks]
         results: List = []
         for chunk_result in self._pool.map(_run_trial_chunk, jobs):
@@ -117,7 +117,7 @@ class ParallelTrialRunner:
     def __enter__(self) -> "ParallelTrialRunner":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         self.close()
         return False
 
@@ -131,7 +131,7 @@ TRIAL_RUNNERS: Dict[str, Callable[..., object]] = {
 }
 
 
-def resolve_trial_runner(executor: str = "serial", num_workers: Optional[int] = None):
+def resolve_trial_runner(executor: str = "serial", num_workers: Optional[int] = None) -> Any:
     """Build a trial runner from an executor name.
 
     ``executor`` is ``"serial"``, ``"threads"`` or ``"processes"``;
@@ -147,7 +147,7 @@ def resolve_trial_runner(executor: str = "serial", num_workers: Optional[int] = 
     return factory(num_workers=num_workers)
 
 
-def require_picklable(obj, what: str) -> None:
+def require_picklable(obj: Any, what: str) -> None:
     """Raise a helpful error when ``obj`` cannot be shipped to a worker.
 
     Process-parallel dispatch pickles trial payloads; lambdas and closures

@@ -42,11 +42,16 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Any, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..exceptions import ServingOverloadError
+from ..exceptions import ConfigurationError, ServingOverloadError
+
+#: Worst-case wait the load generators put on any single future.  The
+#: scheduler's own request deadlines fire long before this; the bound only
+#: exists so a wedged pump fails a load run loudly instead of hanging it.
+CLIENT_TIMEOUT_S = 120.0
 
 
 def percentile(latencies: Sequence[float], q: float) -> float:
@@ -162,11 +167,11 @@ class _SerialDirect:
     transport is single-dispatcher, so callers must serialize).
     """
 
-    def __init__(self, searcher):
+    def __init__(self, searcher: Any) -> None:
         self._searcher = searcher
         self._lock = threading.Lock()
 
-    def submit(self, query, k: int = 1) -> Future:
+    def submit(self, query: Any, k: int = 1) -> Future:
         future: Future = Future()
         future.set_running_or_notify_cancel()
         try:
@@ -179,7 +184,7 @@ class _SerialDirect:
         return future
 
 
-def direct_submitter(searcher) -> _SerialDirect:
+def direct_submitter(searcher: Any) -> _SerialDirect:
     """A naive one-query-per-dispatch submitter over ``searcher``.
 
     The honest baseline for scheduler speedups: concurrent clients
@@ -196,12 +201,12 @@ def _k_schedule(k: Union[int, Sequence[int]]) -> List[int]:
         return [int(k)]
     ks = [int(value) for value in k]
     if not ks:
-        raise ValueError("k sequence must be non-empty")
+        raise ConfigurationError("k sequence must be non-empty")
     return ks
 
 
 def run_closed_loop(
-    target,
+    target: Any,
     queries: np.ndarray,
     clients: int = 8,
     requests_per_client: int = 32,
@@ -231,7 +236,7 @@ def run_closed_loop(
             row = queries[position % queries.shape[0]]
             start = clock.now()
             try:
-                target.submit(row, k=ks[position % len(ks)]).result()
+                target.submit(row, k=ks[position % len(ks)]).result(CLIENT_TIMEOUT_S)
             except ServingOverloadError:
                 with lock:
                     if clock.in_measurement(start):
@@ -275,7 +280,7 @@ def run_closed_loop(
 
 
 def run_open_loop(
-    target,
+    target: Any,
     queries: np.ndarray,
     rate_qps: float,
     duration_s: float,
@@ -342,10 +347,11 @@ def run_open_loop(
             outstanding.append(future)
         issued += 1
     for future in outstanding:
-        try:
-            future.result()
-        except Exception:
-            pass  # tallied by the callback
+        # Outcomes are tallied by the completion callback; the drain only
+        # waits for stragglers.  exception() returns (never raises) the
+        # request's failure, and the bound turns a wedged pump into a loud
+        # TimeoutError instead of a hung load run.
+        future.exception(CLIENT_TIMEOUT_S)
     report.duration_s = clock.now() - cutoff
     return report
 

@@ -89,7 +89,7 @@ import time
 import weakref
 from collections import deque
 from concurrent.futures import Future
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -238,7 +238,7 @@ class _Request:
         future: Future,
         arrival: float,
         deadline: Optional[float] = None,
-    ):
+    ) -> None:
         self.query = query
         self.k = k
         self.future = future
@@ -282,7 +282,7 @@ class _Lane:
     def __init__(
         self,
         name: str,
-        searcher,
+        searcher: Any,
         weight: float,
         max_queue: int,
         adaptive: bool,
@@ -380,7 +380,7 @@ class _Lane:
         }
 
 
-class _SchedulerEngine:
+class _SchedulerEngine:  # reprolint: disable=RPL004 -- facade holds the finalizer
     """The scheduler's internals: lanes, pump loop, dispatch, demux.
 
     Split from the :class:`MicroBatchScheduler` facade so the pump thread
@@ -429,7 +429,7 @@ class _SchedulerEngine:
     def add_lane(
         self,
         name: str,
-        searcher,
+        searcher: Any,
         weight: float,
         max_queue: Optional[int],
     ) -> None:
@@ -485,20 +485,27 @@ class _SchedulerEngine:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def submit(self, query, k: int, lane_name: Optional[str] = None) -> Future:
+    def submit(self, query: Any, k: int, lane_name: Optional[str] = None) -> Future:
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         with self._cond:
             lane = self._resolve_lane(lane_name)
         searcher = lane.searcher
+        # Client argument errors deliberately keep the search-layer type so a
+        # query rejected here raises exactly what a direct kneighbors() call
+        # would — the scheduler adds batching, not a new validation contract.
         if not searcher.is_fitted:
-            raise SearchError("the served searcher must be fitted before serving")
+            raise SearchError(  # reprolint: disable=RPL006 -- parity with kneighbors()
+                "the served searcher must be fitted before serving"
+            )
         if query.shape[0] != searcher.num_features:
-            raise SearchError(
+            raise SearchError(  # reprolint: disable=RPL006 -- parity with kneighbors()
                 f"query has {query.shape[0]} features, "
                 f"expected {searcher.num_features}"
             )
         if query.size and not np.all(np.isfinite(query)):
-            raise SearchError("queries must contain only finite values")
+            raise SearchError(  # reprolint: disable=RPL006 -- parity with kneighbors()
+                "queries must contain only finite values"
+            )
         k = check_int_in_range(k, "k", minimum=1, maximum=searcher.num_entries)
         future: Future = Future()
         now = time.monotonic()
@@ -793,6 +800,13 @@ class _SchedulerEngine:
         if thread is not None:
             thread.join()
 
+    def __enter__(self) -> "_SchedulerEngine":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.close()
+        return False
+
 
 class ServingLane:
     """One named lane's client surface, bound to a scheduler.
@@ -809,19 +823,23 @@ class ServingLane:
         self._scheduler = scheduler
         self.name = name
 
-    def submit(self, query, k: int = 1) -> Future:
+    def submit(self, query: Any, k: int = 1) -> Future:
         """Enqueue one query into this lane (see :meth:`MicroBatchScheduler.submit`)."""
         return self._scheduler.submit(query, k=k, lane=self.name)
 
-    def submit_many(self, queries, k: int = 1) -> List[Future]:
+    def submit_many(self, queries: Any, k: int = 1) -> List[Future]:
         """Enqueue a client-side batch into this lane, one future per row."""
         return self._scheduler.submit_many(queries, k=k, lane=self.name)
 
-    def kneighbors(self, query, k: int = 1):
-        """Blocking convenience wrapper on this lane."""
-        return self.submit(query, k=k).result()
+    def kneighbors(self, query: Any, k: int = 1, timeout: Optional[float] = None) -> Any:
+        """Blocking convenience wrapper on this lane.
 
-    async def search(self, query, k: int = 1):
+        ``timeout`` bounds the wait (``None`` defers to the scheduler's
+        ``request_timeout_s`` deadline machinery).
+        """
+        return self.submit(query, k=k).result(timeout)
+
+    async def search(self, query: Any, k: int = 1) -> Any:
         """Asyncio front-end on this lane."""
         return await asyncio.wrap_future(self.submit(query, k=k))
 
@@ -908,7 +926,7 @@ class MicroBatchScheduler:
 
     def __init__(
         self,
-        searcher,
+        searcher: Any,
         max_batch: int = 64,
         max_delay_us: float = 2000.0,
         max_queue: int = 1024,
@@ -956,7 +974,7 @@ class MicroBatchScheduler:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def searcher(self):
+    def searcher(self) -> Any:
         """The default lane's searcher."""
         return self._engine._resolve_lane(None).searcher
 
@@ -1002,7 +1020,7 @@ class MicroBatchScheduler:
     def add_lane(
         self,
         name: str,
-        searcher=None,
+        searcher: Any = None,
         weight: float = 1.0,
         max_queue: Optional[int] = None,
     ) -> ServingLane:
@@ -1030,7 +1048,7 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     # Clients
     # ------------------------------------------------------------------
-    def submit(self, query, k: int = 1, lane: Optional[str] = None) -> Future:
+    def submit(self, query: Any, k: int = 1, lane: Optional[str] = None) -> Future:
         """Enqueue one query; the future resolves to its per-query result.
 
         Thread-safe and non-blocking: raises
@@ -1041,7 +1059,7 @@ class MicroBatchScheduler:
         """
         return self._engine.submit(query, k, lane_name=lane)
 
-    def submit_many(self, queries, k: int = 1, lane: Optional[str] = None) -> List[Future]:
+    def submit_many(self, queries: Any, k: int = 1, lane: Optional[str] = None) -> List[Future]:
         """Enqueue a small client-side batch, one future per row.
 
         The rows coalesce like any other pending queries (with each other
@@ -1054,7 +1072,7 @@ class MicroBatchScheduler:
             queries = queries.reshape(1, -1)
         return [self._engine.submit(row, k, lane_name=lane) for row in queries]
 
-    async def search(self, query, k: int = 1, lane: Optional[str] = None):
+    async def search(self, query: Any, k: int = 1, lane: Optional[str] = None) -> Any:
         """Asyncio front-end: awaitable per-query result.
 
         Submission errors (overload, closed) raise in the caller;
@@ -1062,14 +1080,24 @@ class MicroBatchScheduler:
         """
         return await asyncio.wrap_future(self._engine.submit(query, k, lane_name=lane))
 
-    async def search_many(self, queries, k: int = 1, lane: Optional[str] = None) -> list:
+    async def search_many(self, queries: Any, k: int = 1, lane: Optional[str] = None) -> list:
         """Awaitable client-side batch: one result per row, in row order."""
         futures = self.submit_many(queries, k=k, lane=lane)
         return list(await asyncio.gather(*map(asyncio.wrap_future, futures)))
 
-    def kneighbors(self, query, k: int = 1, lane: Optional[str] = None):
-        """Blocking convenience wrapper: submit and wait for the result."""
-        return self.submit(query, k=k, lane=lane).result()
+    def kneighbors(
+        self,
+        query: Any,
+        k: int = 1,
+        lane: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Blocking convenience wrapper: submit and wait for the result.
+
+        ``timeout`` bounds the wait (``None`` defers to the scheduler's
+        ``request_timeout_s`` deadline machinery).
+        """
+        return self.submit(query, k=k, lane=lane).result(timeout)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -1087,7 +1115,7 @@ class MicroBatchScheduler:
     def __enter__(self) -> "MicroBatchScheduler":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
         self.close()
         return False
 

@@ -1,0 +1,139 @@
+"""Contract tests for the :mod:`repro.exceptions` hierarchy.
+
+The serving runtime ships exceptions across process boundaries (worker →
+parent via the pool's result pipe), so beyond the subclass relationships
+the hierarchy must survive pickling with message, args and cause intact.
+"""
+
+import pickle
+
+import pytest
+
+import repro.exceptions as exc_mod
+from repro.exceptions import (
+    CapacityError,
+    CircuitError,
+    ConfigurationError,
+    DatasetError,
+    DeviceModelError,
+    EnergyModelError,
+    ExperimentError,
+    ProgrammingError,
+    QuantizationError,
+    ReproError,
+    SearchError,
+    ServingError,
+    ServingOverloadError,
+    ServingTimeoutError,
+    SpoolIntegrityError,
+    WorkerCrashError,
+)
+
+ALL_EXCEPTIONS = [
+    ReproError,
+    ConfigurationError,
+    DeviceModelError,
+    ProgrammingError,
+    CircuitError,
+    CapacityError,
+    SearchError,
+    ServingError,
+    ServingOverloadError,
+    ServingTimeoutError,
+    WorkerCrashError,
+    SpoolIntegrityError,
+    QuantizationError,
+    DatasetError,
+    EnergyModelError,
+    ExperimentError,
+]
+
+SERVING_EXCEPTIONS = [
+    ServingOverloadError,
+    ServingTimeoutError,
+    WorkerCrashError,
+    SpoolIntegrityError,
+]
+
+
+class TestHierarchy:
+    def test_every_library_error_derives_from_repro_error(self):
+        for cls in ALL_EXCEPTIONS:
+            assert issubclass(cls, ReproError)
+            assert issubclass(cls, Exception)
+
+    def test_repro_error_is_not_a_builtin_subclass(self):
+        # A single `except ReproError` must not accidentally catch (or be
+        # caught by) ValueError/RuntimeError handlers.
+        assert not issubclass(ReproError, (ValueError, RuntimeError, OSError))
+
+    @pytest.mark.parametrize("cls", SERVING_EXCEPTIONS)
+    def test_serving_errors_derive_from_serving_error(self, cls):
+        assert issubclass(cls, ServingError)
+
+    def test_intermediate_parents(self):
+        assert issubclass(ProgrammingError, DeviceModelError)
+        assert issubclass(CapacityError, CircuitError)
+        assert not issubclass(ServingError, SearchError)
+        assert not issubclass(SearchError, ServingError)
+
+    def test_configuration_error_is_distinct_from_serving_error(self):
+        # Construction-time validation vs. runtime serving failure are
+        # separate branches; handlers must be able to tell them apart.
+        assert not issubclass(ConfigurationError, ServingError)
+        assert not issubclass(ServingError, ConfigurationError)
+
+    def test_module_exports_match_the_hierarchy(self):
+        public = {
+            name
+            for name in dir(exc_mod)
+            if isinstance(getattr(exc_mod, name), type)
+            and issubclass(getattr(exc_mod, name), Exception)
+        }
+        assert public == {cls.__name__ for cls in ALL_EXCEPTIONS}
+
+    def test_every_exception_has_a_docstring(self):
+        for cls in ALL_EXCEPTIONS:
+            assert cls.__doc__, cls.__name__
+
+
+class TestPickleRoundTrip:
+    @pytest.mark.parametrize("cls", ALL_EXCEPTIONS)
+    def test_message_survives_pickle(self, cls):
+        original = cls("query 17 missed its deadline")
+        restored = pickle.loads(pickle.dumps(original))
+        assert type(restored) is cls
+        assert restored.args == original.args
+        assert str(restored) == "query 17 missed its deadline"
+
+    @pytest.mark.parametrize("cls", ALL_EXCEPTIONS)
+    def test_multi_arg_payload_survives_pickle(self, cls):
+        original = cls("batch failed", 3, {"shard": 1})
+        restored = pickle.loads(pickle.dumps(original))
+        assert restored.args == ("batch failed", 3, {"shard": 1})
+
+    def test_cause_chain_ships_when_carried_explicitly(self):
+        # Plain pickle drops __cause__, so anything crossing the result
+        # pipe must carry the chain explicitly (exception, cause) and
+        # re-link on the receiving side — pin both halves of that contract.
+        try:
+            try:
+                raise OSError("pipe closed")
+            except OSError as inner:
+                raise WorkerCrashError("worker 2 died") from inner
+        except WorkerCrashError as outer:
+            caught = outer
+        assert isinstance(caught.__cause__, OSError)
+        bare = pickle.loads(pickle.dumps(caught))
+        assert bare.__cause__ is None  # the part pickle silently loses
+        restored, cause = pickle.loads(pickle.dumps((caught, caught.__cause__)))
+        restored.__cause__ = cause
+        assert isinstance(restored, WorkerCrashError)
+        assert isinstance(restored.__cause__, OSError)
+        assert str(restored.__cause__) == "pipe closed"
+
+    @pytest.mark.parametrize("cls", SERVING_EXCEPTIONS)
+    def test_pickled_serving_errors_stay_catchable_as_serving_error(self, cls):
+        restored = pickle.loads(pickle.dumps(cls("boom")))
+        with pytest.raises(ServingError):
+            raise restored

@@ -191,7 +191,7 @@ class TestCircuitBreaker:
     def test_validation(self):
         with pytest.raises(Exception):
             CircuitBreaker(failure_threshold=0)
-        with pytest.raises(ValueError, match="cooldown_s"):
+        with pytest.raises(ConfigurationError, match="cooldown_s"):
             CircuitBreaker(cooldown_s=0.0)
 
 

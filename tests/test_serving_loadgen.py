@@ -18,7 +18,7 @@ from concurrent.futures import Future
 import numpy as np
 import pytest
 
-from repro.exceptions import ServingOverloadError
+from repro.exceptions import ConfigurationError, ServingOverloadError
 from repro.serving import LoadReport, WarmupClock, run_closed_loop, run_open_loop
 
 FEATURES = 4
@@ -117,7 +117,7 @@ class TestClosedLoopWarmup:
         assert target.seen_k == [1, 5, 32, 1, 5, 32]
 
     def test_empty_k_schedule_rejected(self):
-        with pytest.raises(ValueError, match="non-empty"):
+        with pytest.raises(ConfigurationError, match="non-empty"):
             run_closed_loop(_ScriptedTarget(), _queries(4), k=[])
 
 
