@@ -1,0 +1,347 @@
+"""Warm restart: restore-vs-refit first-query latency and post-restore QPS.
+
+The storage tier's promise is that a serving process can die and come back
+*warm*: a restore from the last snapshot (plus journal replay) must be far
+cheaper than refitting the store from scratch, and the restarted pool must
+serve at effectively its pre-restart throughput.  This benchmark pins both
+halves, CI-gated:
+
+1. **First-served-query latency** — time-to-first-result for a cold refit
+   versus a warm restore, on a device-variation store (each cell carries
+   row-keyed sampled conductance profiles, the paper's Monte-Carlo
+   setting).  A cold refit must re-program every array — re-sampling the
+   per-cell variation — before it can serve; a warm restore reads the
+   programmed profiles back from the snapshot verbatim.  The warm path
+   must be at least **3x** faster and the answers bitwise identical.
+   Runs everywhere, no core gate: restore cost is a single-process
+   property.
+2. **Warm-restart QPS** — closed-loop QPS through the micro-batching
+   scheduler, a live :meth:`~repro.serving.MicroBatchScheduler.snapshot_lane`
+   under traffic, a full teardown (scheduler, searcher, worker pool), then
+   a restore into a fresh pool and a second closed-loop run.  The
+   restarted QPS must reach **90%** of the pre-restart baseline.  Skipped
+   below 4 cores like the other multi-core throughput gates.
+
+Machine-local timings land in
+``benchmarks/results/BENCH_warm_restart.local.json`` (gitignored, CI
+artifact); the committed repo-root ``BENCH_warm_restart.json`` carries
+only schema-stable trajectory fields, so benchmark reruns never dirty the
+working tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import make_searcher
+from repro.devices.variation import GaussianVthVariationModel
+from repro.serving import MicroBatchScheduler, run_closed_loop
+
+pytestmark = pytest.mark.durability
+
+NUM_SHARDS = 4
+STORED = 4096
+#: Store size for the first-served-query gate: large enough that the cold
+#: path's device re-programming dominates, which is exactly the regime
+#: the snapshot tier targets — programmed analog state is expensive to
+#: recreate and cheap to read back.
+FIRST_QUERY_STORED = 16384
+#: Device-variation sigma for the first-served-query gate (row-keyed via
+#: ``program_seed``, so refits and restores stay bitwise comparable).
+FIRST_QUERY_SIGMA_V = 0.05
+FEATURES = 64
+APPENDED = 8
+NUM_QUERIES = 128
+CLIENTS = 32
+REQUESTS_PER_CLIENT = 6
+WARMUP_PER_CLIENT = 2
+TOP_K = 3
+FIRST_QUERY_SPEEDUP_MIN = 3.0
+WARM_QPS_RATIO_MIN = 0.9
+MIN_CORES = 4
+
+#: Schema-stable trajectory fields committed at the repository root; the
+#: machine-local measurements land next to the other benchmark outputs.
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_warm_restart.json"
+LOCAL_JSON_NAME = "BENCH_warm_restart.local.json"
+
+#: Every measurement this module can record, independent of host (the QPS
+#: gate may skip on small machines; the committed schema must not vary).
+MEASUREMENT_NAMES = (
+    "first_served_query",
+    "warm_restart_qps",
+)
+
+RNG = np.random.default_rng(20260807)
+
+
+def _workload():
+    features = RNG.normal(size=(STORED, FEATURES))
+    labels = RNG.integers(0, 32, size=STORED)
+    appends = [
+        (RNG.normal(size=(1, FEATURES)), RNG.integers(0, 32, size=1))
+        for _ in range(APPENDED)
+    ]
+    queries = RNG.normal(size=(NUM_QUERIES, FEATURES))
+    return features, labels, appends, queries
+
+
+def _make_sharded(executor="serial", **kwargs):
+    return make_searcher(
+        "mcam-3bit",
+        num_features=FEATURES,
+        seed=9,
+        shards=NUM_SHARDS,
+        executor=executor,
+        appendable=True,
+        **kwargs,
+    )
+
+
+def _assert_same_results(got, want):
+    np.testing.assert_array_equal(got.indices, want.indices)
+    np.testing.assert_array_equal(got.scores, want.scores)
+    assert got.labels == want.labels
+
+
+@pytest.fixture(scope="module")
+def bench_report(results_dir):
+    """Collects measurements; timings go machine-local, the schema goes to git.
+
+    The full report (restore/refit latencies, QPS, CPU count) is written
+    under ``benchmarks/results/`` where it is gitignored and uploaded as
+    the CI trajectory artifact.  The repo-root JSON is regenerated with
+    only fields that are identical on every host and every rerun, so
+    committing after a benchmark run never produces churn.
+    """
+    report = {
+        "benchmark": "warm_restart",
+        "cpu_count": os.cpu_count(),
+        "measurements": {},
+    }
+    yield report["measurements"]
+    local_json = results_dir / LOCAL_JSON_NAME
+    local_json.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    stable = {
+        "benchmark": "warm_restart",
+        "gates": {
+            "first_query_speedup_min": FIRST_QUERY_SPEEDUP_MIN,
+            "min_cores": MIN_CORES,
+            "warm_qps_ratio_min": WARM_QPS_RATIO_MIN,
+        },
+        "local_results": f"benchmarks/results/{LOCAL_JSON_NAME}",
+        "measurements": list(MEASUREMENT_NAMES),
+        "workload": {
+            "appended": APPENDED,
+            "clients": CLIENTS,
+            "features": FEATURES,
+            "first_query_sigma_v": FIRST_QUERY_SIGMA_V,
+            "first_query_stored": FIRST_QUERY_STORED,
+            "num_queries": NUM_QUERIES,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "shards": NUM_SHARDS,
+            "stored": STORED,
+            "top_k": TOP_K,
+        },
+    }
+    BENCH_JSON.write_text(
+        json.dumps(stable, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def test_warm_restore_first_query_beats_cold_refit_3x(
+    bench_report, record_result, tmp_path
+):
+    rng = np.random.default_rng(20260807)
+    features = rng.normal(size=(FIRST_QUERY_STORED, FEATURES))
+    labels = rng.integers(0, 32, size=FIRST_QUERY_STORED)
+    appends = [
+        (rng.normal(size=(1, FEATURES)), rng.integers(0, 32, size=1))
+        for _ in range(APPENDED)
+    ]
+    query = rng.normal(size=(1, FEATURES))
+
+    def make_device_sharded():
+        return _make_sharded(
+            variation=GaussianVthVariationModel(sigma_v=FIRST_QUERY_SIGMA_V),
+            program_seed=9,
+        )
+
+    # Establish the durable state a restarted process picks up: the writer
+    # programmed the store (sampling per-cell device variation), appended
+    # under the journal, served a query, then snapshotted.  The snapshot
+    # covers every append and carries the programmed profiles verbatim.
+    writer = make_device_sharded()
+    writer.fit(features, labels)
+    writer.enable_durability(tmp_path)
+    for rows, row_labels in appends:
+        writer.append(rows, row_labels)
+    want = writer.kneighbors_batch(query, k=TOP_K)
+    writer.snapshot()
+    writer.close()
+
+    # Cold restart: re-program the base store (re-sampling the row-keyed
+    # device variation), re-apply the appended rows, then serve one query
+    # — the writer's exact history, replayed from source data.
+    def cold_restart():
+        cold = make_device_sharded()
+        started = time.perf_counter()
+        cold.fit(features, labels)
+        for rows, row_labels in appends:
+            cold.append(rows, row_labels)
+        cold_result = cold.kneighbors_batch(query, k=TOP_K)
+        elapsed = time.perf_counter() - started
+        cold.close()
+        _assert_same_results(cold_result, want)
+        return elapsed
+
+    # Warm restart: restore the snapshot (journal already checkpointed
+    # into it), serve straight off the read-back profiles.
+    def warm_restart():
+        warm = make_device_sharded()
+        started = time.perf_counter()
+        warm.restore(tmp_path)
+        warm_result = warm.kneighbors_batch(query, k=TOP_K)
+        elapsed = time.perf_counter() - started
+        assert warm.num_entries == FIRST_QUERY_STORED + APPENDED
+        warm.close()
+        _assert_same_results(warm_result, want)
+        return elapsed
+
+    # Best of two attempts each: every attempt re-verifies bitwise
+    # identity with the pre-restart answer; the min filters transient
+    # host load out of the latency gate without hiding a real regression.
+    cold_s = min(cold_restart() for _ in range(2))
+    warm_s = min(warm_restart() for _ in range(2))
+
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    bench_report["first_served_query"] = {
+        "cold_refit_s": cold_s,
+        "warm_restore_s": warm_s,
+        "speedup": speedup,
+        "appends_in_snapshot": APPENDED,
+        "bitwise_identical": True,
+    }
+    record_result(
+        "warm_restart_first_query",
+        f"stored={FIRST_QUERY_STORED} shards={NUM_SHARDS} features={FEATURES} "
+        f"appends_in_snapshot={APPENDED} k={TOP_K}\n"
+        f"gates: warm restore serves its first query >= "
+        f"{FIRST_QUERY_SPEEDUP_MIN:.0f}x faster than a cold refit, answers "
+        "bitwise identical: ok",
+        timing=f"cores={os.cpu_count()}\n"
+        f"cold refit to first result: {cold_s * 1000.0:.1f} ms\n"
+        f"warm restore to first result: {warm_s * 1000.0:.1f} ms\n"
+        f"speedup: {speedup:.1f}x",
+    )
+    assert speedup >= FIRST_QUERY_SPEEDUP_MIN, (
+        f"warm restore ({warm_s * 1000.0:.1f} ms) was only {speedup:.1f}x "
+        f"faster than cold refit ({cold_s * 1000.0:.1f} ms); the gate is "
+        f"{FIRST_QUERY_SPEEDUP_MIN:.0f}x"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < MIN_CORES,
+    reason=(
+        f"the {WARM_QPS_RATIO_MIN:.0%} warm-restart QPS gate needs "
+        f">= {MIN_CORES} cores"
+    ),
+)
+def test_warm_restart_qps_reaches_ninety_percent_of_baseline(
+    bench_report, record_result, tmp_path
+):
+    features, labels, appends, queries = _workload()
+
+    with _make_sharded(executor="processes", num_workers=MIN_CORES) as searcher:
+        searcher.fit(features, labels)
+        searcher.enable_durability(tmp_path)
+        expected = searcher.kneighbors_batch(queries, k=TOP_K)  # warm + reference
+        with MicroBatchScheduler(
+            searcher, max_batch=32, max_delay_us=2000.0, request_timeout_s=30.0
+        ) as scheduler:
+            baseline = run_closed_loop(
+                scheduler,
+                queries,
+                clients=CLIENTS,
+                requests_per_client=REQUESTS_PER_CLIENT,
+                k=TOP_K,
+                warmup_per_client=WARMUP_PER_CLIENT,
+            )
+            # Snapshot the serving lane under live traffic, then keep
+            # serving: durability must not require a drain.
+            for rows, row_labels in appends:
+                searcher.append(rows, row_labels)
+            scheduler.snapshot_lane(tmp_path)
+            under_snapshot = run_closed_loop(
+                scheduler,
+                queries,
+                clients=CLIENTS,
+                requests_per_client=REQUESTS_PER_CLIENT,
+                k=TOP_K,
+                warmup_per_client=0,
+            )
+            assert under_snapshot.errors == 0
+
+    # Full restart: new searcher, new worker pool, restored from disk.
+    with _make_sharded(executor="processes", num_workers=MIN_CORES) as restored:
+        restored.restore(tmp_path)
+        assert restored.num_entries == STORED + APPENDED
+        with MicroBatchScheduler(
+            restored, max_batch=32, max_delay_us=2000.0, request_timeout_s=30.0
+        ) as scheduler:
+            warm = run_closed_loop(
+                scheduler,
+                queries,
+                clients=CLIENTS,
+                requests_per_client=REQUESTS_PER_CLIENT,
+                k=TOP_K,
+                warmup_per_client=WARMUP_PER_CLIENT,
+            )
+        # The restored pool serves the pre-append reference store rows
+        # bitwise (appended rows only add candidates past the base top-k
+        # when they actually win; the full-batch check needs the same
+        # store, so compare against a fresh post-append reference).
+        post_append = restored.kneighbors_batch(queries, k=TOP_K)
+    with _make_sharded() as reference:
+        reference.fit(features, labels)
+        for rows, row_labels in appends:
+            reference.append(rows, row_labels)
+        want = reference.kneighbors_batch(queries, k=TOP_K)
+    for got_row, want_row in zip(post_append, want):
+        np.testing.assert_array_equal(got_row.indices, want_row.indices)
+        np.testing.assert_array_equal(got_row.scores, want_row.scores)
+    assert expected is not None  # the pre-restart pool served successfully
+
+    ratio = warm.qps / baseline.qps if baseline.qps else float("inf")
+    bench_report["warm_restart_qps"] = {
+        "baseline_qps": baseline.qps,
+        "under_snapshot_qps": under_snapshot.qps,
+        "warm_restart_qps": warm.qps,
+        "warm_over_baseline": ratio,
+        "snapshot_errors": under_snapshot.errors,
+    }
+    record_result(
+        "warm_restart_qps",
+        f"stored={STORED} shards={NUM_SHARDS} workers={MIN_CORES} "
+        f"clients={CLIENTS} k={TOP_K}\n"
+        f"gates: restored pool reaches >= {WARM_QPS_RATIO_MIN:.0%} of "
+        "pre-restart QPS, live snapshot under traffic serves zero errors, "
+        "restored answers bitwise identical: ok",
+        timing=f"cores={os.cpu_count()}\n"
+        f"baseline: {baseline.summary()}\n"
+        f"under live snapshot: {under_snapshot.summary()}\n"
+        f"after warm restart: {warm.summary()}",
+    )
+    assert ratio >= WARM_QPS_RATIO_MIN, (
+        f"warm-restart QPS {warm.qps:.0f} fell below "
+        f"{WARM_QPS_RATIO_MIN:.0%} of baseline {baseline.qps:.0f}"
+    )

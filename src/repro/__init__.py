@@ -14,6 +14,9 @@ Multi-Bit Content-Addressable Memories" end to end:
 * :mod:`repro.energy` — CAM, GPU and end-to-end energy/latency models,
 * :mod:`repro.serving` — the async micro-batching scheduler coalescing
   concurrent single-query clients into batched dispatches,
+* :mod:`repro.storage` — the durable storage tier: crash-safe shard
+  snapshots, a write-ahead append journal, and cold-tenant
+  eviction-to-disk for warm restarts,
 * :mod:`repro.analysis`, :mod:`repro.experiments` — analysis harnesses and
   one driver per paper figure.
 
@@ -62,6 +65,7 @@ from .runtime import (
     resolve_trial_runner,
 )
 from .serving import MicroBatchScheduler, ServingStats
+from .storage import ColdTenantPool
 
 __all__ = [
     "ARXIV_ID",
@@ -98,4 +102,5 @@ __all__ = [
     "resolve_trial_runner",
     "MicroBatchScheduler",
     "ServingStats",
+    "ColdTenantPool",
 ]

@@ -34,6 +34,7 @@ concrete classes.  Third-party backends plug in the same way::
 from __future__ import annotations
 
 import abc
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
@@ -214,6 +215,18 @@ class NearestNeighborSearcher(abc.ABC):
         new rows need a refit.
         """
         return None
+
+    def calibration_fingerprint(self) -> Optional[str]:
+        """Stable hex digest of :meth:`calibration_token` (None when absent).
+
+        The storage tier records this in snapshot manifests and re-derives
+        it from the restored engine, so a snapshot whose calibration state
+        does not survive the round trip is rejected instead of served.
+        """
+        token = self.calibration_token()
+        if token is None:
+            return None
+        return hashlib.sha256(repr(token).encode("utf-8")).hexdigest()
 
     def fit(
         self, features: Any, labels: Optional[Sequence[int]] = None

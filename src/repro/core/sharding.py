@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
@@ -382,6 +383,17 @@ class ShardedSearcher(NearestNeighborSearcher):
         #: Full fitted store, retained only for appendable searchers.
         self._store_features: Optional[np.ndarray] = None
         self._store_labels: Optional[np.ndarray] = None
+        #: Durability wiring (see :meth:`enable_durability`): the write-ahead
+        #: append journal, the sequence number of the last acknowledged
+        #: append, the default storage directory, and the in-flight
+        #: background journal checkpoint.
+        self._journal: Optional[Any] = None
+        self._append_seq = 0
+        self._storage_dir: Optional[str] = None
+        self._checkpoint_thread: Optional[threading.Thread] = None
+        #: Optional :class:`~repro.runtime.faults.FaultInjector` fired at
+        #: the storage tier's ``"journal"`` / ``"snapshot"`` sites.
+        self.storage_fault_injector: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -421,6 +433,11 @@ class ShardedSearcher(NearestNeighborSearcher):
             evict(self._searcher_id, broadcast=not self._owns_executor)
         if self._owns_executor:
             self._executor.close()
+        thread, self._checkpoint_thread = self._checkpoint_thread, None
+        if thread is not None:
+            thread.join()
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self) -> "ShardedSearcher":
         return self
@@ -565,6 +582,18 @@ class ShardedSearcher(NearestNeighborSearcher):
             raise SearchError(
                 "appended rows must be labeled exactly like the fitted store"
             )
+        if self._journal is not None:
+            # Acknowledge-before-route: the rows are fsync'd to the journal
+            # before any shard mutates, so once append() returns the caller
+            # holds a durable acknowledgement that survives kill -9.
+            self._journal.record(self._append_seq + 1, features, labels)
+            self._append_seq += 1
+        return self._apply_append(features, labels)
+
+    def _apply_append(
+        self, features: np.ndarray, labels: Optional[np.ndarray]
+    ) -> "ShardedSearcher":
+        """Route validated rows into the shards (also the journal replay path)."""
         store_features = self._store_features
         store_labels = self._store_labels
         if store_features is None:
@@ -607,6 +636,176 @@ class ShardedSearcher(NearestNeighborSearcher):
             shard.fit(full_features[rows], shard_labels)
             self._shard_epochs[index] = self._next_epoch()
         return self
+
+    # ------------------------------------------------------------------
+    # Durability (see repro.storage)
+    # ------------------------------------------------------------------
+    def enable_durability(self, directory: Any, fsync: bool = True) -> "ShardedSearcher":
+        """Attach a write-ahead append journal and default snapshot directory.
+
+        Once enabled, every acknowledged :meth:`append` is recorded
+        (framed, checksummed, fsync'd) in ``<directory>/journal.wal``
+        *before* any row routes to a shard, and :meth:`snapshot` /
+        :meth:`restore` default to ``directory``.  Call :meth:`snapshot`
+        after the initial :meth:`fit` to establish the recovery base; the
+        journal covers appends, not fits.  ``fsync=False`` trades the
+        zero-acknowledged-loss guarantee for append latency.
+        """
+        from ..storage.journal import AppendJournal
+        from ..storage.snapshot import JOURNAL_NAME
+
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        self._storage_dir = directory
+        if self._journal is not None:
+            self._journal.close()
+        journal = AppendJournal(os.path.join(directory, JOURNAL_NAME), fsync=fsync)
+        journal.fault_injector = self.storage_fault_injector
+        self._journal = journal
+        # Safety net: release the journal's file handle at garbage
+        # collection when a caller drops the searcher without close().
+        weakref.finalize(self, journal.close)
+        return self
+
+    def _require_storage_dir(self, directory: Optional[Any]) -> str:
+        if directory is not None:
+            return os.fspath(directory)
+        if self._storage_dir is None:
+            raise SearchError(
+                "no storage directory: pass one explicitly or call "
+                "enable_durability(directory) first"
+            )
+        return self._storage_dir
+
+    def snapshot(self, directory: Optional[Any] = None) -> str:
+        """Persist the fitted state as a crash-safe snapshot generation.
+
+        Returns the generation directory.  When the snapshot lands in the
+        durability directory, the journal is checkpointed in the
+        background — records the snapshot now covers are truncated away —
+        and the executor (if it supports warm restart) is pointed at the
+        snapshot as this searcher's restore source.
+        """
+        from ..storage.snapshot import write_snapshot
+
+        directory = self._require_storage_dir(directory)
+        self._require_fitted()
+        path = write_snapshot(
+            self,
+            directory,
+            applied_seq=self._append_seq,
+            fault_injector=self.storage_fault_injector,
+        )
+        if self._journal is not None and directory == self._storage_dir:
+            self._checkpoint_journal(self._append_seq)
+        self._attach_restore_source(directory)
+        return path
+
+    def restore(self, directory: Optional[Any] = None) -> "ShardedSearcher":
+        """Rebuild the fitted state from the last snapshot plus the journal.
+
+        Loads and fully verifies the snapshot, installs its shards under
+        **fresh** program epochs (worker-resident caches keyed on old
+        epochs can never alias restored state), then replays every journal
+        record newer than the snapshot's ``applied_seq`` through the exact
+        append path — so the restored searcher is bitwise identical to one
+        that never crashed, with zero acknowledged-append loss.  A torn
+        journal tail is truncated; corruption raises
+        :class:`~repro.exceptions.SnapshotIntegrityError`.
+        """
+        from ..storage.journal import read_journal
+        from ..storage.snapshot import JOURNAL_NAME, load_snapshot
+
+        directory = self._require_storage_dir(directory)
+        state = load_snapshot(directory)
+        manifest = state.manifest
+        if self.appendable and state.features is None:
+            raise SearchError(
+                f"snapshot at {directory} was taken from a non-appendable "
+                f"searcher and retains no store; it cannot restore into an "
+                f"appendable one"
+            )
+        self._evict_published()
+        # Never reuse an epoch the live bookkeeping may already have issued:
+        # advance past both the manifest's counter and our own, then stamp
+        # every restored shard with a fresh epoch.
+        self._epoch_counter = max(self._epoch_counter, int(manifest["epoch_counter"]))
+        self._shards = [engine for engine, _ in state.shards]
+        self._index_maps = [index_map for _, index_map in state.shards]
+        self._shard_epochs = [self._next_epoch() for _ in self._shards]
+        self._num_entries = int(manifest["num_entries"])
+        self._num_features = int(manifest["num_features"])
+        self._labels = state.labels
+        if self.appendable:
+            self._store_features = state.features
+            self._store_labels = state.labels
+        self._append_seq = int(manifest["applied_seq"])
+        journal_path = os.path.join(directory, JOURNAL_NAME)
+        records, _ = read_journal(journal_path, repair=True)
+        for record in records:
+            if record.seq <= self._append_seq:
+                continue  # idempotent replay: the snapshot already covers it
+            if not self.appendable:
+                raise SearchError(
+                    f"journal at {journal_path} holds appends but this "
+                    f"searcher is not appendable; construct it with "
+                    f"appendable=True to replay them"
+                )
+            self._apply_append(record.features, record.labels)
+            self._append_seq = record.seq
+        self._attach_restore_source(directory)
+        return self
+
+    def hibernate(self, directory: Optional[Any] = None) -> str:
+        """Snapshot to disk, then release the in-memory fitted state.
+
+        The eviction half of cold tenancy: after hibernating, the searcher
+        holds no shard engines, no retained store and no worker-resident
+        spools — only the configuration needed to :meth:`restore` — so its
+        memory footprint collapses to the object shell.  Searching before
+        a restore raises :class:`~repro.exceptions.SearchError`.
+        """
+        path = self.snapshot(directory)
+        self._evict_published()
+        self._shards = []
+        self._index_maps = []
+        self._shard_epochs = []
+        self._store_features = None
+        self._store_labels = None
+        self._labels = None
+        return path
+
+    def _evict_published(self) -> None:
+        """Drop published worker-cache state so stale spools cannot serve."""
+        if self._published_paths:
+            evict = getattr(self._executor, "evict", None)
+            if evict is not None:
+                evict(self._searcher_id, broadcast=True)
+        self._published_epochs.clear()
+        self._published_paths.clear()
+
+    def _checkpoint_journal(self, applied_seq: int) -> None:
+        """Truncate journaled appends the snapshot covers, off-thread."""
+        journal = self._journal
+        if journal is None:
+            return
+        prior, self._checkpoint_thread = self._checkpoint_thread, None
+        if prior is not None:
+            prior.join()
+        thread = threading.Thread(
+            target=journal.checkpoint,
+            args=(applied_seq,),
+            name="repro-journal-checkpoint",
+            daemon=True,
+        )
+        self._checkpoint_thread = thread
+        thread.start()
+
+    def _attach_restore_source(self, directory: str) -> None:
+        """Register ``directory`` as this searcher's disk restore source."""
+        attach = getattr(self._executor, "attach_restore_source", None)
+        if attach is not None:
+            attach(self._searcher_id, directory)
 
     # ------------------------------------------------------------------
     # Ranking

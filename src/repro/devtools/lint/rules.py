@@ -13,7 +13,10 @@ Scopes follow the layering the repo established in PRs 1–8:
   discipline and pump purity (RPL009) and lock ordering (RPL010) apply;
 * **pool boundary** (everywhere, including tests and benchmarks):
   nothing unpicklable crosses ``submit_all``/``map_cached``/
-  ``submit_cached``/``broadcast``/``register_shard_executor`` (RPL008).
+  ``submit_cached``/``broadcast``/``register_shard_executor`` (RPL008);
+* **persistence scope** (``repro.utils.io``, ``repro.storage``,
+  ``repro.runtime.transport``): files land via tmp-write +
+  ``os.replace``, never an in-place write-mode open (RPL011).
 """
 
 from __future__ import annotations
@@ -331,6 +334,7 @@ class ServingRaisesTypedRule(Rule):
         "ServingTimeoutError",
         "WorkerCrashError",
         "SpoolIntegrityError",
+        "SnapshotIntegrityError",
         "ConfigurationError",
     }
 
@@ -582,6 +586,76 @@ class LockOrderRule(Rule):
         yield from self._visit(path, tree.body, [])
 
 
+class NonAtomicPersistRule(Rule):
+    """RPL011: persistence paths must not write files in place.
+
+    A crash mid-``open(path, "w")`` leaves a truncated file where a
+    reader expects a complete one — for snapshot manifests, spool
+    entries and exported results that is silent data loss.  Inside the
+    persistence modules, every write-mode open must target a temporary
+    sibling that is later renamed into place (``os.replace``): the rule
+    flags write-mode ``open`` calls whose target expression does not
+    mention a staging name (``tmp``/``staging``/``partial``).  Append
+    mode is exempt — journals extend in place by design, protected by
+    per-record framing instead of atomic replacement.
+    """
+
+    code = "RPL011"
+    name = "non-atomic-persist"
+    description = (
+        "persistence code must write to a tmp/staging sibling and rename "
+        "into place; in-place open(..., 'w') leaves torn files on crash"
+    )
+    scope = (
+        "*src/repro/utils/io.py",
+        "*src/repro/storage/*",
+        "*src/repro/runtime/transport.py",
+    )
+
+    _STAGING_MARKERS = ("tmp", "staging", "partial")
+
+    @staticmethod
+    def _mode_of(node: ast.Call, mode_position: int) -> Optional[str]:
+        for keyword in node.keywords:
+            if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+                value = keyword.value.value
+                return value if isinstance(value, str) else None
+        if len(node.args) > mode_position and isinstance(node.args[mode_position], ast.Constant):
+            value = node.args[mode_position].value
+            return value if isinstance(value, str) else None
+        return None
+
+    def _target_is_staged(self, source: str, target: ast.AST) -> bool:
+        segment = ast.get_source_segment(source, target) or ""
+        lowered = segment.lower()
+        return any(marker in lowered for marker in self._STAGING_MARKERS)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _call_name(node)
+            target: Optional[ast.AST]
+            if dotted == "open" and node.args:
+                mode = self._mode_of(node, mode_position=1)
+                target = node.args[0]
+            elif dotted.endswith(".open") and isinstance(node.func, ast.Attribute):
+                mode = self._mode_of(node, mode_position=0)
+                target = node.func.value
+            else:
+                continue
+            if mode is None or "w" not in mode:
+                continue
+            if target is not None and self._target_is_staged(source, target):
+                continue
+            yield self.finding(
+                path,
+                node,
+                f"in-place write-mode open ({mode!r}) in a persistence path; "
+                "write a tmp/staging sibling and os.replace() it into place",
+            )
+
+
 #: Every rule, in code order; the framework instantiates these.
 RULES: Tuple[Type[Rule], ...] = (
     UnseededRandomRule,
@@ -594,4 +668,5 @@ RULES: Tuple[Type[Rule], ...] = (
     PoolBoundaryPicklableRule,
     UntimedBlockingRule,
     LockOrderRule,
+    NonAtomicPersistRule,
 )

@@ -81,6 +81,18 @@ class SpoolIntegrityError(ServingError):
     """
 
 
+class SnapshotIntegrityError(ServingError):
+    """Raised when a durable snapshot or append journal fails validation.
+
+    The storage tier never serves partial state: a snapshot whose manifest
+    is missing, whose per-shard checksums mismatch, or whose journal holds
+    a corrupt (as opposed to torn-tail) record raises this instead of
+    restoring a searcher that silently lost acknowledged appends.  A torn
+    journal tail — the expected artifact of ``kill -9`` mid-write — is
+    tolerated and truncated; corruption *behind* the tail is not.
+    """
+
+
 class QuantizationError(ReproError):
     """Raised when features cannot be quantized to the requested precision."""
 

@@ -13,13 +13,16 @@ The execution layer behind the statistical sweeps:
   harnesses fan out on, with a strict determinism contract (self-contained
   units, bitwise-identical results at any worker count),
 * :mod:`repro.runtime.supervision` — the fault-tolerance policy objects:
-  a circuit breaker for transport degradation (``shm → pickle → serial``)
-  and a pool supervisor that heals a dead/hung worker pool in place at a
-  bounded restart rate,
+  a circuit breaker for transport degradation and a pool supervisor that
+  heals a dead/hung worker pool in place at a bounded restart rate
+  (the full degradation ladder is ``shm → pickle → serial →
+  disk-restore``, the last rung served by :mod:`repro.storage`
+  snapshots),
 * :mod:`repro.runtime.faults` — a deterministic, seeded fault-injection
   harness (kill-worker-mid-batch, corrupt/drop-spool, corrupt-segment,
-  delay-collect) behind the chaos test suite and the fault-recovery
-  benchmark.
+  delay-collect, torn-journal-tail, corrupt-snapshot, drop-manifest)
+  behind the chaos test suite and the fault-recovery / warm-restart
+  benchmarks.
 """
 
 from .faults import FaultInjector

@@ -16,13 +16,23 @@ assert exact recovery behavior:
 * ``corrupt_segment`` — unlink a just-acquired shared-memory ring
   segment so workers fail to attach (the runtime-shm-loss fault),
 * ``delay_collect`` — sleep before a collect, simulating a stalled
-  dispatch for deadline tests.
+  dispatch for deadline tests,
+* ``torn_journal_tail`` — truncate the append journal mid-frame right
+  after a record lands, reproducing ``kill -9`` during an acknowledged
+  append (restore must tolerate the tear and keep every complete record),
+* ``corrupt_snapshot`` — scribble over a snapshot shard file so restore
+  fails its checksum
+  (:class:`~repro.exceptions.SnapshotIntegrityError`),
+* ``drop_manifest`` — delete a snapshot's ``manifest.json`` outright.
 
 An injector is armed per fault via :meth:`arm` and handed to an executor
-as its ``fault_injector``; the executor calls :meth:`fire` at three fixed
+as its ``fault_injector`` (or to a searcher as its
+``storage_fault_injector``); the executor calls :meth:`fire` at fixed
 sites (``"dispatch"`` right before a batch is submitted, ``"segment"``
 right after a ring segment is acquired, ``"collect"`` right before a
-collect blocks).  Each site keeps its own occurrence counter, and the
+collect blocks, ``"journal"`` right after a journal record is fsync'd,
+``"snapshot"`` right after a snapshot generation is committed).  Each
+site keeps its own occurrence counter, and the
 only randomness — ``probability`` draws — comes from one seeded
 generator, so a given seed and call sequence always injects the same
 faults at the same points.  Everything that fired is logged in
@@ -31,6 +41,7 @@ faults at the same points.  Everything that fired is logged in
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
@@ -50,6 +61,9 @@ _FAULT_SITES = {
     "drop_spool": "dispatch",
     "corrupt_segment": "segment",
     "delay_collect": "collect",
+    "torn_journal_tail": "journal",
+    "corrupt_snapshot": "snapshot",
+    "drop_manifest": "snapshot",
 }
 
 
@@ -136,13 +150,15 @@ class FaultInjector:
             self._armed.append(_ArmedFault(fault, at_occurrence, probability, count, delay_s))
         return self
 
-    def fire(self, site: str, executor: Any, segment: Any = None) -> None:
+    def fire(self, site: str, executor: Any, segment: Any = None, path: Any = None) -> None:
         """Run every armed fault scheduled for this visit to ``site``.
 
-        Called by the executor at its injection points; a site with
-        nothing armed costs one counter bump.  Fault execution is best
-        effort — a fault that finds nothing to break (no live worker, no
-        published spool entry) logs ``detail: None`` and moves on.
+        Called by the executor (and the storage tier) at its injection
+        points; a site with nothing armed costs one counter bump.  Fault
+        execution is best effort — a fault that finds nothing to break (no
+        live worker, no published spool entry) logs ``detail: None`` and
+        moves on.  ``path`` carries the journal file or storage directory
+        for the ``"journal"`` / ``"snapshot"`` sites.
         """
         with self._lock:
             occurrence = self._occurrences.get(site, 0)
@@ -153,7 +169,7 @@ class FaultInjector:
                 if armed.site == site and armed.should_fire(occurrence, self._rng)
             ]
         for armed in to_fire:
-            detail = self._execute(armed, executor, segment)
+            detail = self._execute(armed, executor, segment, path)
             with self._lock:
                 self.fired.append(
                     {
@@ -164,7 +180,7 @@ class FaultInjector:
                     }
                 )
 
-    def _execute(self, armed: _ArmedFault, executor: Any, segment: Any) -> Any:
+    def _execute(self, armed: _ArmedFault, executor: Any, segment: Any, path: Any) -> Any:
         if armed.fault == "kill_worker":
             return executor._pool.kill_one_worker()
         if armed.fault == "corrupt_spool":
@@ -174,18 +190,33 @@ class FaultInjector:
             payload_path = (
                 os.path.join(path, "payload.pkl") if os.path.isdir(path) else path
             )
+            return self._scribble_midstream(payload_path)
+        if armed.fault == "torn_journal_tail":
+            if path is None:
+                return None
             try:
-                # Scribble mid-stream: the integrity headers stay intact
-                # (a clobbered magic would make the file masquerade as a
-                # tolerated pre-checksum legacy entry) while the payload
-                # CRC can no longer match.
-                size = os.path.getsize(payload_path)
-                with open(payload_path, "r+b") as fh:
-                    fh.seek(size // 2)
-                    fh.write(b"\xde\xad\xbe\xef")
+                # Chop less than one frame header off the end: exactly what
+                # kill -9 mid-write leaves behind — a complete prefix of
+                # records, then a torn final frame.
+                size = os.path.getsize(path)
+                os.truncate(path, max(0, size - 7))
             except OSError:
                 return None
-            return payload_path
+            return path
+        if armed.fault == "corrupt_snapshot":
+            shard_path = self._pick_snapshot_shard(path)
+            if shard_path is None:
+                return None
+            return self._scribble_midstream(shard_path)
+        if armed.fault == "drop_manifest":
+            if path is None:
+                return None
+            manifest_path = os.path.join(path, "manifest.json")
+            try:
+                os.remove(manifest_path)
+            except OSError:
+                return None
+            return manifest_path
         if armed.fault == "drop_spool":
             path = self._pick_spool_entry(executor)
             if path is None:
@@ -210,6 +241,41 @@ class FaultInjector:
         # Unreachable guard: arm() validated the name against _FAULT_SITES,
         # so reaching this line is a programming error, not a serving failure.
         raise AssertionError(f"unreachable fault {armed.fault!r}")  # reprolint: disable=RPL006
+
+    @staticmethod
+    def _scribble_midstream(path: str) -> Optional[str]:
+        """Overwrite four bytes mid-file, leaving integrity headers intact.
+
+        A clobbered magic would make the file masquerade as a tolerated
+        pre-checksum legacy entry; scribbling the payload region instead
+        guarantees the CRC can no longer match.
+        """
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+b") as fh:
+                fh.seek(size // 2)
+                fh.write(b"\xde\xad\xbe\xef")
+        except OSError:
+            return None
+        return path
+
+    @staticmethod
+    def _pick_snapshot_shard(directory: Any) -> Optional[str]:
+        """The first shard file of the manifest-referenced snapshot."""
+        if directory is None:
+            return None
+        manifest_path = os.path.join(directory, "manifest.json")
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        shards = manifest.get("shards") or []
+        if not shards:
+            return None
+        return os.path.join(
+            directory, str(manifest["snapshot_dir"]), str(shards[0]["file"])
+        )
 
     @staticmethod
     def _pick_spool_entry(executor: Any) -> Optional[str]:

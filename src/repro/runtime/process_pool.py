@@ -89,6 +89,7 @@ from ..exceptions import (
     ConfigurationError,
     ServingError,
     ServingTimeoutError,
+    SnapshotIntegrityError,
     SpoolIntegrityError,
     WorkerCrashError,
 )
@@ -579,6 +580,15 @@ class ProcessShardExecutor:
         )
         #: Chaos-test hook: a :class:`~.faults.FaultInjector` or ``None``.
         self.fault_injector: Any = None
+        #: Cold-tenancy hook: a :class:`~repro.storage.tenancy.ColdTenantPool`
+        #: (or anything with ``touch(searcher_id)``) notified on every cached
+        #: dispatch so serving traffic refreshes LRU recency.
+        self.tenant_policy: Any = None
+        #: Snapshot directory per restored/snapshotted searcher — the
+        #: restore-from-disk rung: a spool entry that is corrupt while no
+        #: parent-resident payload exists (a warm-restarted host) is
+        #: republished straight from the snapshot on disk.
+        self._restore_sources: Dict[str, str] = {}
         self._ring: Optional[_transport.SharedMemoryRing] = None
         #: Dispatched-but-uncollected batches on the shared-memory ring.
         #: Guards slot reuse: batch ``N + ring_depth`` rewrites batch
@@ -697,6 +707,37 @@ class ProcessShardExecutor:
             self._payloads[key] = (payload, epoch)
             return path
 
+    def attach_restore_source(self, searcher_id: str, directory: str) -> None:
+        """Register a snapshot directory as a searcher's disk restore source.
+
+        Called by :meth:`~repro.core.sharding.ShardedSearcher.snapshot` and
+        ``restore()``: once attached, spool recovery has one rung below the
+        parent-resident payloads — a corrupt or missing entry whose payload
+        reference is gone (a warm-restarted process, an evicted tenant) is
+        reloaded from the verified snapshot instead of failing the batch.
+        """
+        with self._lock:
+            self._restore_sources[searcher_id] = os.fspath(directory)
+
+    def _load_restore_payload(self, key: Tuple[str, int], directory: Optional[str]) -> Any:
+        """The restore-from-disk rung: reload one shard from its snapshot.
+
+        Returns ``None`` when there is no restore source or the snapshot
+        itself fails verification — recovery then has nothing left to
+        offer and the batch fails typed.  Successful disk restores are
+        counted on the supervisor for observability.
+        """
+        if directory is None:
+            return None
+        from ..storage.snapshot import load_snapshot_shard
+
+        try:
+            payload = load_snapshot_shard(directory, key[1])
+        except (SnapshotIntegrityError, OSError):
+            return None
+        self._supervisor.record_disk_restore()
+        return payload
+
     def _republish_entry(self, path: str, payload: Any) -> None:
         """Rewrite one spool entry in place, preserving its path and format.
 
@@ -712,20 +753,27 @@ class ProcessShardExecutor:
     def _repair_spool(self) -> int:
         """Verify every published entry; republish the broken ones.
 
-        Returns how many entries were republished.  Entries whose payload
-        reference is gone (evicted concurrently) are skipped — their jobs
-        are gone with them.
+        Returns how many entries were republished.  Broken entries are
+        rewritten from the parent-resident payload when one exists, else
+        from the searcher's snapshot restore source (the disk rung); an
+        entry with neither is skipped — its jobs fail typed.
         """
         with self._lock:
             entries = [
                 (key, path, self._payloads.get(key))
                 for key, path in self._published.items()
             ]
+            sources = dict(self._restore_sources)
         repaired = 0
-        for _key, path, payload_entry in entries:
-            if payload_entry is None or _transport.verify_spool_entry(path):
+        for key, path, payload_entry in entries:
+            if _transport.verify_spool_entry(path):
                 continue
-            self._republish_entry(path, payload_entry[0])
+            payload = None if payload_entry is None else payload_entry[0]
+            if payload is None:
+                payload = self._load_restore_payload(key, sources.get(key[0]))
+            if payload is None:
+                continue
+            self._republish_entry(path, payload)
             repaired += 1
         return repaired
 
@@ -807,6 +855,11 @@ class ProcessShardExecutor:
         behind the raise, so the *next* batch finds working workers.
         """
         job_list = list(jobs)
+        policy = self.tenant_policy
+        if policy is not None and job_list:
+            # Serving traffic refreshes cold-tenancy LRU recency; the hook
+            # is outside this executor's lock (policy lock orders first).
+            policy.touch(job_list[0][0])
         default_timeout = timeout
         if len(job_list) <= 1:
             # No pipe is crossed for a single job; ranking in process also
@@ -848,11 +901,19 @@ class ProcessShardExecutor:
         Used while the supervisor has demoted the pool (restarts exceeded
         the budget).  Jobs run in the parent at collect time with the same
         worker function, so results stay bitwise identical — the service
-        degrades in throughput, not in answers or availability.
+        degrades in throughput, not in answers or availability.  One rung
+        remains below serial: a corrupt spool entry is repaired (from the
+        parent payload, else from the snapshot restore source on disk) and
+        the batch replayed once before failing typed.
         """
 
         def collect(timeout: Optional[float] = None) -> list:
-            return [_rank_cached_shard_job(job) for job in jobs]
+            try:
+                return [_rank_cached_shard_job(job) for job in jobs]
+            except SpoolIntegrityError:
+                if self._repair_spool() == 0:
+                    raise
+                return [_rank_cached_shard_job(job) for job in jobs]
 
         return collect
 
@@ -1065,6 +1126,7 @@ class ProcessShardExecutor:
             ]
             for key in [key for key in self._payloads if key[0] == searcher_id]:
                 del self._payloads[key]
+            self._restore_sources.pop(searcher_id, None)
         for path in stale:
             _transport.remove_spool_entry(path)
         if broadcast:
@@ -1084,6 +1146,7 @@ class ProcessShardExecutor:
             self._ring_inflight = 0
             self._published.clear()
             self._payloads.clear()
+            self._restore_sources.clear()
             finalizer, self._spool_finalizer = self._spool_finalizer, None
             self._spool_dir = None
         if ring is not None:

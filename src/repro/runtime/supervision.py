@@ -19,9 +19,11 @@ dispatch path:
   concurrent collects that observed the same dead pool heal it exactly
   once.  When restarts come too fast — ``max_restarts`` within
   ``restart_window_s`` — the supervisor demotes the executor to
-  in-process serial execution (the last rung of the
-  ``shm -> pickle -> serial`` ladder) and re-probes the pool after a
-  cool-down.
+  in-process serial execution and re-probes the pool after a cool-down.
+  The full degradation ladder is ``shm -> pickle -> serial ->
+  disk-restore``: below serial sits the storage tier, which republishes
+  lost shard payloads from on-disk snapshots (counted via
+  :meth:`PoolSupervisor.record_disk_restore`).
 
 Both objects take an injectable monotonic ``clock`` so the chaos tests can
 drive cool-down transitions deterministically, and both are thread-safe:
@@ -146,6 +148,13 @@ class PoolSupervisor:
       After ``cooldown_s`` the next dispatch probes the pool again; a
       batch that completes calls :meth:`record_success`, which clears the
       restart history and lifts the demotion.
+
+    One rung sits below even the serial demotion: when spool repair must
+    reload a shard from its on-disk snapshot (no parent-resident payload —
+    a warm-restarted host or an evicted cold tenant), the executor counts
+    it here via :meth:`record_disk_restore`, making
+    ``shm -> pickle -> serial -> disk-restore`` degradations observable
+    end to end.
     """
 
     def __init__(
@@ -164,6 +173,7 @@ class PoolSupervisor:
         self._lock = threading.Lock()
         self._generation = 0
         self._total_restarts = 0
+        self._total_disk_restores = 0
         self._restarts: Deque[float] = deque()
         self._demoted_at: Optional[float] = None
 
@@ -178,6 +188,17 @@ class PoolSupervisor:
         """Heals performed over the supervisor's lifetime (monitoring)."""
         with self._lock:
             return self._total_restarts
+
+    @property
+    def total_disk_restores(self) -> int:
+        """Shard payloads reloaded from snapshots during spool repair."""
+        with self._lock:
+            return self._total_disk_restores
+
+    def record_disk_restore(self) -> None:
+        """Count one restore-from-disk repair (the rung below serial)."""
+        with self._lock:
+            self._total_disk_restores += 1
 
     @property
     def demoted(self) -> bool:

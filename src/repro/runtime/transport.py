@@ -332,13 +332,16 @@ def write_spool_bundle(path: str, payload: Any) -> str:
     return path
 
 
-def write_spool_pickle(path: str, payload: Any) -> str:
+def write_spool_pickle(path: str, payload: Any, fsync: bool = False) -> str:
     """Publish ``payload`` as a checksummed pickle-spool file at ``path``.
 
     The pickle-transport counterpart of :func:`write_spool_bundle`: the
     stream is prefixed with a magic/CRC-32/length header and atomically
     replaced into place, so readers either see a verifiable complete file
-    or the previous epoch's.
+    or the previous epoch's.  ``fsync=True`` flushes the file and its
+    directory entry before returning — the durability contract snapshot
+    shards need, and overkill for transport spools whose loss is healed
+    by a republish.
     """
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     header = (
@@ -349,7 +352,16 @@ def write_spool_pickle(path: str, payload: Any) -> str:
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "wb") as fh:
         fh.write(header + data)
+        if fsync:
+            fh.flush()
+            os.fsync(fh.fileno())
     os.replace(tmp_path, path)
+    if fsync:
+        dir_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
     return path
 
 
@@ -397,6 +409,32 @@ def _read_pickle_spool(path: str) -> bytes:
     if len(data) != length or (zlib.crc32(data) & 0xFFFFFFFF) != crc:
         raise SpoolIntegrityError(f"spool file corrupt at {path} (checksum mismatch)")
     return data
+
+
+def load_pickle_spool_bytes(data: bytes, source: str, checksummed: bool = True) -> Any:
+    """Unpickle an in-memory pickle-spool image, validating its framing.
+
+    The zero-reread path for callers that already hold the whole file —
+    the snapshot loader checksums each file against its manifest CRC
+    first, then passes ``checksummed=False`` so the frame's own CRC (over
+    the same bytes) is not recomputed.  Raises
+    :class:`~repro.exceptions.SpoolIntegrityError` on bad framing exactly
+    like :func:`load_spool_payload`.
+    """
+    if not data.startswith(_PICKLE_MAGIC):
+        raise SpoolIntegrityError(f"spool image at {source} has no integrity header")
+    head = data[:_PICKLE_HEADER_BYTES]
+    payload = memoryview(data)[_PICKLE_HEADER_BYTES:]
+    crc = int.from_bytes(head[len(_PICKLE_MAGIC) : len(_PICKLE_MAGIC) + 4], "little")
+    length = int.from_bytes(head[len(_PICKLE_MAGIC) + 4 :], "little")
+    if len(payload) != length:
+        raise SpoolIntegrityError(f"spool image truncated at {source}")
+    if checksummed and (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise SpoolIntegrityError(f"spool image corrupt at {source} (checksum mismatch)")
+    try:
+        return pickle.loads(payload)
+    except (pickle.UnpicklingError, EOFError, ValueError) as exc:
+        raise SpoolIntegrityError(f"spool image unreadable at {source}: {exc}") from exc
 
 
 def load_spool_payload(path: str) -> Any:

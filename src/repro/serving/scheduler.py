@@ -1045,6 +1045,32 @@ class MicroBatchScheduler:
             self._engine._resolve_lane(name)  # raises on unknown lanes
         return ServingLane(self, name)
 
+    def snapshot_lane(self, directory: Any, lane: Optional[str] = None) -> str:
+        """Persist one lane's searcher as a crash-safe snapshot (see
+        :mod:`repro.storage`).
+
+        The serving-side durability hook: snapshots the lane's fitted
+        state to ``directory`` while the scheduler keeps serving — the
+        snapshot path reads shard engines without mutating them, so
+        concurrent dispatches are safe; appends racing the snapshot land
+        in the journal and replay on restore.  Returns the snapshot
+        generation directory.  Raises
+        :class:`~repro.exceptions.ConfigurationError` when the lane's
+        searcher is not snapshot-capable (not a
+        :class:`~repro.core.sharding.ShardedSearcher`).
+        """
+        with self._engine._cond:
+            searcher = self._engine._resolve_lane(lane).searcher
+        snapshot = getattr(searcher, "snapshot", None)
+        if snapshot is None:
+            raise ConfigurationError(
+                f"lane {lane or 'default'!r} serves a searcher without snapshot "
+                f"support ({type(searcher).__name__}); durable serving requires "
+                f"a ShardedSearcher"
+            )
+        path: str = snapshot(directory)
+        return path
+
     # ------------------------------------------------------------------
     # Clients
     # ------------------------------------------------------------------

@@ -1,0 +1,198 @@
+"""Cold-tenant eviction-to-disk: more tenants per host than RAM holds.
+
+A serving host shares one long-running
+:class:`~repro.runtime.process_pool.ProcessShardExecutor` across many
+tenant searchers, each with its own fitted store and worker-resident shard
+cache.  :class:`ColdTenantPool` bounds how many of those stores stay
+resident in memory: beyond ``capacity``, the least-recently-used idle
+tenant is *hibernated* — snapshotted to its durability directory, its
+spools evicted from every worker, its in-memory store released — and
+transparently restored from disk the next time it is leased.  The restore
+round-trips through the same checksummed snapshot path as crash recovery,
+so an evicted-and-restored tenant serves bitwise-identical results.
+
+LRU recency advances on every :meth:`lease` and — when the pool registers
+itself as the executor's ``tenant_policy`` — on every dispatch the
+executor sees, so tenants kept warm by direct serving traffic are not
+eviction candidates.  A leased tenant is pinned: eviction skips it, and
+the pool temporarily overshoots ``capacity`` rather than pulling state out
+from under an active query.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Tuple
+
+from ..exceptions import ConfigurationError
+from ..utils.validation import check_int_in_range
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.sharding import ShardedSearcher
+
+__all__ = ["ColdTenantPool"]
+
+
+@dataclass
+class _Tenant:
+    searcher: "ShardedSearcher"
+    directory: str
+    resident: bool = True
+    pins: int = field(default=0)
+
+
+class ColdTenantPool:
+    """LRU memory-pressure policy over tenant searchers sharing one executor.
+
+    Parameters
+    ----------
+    executor:
+        The shared executor every admitted searcher serves from.  If it
+        exposes a ``tenant_policy`` attribute the pool registers itself
+        there, so dispatches refresh LRU recency without going through
+        :meth:`lease`.
+    directory:
+        Root of the per-tenant durability directories
+        (``<directory>/<tenant_id>/``).
+    capacity:
+        Maximum number of tenants kept resident in memory at once.
+    """
+
+    def __init__(self, executor: Any, directory: str, capacity: int) -> None:
+        self._executor = executor
+        self._directory = os.fspath(directory)
+        self._capacity = check_int_in_range(capacity, "capacity", minimum=1)
+        self._lock = threading.RLock()
+        #: LRU order: oldest (coldest) tenant first.
+        self._tenants: "OrderedDict[str, _Tenant]" = OrderedDict()
+        self._ids: Dict[str, str] = {}
+        self._closed = False
+        #: Lifetime counters, for tests and capacity tuning.
+        self.evictions = 0
+        self.restores = 0
+        if hasattr(executor, "tenant_policy"):
+            executor.tenant_policy = self
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def resident_tenants(self) -> Tuple[str, ...]:
+        """Tenant ids currently resident, coldest first."""
+        with self._lock:
+            return tuple(
+                tenant_id for tenant_id, tenant in self._tenants.items() if tenant.resident
+            )
+
+    def tenant_directory(self, tenant_id: str) -> str:
+        return os.path.join(self._directory, tenant_id)
+
+    def admit(self, tenant_id: str, searcher: "ShardedSearcher") -> str:
+        """Register a fitted tenant searcher; may evict a colder tenant.
+
+        Returns the tenant's durability directory.  The searcher must
+        share this pool's executor — eviction broadcasts spool evictions
+        through it — and must be fitted, since hibernation snapshots it.
+        """
+        if os.sep in tenant_id or not tenant_id:
+            raise ConfigurationError(f"tenant_id must be a plain name, got {tenant_id!r}")
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("cold-tenant pool is closed")
+            if tenant_id in self._tenants:
+                raise ConfigurationError(f"tenant {tenant_id!r} is already admitted")
+            directory = self.tenant_directory(tenant_id)
+            self._tenants[tenant_id] = _Tenant(searcher=searcher, directory=directory)
+            self._ids[searcher._searcher_id] = tenant_id
+            self._evict_over_capacity()
+            return directory
+
+    @contextmanager
+    def lease(self, tenant_id: str) -> Iterator["ShardedSearcher"]:
+        """Check a tenant out for use, restoring it from disk if evicted.
+
+        The tenant is pinned (never evicted) for the duration of the
+        ``with`` block and becomes the most-recently-used tenant.
+        """
+        with self._lock:
+            tenant = self._checkout(tenant_id)
+            tenant.pins += 1
+            self._tenants.move_to_end(tenant_id)
+            self._evict_over_capacity()
+        try:
+            yield tenant.searcher
+        finally:
+            with self._lock:
+                tenant.pins -= 1
+                self._evict_over_capacity()
+
+    def kneighbors_batch(self, tenant_id: str, queries: Any, k: int = 1, rng: Any = None) -> Any:
+        """Serve one query batch for a tenant under a lease."""
+        with self.lease(tenant_id) as searcher:
+            return searcher.kneighbors_batch(queries, k=k, rng=rng)
+
+    def touch(self, searcher_id: str) -> None:
+        """Refresh LRU recency for a dispatching searcher (executor hook).
+
+        Called by the executor right before each cached dispatch; unknown
+        ids (non-tenant searchers on the same executor) are ignored.
+        """
+        with self._lock:
+            tenant_id = self._ids.get(searcher_id)
+            if tenant_id is not None and tenant_id in self._tenants:
+                self._tenants.move_to_end(tenant_id)
+
+    def _checkout(self, tenant_id: str) -> _Tenant:
+        if self._closed:
+            raise ConfigurationError("cold-tenant pool is closed")
+        try:
+            tenant = self._tenants[tenant_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown tenant {tenant_id!r}") from None
+        if not tenant.resident:
+            tenant.searcher.restore(tenant.directory)
+            tenant.resident = True
+            self.restores += 1
+        return tenant
+
+    def _evict_over_capacity(self) -> None:
+        resident = [
+            (tenant_id, tenant) for tenant_id, tenant in self._tenants.items() if tenant.resident
+        ]
+        excess = len(resident) - self._capacity
+        for tenant_id, tenant in resident:
+            if excess <= 0:
+                break
+            if tenant.pins > 0:
+                # Never pull state out from under a live lease; capacity
+                # overshoots until the lease returns.
+                continue
+            tenant.searcher.hibernate(tenant.directory)
+            tenant.resident = False
+            self.evictions += 1
+            excess -= 1
+
+    def close(self) -> None:
+        """Hibernate every resident tenant and detach from the executor."""
+        with self._lock:
+            if self._closed:
+                return
+            for tenant in self._tenants.values():
+                if tenant.resident:
+                    tenant.searcher.hibernate(tenant.directory)
+                    tenant.resident = False
+                    self.evictions += 1
+            self._closed = True
+        if getattr(self._executor, "tenant_policy", None) is self:
+            self._executor.tenant_policy = None
+
+    def __enter__(self) -> "ColdTenantPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence, Union
@@ -42,13 +43,40 @@ def to_jsonable(value: Any) -> Any:
     return _to_jsonable(value)
 
 
-def save_json(data: Any, path: PathLike, indent: int = 2) -> Path:
-    """Serialize ``data`` (dataclasses/dicts/arrays allowed) to a JSON file."""
+def _fsync_directory(directory: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _replace_into_place(tmp_path: Path, path: Path, fsync: bool) -> None:
+    os.replace(tmp_path, path)
+    if fsync:
+        _fsync_directory(path.parent)
+
+
+def save_json(data: Any, path: PathLike, indent: int = 2, fsync: bool = False) -> Path:
+    """Serialize ``data`` (dataclasses/dicts/arrays allowed) to a JSON file.
+
+    The file is written to a ``.tmp`` sibling and atomically renamed into
+    place, so readers never observe truncated JSON — a crash mid-write
+    leaves either the previous file or none.  ``fsync=True`` additionally
+    flushes the file and its directory entry before returning, which is
+    what snapshot manifests require for crash safety.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
+    tmp_path = path.with_name(path.name + ".tmp")
+    with tmp_path.open("w", encoding="utf-8") as handle:
         json.dump(_to_jsonable(data), handle, indent=indent, sort_keys=False)
         handle.write("\n")
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    _replace_into_place(tmp_path, path, fsync)
     return path
 
 
@@ -59,10 +87,12 @@ def load_json(path: PathLike) -> Any:
         return json.load(handle)
 
 
-def save_csv(records: Sequence[Mapping[str, Any]], path: PathLike) -> Path:
-    """Write a list of dict records to a CSV file.
+def save_csv(records: Sequence[Mapping[str, Any]], path: PathLike, fsync: bool = False) -> Path:
+    """Write a list of dict records to a CSV file, atomically.
 
     The union of all record keys (in first-seen order) becomes the header.
+    Like :func:`save_json`, the file lands via tmp-write + ``os.replace``
+    so a crash mid-export cannot leave a truncated table behind.
     """
     records = [dict(_to_jsonable(record)) for record in records]
     if not records:
@@ -74,11 +104,16 @@ def save_csv(records: Sequence[Mapping[str, Any]], path: PathLike) -> Path:
                 columns.append(key)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8", newline="") as handle:
+    tmp_path = path.with_name(path.name + ".tmp")
+    with tmp_path.open("w", encoding="utf-8", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=columns)
         writer.writeheader()
         for record in records:
             writer.writerow({column: record.get(column, "") for column in columns})
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    _replace_into_place(tmp_path, path, fsync)
     return path
 
 

@@ -31,6 +31,7 @@ LIBRARY_PATH = "src/repro/core/fixture.py"
 SERVING_PATH = "src/repro/runtime/fixture.py"
 SCHEDULER_PATH = "src/repro/serving/scheduler.py"
 PACKAGE_PATH = "src/repro/runtime/fixture.py"
+STORAGE_PATH = "src/repro/storage/fixture.py"
 ANYWHERE_PATH = "benchmarks/fixture.py"
 
 
@@ -240,6 +241,45 @@ class TestRuleViolations:
             "                pass\n"
         )
         assert "RPL010" not in codes_of(lint_source(good, SCHEDULER_PATH))
+
+    def test_rpl011_flags_non_atomic_persist(self):
+        bad = (
+            "def save(path, data):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(data)\n"
+        )
+        assert "RPL011" in codes_of(lint_source(bad, STORAGE_PATH))
+        staged = (
+            "import os\n"
+            "def save(path, tmp_path, data):\n"
+            "    with open(tmp_path, 'w') as handle:\n"
+            "        handle.write(data)\n"
+            "    os.replace(tmp_path, path)\n"
+        )
+        assert "RPL011" not in codes_of(lint_source(staged, STORAGE_PATH))
+        # Append mode never clobbers existing durable bytes.
+        appended = (
+            "def log(path, line):\n"
+            "    with open(path, 'ab') as handle:\n"
+            "        handle.write(line)\n"
+        )
+        assert "RPL011" not in codes_of(lint_source(appended, STORAGE_PATH))
+        # Outside the persistence scope in-place writes are the caller's call.
+        assert "RPL011" not in codes_of(lint_source(bad, ANYWHERE_PATH))
+
+    def test_rpl011_covers_path_open_method(self):
+        bad = (
+            "def save(path, data):\n"
+            "    with path.open('w') as handle:\n"
+            "        handle.write(data)\n"
+        )
+        assert "RPL011" in codes_of(lint_source(bad, STORAGE_PATH))
+        staged = (
+            "def save(staging_path, data):\n"
+            "    with staging_path.open('w') as handle:\n"
+            "        handle.write(data)\n"
+        )
+        assert "RPL011" not in codes_of(lint_source(staged, STORAGE_PATH))
 
     def test_lock_order_table_is_well_formed(self):
         assert len(LOCK_ORDER) >= 2

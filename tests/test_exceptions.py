@@ -25,6 +25,7 @@ from repro.exceptions import (
     ServingError,
     ServingOverloadError,
     ServingTimeoutError,
+    SnapshotIntegrityError,
     SpoolIntegrityError,
     WorkerCrashError,
 )
@@ -42,6 +43,7 @@ ALL_EXCEPTIONS = [
     ServingTimeoutError,
     WorkerCrashError,
     SpoolIntegrityError,
+    SnapshotIntegrityError,
     QuantizationError,
     DatasetError,
     EnergyModelError,
@@ -53,6 +55,7 @@ SERVING_EXCEPTIONS = [
     ServingTimeoutError,
     WorkerCrashError,
     SpoolIntegrityError,
+    SnapshotIntegrityError,
 ]
 
 
