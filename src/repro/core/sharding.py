@@ -391,6 +391,13 @@ class ShardedSearcher(NearestNeighborSearcher):
         self._append_seq = 0
         self._storage_dir: Optional[str] = None
         self._checkpoint_thread: Optional[threading.Thread] = None
+        self._checkpoint_error: Optional[BaseException] = None
+        #: Serializes state mutation (fit/append/restore/hibernate) against
+        #: snapshot capture: an append lands either wholly before a snapshot
+        #: — covered by its ``applied_seq`` and truncated from the journal —
+        #: or wholly after it — replayed from the journal on restore — and a
+        #: shard engine is never pickled mid-mutation.
+        self._state_lock = threading.RLock()
         #: Optional :class:`~repro.runtime.faults.FaultInjector` fired at
         #: the storage tier's ``"journal"`` / ``"snapshot"`` sites.
         self.storage_fault_injector: Optional[Any] = None
@@ -472,6 +479,10 @@ class ShardedSearcher(NearestNeighborSearcher):
         return self._epoch_counter
 
     def _fit(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
+        with self._state_lock:
+            self._fit_locked(features, labels)
+
+    def _fit_locked(self, features: np.ndarray, labels: Optional[np.ndarray]) -> None:
         spans = self._partition(features.shape[0])
         if len(self._shards) != len(spans):
             # Refits with an unchanged partition count (the episodic
@@ -582,13 +593,20 @@ class ShardedSearcher(NearestNeighborSearcher):
             raise SearchError(
                 "appended rows must be labeled exactly like the fitted store"
             )
-        if self._journal is not None:
-            # Acknowledge-before-route: the rows are fsync'd to the journal
-            # before any shard mutates, so once append() returns the caller
-            # holds a durable acknowledgement that survives kill -9.
-            self._journal.record(self._append_seq + 1, features, labels)
+        with self._state_lock:
+            if self._journal is not None:
+                # Acknowledge-before-route: the rows are fsync'd to the journal
+                # before any shard mutates, so once append() returns the caller
+                # holds a durable acknowledgement that survives kill -9.
+                self._journal.record(self._append_seq + 1, features, labels)
+            # The sequence advances even without a journal: snapshots stamp
+            # it as applied_seq, which lets the executor's disk-restore rung
+            # tell a snapshot that still matches this searcher from one
+            # taken before later acknowledged appends.
             self._append_seq += 1
-        return self._apply_append(features, labels)
+            self._apply_append(features, labels)
+        self._note_append_seq()
+        return self
 
     def _apply_append(
         self, features: np.ndarray, labels: Optional[np.ndarray]
@@ -680,25 +698,32 @@ class ShardedSearcher(NearestNeighborSearcher):
     def snapshot(self, directory: Optional[Any] = None) -> str:
         """Persist the fitted state as a crash-safe snapshot generation.
 
-        Returns the generation directory.  When the snapshot lands in the
-        durability directory, the journal is checkpointed in the
-        background — records the snapshot now covers are truncated away —
-        and the executor (if it supports warm restart) is pointed at the
-        snapshot as this searcher's restore source.
+        Returns the generation directory.  Concurrent :meth:`append` calls
+        serialize against the capture — each lands either wholly before it
+        (covered by the recorded ``applied_seq``) or wholly after it
+        (replayed from the journal on restore), so the generation is one
+        consistent cut of ``(applied_seq, shard states)``.  When the
+        snapshot lands in the durability directory, the journal is
+        checkpointed in the background — records the snapshot now covers
+        are truncated away — and the executor (if it supports warm
+        restart) is pointed at the snapshot as this searcher's restore
+        source.
         """
         from ..storage.snapshot import write_snapshot
 
         directory = self._require_storage_dir(directory)
         self._require_fitted()
-        path = write_snapshot(
-            self,
-            directory,
-            applied_seq=self._append_seq,
-            fault_injector=self.storage_fault_injector,
-        )
+        with self._state_lock:
+            applied_seq = self._append_seq
+            path = write_snapshot(
+                self,
+                directory,
+                applied_seq=applied_seq,
+                fault_injector=self.storage_fault_injector,
+            )
         if self._journal is not None and directory == self._storage_dir:
-            self._checkpoint_journal(self._append_seq)
-        self._attach_restore_source(directory)
+            self._checkpoint_journal(applied_seq)
+        self._attach_restore_source(directory, applied_seq)
         return path
 
     def restore(self, directory: Optional[Any] = None) -> "ShardedSearcher":
@@ -717,6 +742,11 @@ class ShardedSearcher(NearestNeighborSearcher):
         from ..storage.snapshot import JOURNAL_NAME, load_snapshot
 
         directory = self._require_storage_dir(directory)
+        # A background checkpoint still rewriting journal.wal must finish
+        # before the replay reads (and possibly repair-truncates) that file.
+        thread, self._checkpoint_thread = self._checkpoint_thread, None
+        if thread is not None:
+            thread.join()
         state = load_snapshot(directory)
         manifest = state.manifest
         if self.appendable and state.features is None:
@@ -725,35 +755,46 @@ class ShardedSearcher(NearestNeighborSearcher):
                 f"searcher and retains no store; it cannot restore into an "
                 f"appendable one"
             )
-        self._evict_published()
-        # Never reuse an epoch the live bookkeeping may already have issued:
-        # advance past both the manifest's counter and our own, then stamp
-        # every restored shard with a fresh epoch.
-        self._epoch_counter = max(self._epoch_counter, int(manifest["epoch_counter"]))
-        self._shards = [engine for engine, _ in state.shards]
-        self._index_maps = [index_map for _, index_map in state.shards]
-        self._shard_epochs = [self._next_epoch() for _ in self._shards]
-        self._num_entries = int(manifest["num_entries"])
-        self._num_features = int(manifest["num_features"])
-        self._labels = state.labels
-        if self.appendable:
-            self._store_features = state.features
-            self._store_labels = state.labels
-        self._append_seq = int(manifest["applied_seq"])
-        journal_path = os.path.join(directory, JOURNAL_NAME)
-        records, _ = read_journal(journal_path, repair=True)
-        for record in records:
-            if record.seq <= self._append_seq:
-                continue  # idempotent replay: the snapshot already covers it
-            if not self.appendable:
-                raise SearchError(
-                    f"journal at {journal_path} holds appends but this "
-                    f"searcher is not appendable; construct it with "
-                    f"appendable=True to replay them"
-                )
-            self._apply_append(record.features, record.labels)
-            self._append_seq = record.seq
-        self._attach_restore_source(directory)
+        with self._state_lock:
+            self._evict_published()
+            # Never reuse an epoch the live bookkeeping may already have
+            # issued: advance past both the manifest's counter and our own,
+            # then stamp every restored shard with a fresh epoch.
+            self._epoch_counter = max(self._epoch_counter, int(manifest["epoch_counter"]))
+            self._shards = [engine for engine, _ in state.shards]
+            self._index_maps = [index_map for _, index_map in state.shards]
+            self._shard_epochs = [self._next_epoch() for _ in self._shards]
+            self._num_entries = int(manifest["num_entries"])
+            self._num_features = int(manifest["num_features"])
+            self._labels = state.labels
+            if self.appendable:
+                self._store_features = state.features
+                self._store_labels = state.labels
+            self._append_seq = int(manifest["applied_seq"])
+            journal_path = os.path.join(directory, JOURNAL_NAME)
+            journal = self._journal
+            if journal is not None and os.path.abspath(journal.path) == os.path.abspath(
+                journal_path
+            ):
+                # Read/repair through the live journal's own lock so the
+                # truncation cannot interleave with a concurrent record()
+                # or checkpoint() rewriting the same file.
+                records, _ = journal.replay(repair=True)
+            else:
+                records, _ = read_journal(journal_path, repair=True)
+            for record in records:
+                if record.seq <= self._append_seq:
+                    continue  # idempotent replay: the snapshot already covers it
+                if not self.appendable:
+                    raise SearchError(
+                        f"journal at {journal_path} holds appends but this "
+                        f"searcher is not appendable; construct it with "
+                        f"appendable=True to replay them"
+                    )
+                self._apply_append(record.features, record.labels)
+                self._append_seq = record.seq
+            applied_seq = self._append_seq
+        self._attach_restore_source(directory, applied_seq)
         return self
 
     def hibernate(self, directory: Optional[Any] = None) -> str:
@@ -765,14 +806,15 @@ class ShardedSearcher(NearestNeighborSearcher):
         memory footprint collapses to the object shell.  Searching before
         a restore raises :class:`~repro.exceptions.SearchError`.
         """
-        path = self.snapshot(directory)
-        self._evict_published()
-        self._shards = []
-        self._index_maps = []
-        self._shard_epochs = []
-        self._store_features = None
-        self._store_labels = None
-        self._labels = None
+        with self._state_lock:
+            path = self.snapshot(directory)
+            self._evict_published()
+            self._shards = []
+            self._index_maps = []
+            self._shard_epochs = []
+            self._store_features = None
+            self._store_labels = None
+            self._labels = None
         return path
 
     def _evict_published(self) -> None:
@@ -784,28 +826,71 @@ class ShardedSearcher(NearestNeighborSearcher):
         self._published_epochs.clear()
         self._published_paths.clear()
 
+    @property
+    def checkpoint_error(self) -> Optional[BaseException]:
+        """Failure of the last background journal checkpoint (None: healthy).
+
+        A recorded failure is raised out of the next :meth:`snapshot` call
+        instead of vanishing with its daemon thread.
+        """
+        return self._checkpoint_error
+
     def _checkpoint_journal(self, applied_seq: int) -> None:
-        """Truncate journaled appends the snapshot covers, off-thread."""
+        """Truncate journaled appends the snapshot covers, off-thread.
+
+        The previous checkpoint (if any) is joined first; a failure it
+        recorded — e.g. :class:`~repro.exceptions.SnapshotIntegrityError`
+        from a corrupt frame — re-raises here rather than disappearing to
+        the daemon thread's stderr.
+        """
         journal = self._journal
         if journal is None:
             return
         prior, self._checkpoint_thread = self._checkpoint_thread, None
         if prior is not None:
             prior.join()
+        error, self._checkpoint_error = self._checkpoint_error, None
+        if error is not None:
+            raise error
+
+        def run() -> None:
+            try:
+                journal.checkpoint(applied_seq)
+            except BaseException as exc:  # surfaced on the next snapshot
+                self._checkpoint_error = exc
+
         thread = threading.Thread(
-            target=journal.checkpoint,
-            args=(applied_seq,),
-            name="repro-journal-checkpoint",
-            daemon=True,
+            target=run, name="repro-journal-checkpoint", daemon=True
         )
         self._checkpoint_thread = thread
         thread.start()
 
-    def _attach_restore_source(self, directory: str) -> None:
-        """Register ``directory`` as this searcher's disk restore source."""
+    def _attach_restore_source(self, directory: str, applied_seq: int) -> None:
+        """Register ``directory`` as this searcher's disk restore source.
+
+        ``applied_seq`` tells the executor which append the snapshot covers
+        up to, so its disk-restore rung can refuse a generation that later
+        acknowledged appends have made stale.
+        """
         attach = getattr(self._executor, "attach_restore_source", None)
         if attach is not None:
-            attach(self._searcher_id, directory)
+            try:
+                attach(self._searcher_id, directory, applied_seq=applied_seq)
+            except TypeError:
+                # Third-party executors may predate the applied_seq
+                # parameter; staleness then goes untracked on their rung.
+                attach(self._searcher_id, directory)
+
+    def _note_append_seq(self) -> None:
+        """Tell the executor how far past any snapshot this searcher is.
+
+        The executor's disk-restore rung must never republish a shard from
+        a snapshot generation older than the last acknowledged append —
+        this hook is how it learns the current sequence.
+        """
+        note = getattr(self._executor, "note_append_seq", None)
+        if note is not None:
+            note(self._searcher_id, self._append_seq)
 
     # ------------------------------------------------------------------
     # Ranking

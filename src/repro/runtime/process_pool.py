@@ -584,11 +584,18 @@ class ProcessShardExecutor:
         #: (or anything with ``touch(searcher_id)``) notified on every cached
         #: dispatch so serving traffic refreshes LRU recency.
         self.tenant_policy: Any = None
-        #: Snapshot directory per restored/snapshotted searcher — the
-        #: restore-from-disk rung: a spool entry that is corrupt while no
-        #: parent-resident payload exists (a warm-restarted host) is
-        #: republished straight from the snapshot on disk.
-        self._restore_sources: Dict[str, str] = {}
+        #: ``(snapshot directory, applied_seq)`` per restored/snapshotted
+        #: searcher — the restore-from-disk rung: a spool entry that is
+        #: corrupt while no parent-resident payload exists (a
+        #: warm-restarted host) is republished straight from the snapshot
+        #: on disk, but only while the snapshot still covers the
+        #: searcher's last acknowledged append.
+        self._restore_sources: Dict[str, Tuple[str, int]] = {}
+        #: Last acknowledged append sequence per searcher (monotonic; fed
+        #: by :meth:`note_append_seq`).  Compared against a restore
+        #: source's ``applied_seq`` so the disk rung never republishes a
+        #: shard from a snapshot that pre-dates acknowledged appends.
+        self._append_seqs: Dict[str, int] = {}
         self._ring: Optional[_transport.SharedMemoryRing] = None
         #: Dispatched-but-uncollected batches on the shared-memory ring.
         #: Guards slot reuse: batch ``N + ring_depth`` rewrites batch
@@ -707,7 +714,9 @@ class ProcessShardExecutor:
             self._payloads[key] = (payload, epoch)
             return path
 
-    def attach_restore_source(self, searcher_id: str, directory: str) -> None:
+    def attach_restore_source(
+        self, searcher_id: str, directory: str, applied_seq: int = 0
+    ) -> None:
         """Register a snapshot directory as a searcher's disk restore source.
 
         Called by :meth:`~repro.core.sharding.ShardedSearcher.snapshot` and
@@ -715,19 +724,47 @@ class ProcessShardExecutor:
         parent-resident payloads — a corrupt or missing entry whose payload
         reference is gone (a warm-restarted process, an evicted tenant) is
         reloaded from the verified snapshot instead of failing the batch.
+        ``applied_seq`` is the append sequence the snapshot covers up to;
+        appends acknowledged after it (see :meth:`note_append_seq`) make
+        the source stale, and the rung then refuses it.
         """
         with self._lock:
-            self._restore_sources[searcher_id] = os.fspath(directory)
+            self._restore_sources[searcher_id] = (os.fspath(directory), int(applied_seq))
+            current = self._append_seqs.get(searcher_id, 0)
+            self._append_seqs[searcher_id] = max(current, int(applied_seq))
 
-    def _load_restore_payload(self, key: Tuple[str, int], directory: Optional[str]) -> Any:
+    def note_append_seq(self, searcher_id: str, seq: int) -> None:
+        """Record a searcher's last acknowledged append sequence (monotonic).
+
+        Called by :meth:`~repro.core.sharding.ShardedSearcher.append` after
+        each acknowledged append: a restore source whose ``applied_seq``
+        falls behind this watermark no longer reflects the searcher's
+        served state and is refused by the disk-restore rung.
+        """
+        with self._lock:
+            current = self._append_seqs.get(searcher_id, 0)
+            self._append_seqs[searcher_id] = max(current, int(seq))
+
+    def _load_restore_payload(
+        self, key: Tuple[str, int], source: Optional[Tuple[str, int]]
+    ) -> Any:
         """The restore-from-disk rung: reload one shard from its snapshot.
 
-        Returns ``None`` when there is no restore source or the snapshot
-        itself fails verification — recovery then has nothing left to
-        offer and the batch fails typed.  Successful disk restores are
-        counted on the supervisor for observability.
+        Returns ``None`` when there is no restore source, the snapshot
+        itself fails verification, or acknowledged appends have landed
+        after the snapshot was taken (its shard payloads would serve
+        stale rows with valid checksums) — recovery then has nothing left
+        to offer and the batch fails typed rather than serving wrong
+        results.  Disk restores and stale refusals are counted on the
+        supervisor for observability.
         """
-        if directory is None:
+        if source is None:
+            return None
+        directory, snapshot_seq = source
+        with self._lock:
+            current_seq = self._append_seqs.get(key[0], snapshot_seq)
+        if current_seq > snapshot_seq:
+            self._supervisor.record_stale_restore()
             return None
         from ..storage.snapshot import load_snapshot_shard
 
@@ -1127,6 +1164,7 @@ class ProcessShardExecutor:
             for key in [key for key in self._payloads if key[0] == searcher_id]:
                 del self._payloads[key]
             self._restore_sources.pop(searcher_id, None)
+            self._append_seqs.pop(searcher_id, None)
         for path in stale:
             _transport.remove_spool_entry(path)
         if broadcast:
@@ -1147,6 +1185,7 @@ class ProcessShardExecutor:
             self._published.clear()
             self._payloads.clear()
             self._restore_sources.clear()
+            self._append_seqs.clear()
             finalizer, self._spool_finalizer = self._spool_finalizer, None
             self._spool_dir = None
         if ring is not None:

@@ -174,6 +174,7 @@ class PoolSupervisor:
         self._generation = 0
         self._total_restarts = 0
         self._total_disk_restores = 0
+        self._total_stale_restores = 0
         self._restarts: Deque[float] = deque()
         self._demoted_at: Optional[float] = None
 
@@ -199,6 +200,23 @@ class PoolSupervisor:
         """Count one restore-from-disk repair (the rung below serial)."""
         with self._lock:
             self._total_disk_restores += 1
+
+    @property
+    def total_stale_restores(self) -> int:
+        """Disk restores refused because appends outran the snapshot.
+
+        A snapshot generation whose ``applied_seq`` pre-dates the
+        searcher's last acknowledged append would serve stale rows with
+        valid checksums; the executor refuses it and the batch fails
+        typed instead.
+        """
+        with self._lock:
+            return self._total_stale_restores
+
+    def record_stale_restore(self) -> None:
+        """Count one refused (stale-snapshot) restore-from-disk attempt."""
+        with self._lock:
+            self._total_stale_restores += 1
 
     @property
     def demoted(self) -> bool:

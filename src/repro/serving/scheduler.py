@@ -1052,8 +1052,10 @@ class MicroBatchScheduler:
         The serving-side durability hook: snapshots the lane's fitted
         state to ``directory`` while the scheduler keeps serving — the
         snapshot path reads shard engines without mutating them, so
-        concurrent dispatches are safe; appends racing the snapshot land
-        in the journal and replay on restore.  Returns the snapshot
+        concurrent dispatches are safe; appends racing the snapshot
+        serialize against its capture, landing either wholly inside the
+        generation (covered by its ``applied_seq``) or wholly after it
+        (journaled and replayed on restore).  Returns the snapshot
         generation directory.  Raises
         :class:`~repro.exceptions.ConfigurationError` when the lane's
         searcher is not snapshot-capable (not a

@@ -161,6 +161,17 @@ class AppendJournal:
         if injector is not None:
             injector.fire("journal", None, path=self._path)
 
+    def replay(self, repair: bool = False) -> Tuple[List[JournalRecord], int]:
+        """Read this journal's records under its lock (see :func:`read_journal`).
+
+        Restore paths go through here when the journal is live, so the
+        read — and the ``repair=True`` tail truncation — cannot interleave
+        with a concurrent :meth:`record` or a :meth:`checkpoint` replacing
+        the same file.
+        """
+        with self._lock:
+            return read_journal(self._path, repair=repair)
+
     def checkpoint(self, applied_seq: int) -> int:
         """Drop records a snapshot already covers; returns the count kept.
 

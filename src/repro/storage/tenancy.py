@@ -22,6 +22,7 @@ from under an active query.
 from __future__ import annotations
 
 import os
+import re
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -35,6 +36,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..core.sharding import ShardedSearcher
 
 __all__ = ["ColdTenantPool"]
+
+#: Strict allowlist for tenant ids: they name a directory under the pool
+#: root, so anything that could traverse out of it ('..', separators on
+#: any platform, control characters) must be rejected, not just os.sep.
+_TENANT_ID_PATTERN = re.compile(r"[A-Za-z0-9._-]+")
 
 
 @dataclass
@@ -99,8 +105,15 @@ class ColdTenantPool:
         share this pool's executor — eviction broadcasts spool evictions
         through it — and must be fitted, since hibernation snapshots it.
         """
-        if os.sep in tenant_id or not tenant_id:
-            raise ConfigurationError(f"tenant_id must be a plain name, got {tenant_id!r}")
+        if (
+            not tenant_id
+            or tenant_id in (".", "..")
+            or _TENANT_ID_PATTERN.fullmatch(tenant_id) is None
+        ):
+            raise ConfigurationError(
+                f"tenant_id must be a plain name matching [A-Za-z0-9._-]+ "
+                f"(and not '.' or '..'), got {tenant_id!r}"
+            )
         with self._lock:
             if self._closed:
                 raise ConfigurationError("cold-tenant pool is closed")
@@ -129,7 +142,14 @@ class ColdTenantPool:
         finally:
             with self._lock:
                 tenant.pins -= 1
-                self._evict_over_capacity()
+                if self._closed:
+                    # The pool closed mid-lease: close() skipped this
+                    # tenant rather than pulling state out from under the
+                    # lease, so its deferred hibernation lands here.
+                    if tenant.pins == 0 and tenant.resident:
+                        self._hibernate(tenant)
+                else:
+                    self._evict_over_capacity()
 
     def kneighbors_batch(self, tenant_id: str, queries: Any, k: int = 1, rng: Any = None) -> Any:
         """Serve one query batch for a tenant under a lease."""
@@ -160,6 +180,11 @@ class ColdTenantPool:
             self.restores += 1
         return tenant
 
+    def _hibernate(self, tenant: _Tenant) -> None:
+        tenant.searcher.hibernate(tenant.directory)
+        tenant.resident = False
+        self.evictions += 1
+
     def _evict_over_capacity(self) -> None:
         resident = [
             (tenant_id, tenant) for tenant_id, tenant in self._tenants.items() if tenant.resident
@@ -172,21 +197,23 @@ class ColdTenantPool:
                 # Never pull state out from under a live lease; capacity
                 # overshoots until the lease returns.
                 continue
-            tenant.searcher.hibernate(tenant.directory)
-            tenant.resident = False
-            self.evictions += 1
+            self._hibernate(tenant)
             excess -= 1
 
     def close(self) -> None:
-        """Hibernate every resident tenant and detach from the executor."""
+        """Hibernate every unpinned resident tenant, detach from the executor.
+
+        Tenants held by a live lease are skipped — the same pinning rule
+        :meth:`_evict_over_capacity` honors, so hibernation never pulls
+        shard state out from under an active query; each skipped tenant
+        hibernates when its lease returns instead.
+        """
         with self._lock:
             if self._closed:
                 return
             for tenant in self._tenants.values():
-                if tenant.resident:
-                    tenant.searcher.hibernate(tenant.directory)
-                    tenant.resident = False
-                    self.evictions += 1
+                if tenant.resident and tenant.pins == 0:
+                    self._hibernate(tenant)
             self._closed = True
         if getattr(self._executor, "tenant_policy", None) is self:
             self._executor.tenant_policy = None

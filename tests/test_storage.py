@@ -30,6 +30,7 @@ from repro.exceptions import (
     ConfigurationError,
     SearchError,
     SnapshotIntegrityError,
+    SpoolIntegrityError,
 )
 from repro.runtime import (
     FaultInjector,
@@ -316,6 +317,59 @@ class TestSnapshotRestore:
         with pytest.raises(SearchError):
             make_sharded(appendable=False).restore(tmp_path)
 
+    def test_snapshot_racing_appends_is_one_consistent_cut(self, tmp_path):
+        # Appends hammer the searcher while snapshots land mid-burst: each
+        # append must end up either wholly inside a snapshot (covered by
+        # its applied_seq and checkpointed away) or wholly in the journal
+        # (replayed on restore) — never baked into the pickled shards AND
+        # replayed again, and never half-pickled.
+        total = 12
+        searcher = fitted_searcher(tmp_path)
+        searcher.snapshot()
+        done = threading.Event()
+
+        def burst():
+            for seq in range(1, total + 1):
+                searcher.append(*append_row(seq))
+            done.set()
+
+        appender = threading.Thread(target=burst)
+        appender.start()
+        while not done.is_set():
+            searcher.snapshot()
+        appender.join()
+        searcher.close()
+        restored = make_sharded().restore(tmp_path)
+        assert restored.num_entries == BASE_ROWS + total
+        reference = make_sharded()
+        reference.fit(*base_data())
+        for seq in range(1, total + 1):
+            reference.append(*append_row(seq))
+        assert_bitwise(
+            restored.kneighbors_batch(QUERIES, k=3),
+            reference.kneighbors_batch(QUERIES, k=3),
+        )
+        restored.close()
+        reference.close()
+
+    def test_checkpoint_failure_surfaces_on_next_snapshot(self, tmp_path):
+        searcher = fitted_searcher(tmp_path)
+        searcher.append(*append_row(1))
+        searcher.snapshot()  # healthy background checkpoint
+
+        def boom(applied_seq):
+            raise SnapshotIntegrityError("checkpoint blew up")
+
+        searcher._journal.checkpoint = boom
+        searcher.append(*append_row(2))
+        searcher.snapshot()  # schedules the failing checkpoint off-thread
+        # The failure is recorded, not lost to the daemon thread's stderr:
+        # the next snapshot joins that thread and re-raises it typed.
+        with pytest.raises(SnapshotIntegrityError, match="checkpoint blew up"):
+            searcher.snapshot()
+        assert searcher.checkpoint_error is None  # consumed by the raise
+        searcher.close()
+
     def test_hibernate_releases_state_and_restore_brings_it_back(self, tmp_path):
         searcher = fitted_searcher(tmp_path)
         want = searcher.kneighbors_batch(QUERIES, k=3)
@@ -368,6 +422,32 @@ class TestWarmRestart:
             assert executor.supervisor.total_disk_restores >= 1
             for path in published.values():
                 assert verify_spool_entry(path)
+            searcher.close()
+
+    def test_stale_restore_source_is_refused_not_served(self, tmp_path):
+        # Acknowledged appends land AFTER the snapshot: the generation on
+        # disk has valid checksums but stale rows.  When a spool entry
+        # breaks with no parent payload left, the disk rung must refuse
+        # it and fail the batch typed — never silently republish and
+        # serve pre-append results.
+        with ProcessShardExecutor(num_workers=1, transport="pickle") as executor:
+            searcher = fitted_searcher(tmp_path, executor=executor)
+            searcher.snapshot()
+            searcher.append(*append_row(1))
+            # Publish the post-append epochs, then simulate a warm restart
+            # that lost the parent-resident payload references.
+            searcher.kneighbors_batch(QUERIES, k=3)
+            with executor._lock:
+                executor._payloads.clear()
+                published = dict(executor._published)
+            assert published
+            for path in published.values():
+                scribble(path)
+            executor._pool.broadcast(_evict_searcher_entries, searcher._searcher_id)
+            with pytest.raises(SpoolIntegrityError):
+                searcher.kneighbors_batch(QUERIES, k=3)
+            assert executor.supervisor.total_stale_restores >= 1
+            assert executor.supervisor.total_disk_restores == 0
             searcher.close()
 
     def test_scheduler_snapshot_lane_round_trips(self, tmp_path):
@@ -636,12 +716,38 @@ class TestColdTenantPool:
                 pool.admit("tenant-0", searcher)
                 with pytest.raises(ConfigurationError):
                     pool.admit("tenant-0", searcher)  # duplicate id
-                with pytest.raises(ConfigurationError):
-                    pool.admit(f"evil{os.sep}path", searcher)
+                # Anything that could traverse out of the pool root is
+                # rejected by the allowlist, not just os.sep: '..' would
+                # make hibernate() write into (and delete snap-* from)
+                # the pool root's PARENT directory.
+                for bad in ("", ".", "..", f"evil{os.sep}path", "evil\\path", "a b"):
+                    with pytest.raises(ConfigurationError):
+                        pool.admit(bad, searcher)
                 with pytest.raises(ConfigurationError):
                     pool.kneighbors_batch("who", QUERIES)
             with pytest.raises(ConfigurationError):
                 pool.kneighbors_batch("tenant-0", QUERIES)  # closed
+
+    def test_close_skips_pinned_tenants_until_their_lease_returns(self, tmp_path):
+        with ProcessShardExecutor(num_workers=1, transport="pickle") as executor:
+            pool = ColdTenantPool(executor, tmp_path, capacity=2)
+            want = self.admit_tenants(pool, executor, count=2)
+            with pool.lease("tenant-0") as leased:
+                pool.close()
+                # The unpinned tenant hibernated; the leased one keeps its
+                # state — close() never pulls shards out from under a live
+                # lease — and still serves bitwise.
+                assert "tenant-1" not in pool.resident_tenants
+                assert "tenant-0" in pool.resident_tenants
+                assert_bitwise(leased.kneighbors_batch(QUERIES, k=2), want["tenant-0"])
+            # Lease returned: the deferred hibernation landed, and the
+            # snapshot it wrote restores bitwise.
+            assert pool.resident_tenants == ()
+            restored = make_sharded(executor=executor).restore(
+                pool.tenant_directory("tenant-0")
+            )
+            assert_bitwise(restored.kneighbors_batch(QUERIES, k=2), want["tenant-0"])
+            restored.close()
 
     def test_close_hibernates_everything_and_restores_on_reopen(self, tmp_path):
         with ProcessShardExecutor(num_workers=1, transport="pickle") as executor:
